@@ -1,0 +1,158 @@
+//! Delta encoding of numeric series — one of the "bandwidth reduction"
+//! techniques in the paper's aggregation menu (§V.A). Slowly varying
+//! sensor series (temperatures, meter totals) turn into long runs of small
+//! deltas, which downstream compression then squeezes far harder than the
+//! raw values.
+
+/// Delta-encodes a series: `out[0] = in[0]`, `out[i] = in[i] − in[i−1]`
+/// (wrapping, so decoding is exact for any `i64` inputs).
+///
+/// # Examples
+///
+/// ```
+/// use f2c_aggregate::delta::{encode, decode};
+///
+/// let series = vec![100, 101, 101, 103, 102];
+/// let deltas = encode(&series);
+/// assert_eq!(deltas, vec![100, 1, 0, 2, -1]);
+/// assert_eq!(decode(&deltas), series);
+/// ```
+pub fn encode(series: &[i64]) -> Vec<i64> {
+    let mut out = Vec::with_capacity(series.len());
+    let mut prev = 0i64;
+    for (i, &v) in series.iter().enumerate() {
+        if i == 0 {
+            out.push(v);
+        } else {
+            out.push(v.wrapping_sub(prev));
+        }
+        prev = v;
+    }
+    out
+}
+
+/// Inverts [`encode`].
+pub fn decode(deltas: &[i64]) -> Vec<i64> {
+    let mut out = Vec::with_capacity(deltas.len());
+    let mut acc = 0i64;
+    for (i, &d) in deltas.iter().enumerate() {
+        acc = if i == 0 { d } else { acc.wrapping_add(d) };
+        out.push(acc);
+    }
+    out
+}
+
+/// Zig-zag maps signed deltas to unsigned (small magnitudes → small
+/// codes), the standard pre-step before varint/entropy coding.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverts [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Serializes a series as zig-zag varints — the compact wire form a fog
+/// node would ship for a numeric column.
+pub fn to_varint_bytes(series: &[i64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(series.len() * 2);
+    for &d in &encode(series) {
+        let mut z = zigzag(d);
+        loop {
+            let byte = (z & 0x7F) as u8;
+            z >>= 7;
+            if z == 0 {
+                out.push(byte);
+                break;
+            }
+            out.push(byte | 0x80);
+        }
+    }
+    out
+}
+
+/// Inverts [`to_varint_bytes`]; `None` on a truncated stream.
+pub fn from_varint_bytes(data: &[u8]) -> Option<Vec<i64>> {
+    let mut deltas = Vec::new();
+    let mut i = 0;
+    while i < data.len() {
+        let mut z = 0u64;
+        let mut shift = 0u32;
+        loop {
+            if i >= data.len() || shift >= 64 {
+                return None;
+            }
+            let byte = data[i];
+            i += 1;
+            z |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+        }
+        deltas.push(unzigzag(z));
+    }
+    Some(decode(&deltas))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_basic() {
+        for series in [
+            vec![],
+            vec![42],
+            vec![0, 0, 0],
+            vec![i64::MAX, i64::MIN, 0, -1, 1],
+            (0..1000).map(|i| i * i % 977 - 400).collect::<Vec<_>>(),
+        ] {
+            assert_eq!(decode(&encode(&series)), series);
+            assert_eq!(from_varint_bytes(&to_varint_bytes(&series)).unwrap(), series);
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrip_and_ordering() {
+        for v in [-3i64, -2, -1, 0, 1, 2, 3, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes get small codes.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+
+    #[test]
+    fn slowly_varying_series_shrink() {
+        // A meter-like series: large base, tiny increments.
+        let series: Vec<i64> = (0..2_000).map(|i| 5_000_000 + i * 3).collect();
+        let packed = to_varint_bytes(&series);
+        // 2000 × 8 raw bytes vs ~1 byte/delta after the first.
+        assert!(packed.len() < 2_200, "got {} bytes", packed.len());
+    }
+
+    #[test]
+    fn delta_plus_deflate_beats_deflate_alone_on_counters() {
+        let series: Vec<i64> = (0..5_000).map(|i| 1_000_000 + i * 7 + (i % 3)).collect();
+        let raw: Vec<u8> = series.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let direct = f2c_compress::compress(&raw).unwrap().len();
+        let delta = f2c_compress::compress(&to_varint_bytes(&series)).unwrap().len();
+        assert!(
+            delta < direct,
+            "delta+deflate {delta} should beat deflate {direct}"
+        );
+    }
+
+    #[test]
+    fn truncated_varints_are_detected() {
+        let mut packed = to_varint_bytes(&[300, 400, 500]);
+        packed.pop();
+        // Either a clean None (truncated final varint) — never a panic.
+        let _ = from_varint_bytes(&packed);
+        assert_eq!(from_varint_bytes(&[0x80]), None);
+    }
+}

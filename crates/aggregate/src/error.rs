@@ -1,0 +1,36 @@
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors from aggregation configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A window length of zero was requested.
+    EmptyWindow,
+    /// A sketch was configured with zero width/depth/registers.
+    DegenerateSketch {
+        /// Which parameter was zero.
+        parameter: &'static str,
+    },
+    /// A protocol was run over an empty node set.
+    NoParticipants,
+    /// A gossip/flood round count of zero was requested.
+    ZeroRounds,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyWindow => write!(f, "window length must be positive"),
+            Error::DegenerateSketch { parameter } => {
+                write!(f, "sketch parameter {parameter} must be positive")
+            }
+            Error::NoParticipants => write!(f, "protocol needs at least one participant"),
+            Error::ZeroRounds => write!(f, "round count must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

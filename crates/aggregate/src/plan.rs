@@ -1,0 +1,248 @@
+//! Composable per-fog-node aggregation pipelines.
+//!
+//! §IV.D: having just-collected data at fog layer 1 "allows additional
+//! optimization implementations, such as performing some data aggregation
+//! techniques to reduce the volume of data to be transmitted upwards". An
+//! [`AggregationPlan`] is an ordered list of [`Stage`]s a fog node applies
+//! to a batch before flushing it to its parent; the [`PlanReport`] records
+//! reading counts in/out of every stage for the traffic experiments.
+
+use scc_sensors::Reading;
+
+use crate::dedup::RedundancyFilter;
+use crate::window::WindowCombiner;
+use crate::Result;
+
+/// One processing stage of a plan.
+#[derive(Debug)]
+pub enum Stage {
+    /// Redundant-data elimination.
+    Dedup(RedundancyFilter),
+    /// Tumbling-window combination: replaces a sensor's readings in each
+    /// closed window with a single synthetic "last value" reading.
+    Window(WindowCombiner),
+}
+
+impl Stage {
+    fn name(&self) -> &'static str {
+        match self {
+            Stage::Dedup(_) => "dedup",
+            Stage::Window(_) => "window",
+        }
+    }
+}
+
+/// Per-stage counters from one [`AggregationPlan::apply`] call or their
+/// accumulation over many calls.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanReport {
+    /// (stage name, readings in, readings out), in stage order.
+    pub stages: Vec<(&'static str, u64, u64)>,
+}
+
+impl PlanReport {
+    /// Total readings offered to the first stage.
+    pub fn input_count(&self) -> u64 {
+        self.stages.first().map_or(0, |s| s.1)
+    }
+
+    /// Total readings emitted by the last stage.
+    pub fn output_count(&self) -> u64 {
+        self.stages.last().map_or(0, |s| s.2)
+    }
+
+    /// Overall reduction fraction `1 − out/in` (0 when empty).
+    pub fn reduction(&self) -> f64 {
+        let input = self.input_count();
+        if input == 0 {
+            0.0
+        } else {
+            1.0 - self.output_count() as f64 / input as f64
+        }
+    }
+
+    /// Accumulates another report (stage lists must match).
+    pub fn merge(&mut self, other: &PlanReport) {
+        if self.stages.is_empty() {
+            self.stages = other.stages.clone();
+            return;
+        }
+        assert_eq!(
+            self.stages.len(),
+            other.stages.len(),
+            "cannot merge reports from different plans"
+        );
+        for (a, b) in self.stages.iter_mut().zip(&other.stages) {
+            assert_eq!(a.0, b.0, "stage order mismatch");
+            a.1 += b.1;
+            a.2 += b.2;
+        }
+    }
+}
+
+/// An ordered aggregation pipeline applied batch-by-batch.
+///
+/// # Examples
+///
+/// ```
+/// use f2c_aggregate::{AggregationPlan, RedundancyFilter, Stage};
+/// use scc_sensors::{ReadingGenerator, SensorType};
+///
+/// let mut plan = AggregationPlan::new(vec![Stage::Dedup(RedundancyFilter::new())]);
+/// let mut gen = ReadingGenerator::for_population(SensorType::ContainerGlass, 100, 5);
+/// for w in 0..50u64 {
+///     plan.apply(gen.wave(w * 2400));
+/// }
+/// // Garbage sensors repeat ~70% of readings (Table I).
+/// assert!((plan.report().reduction() - 0.70).abs() < 0.05);
+/// ```
+#[derive(Debug, Default)]
+pub struct AggregationPlan {
+    stages: Vec<Stage>,
+    report: PlanReport,
+}
+
+impl AggregationPlan {
+    /// Creates a plan from ordered stages.
+    pub fn new(stages: Vec<Stage>) -> Self {
+        let report = PlanReport {
+            stages: stages.iter().map(|s| (s.name(), 0, 0)).collect(),
+        };
+        Self { stages, report }
+    }
+
+    /// A pass-through plan (no aggregation — the centralized baseline).
+    pub fn passthrough() -> Self {
+        Self::new(Vec::new())
+    }
+
+    /// The paper's fog-layer-1 configuration: redundant-data elimination.
+    /// (Compression happens at flush time on the encoded batch, see
+    /// `f2c-core`.)
+    pub fn paper_fog1() -> Self {
+        Self::new(vec![Stage::Dedup(RedundancyFilter::new())])
+    }
+
+    /// Applies all stages to a batch, returning the surviving readings.
+    pub fn apply(&mut self, batch: Vec<Reading>) -> Vec<Reading> {
+        let mut current = batch;
+        for (stage, counters) in self.stages.iter_mut().zip(&mut self.report.stages) {
+            counters.1 += current.len() as u64;
+            current = match stage {
+                Stage::Dedup(filter) => filter.filter_batch(current),
+                Stage::Window(combiner) => {
+                    let mut out = Vec::new();
+                    for r in &current {
+                        if let Some(summary) = combiner.offer(r) {
+                            out.push(Reading::new(
+                                summary.sensor,
+                                summary.window_start_s + combiner.window_secs() - 1,
+                                scc_sensors::Value::from_f64(summary.last),
+                            ));
+                        }
+                    }
+                    out
+                }
+            };
+            counters.2 += current.len() as u64;
+        }
+        current
+    }
+
+    /// Flushes any stage-internal state (open windows) as final readings.
+    pub fn finish(&mut self) -> Result<Vec<Reading>> {
+        let mut out = Vec::new();
+        for (stage, counters) in self.stages.iter_mut().zip(&mut self.report.stages) {
+            if let Stage::Window(combiner) = stage {
+                for summary in combiner.close_windows_before(u64::MAX) {
+                    out.push(Reading::new(
+                        summary.sensor,
+                        summary.window_start_s,
+                        scc_sensors::Value::from_f64(summary.last),
+                    ));
+                    counters.2 += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Accumulated per-stage counters.
+    pub fn report(&self) -> &PlanReport {
+        &self.report
+    }
+
+    /// Number of stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_sensors::{ReadingGenerator, SensorType};
+
+    #[test]
+    fn passthrough_changes_nothing() {
+        let mut plan = AggregationPlan::passthrough();
+        let mut gen = ReadingGenerator::for_population(SensorType::Weather, 10, 1);
+        let batch = gen.wave(0);
+        let out = plan.apply(batch.clone());
+        assert_eq!(out, batch);
+        assert_eq!(plan.report().reduction(), 0.0);
+    }
+
+    #[test]
+    fn dedup_then_window_compose() {
+        let mut plan = AggregationPlan::new(vec![
+            Stage::Dedup(RedundancyFilter::new()),
+            Stage::Window(WindowCombiner::new(3600).unwrap()),
+        ]);
+        let mut gen = ReadingGenerator::for_population(SensorType::Temperature, 20, 3);
+        let mut emitted = 0usize;
+        for w in 0..96u64 {
+            emitted += plan.apply(gen.wave(w * 900)).len();
+        }
+        emitted += plan.finish().unwrap().len();
+        // 20 sensors × 24 hours ≥ summaries; far fewer than 20×96 readings.
+        assert!(emitted <= 20 * 25);
+        assert!(plan.report().reduction() > 0.5);
+    }
+
+    #[test]
+    fn report_counts_are_conserved_per_stage() {
+        let mut plan = AggregationPlan::paper_fog1();
+        let mut gen = ReadingGenerator::for_population(SensorType::ParkingSpot, 50, 3);
+        for w in 0..20u64 {
+            plan.apply(gen.wave(w * 864));
+        }
+        let r = plan.report();
+        assert_eq!(r.stages.len(), 1);
+        assert_eq!(r.stages[0].1, 50 * 20);
+        assert!(r.stages[0].2 <= r.stages[0].1);
+    }
+
+    #[test]
+    fn report_merge_accumulates() {
+        let mut a = PlanReport {
+            stages: vec![("dedup", 10, 5)],
+        };
+        let b = PlanReport {
+            stages: vec![("dedup", 30, 15)],
+        };
+        a.merge(&b);
+        assert_eq!(a.stages[0], ("dedup", 40, 20));
+        assert_eq!(a.reduction(), 0.5);
+    }
+
+    #[test]
+    fn empty_report_merges_from_scratch() {
+        let mut a = PlanReport::default();
+        let b = PlanReport {
+            stages: vec![("dedup", 4, 2)],
+        };
+        a.merge(&b);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,158 @@
+//! Flooding aggregation — the "flooding/broadcast" class of the survey's
+//! communication taxonomy. Every round, every node exchanges its current
+//! aggregate with all neighbors; idempotent aggregates (max/min) converge
+//! in diameter rounds, at a message cost of `2·|E|` per round.
+
+use crate::{Error, Result};
+
+/// Result of a flooding run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloodOutcome {
+    /// Per-node aggregate after the final round.
+    pub values: Vec<f64>,
+    /// Rounds until every node held the global answer (or `rounds` if it
+    /// never converged within the budget).
+    pub rounds_to_convergence: usize,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Whether all nodes converged to the global maximum.
+    pub converged: bool,
+}
+
+/// Floods the maximum of `values` over `neighbors` for at most `max_rounds`
+/// synchronous rounds.
+///
+/// # Errors
+///
+/// [`Error::NoParticipants`] / [`Error::ZeroRounds`] on degenerate input.
+///
+/// # Examples
+///
+/// ```
+/// use f2c_aggregate::protocol::flood_max;
+///
+/// // A path graph 0-1-2-3: diameter 3.
+/// let neighbors = vec![vec![1], vec![0, 2], vec![1, 3], vec![2]];
+/// let out = flood_max(&[5.0, 1.0, 9.0, 2.0], &neighbors, 10)?;
+/// assert!(out.converged);
+/// assert_eq!(out.rounds_to_convergence, 2); // 9 reaches nodes 0 and 3 in 2 hops
+/// assert!(out.values.iter().all(|&v| v == 9.0));
+/// # Ok::<(), f2c_aggregate::Error>(())
+/// ```
+pub fn flood_max(
+    values: &[f64],
+    neighbors: &[Vec<usize>],
+    max_rounds: usize,
+) -> Result<FloodOutcome> {
+    let n = values.len();
+    if n == 0 || neighbors.len() != n {
+        return Err(Error::NoParticipants);
+    }
+    if max_rounds == 0 {
+        return Err(Error::ZeroRounds);
+    }
+    let global_max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut state: Vec<f64> = values.to_vec();
+    let mut messages = 0u64;
+    let mut rounds_to_convergence = max_rounds;
+    let mut converged = state.iter().all(|&v| v == global_max);
+    if converged {
+        rounds_to_convergence = 0;
+    }
+    for round in 1..=max_rounds {
+        if converged {
+            break;
+        }
+        let snapshot = state.clone();
+        for (i, peers) in neighbors.iter().enumerate() {
+            for &p in peers {
+                // i sends its value to p.
+                if snapshot[i] > state[p] {
+                    state[p] = snapshot[i];
+                }
+                messages += 1;
+            }
+        }
+        if !converged && state.iter().all(|&v| v == global_max) {
+            converged = true;
+            rounds_to_convergence = round;
+        }
+    }
+    Ok(FloodOutcome {
+        values: state,
+        rounds_to_convergence,
+        messages,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|i| {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push(i - 1);
+                }
+                if i + 1 < n {
+                    v.push(i + 1);
+                }
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn converges_in_eccentricity_rounds_on_a_path() {
+        // Max at one end of a 10-path: needs 9 rounds to reach the far end.
+        let mut values = vec![0.0; 10];
+        values[0] = 100.0;
+        let out = flood_max(&values, &path(10), 20).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.rounds_to_convergence, 9);
+    }
+
+    #[test]
+    fn insufficient_budget_reports_non_convergence() {
+        let mut values = vec![0.0; 10];
+        values[0] = 100.0;
+        let out = flood_max(&values, &path(10), 3).unwrap();
+        assert!(!out.converged);
+        assert!(out.values[9] < 100.0);
+    }
+
+    #[test]
+    fn already_uniform_converges_instantly() {
+        let out = flood_max(&[7.0; 5], &path(5), 10).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.rounds_to_convergence, 0);
+        assert_eq!(out.messages, 0);
+    }
+
+    #[test]
+    fn message_cost_is_degree_sum_per_round() {
+        // 4-path has degree sum 6; two rounds to converge from the middle.
+        let out = flood_max(&[0.0, 9.0, 0.0, 0.0], &path(4), 10).unwrap();
+        assert!(out.converged);
+        // messages = rounds_run * 6 (it stops checking after convergence).
+        assert_eq!(out.messages % 6, 0);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(flood_max(&[], &[], 5).is_err());
+        assert!(flood_max(&[1.0], &[vec![]], 0).is_err());
+        assert!(flood_max(&[1.0, 2.0], &[vec![1]], 5).is_err()); // adjacency size mismatch
+    }
+
+    #[test]
+    fn disconnected_graph_never_converges() {
+        let neighbors = vec![vec![], vec![]];
+        let out = flood_max(&[1.0, 5.0], &neighbors, 8).unwrap();
+        assert!(!out.converged);
+        assert_eq!(out.values, vec![1.0, 5.0]);
+    }
+}

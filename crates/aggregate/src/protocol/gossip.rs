@@ -1,0 +1,183 @@
+//! Push-sum gossip averaging (Kempe et al.) — the unstructured
+//! "averaging" class of the survey's communication taxonomy.
+//!
+//! Every node keeps a `(sum, weight)` pair; each synchronous round it sends
+//! half of both to one uniformly random neighbor and keeps the other half.
+//! Every node's `sum/weight` converges exponentially to the global mean —
+//! without any hierarchy, at the price of many more messages than the tree
+//! protocol (one per node per round vs `n - 1` total).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Error, Result};
+
+/// Result of a push-sum run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipOutcome {
+    /// Per-node estimates of the mean after the final round.
+    pub estimates: Vec<f64>,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total messages sent (n per round).
+    pub messages: u64,
+    /// Largest |estimate − true mean| across nodes.
+    pub max_error: f64,
+}
+
+/// Runs synchronous push-sum over `neighbors` (adjacency lists; pass each
+/// node's full peer set for a complete graph).
+///
+/// # Errors
+///
+/// * [`Error::NoParticipants`] if `values` is empty or some node has no
+///   neighbors,
+/// * [`Error::ZeroRounds`] if `rounds` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use f2c_aggregate::protocol::push_sum;
+///
+/// let values = [10.0, 20.0, 30.0, 40.0];
+/// // Complete graph on 4 nodes.
+/// let neighbors: Vec<Vec<usize>> = (0..4)
+///     .map(|i| (0..4).filter(|&j| j != i).collect())
+///     .collect();
+/// let out = push_sum(&values, &neighbors, 60, 7)?;
+/// assert!(out.max_error < 1e-6); // everyone knows the mean is 25
+/// # Ok::<(), f2c_aggregate::Error>(())
+/// ```
+pub fn push_sum(
+    values: &[f64],
+    neighbors: &[Vec<usize>],
+    rounds: usize,
+    seed: u64,
+) -> Result<GossipOutcome> {
+    let n = values.len();
+    if n == 0 || neighbors.len() != n || neighbors.iter().any(Vec::is_empty) {
+        return Err(Error::NoParticipants);
+    }
+    if rounds == 0 {
+        return Err(Error::ZeroRounds);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sum: Vec<f64> = values.to_vec();
+    let mut weight = vec![1.0f64; n];
+    let mut messages = 0u64;
+
+    for _ in 0..rounds {
+        let mut inbox_sum = vec![0.0f64; n];
+        let mut inbox_weight = vec![0.0f64; n];
+        for i in 0..n {
+            let peer = neighbors[i][rng.gen_range(0..neighbors[i].len())];
+            let half_s = sum[i] / 2.0;
+            let half_w = weight[i] / 2.0;
+            sum[i] = half_s;
+            weight[i] = half_w;
+            inbox_sum[peer] += half_s;
+            inbox_weight[peer] += half_w;
+            messages += 1;
+        }
+        for i in 0..n {
+            sum[i] += inbox_sum[i];
+            weight[i] += inbox_weight[i];
+        }
+    }
+
+    let estimates: Vec<f64> = sum
+        .iter()
+        .zip(&weight)
+        .map(|(s, w)| if *w > 0.0 { s / w } else { 0.0 })
+        .collect();
+    let true_mean = values.iter().sum::<f64>() / n as f64;
+    let max_error = estimates
+        .iter()
+        .map(|e| (e - true_mean).abs())
+        .fold(0.0, f64::max);
+    Ok(GossipOutcome {
+        estimates,
+        rounds,
+        messages,
+        max_error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|i| (0..n).filter(|&j| j != i).collect())
+            .collect()
+    }
+
+    fn ring(n: usize) -> Vec<Vec<usize>> {
+        (0..n).map(|i| vec![(i + n - 1) % n, (i + 1) % n]).collect()
+    }
+
+    #[test]
+    fn converges_on_complete_graph() {
+        let values: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let out = push_sum(&values, &complete(50), 80, 3).unwrap();
+        assert!(out.max_error < 1e-6, "max error {}", out.max_error);
+    }
+
+    #[test]
+    fn converges_slower_on_ring() {
+        let values: Vec<f64> = (0..32).map(|i| (i % 4) as f64 * 10.0).collect();
+        let few = push_sum(&values, &ring(32), 10, 3).unwrap();
+        let many = push_sum(&values, &ring(32), 1500, 3).unwrap();
+        assert!(many.max_error < few.max_error);
+        // Rings mix in O(n^2) rounds — far slower than complete graphs.
+        assert!(many.max_error < 1e-3, "ring still off: {}", many.max_error);
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        // Sum of (sum) components equals total at all times; probe at end:
+        // each node's estimate weighted by its weight reconstructs the sum.
+        let values = [5.0, 15.0, 25.0];
+        let out = push_sum(&values, &complete(3), 25, 1).unwrap();
+        // The weighted estimates must average exactly to the true mean.
+        // (push-sum invariant: Σ sums = Σ values, Σ weights = n)
+        let mean = values.iter().sum::<f64>() / 3.0;
+        for e in &out.estimates {
+            assert!((e - mean).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn message_count_is_n_per_round() {
+        let values = [1.0; 10];
+        let out = push_sum(&values, &complete(10), 7, 0).unwrap();
+        assert_eq!(out.messages, 70);
+        assert_eq!(out.rounds, 7);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let values: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let a = push_sum(&values, &ring(20), 50, 9).unwrap();
+        let b = push_sum(&values, &ring(20), 50, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tree_beats_gossip_on_message_count() {
+        // The structured/unstructured trade-off the survey describes.
+        let n = 83; // 73 fog-1 + 10 fog-2, roughly the Barcelona graph
+        let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let out = push_sum(&values, &complete(n), 60, 5).unwrap();
+        assert!(out.max_error < 1e-6);
+        assert!(out.messages as usize > 10 * (n - 1));
+    }
+
+    #[test]
+    fn error_inputs() {
+        assert!(push_sum(&[], &[], 10, 0).is_err());
+        assert!(push_sum(&[1.0], &[vec![]], 10, 0).is_err());
+        assert!(push_sum(&[1.0, 2.0], &complete(2), 0, 0).is_err());
+    }
+}

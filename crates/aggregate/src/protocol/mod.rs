@@ -1,0 +1,15 @@
+//! Distributed aggregation protocols — the *communication* taxonomy of
+//! §V.A: structured (hierarchical trees, as the F2C architecture itself
+//! uses), and unstructured (gossip, flooding) alternatives the survey \[20\]
+//! catalogues.
+//!
+//! These run as synchronous-round simulations over explicit adjacency
+//! structures, so tests can assert convergence behaviour deterministically.
+
+mod flood;
+mod gossip;
+mod tree;
+
+pub use flood::{flood_max, FloodOutcome};
+pub use gossip::{push_sum, GossipOutcome};
+pub use tree::AggregationTree;

@@ -1,0 +1,215 @@
+//! Hierarchic (tree-structured) aggregation — the protocol class the F2C
+//! architecture instantiates: fog-1 → fog-2 → cloud.
+
+use crate::functions::Decomposable;
+use crate::{Error, Result};
+
+/// A rooted aggregation tree over nodes `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use f2c_aggregate::protocol::AggregationTree;
+/// use f2c_aggregate::functions::{fold, SumCount};
+///
+/// // A 2-level hierarchy: root 0, children 1 and 2, leaves 3..=6.
+/// let parents = [None, Some(0), Some(0), Some(1), Some(1), Some(2), Some(2)];
+/// let tree = AggregationTree::from_parents(&parents)?;
+/// let locals: Vec<SumCount> = (0..7).map(|i| fold([i as f64])).collect();
+/// let root = tree.aggregate(&locals);
+/// assert_eq!(root.sum, 21.0);
+/// assert_eq!(tree.message_count(), 6); // n - 1 partial states travel
+/// # Ok::<(), f2c_aggregate::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AggregationTree {
+    children: Vec<Vec<usize>>,
+    /// Nodes in bottom-up (reverse topological) order.
+    bottom_up: Vec<usize>,
+    root: usize,
+}
+
+impl AggregationTree {
+    /// Builds a tree from parent pointers (`None` marks the single root).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NoParticipants`] for an empty slice or a malformed forest
+    /// (zero or multiple roots, cycles, out-of-range parents).
+    pub fn from_parents(parents: &[Option<usize>]) -> Result<Self> {
+        let n = parents.len();
+        if n == 0 {
+            return Err(Error::NoParticipants);
+        }
+        let mut root = None;
+        let mut children = vec![Vec::new(); n];
+        for (i, p) in parents.iter().enumerate() {
+            match p {
+                None => {
+                    if root.replace(i).is_some() {
+                        return Err(Error::NoParticipants); // two roots
+                    }
+                }
+                Some(parent) => {
+                    if *parent >= n || *parent == i {
+                        return Err(Error::NoParticipants);
+                    }
+                    children[*parent].push(i);
+                }
+            }
+        }
+        let root = root.ok_or(Error::NoParticipants)?;
+        // BFS from the root; a cycle leaves nodes unvisited.
+        let mut order = Vec::with_capacity(n);
+        let mut queue = std::collections::VecDeque::from([root]);
+        let mut seen = vec![false; n];
+        seen[root] = true;
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &c in &children[u] {
+                if seen[c] {
+                    return Err(Error::NoParticipants);
+                }
+                seen[c] = true;
+                queue.push_back(c);
+            }
+        }
+        if order.len() != n {
+            return Err(Error::NoParticipants); // disconnected / cyclic
+        }
+        order.reverse();
+        Ok(Self {
+            children,
+            bottom_up: order,
+            root,
+        })
+    }
+
+    /// The root node index.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Whether the tree is empty (never true for a constructed tree).
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Children of a node.
+    pub fn children_of(&self, node: usize) -> &[usize] {
+        &self.children[node]
+    }
+
+    /// Number of partial-state messages one aggregation sends (`n - 1`).
+    pub fn message_count(&self) -> usize {
+        self.len() - 1
+    }
+
+    /// Merges per-node local states bottom-up and returns the root state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locals.len() != self.len()`.
+    pub fn aggregate<S: Decomposable>(&self, locals: &[S]) -> S {
+        assert_eq!(locals.len(), self.len(), "one local state per node");
+        let mut acc: Vec<S> = locals.to_vec();
+        for &node in &self.bottom_up {
+            // Clone child states out to appease the borrow checker; states
+            // are small by design (they cross the network in the real system).
+            let child_states: Vec<S> =
+                self.children[node].iter().map(|&c| acc[c].clone()).collect();
+            for cs in &child_states {
+                acc[node].merge(cs);
+            }
+        }
+        acc[self.root].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functions::{fold, Moments, SumCount};
+
+    fn f2c_like_tree() -> AggregationTree {
+        // root cloud (0); 3 districts (1,2,3); 2 sections per district.
+        let parents = [
+            None,
+            Some(0),
+            Some(0),
+            Some(0),
+            Some(1),
+            Some(1),
+            Some(2),
+            Some(2),
+            Some(3),
+            Some(3),
+        ];
+        AggregationTree::from_parents(&parents).unwrap()
+    }
+
+    #[test]
+    fn aggregate_equals_flat_fold() {
+        let tree = f2c_like_tree();
+        let values: Vec<f64> = (0..10).map(|i| (i * i) as f64).collect();
+        let locals: Vec<Moments> = values.iter().map(|&v| fold([v])).collect();
+        let root = tree.aggregate(&locals);
+        let flat: Moments = fold(values.iter().copied());
+        assert_eq!(root.count, flat.count);
+        assert!((root.mean().unwrap() - flat.mean().unwrap()).abs() < 1e-12);
+        assert!((root.variance().unwrap() - flat.variance().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn message_count_is_n_minus_1() {
+        assert_eq!(f2c_like_tree().message_count(), 9);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let tree = AggregationTree::from_parents(&[None]).unwrap();
+        let root: SumCount = tree.aggregate(&[fold([42.0])]);
+        assert_eq!(root.sum, 42.0);
+        assert_eq!(tree.message_count(), 0);
+    }
+
+    #[test]
+    fn malformed_trees_rejected() {
+        // No root.
+        assert!(AggregationTree::from_parents(&[Some(1), Some(0)]).is_err());
+        // Two roots.
+        assert!(AggregationTree::from_parents(&[None, None]).is_err());
+        // Self-parent.
+        assert!(AggregationTree::from_parents(&[None, Some(1)]).is_err());
+        // Out-of-range parent.
+        assert!(AggregationTree::from_parents(&[None, Some(9)]).is_err());
+        // Empty.
+        assert!(AggregationTree::from_parents(&[]).is_err());
+    }
+
+    #[test]
+    fn deep_chain_aggregates() {
+        // A 1000-node chain: stack-safe because traversal is iterative.
+        let parents: Vec<Option<usize>> = (0..1000)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
+        let tree = AggregationTree::from_parents(&parents).unwrap();
+        let locals: Vec<SumCount> = (0..1000).map(|_| fold([1.0])).collect();
+        assert_eq!(tree.aggregate(&locals).count, 1000);
+    }
+
+    #[test]
+    fn children_accessor_matches_structure() {
+        let tree = f2c_like_tree();
+        assert_eq!(tree.children_of(0), &[1, 2, 3]);
+        assert_eq!(tree.children_of(1), &[4, 5]);
+        assert!(tree.children_of(9).is_empty());
+        assert_eq!(tree.root(), 0);
+        assert_eq!(tree.len(), 10);
+    }
+}

@@ -1,0 +1,184 @@
+//! Count-min sketch: approximate frequency counting in fixed memory.
+
+use super::hash64;
+use crate::{Error, Result};
+
+/// A count-min sketch with `depth` hash rows of `width` counters.
+///
+/// Estimates are upper-biased: `estimate(x) >= true_count(x)`, with error
+/// at most `2N/width` with probability `1 - 2^-depth` (N = stream length).
+///
+/// # Examples
+///
+/// ```
+/// use f2c_aggregate::sketch::CountMinSketch;
+///
+/// let mut cm = CountMinSketch::new(1024, 4)?;
+/// for _ in 0..100 { cm.add(b"plaza-catalunya"); }
+/// cm.add(b"sagrada-familia");
+/// assert!(cm.estimate(b"plaza-catalunya") >= 100);
+/// assert!(cm.estimate(b"sagrada-familia") >= 1);
+/// # Ok::<(), f2c_aggregate::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    rows: Vec<u64>,
+    items: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DegenerateSketch`] if `width` or `depth` is zero.
+    pub fn new(width: usize, depth: usize) -> Result<Self> {
+        if width == 0 {
+            return Err(Error::DegenerateSketch { parameter: "width" });
+        }
+        if depth == 0 {
+            return Err(Error::DegenerateSketch { parameter: "depth" });
+        }
+        Ok(Self {
+            width,
+            depth,
+            rows: vec![0; width * depth],
+            items: 0,
+        })
+    }
+
+    /// Adds one occurrence of `key`.
+    pub fn add(&mut self, key: &[u8]) {
+        self.add_n(key, 1);
+    }
+
+    /// Adds `n` occurrences of `key`.
+    pub fn add_n(&mut self, key: &[u8], n: u64) {
+        for d in 0..self.depth {
+            let idx = (hash64(key, d as u64) % self.width as u64) as usize;
+            self.rows[d * self.width + idx] += n;
+        }
+        self.items += n;
+    }
+
+    /// Estimated occurrence count of `key` (never underestimates).
+    pub fn estimate(&self, key: &[u8]) -> u64 {
+        (0..self.depth)
+            .map(|d| {
+                let idx = (hash64(key, d as u64) % self.width as u64) as usize;
+                self.rows[d * self.width + idx]
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total occurrences added.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Merges another sketch with identical dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch — merging incompatible sketches is a
+    /// programming error, not a data error.
+    pub fn merge(&mut self, other: &CountMinSketch) {
+        assert_eq!(
+            (self.width, self.depth),
+            (other.width, other.depth),
+            "cannot merge sketches of different shapes"
+        );
+        for (a, b) in self.rows.iter_mut().zip(&other.rows) {
+            *a += b;
+        }
+        self.items += other.items;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_underestimates() {
+        let mut cm = CountMinSketch::new(256, 4).unwrap();
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..5_000u32 {
+            let key = format!("k{}", i % 97);
+            cm.add(key.as_bytes());
+            *truth.entry(key).or_insert(0u64) += 1;
+        }
+        for (key, count) in truth {
+            assert!(cm.estimate(key.as_bytes()) >= count);
+        }
+    }
+
+    #[test]
+    fn error_is_bounded_for_wide_sketch() {
+        let mut cm = CountMinSketch::new(4096, 5).unwrap();
+        for i in 0..10_000u32 {
+            cm.add(&(i % 50).to_le_bytes());
+        }
+        // Each of the 50 keys has 200 occurrences; slack 2N/width ≈ 5.
+        for i in 0..50u32 {
+            let est = cm.estimate(&i.to_le_bytes());
+            assert!((200..=230).contains(&est), "key {i} estimated {est}");
+        }
+    }
+
+    #[test]
+    fn absent_keys_estimate_near_zero_when_sparse() {
+        let mut cm = CountMinSketch::new(4096, 4).unwrap();
+        cm.add(b"only-key");
+        assert_eq!(cm.estimate(b"never-seen"), 0);
+    }
+
+    #[test]
+    fn merge_equals_union_stream() {
+        let mut a = CountMinSketch::new(512, 4).unwrap();
+        let mut b = CountMinSketch::new(512, 4).unwrap();
+        let mut whole = CountMinSketch::new(512, 4).unwrap();
+        for i in 0..1000u32 {
+            let key = (i % 31).to_le_bytes();
+            if i % 2 == 0 {
+                a.add(&key);
+            } else {
+                b.add(&key);
+            }
+            whole.add(&key);
+        }
+        a.merge(&b);
+        assert_eq!(a.items(), whole.items());
+        for i in 0..31u32 {
+            assert_eq!(a.estimate(&i.to_le_bytes()), whole.estimate(&i.to_le_bytes()));
+        }
+    }
+
+    #[test]
+    fn degenerate_dimensions_rejected() {
+        assert!(CountMinSketch::new(0, 4).is_err());
+        assert!(CountMinSketch::new(4, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "different shapes")]
+    fn merging_mismatched_shapes_panics() {
+        let mut a = CountMinSketch::new(16, 2).unwrap();
+        let b = CountMinSketch::new(32, 2).unwrap();
+        a.merge(&b);
+    }
+
+    #[test]
+    fn add_n_is_equivalent_to_repeated_add() {
+        let mut a = CountMinSketch::new(64, 3).unwrap();
+        let mut b = CountMinSketch::new(64, 3).unwrap();
+        a.add_n(b"x", 10);
+        for _ in 0..10 {
+            b.add(b"x");
+        }
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,62 @@
+//! Sublinear-memory sketches — the "sketches" and "randomized counting"
+//! classes of the paper's computation taxonomy (§V.A, \[20\]).
+//!
+//! Fog nodes have bounded memory; sketches let them answer frequency and
+//! cardinality questions about city-scale streams (how many distinct
+//! vehicles passed, how often each parking zone toggles) in constant space
+//! and merge those answers up the F2C hierarchy.
+
+mod countmin;
+mod hyperloglog;
+mod qdigest;
+
+pub use countmin::CountMinSketch;
+pub use hyperloglog::HyperLogLog;
+pub use qdigest::QDigest;
+
+/// 64-bit FNV-1a hash used by the sketches (dependency-free, well mixed
+/// after the final avalanche step).
+pub(crate) fn hash64(data: &[u8], seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // Final avalanche (splitmix-style) to decorrelate low bits.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_differs_by_seed_and_input() {
+        let a = hash64(b"sensor-1", 0);
+        let b = hash64(b"sensor-1", 1);
+        let c = hash64(b"sensor-2", 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hash_distributes_low_bits() {
+        // Bucket 10k keys into 64 buckets; no bucket should be wildly off.
+        let mut buckets = [0u32; 64];
+        for i in 0..10_000u32 {
+            let h = hash64(&i.to_le_bytes(), 7);
+            buckets[(h % 64) as usize] += 1;
+        }
+        let expected = 10_000 / 64;
+        for (i, &c) in buckets.iter().enumerate() {
+            assert!(
+                (c as i64 - expected as i64).abs() < 80,
+                "bucket {i} has {c}, expected ~{expected}"
+            );
+        }
+    }
+}

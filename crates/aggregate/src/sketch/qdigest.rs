@@ -1,0 +1,281 @@
+//! Q-digest: a mergeable quantile summary over a bounded integer domain —
+//! the "digests basis" of the survey's *complex functions* class (§V.A,
+//! \[20\]). Fog nodes can answer "what is the p95 noise level in my
+//! section?" in bounded memory, and district nodes can merge their
+//! children's digests without touching raw data.
+
+use std::collections::HashMap;
+
+use crate::{Error, Result};
+
+/// A q-digest over the domain `0..=domain-1` (power of two) with
+/// compression factor `k`: at most `3k` nodes are retained, and quantile
+/// queries err by at most `log2(domain)/k` of the total count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QDigest {
+    /// Domain size (power of two).
+    domain: u64,
+    /// Compression factor.
+    k: u64,
+    /// Counts per binary-tree node id (1 = root; leaves are
+    /// `domain..2*domain`).
+    nodes: HashMap<u64, u64>,
+    total: u64,
+}
+
+impl QDigest {
+    /// Creates a digest over `0..domain` with compression factor `k`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DegenerateSketch`] unless `domain` is a power of two ≥ 2
+    /// and `k ≥ 1`.
+    pub fn new(domain: u64, k: u64) -> Result<Self> {
+        if domain < 2 || !domain.is_power_of_two() {
+            return Err(Error::DegenerateSketch { parameter: "domain" });
+        }
+        if k == 0 {
+            return Err(Error::DegenerateSketch { parameter: "k" });
+        }
+        Ok(Self {
+            domain,
+            k,
+            nodes: HashMap::new(),
+            total: 0,
+        })
+    }
+
+    /// Number of values absorbed.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of retained tree nodes (bounded by ~3k after compression).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Adds one value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= domain` — feeding out-of-domain data is a
+    /// caller bug, not a data condition.
+    pub fn add(&mut self, value: u64) {
+        self.add_n(value, 1);
+    }
+
+    /// Adds `n` occurrences of `value`.
+    pub fn add_n(&mut self, value: u64, n: u64) {
+        assert!(value < self.domain, "value {value} outside domain {}", self.domain);
+        let leaf = self.domain + value;
+        *self.nodes.entry(leaf).or_insert(0) += n;
+        self.total += n;
+        if self.nodes.len() as u64 > 3 * self.k {
+            self.compress();
+        }
+    }
+
+    /// Merges another digest with identical parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameter mismatch.
+    pub fn merge(&mut self, other: &QDigest) {
+        assert_eq!(
+            (self.domain, self.k),
+            (other.domain, other.k),
+            "cannot merge q-digests with different parameters"
+        );
+        for (&node, &count) in &other.nodes {
+            *self.nodes.entry(node).or_insert(0) += count;
+        }
+        self.total += other.total;
+        self.compress();
+    }
+
+    /// The classic q-digest compression: siblings + parent triples whose
+    /// combined count is below `total/k` are folded into the parent.
+    fn compress(&mut self) {
+        if self.total == 0 {
+            return;
+        }
+        let threshold = self.total / self.k;
+        // Bottom-up sweep: process deeper node ids first.
+        let mut ids: Vec<u64> = self.nodes.keys().copied().collect();
+        ids.sort_unstable_by(|a, b| b.cmp(a));
+        for id in ids {
+            if id <= 1 {
+                continue; // never fold the root away
+            }
+            let Some(&count) = self.nodes.get(&id) else {
+                continue;
+            };
+            let sibling = id ^ 1;
+            let parent = id / 2;
+            let sib_count = self.nodes.get(&sibling).copied().unwrap_or(0);
+            let parent_count = self.nodes.get(&parent).copied().unwrap_or(0);
+            if count + sib_count + parent_count <= threshold {
+                self.nodes.remove(&id);
+                self.nodes.remove(&sibling);
+                *self.nodes.entry(parent).or_insert(0) += count + sib_count;
+            }
+        }
+    }
+
+    /// Approximate value at quantile `q` in `[0, 1]`, or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        // Post-order over retained nodes sorted by their interval's upper
+        // bound (then smaller ranges first), accumulating counts.
+        let mut entries: Vec<(u64, u64, u64)> = self
+            .nodes
+            .iter()
+            .map(|(&id, &count)| {
+                let (lo, hi) = self.range_of(id);
+                (hi, lo, count)
+            })
+            .collect();
+        entries.sort_unstable();
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (hi, _lo, count) in entries {
+            seen += count;
+            if seen >= target {
+                return Some(hi);
+            }
+        }
+        Some(self.domain - 1)
+    }
+
+    /// The value interval `[lo, hi]` a tree node covers: node ids at depth
+    /// `d` occupy `[2^d, 2^{d+1})` and each covers `domain / 2^d`
+    /// consecutive values.
+    fn range_of(&self, id: u64) -> (u64, u64) {
+        let level_start = 1u64 << (63 - id.leading_zeros());
+        let width = self.domain / level_start;
+        let idx = id - level_start;
+        (idx * width, idx * width + width - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_validation() {
+        assert!(QDigest::new(0, 4).is_err());
+        assert!(QDigest::new(3, 4).is_err());
+        assert!(QDigest::new(64, 0).is_err());
+        assert!(QDigest::new(64, 4).is_ok());
+    }
+
+    #[test]
+    fn exact_on_tiny_inputs() {
+        let mut d = QDigest::new(256, 64).unwrap();
+        for v in [10u64, 20, 30, 40, 50] {
+            d.add(v);
+        }
+        assert_eq!(d.count(), 5);
+        let median = d.quantile(0.5).unwrap();
+        assert!((20..=40).contains(&median), "median {median}");
+        assert!(d.quantile(0.0).unwrap() <= 20);
+        assert!(d.quantile(1.0).unwrap() >= 40);
+    }
+
+    #[test]
+    fn quantiles_on_uniform_data_are_close() {
+        let mut d = QDigest::new(1024, 32).unwrap();
+        for v in 0..1024u64 {
+            d.add(v);
+        }
+        for (q, expect) in [(0.25, 256.0), (0.5, 512.0), (0.9, 922.0)] {
+            let got = d.quantile(q).unwrap() as f64;
+            let err = (got - expect).abs() / 1024.0;
+            assert!(err < 0.12, "q{q}: got {got}, expected ~{expect}");
+        }
+    }
+
+    #[test]
+    fn memory_is_bounded_by_compression_factor() {
+        let mut d = QDigest::new(1 << 16, 16).unwrap();
+        // Stream far more distinct values than 3k.
+        for i in 0..50_000u64 {
+            d.add((i * 2654435761) % (1 << 16));
+        }
+        assert!(
+            d.node_count() <= 3 * 16 + 2,
+            "retained {} nodes for k=16",
+            d.node_count()
+        );
+        assert_eq!(d.count(), 50_000);
+    }
+
+    #[test]
+    fn merge_approximates_union() {
+        let mut a = QDigest::new(512, 32).unwrap();
+        let mut b = QDigest::new(512, 32).unwrap();
+        let mut whole = QDigest::new(512, 32).unwrap();
+        for i in 0..2_000u64 {
+            let v = (i * 37) % 512;
+            if i % 2 == 0 {
+                a.add(v);
+            } else {
+                b.add(v);
+            }
+            whole.add(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        for q in [0.1, 0.5, 0.9] {
+            let ma = a.quantile(q).unwrap() as f64;
+            let mw = whole.quantile(q).unwrap() as f64;
+            assert!(
+                (ma - mw).abs() / 512.0 < 0.15,
+                "q{q}: merged {ma} vs whole {mw}"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_distribution_p99() {
+        // 99% small values, 1% near the top: p99 must see the tail region.
+        let mut d = QDigest::new(1024, 64).unwrap();
+        for _ in 0..990 {
+            d.add(10);
+        }
+        for _ in 0..10 {
+            d.add(1000);
+        }
+        assert!(d.quantile(0.5).unwrap() < 64);
+        assert!(d.quantile(0.995).unwrap() >= 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_panics() {
+        QDigest::new(64, 4).unwrap().add(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "different parameters")]
+    fn mismatched_merge_panics() {
+        let mut a = QDigest::new(64, 4).unwrap();
+        let b = QDigest::new(128, 4).unwrap();
+        a.merge(&b);
+    }
+
+    #[test]
+    fn empty_digest_has_no_quantiles() {
+        let d = QDigest::new(64, 4).unwrap();
+        assert_eq!(d.quantile(0.5), None);
+    }
+}

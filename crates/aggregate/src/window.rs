@@ -1,0 +1,263 @@
+//! Tumbling-window combination: many readings in, one summary out.
+//!
+//! This is the "data combination" technique from the paper's aggregation
+//! menu (§V.A): instead of forwarding every observation upward, a fog node
+//! can forward one summary per sensor per window. The summary keeps the
+//! moments a consumer needs (count/min/max/mean/last), so fog-2 and cloud
+//! analytics remain possible on combined data.
+
+use std::collections::HashMap;
+
+use scc_sensors::{Reading, SensorId};
+
+use crate::{Error, Result};
+
+/// Summary of one sensor's readings within one window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSummary {
+    /// The summarized sensor.
+    pub sensor: SensorId,
+    /// Window start (inclusive), seconds.
+    pub window_start_s: u64,
+    /// Number of readings combined.
+    pub count: u64,
+    /// Minimum magnitude observed.
+    pub min: f64,
+    /// Maximum magnitude observed.
+    pub max: f64,
+    /// Mean magnitude.
+    pub mean: f64,
+    /// Magnitude of the last (most recent) reading.
+    pub last: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Accum {
+    window_start_s: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    last: f64,
+    last_ts: u64,
+}
+
+/// Tumbling-window combiner keyed by sensor.
+///
+/// Feed readings in any order; closing a window emits one
+/// [`WindowSummary`] per sensor that reported in it.
+///
+/// # Examples
+///
+/// ```
+/// use f2c_aggregate::WindowCombiner;
+/// use scc_sensors::{Reading, SensorId, SensorType, Value};
+///
+/// let id = SensorId::new(SensorType::Temperature, 0);
+/// let mut w = WindowCombiner::new(3600)?; // 1-hour windows
+/// w.offer(&Reading::new(id, 100, Value::from_f64(20.0)));
+/// w.offer(&Reading::new(id, 200, Value::from_f64(22.0)));
+/// let summaries = w.close_windows_before(3600);
+/// assert_eq!(summaries.len(), 1);
+/// assert_eq!(summaries[0].count, 2);
+/// assert_eq!(summaries[0].mean, 21.0);
+/// # Ok::<(), f2c_aggregate::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowCombiner {
+    window_secs: u64,
+    open: HashMap<SensorId, Accum>,
+}
+
+impl WindowCombiner {
+    /// Creates a combiner with `window_secs`-long tumbling windows.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyWindow`] if `window_secs` is zero.
+    pub fn new(window_secs: u64) -> Result<Self> {
+        if window_secs == 0 {
+            return Err(Error::EmptyWindow);
+        }
+        Ok(Self {
+            window_secs,
+            open: HashMap::new(),
+        })
+    }
+
+    /// Window length in seconds.
+    pub fn window_secs(&self) -> u64 {
+        self.window_secs
+    }
+
+    /// The window start for a timestamp.
+    pub fn window_start(&self, timestamp_s: u64) -> u64 {
+        timestamp_s - timestamp_s % self.window_secs
+    }
+
+    /// Offers one reading. If the reading opens a *newer* window for its
+    /// sensor, the previous window's summary is returned (tumbled out).
+    pub fn offer(&mut self, reading: &Reading) -> Option<WindowSummary> {
+        let start = self.window_start(reading.timestamp_s());
+        let mag = reading.value().magnitude();
+        let ts = reading.timestamp_s();
+        match self.open.get_mut(&reading.sensor()) {
+            Some(acc) if acc.window_start_s == start => {
+                acc.count += 1;
+                acc.sum += mag;
+                acc.min = acc.min.min(mag);
+                acc.max = acc.max.max(mag);
+                if ts >= acc.last_ts {
+                    acc.last = mag;
+                    acc.last_ts = ts;
+                }
+                None
+            }
+            prev => {
+                let emitted = prev
+                    .filter(|acc| acc.window_start_s < start)
+                    .map(|acc| Self::summarize(reading.sensor(), acc));
+                self.open.insert(
+                    reading.sensor(),
+                    Accum {
+                        window_start_s: start,
+                        count: 1,
+                        sum: mag,
+                        min: mag,
+                        max: mag,
+                        last: mag,
+                        last_ts: ts,
+                    },
+                );
+                emitted
+            }
+        }
+    }
+
+    fn summarize(sensor: SensorId, acc: &Accum) -> WindowSummary {
+        WindowSummary {
+            sensor,
+            window_start_s: acc.window_start_s,
+            count: acc.count,
+            min: acc.min,
+            max: acc.max,
+            mean: acc.sum / acc.count as f64,
+            last: acc.last,
+        }
+    }
+
+    /// Closes and emits every open window that started before `deadline_s`.
+    pub fn close_windows_before(&mut self, deadline_s: u64) -> Vec<WindowSummary> {
+        let mut out: Vec<WindowSummary> = Vec::new();
+        self.open.retain(|sensor, acc| {
+            if acc.window_start_s < deadline_s {
+                out.push(Self::summarize(*sensor, acc));
+                false
+            } else {
+                true
+            }
+        });
+        out.sort_by_key(|s| (s.sensor, s.window_start_s));
+        out
+    }
+
+    /// Number of currently open per-sensor windows.
+    pub fn open_windows(&self) -> usize {
+        self.open.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_sensors::{SensorType, Value};
+
+    fn r(idx: u32, t: u64, v: f64) -> Reading {
+        Reading::new(
+            SensorId::new(SensorType::NoiseTrafficZone, idx),
+            t,
+            Value::from_f64(v),
+        )
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        assert_eq!(WindowCombiner::new(0).unwrap_err(), Error::EmptyWindow);
+    }
+
+    #[test]
+    fn summary_moments_are_exact() {
+        let mut w = WindowCombiner::new(100).unwrap();
+        for (t, v) in [(0, 10.0), (10, 20.0), (20, 30.0), (30, 40.0)] {
+            assert!(w.offer(&r(0, t, v)).is_none());
+        }
+        let s = w.close_windows_before(100).remove(0);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 10.0);
+        assert_eq!(s.max, 40.0);
+        assert_eq!(s.mean, 25.0);
+        assert_eq!(s.last, 40.0);
+    }
+
+    #[test]
+    fn tumbling_emits_previous_window() {
+        let mut w = WindowCombiner::new(60).unwrap();
+        w.offer(&r(0, 10, 1.0));
+        w.offer(&r(0, 50, 3.0));
+        // A reading in the next window tumbles the old one out.
+        let emitted = w.offer(&r(0, 70, 9.0)).expect("previous window emitted");
+        assert_eq!(emitted.window_start_s, 0);
+        assert_eq!(emitted.count, 2);
+        assert_eq!(emitted.mean, 2.0);
+        assert_eq!(w.open_windows(), 1);
+    }
+
+    #[test]
+    fn sensors_are_windowed_independently() {
+        let mut w = WindowCombiner::new(60).unwrap();
+        w.offer(&r(0, 0, 1.0));
+        w.offer(&r(1, 0, 2.0));
+        w.offer(&r(2, 61, 3.0));
+        let out = w.close_windows_before(1_000);
+        assert_eq!(out.len(), 3);
+        // Sorted by sensor then window.
+        assert_eq!(out[0].sensor.index(), 0);
+        assert_eq!(out[1].sensor.index(), 1);
+        assert_eq!(out[2].sensor.index(), 2);
+    }
+
+    #[test]
+    fn close_respects_deadline() {
+        let mut w = WindowCombiner::new(60).unwrap();
+        w.offer(&r(0, 0, 1.0)); // window [0, 60)
+        w.offer(&r(1, 120, 1.0)); // window [120, 180)
+        let out = w.close_windows_before(60);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].sensor.index(), 0);
+        assert_eq!(w.open_windows(), 1);
+    }
+
+    #[test]
+    fn last_tracks_latest_timestamp_not_offer_order() {
+        let mut w = WindowCombiner::new(100).unwrap();
+        w.offer(&r(0, 50, 5.0));
+        w.offer(&r(0, 10, 1.0)); // late-arriving older reading
+        let s = w.close_windows_before(100).remove(0);
+        assert_eq!(s.last, 5.0);
+        assert_eq!(s.count, 2);
+    }
+
+    #[test]
+    fn combination_reduces_message_count() {
+        // 60 readings/hour -> 1 summary/hour: the volume argument of §IV.D.
+        let mut w = WindowCombiner::new(3600).unwrap();
+        let mut emitted = 0;
+        for t in 0..240u64 {
+            if w.offer(&r(0, t * 60, t as f64)).is_some() {
+                emitted += 1;
+            }
+        }
+        emitted += w.close_windows_before(u64::MAX).len();
+        assert_eq!(emitted, 4); // 4 hours -> 4 summaries
+    }
+}

@@ -1,0 +1,45 @@
+//! Criterion bench for E6/E7: prints one ablation row set, then times the
+//! end-to-end simulation kernel at a tiny scale plus the placement engine.
+
+use citysim::barcelona::LatencyProfile;
+use citysim::time::Duration;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use f2c_core::placement::{PlacementEngine, ServiceSpec};
+use f2c_core::runtime::{simulate, SimConfig};
+
+fn tiny_config() -> SimConfig {
+    let mut config = SimConfig::paper_scaled();
+    config.scale = 50_000;
+    config.horizon_s = 3_600;
+    config
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let report = simulate(tiny_config()).unwrap();
+    println!(
+        "\ntiny-scale hour: {} readings, dedup {:.1}%, compression ratio {:.3}\n",
+        report.generated_readings,
+        report.dedup_rate() * 100.0,
+        report.compression_ratio()
+    );
+
+    c.bench_function("ablation/simulate_hour_tiny", |b| {
+        b.iter(|| black_box(simulate(tiny_config()).unwrap()))
+    });
+
+    let engine = PlacementEngine::new(LatencyProfile::default());
+    let specs = [
+        ServiceSpec::realtime_critical(Duration::from_millis(10)),
+        ServiceSpec::deep_analytics(),
+    ];
+    c.bench_function("ablation/placement", |b| {
+        b.iter(|| {
+            for spec in &specs {
+                black_box(engine.place(black_box(spec)).unwrap());
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench for E3: prints the measured compression ratios once,
+//! then times the codec on Sentilo-format batches (throughput in bytes).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use f2c_bench::measure_compression_ratios;
+use f2c_compress::{compress_with, decompress, Level};
+use scc_sensors::{wire, ReadingGenerator, SensorType};
+
+fn sample_batch() -> Vec<u8> {
+    let mut gen = ReadingGenerator::for_population(SensorType::Weather, 500, 3);
+    let mut encoded = Vec::new();
+    for w in 0..40u64 {
+        encoded.extend_from_slice(&wire::encode_batch(&gen.wave(w * 300)));
+    }
+    encoded
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let ratios = measure_compression_ratios(2017, 100, 100);
+    println!(
+        "\nmeasured compression: {} B -> {} B ({:.1}% reduction; paper: 78.3%)",
+        ratios.original_bytes,
+        ratios.compressed_bytes,
+        ratios.overall_reduction_percent()
+    );
+
+    let data = sample_batch();
+    let packed = compress_with(&data, Level::Default).unwrap();
+    println!(
+        "bench batch: {} B -> {} B ({:.1}% reduction)\n",
+        data.len(),
+        packed.len(),
+        (1.0 - packed.len() as f64 / data.len() as f64) * 100.0
+    );
+
+    let mut group = c.benchmark_group("compression");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for (name, level) in [
+        ("fast", Level::Fast),
+        ("default", Level::Default),
+        ("best", Level::Best),
+    ] {
+        group.bench_function(format!("compress/{name}"), |b| {
+            b.iter(|| black_box(compress_with(black_box(&data), level).unwrap()))
+        });
+    }
+    group.bench_function("decompress", |b| {
+        b.iter(|| black_box(decompress(black_box(&packed)).unwrap()))
+    });
+    group.bench_function("crc32", |b| {
+        b.iter(|| black_box(f2c_compress::crc32::checksum(black_box(&data))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for E2: prints the regenerated Fig. 7 once, then times
+//! the fig7 computation and the dedup filter it models (readings/second
+//! through redundant-data elimination at fog layer 1).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use f2c_aggregate::RedundancyFilter;
+use f2c_core::report::render_fig7;
+use f2c_core::traffic::TrafficModel;
+use scc_sensors::{ReadingGenerator, SensorType};
+
+fn bench_fig7(c: &mut Criterion) {
+    let model = TrafficModel::paper();
+    println!("\n{}", render_fig7(&model.fig7_rows()));
+
+    c.bench_function("fig7/rows", |b| b.iter(|| black_box(model.fig7_rows())));
+
+    // The operation Fig. 7 models: dedup over an observation stream.
+    let mut gen = ReadingGenerator::for_population(SensorType::Temperature, 1_000, 7);
+    let waves: Vec<Vec<scc_sensors::Reading>> = (0..20).map(|w| gen.wave(w * 900)).collect();
+    let total: u64 = waves.iter().map(|w| w.len() as u64).sum();
+    let mut group = c.benchmark_group("fig7/dedup");
+    group.throughput(Throughput::Elements(total));
+    group.bench_function("filter_20k_readings", |b| {
+        b.iter(|| {
+            let mut filter = RedundancyFilter::new();
+            let mut kept = 0usize;
+            for wave in &waves {
+                for r in wave {
+                    if filter.admit(black_box(r)) {
+                        kept += 1;
+                    }
+                }
+            }
+            black_box(kept)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

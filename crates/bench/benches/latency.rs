@@ -1,0 +1,34 @@
+//! Criterion bench for E4: prints the fog-vs-cloud latency comparison
+//! once, then times the access-path computations (routing + metering).
+
+use citysim::barcelona::{BarcelonaTopology, LatencyProfile};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use f2c_core::request::AccessSimulator;
+
+fn bench_latency(c: &mut Criterion) {
+    let mut sim = AccessSimulator::new(BarcelonaTopology::build(&LatencyProfile::default()));
+    let fog = sim.realtime_read_f2c(0, 1_000);
+    let cloud = sim.realtime_read_centralized(0, 1_000).unwrap();
+    println!(
+        "\nreal-time read, 1 KB: fog-1 {} vs centralized {} ({:.1}x)\n",
+        fog.latency,
+        cloud.latency,
+        cloud.latency.as_secs_f64() / fog.latency.as_secs_f64()
+    );
+
+    c.bench_function("latency/realtime_f2c", |b| {
+        b.iter(|| black_box(sim.realtime_read_f2c(black_box(7), 1_000)))
+    });
+    c.bench_function("latency/realtime_centralized", |b| {
+        b.iter(|| black_box(sim.realtime_read_centralized(black_box(7), 1_000).unwrap()))
+    });
+    c.bench_function("latency/historical_f2c", |b| {
+        b.iter(|| black_box(sim.historical_read_f2c(black_box(7), 1_000).unwrap()))
+    });
+    c.bench_function("latency/topology_build", |b| {
+        b.iter(|| black_box(BarcelonaTopology::build(&LatencyProfile::default())))
+    });
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

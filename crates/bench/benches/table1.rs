@@ -1,0 +1,31 @@
+//! Criterion bench for E1: prints the regenerated Table I once, then times
+//! the analytic traffic model (the kernel every harness relies on).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use f2c_core::report::render_table1;
+use f2c_core::traffic::TrafficModel;
+
+fn bench_table1(c: &mut Criterion) {
+    let model = TrafficModel::paper();
+    println!(
+        "\n{}",
+        render_table1(&model.table1_rows(), &model.table1_totals())
+    );
+
+    c.bench_function("table1/rows", |b| {
+        b.iter(|| black_box(model.table1_rows()))
+    });
+    c.bench_function("table1/totals", |b| {
+        b.iter(|| black_box(model.table1_totals()))
+    });
+    c.bench_function("table1/category_totals", |b| {
+        b.iter(|| {
+            for cat in scc_sensors::Category::ALL {
+                black_box(model.table1_category_totals(cat));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Experiment E3: the §V.B compression statistic — the paper zipped
+//! 1,360,043,206 bytes of fog-1 data down to 295,428,463 bytes (≈78 %
+//! reduction). We reproduce the *ratio class* with `f2c-compress` on
+//! deduped Sentilo-format observation batches, per category.
+//!
+//! Run with `cargo run --release -p f2c-bench --bin compression`.
+
+use f2c_bench::{measure_compression_ratios, pct};
+use f2c_core::traffic::{PAPER_COMPRESSED_BYTES, PAPER_ORIGINAL_BYTES};
+
+fn main() {
+    let paper_ratio = PAPER_COMPRESSED_BYTES as f64 / PAPER_ORIGINAL_BYTES as f64;
+    println!("== E3: compression ratio (paper: {} B -> {} B, {} reduction) ==\n",
+        PAPER_ORIGINAL_BYTES,
+        PAPER_COMPRESSED_BYTES,
+        pct(1.0 - paper_ratio)
+    );
+
+    let r = measure_compression_ratios(2017, 200, 200);
+    println!("{:<22} {:>16} {:>16}", "Category", "ratio", "reduction");
+    println!("{}", "-".repeat(56));
+    for (category, ratio) in &r.per_category {
+        println!(
+            "{:<22} {:>16.4} {:>16}",
+            category.to_string(),
+            ratio,
+            pct(1.0 - ratio)
+        );
+    }
+    println!("{}", "-".repeat(56));
+    println!(
+        "{:<22} {:>16.4} {:>16}   ({} B -> {} B)",
+        "OVERALL",
+        r.overall,
+        pct(1.0 - r.overall),
+        r.original_bytes,
+        r.compressed_bytes
+    );
+    println!(
+        "\npaper reduction {} | measured reduction {} | delta {:.1} points",
+        pct(1.0 - paper_ratio),
+        pct(1.0 - r.overall),
+        ((1.0 - r.overall) - (1.0 - paper_ratio)).abs() * 100.0
+    );
+    assert!(
+        r.overall_reduction_percent() > 70.0,
+        "measured reduction fell out of the zip class"
+    );
+    println!("Measured reduction is in the paper's zip class (>70%). SHAPE OK");
+}

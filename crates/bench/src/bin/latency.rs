@@ -1,0 +1,94 @@
+//! Experiment E4: the §IV.D latency claims — real-time accesses at fog
+//! layer 1 vs the centralized cloud (including the "two times data
+//! transfer through the same path" effect), plus fault-tolerance under an
+//! injected WAN outage.
+//!
+//! Run with `cargo run --release -p f2c-bench --bin latency`.
+
+use citysim::barcelona::{BarcelonaTopology, LatencyProfile};
+use citysim::time::SimTime;
+use citysim::Histogram;
+use f2c_core::request::AccessSimulator;
+
+fn main() {
+    println!("== E4: real-time access latency, F2C vs centralized ==\n");
+    let mut sim = AccessSimulator::new(BarcelonaTopology::build(&LatencyProfile::default()));
+
+    println!(
+        "{:>10} {:>16} {:>18} {:>10}",
+        "bytes", "F2C (fog-1)", "centralized", "speedup"
+    );
+    println!("{}", "-".repeat(60));
+    for bytes in [100u64, 1_000, 10_000, 100_000, 1_000_000] {
+        let mut fog = Histogram::new();
+        let mut cloud = Histogram::new();
+        for section in 0..73 {
+            fog.record(sim.realtime_read_f2c(section, bytes).latency);
+            cloud.record(
+                sim.realtime_read_centralized(section, bytes)
+                    .expect("no failures injected")
+                    .latency,
+            );
+        }
+        let speedup = cloud.mean().as_secs_f64() / fog.mean().as_secs_f64();
+        println!(
+            "{:>10} {:>16} {:>18} {:>9.1}x",
+            bytes,
+            fog.mean().to_string(),
+            cloud.mean().to_string(),
+            speedup
+        );
+        assert!(speedup > 5.0, "fog must dominate ({speedup:.1}x at {bytes}B)");
+    }
+
+    println!("\n== E4b: age-tiered access (local / fog-2 / cloud) ==\n");
+    let local = sim.realtime_read_f2c(0, 10_000).latency;
+    let recent = sim.recent_read_f2c(0, 10_000).unwrap().latency;
+    let historical = sim.historical_read_f2c(0, 10_000).unwrap().latency;
+    println!("  real-time at fog-1 : {local}");
+    println!("  recent at fog-2    : {recent}");
+    println!("  historical (cloud) : {historical}");
+    assert!(local < recent && recent < historical);
+
+    println!("\n== E4c: fault tolerance — WAN outage, edge keeps serving ==\n");
+    let mut city = BarcelonaTopology::build(&LatencyProfile::default());
+    // Take down every fog2->cloud link for the first hour.
+    let cloud = city.cloud();
+    let mut wan_links = Vec::new();
+    for &f2 in city.fog2_nodes() {
+        for &(peer, link) in city.network().topology().neighbors(f2) {
+            if peer == cloud {
+                wan_links.push(link);
+            }
+        }
+    }
+    let mut failures = citysim::net::FailurePlan::with_seed(1);
+    for link in wan_links {
+        failures.add_outage(link, SimTime::ZERO, SimTime::from_secs(3600));
+    }
+    city.network_mut().set_failures(failures);
+    let mut sim = AccessSimulator::new(city);
+    let local_ok = sim.realtime_read_f2c(0, 1_000);
+    let cloud_err = sim.realtime_read_centralized(0, 1_000);
+    println!("  fog-1 real-time read during WAN outage: OK  ({})", local_ok.latency);
+    println!("  centralized read during WAN outage:     {:?}", cloud_err.err().map(|e| e.to_string()));
+    println!("\nFog-local reads survive the outage; centralized reads do not. SHAPE OK");
+
+    println!("\n== E4d: device radio energy, centralized (3G) vs F2C (WiFi first hop) ==\n");
+    use citysim::AccessTechnology;
+    let daily = 8_583_503_168u64; // Table I generation
+    let centralized = AccessTechnology::Cellular3g.transmit_energy_j(daily);
+    let f2c = AccessTechnology::Wifi.transmit_energy_j(daily);
+    println!(
+        "  centralized fleet: {:.2} MJ/day over 3G   ({:.2} kWh)",
+        centralized / 1e6,
+        centralized / 3.6e6
+    );
+    println!(
+        "  F2C fleet:         {:.2} MJ/day over WiFi ({:.2} kWh)  -> {:.0}x less device energy",
+        f2c / 1e6,
+        f2c / 3.6e6,
+        centralized / f2c
+    );
+    assert!(centralized / f2c > 50.0);
+}

@@ -1,0 +1,43 @@
+//! Experiment E1 + E5: regenerates **Table I** (the redundant-data
+//! aggregation model) and the §II "≈8 GB/day" estimate.
+//!
+//! Run with `cargo run --release -p f2c-bench --bin table1`.
+
+use f2c_core::report::{render_table1, thousands};
+use f2c_core::traffic::TrafficModel;
+
+fn main() {
+    let model = TrafficModel::paper();
+    let rows = model.table1_rows();
+    let totals = model.table1_totals();
+
+    println!("== E1: Table I — redundant data aggregation model ==\n");
+    println!("{}", render_table1(&rows, &totals));
+
+    println!("\n== Paper checkpoints ==");
+    let checks = [
+        ("total sensors", totals.sensors, 1_005_019u64),
+        ("wave bytes at centralized cloud", totals.wave_cloud_model, 54_388_158),
+        ("wave bytes at fog2 / F2C cloud", totals.wave_fog2, 28_165_079),
+        ("daily bytes generated (E5: ~8 GB)", totals.daily_fog1, 8_583_503_168),
+        ("daily bytes at F2C cloud", totals.daily_cloud_f2c, 5_036_071_584),
+    ];
+    let mut all_ok = true;
+    for (name, got, expected) in checks {
+        let ok = got == expected;
+        all_ok &= ok;
+        println!(
+            "  {:<38} {:>16}  (paper {:>16})  {}",
+            name,
+            thousands(got),
+            thousands(expected),
+            if ok { "MATCH" } else { "MISMATCH" }
+        );
+    }
+    println!(
+        "\nF2C reduces daily cloud ingress by {} ({}%).",
+        thousands(model.daily_dedup_savings()),
+        (model.daily_dedup_savings() as f64 / totals.daily_fog1 as f64 * 100.0).round()
+    );
+    assert!(all_ok, "Table I regeneration diverged from the paper");
+}

@@ -1,0 +1,89 @@
+use std::fmt;
+
+use crate::net::NodeId;
+use crate::time::SimTime;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors from topology construction and message delivery.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A node id referenced a node that does not exist.
+    UnknownNode {
+        /// The offending id.
+        node: NodeId,
+    },
+    /// No route exists between two nodes (partition or missing links).
+    NoRoute {
+        /// Source node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+    },
+    /// A link needed by a transfer was down at send time.
+    LinkDown {
+        /// Link endpoint a.
+        a: NodeId,
+        /// Link endpoint b.
+        b: NodeId,
+        /// When the transfer was attempted.
+        at: SimTime,
+    },
+    /// The message was dropped by injected packet loss.
+    MessageLost {
+        /// Link endpoint a.
+        a: NodeId,
+        /// Link endpoint b.
+        b: NodeId,
+    },
+    /// A link was declared twice between the same pair.
+    DuplicateLink {
+        /// Link endpoint a.
+        a: NodeId,
+        /// Link endpoint b.
+        b: NodeId,
+    },
+    /// A link connects a node to itself.
+    SelfLink {
+        /// The node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownNode { node } => write!(f, "unknown node {node}"),
+            Error::NoRoute { from, to } => write!(f, "no route from {from} to {to}"),
+            Error::LinkDown { a, b, at } => {
+                write!(f, "link {a}<->{b} down at {at}")
+            }
+            Error::MessageLost { a, b } => {
+                write!(f, "message lost on link {a}<->{b}")
+            }
+            Error::DuplicateLink { a, b } => {
+                write!(f, "duplicate link {a}<->{b}")
+            }
+            Error::SelfLink { node } => write!(f, "self-link on node {node}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::NoRoute {
+            from: NodeId::from_raw(1),
+            to: NodeId::from_raw(9),
+        };
+        let s = e.to_string();
+        assert!(s.contains("n1") && s.contains("n9"));
+    }
+}

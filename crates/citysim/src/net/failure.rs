@@ -1,0 +1,173 @@
+//! Deterministic failure injection: link outage windows and packet loss.
+//!
+//! The paper argues F2C "enhances fault tolerance" because shorter paths
+//! cross fewer failure domains (§IV.D). The failure-injection experiments
+//! quantify that: with the same per-link loss/outage model, fog-local
+//! accesses survive outages that break edge-to-cloud paths.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::LinkId;
+use crate::time::SimTime;
+
+/// A scheduled outage window `[from, until)` on one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Outage {
+    from: SimTime,
+    until: SimTime,
+}
+
+/// Failure plan: per-link outages and per-link message loss probability.
+///
+/// Loss draws come from an internal seeded RNG, so a plan replayed against
+/// the same message sequence produces the same drops.
+#[derive(Debug)]
+pub struct FailurePlan {
+    outages: HashMap<LinkId, Vec<Outage>>,
+    loss: HashMap<LinkId, f64>,
+    rng: SmallRng,
+}
+
+impl FailurePlan {
+    /// A plan with no failures.
+    pub fn none() -> Self {
+        Self::with_seed(0)
+    }
+
+    /// An empty plan whose loss draws use `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            outages: HashMap::new(),
+            loss: HashMap::new(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Schedules an outage on `link` for `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from`.
+    pub fn add_outage(&mut self, link: LinkId, from: SimTime, until: SimTime) {
+        assert!(until > from, "outage window must be non-empty");
+        self.outages
+            .entry(link)
+            .or_default()
+            .push(Outage { from, until });
+    }
+
+    /// Sets an i.i.d. message-loss probability on `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn set_loss(&mut self, link: LinkId, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        if p > 0.0 {
+            self.loss.insert(link, p);
+        } else {
+            self.loss.remove(&link);
+        }
+    }
+
+    /// Whether `link` is inside an outage window at `at`.
+    pub fn is_down(&self, link: LinkId, at: SimTime) -> bool {
+        self.outages
+            .get(&link)
+            .is_some_and(|ws| ws.iter().any(|w| at >= w.from && at < w.until))
+    }
+
+    /// Draws the loss coin for one message on `link`.
+    pub fn drops(&mut self, link: LinkId) -> bool {
+        match self.loss.get(&link) {
+            Some(&p) => self.rng.gen_bool(p),
+            None => false,
+        }
+    }
+
+    /// Whether the plan injects any failures at all.
+    pub fn is_trivial(&self) -> bool {
+        self.outages.is_empty() && self.loss.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{Link, Topology};
+    use crate::time::Duration;
+
+    fn one_link() -> (Topology, LinkId) {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let l = t
+            .add_link(a, b, Link::new(Duration::from_millis(1), 1_000_000))
+            .unwrap();
+        (t, l)
+    }
+
+    #[test]
+    fn outage_windows_are_half_open() {
+        let (_, l) = one_link();
+        let mut p = FailurePlan::none();
+        p.add_outage(l, SimTime::from_secs(10), SimTime::from_secs(20));
+        assert!(!p.is_down(l, SimTime::from_secs(9)));
+        assert!(p.is_down(l, SimTime::from_secs(10)));
+        assert!(p.is_down(l, SimTime::from_secs(19)));
+        assert!(!p.is_down(l, SimTime::from_secs(20)));
+    }
+
+    #[test]
+    fn multiple_windows_supported() {
+        let (_, l) = one_link();
+        let mut p = FailurePlan::none();
+        p.add_outage(l, SimTime::from_secs(1), SimTime::from_secs(2));
+        p.add_outage(l, SimTime::from_secs(5), SimTime::from_secs(6));
+        assert!(p.is_down(l, SimTime::from_secs(1)));
+        assert!(!p.is_down(l, SimTime::from_secs(3)));
+        assert!(p.is_down(l, SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_honored() {
+        let (_, l) = one_link();
+        let mut p = FailurePlan::with_seed(7);
+        p.set_loss(l, 0.25);
+        let dropped = (0..10_000).filter(|_| p.drops(l)).count();
+        assert!((2000..3000).contains(&dropped), "dropped {dropped}/10000");
+    }
+
+    #[test]
+    fn loss_is_deterministic_per_seed() {
+        let (_, l) = one_link();
+        let mut p1 = FailurePlan::with_seed(3);
+        let mut p2 = FailurePlan::with_seed(3);
+        p1.set_loss(l, 0.5);
+        p2.set_loss(l, 0.5);
+        for _ in 0..100 {
+            assert_eq!(p1.drops(l), p2.drops(l));
+        }
+    }
+
+    #[test]
+    fn zero_loss_clears_the_entry() {
+        let (_, l) = one_link();
+        let mut p = FailurePlan::none();
+        p.set_loss(l, 0.9);
+        p.set_loss(l, 0.0);
+        assert!(p.is_trivial());
+        assert!(!p.drops(l));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_outage_rejected() {
+        let (_, l) = one_link();
+        let mut p = FailurePlan::none();
+        p.add_outage(l, SimTime::from_secs(5), SimTime::from_secs(5));
+    }
+}

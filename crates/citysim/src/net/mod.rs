@@ -1,0 +1,229 @@
+//! Network model: topology, links, routing, metering, failures.
+//!
+//! * [`Topology`] — an undirected graph of labelled nodes and
+//!   latency/bandwidth links, with Dijkstra routing,
+//! * [`TrafficMeter`] — per-link and per-node byte/message accounting (the
+//!   raw data behind every traffic table in the experiments),
+//! * [`FailurePlan`] — deterministic link outages and packet loss,
+//! * [`Network`] — the combination: `send` routes a message, checks
+//!   failures, accumulates latency + serialization delay, and meters every
+//!   traversed link.
+
+mod failure;
+mod link;
+mod meter;
+mod topology;
+
+pub use failure::FailurePlan;
+pub use link::Link;
+pub use meter::{LinkTraffic, TrafficMeter};
+pub use topology::{LinkId, NodeId, Topology};
+
+use crate::time::{Duration, SimTime};
+use crate::{Error, Result};
+
+/// Outcome of a successful message delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// When the last byte arrives at the destination.
+    pub arrival: SimTime,
+    /// Number of links traversed.
+    pub hops: usize,
+    /// Pure propagation latency along the path (excluding serialization).
+    pub path_latency: Duration,
+}
+
+/// A routed, metered, failure-aware network over a [`Topology`].
+///
+/// # Examples
+///
+/// ```
+/// use citysim::{Network, Topology, Link, SimTime, Duration};
+///
+/// let mut topo = Topology::new();
+/// let a = topo.add_node("fog-1");
+/// let b = topo.add_node("cloud");
+/// topo.add_link(a, b, Link::new(Duration::from_millis(20), 100_000_000)).unwrap();
+///
+/// let mut net = Network::new(topo);
+/// let d = net.send(a, b, 1_000_000, SimTime::ZERO).unwrap();
+/// assert_eq!(d.hops, 1);
+/// // 20 ms propagation + 1 MB over 100 Mbit/s = 80 ms serialization.
+/// assert_eq!(d.arrival.as_micros(), 100_000);
+/// ```
+#[derive(Debug)]
+pub struct Network {
+    topo: Topology,
+    meter: TrafficMeter,
+    failures: FailurePlan,
+}
+
+impl Network {
+    /// Wraps a topology with fresh meters and no failures.
+    pub fn new(topo: Topology) -> Self {
+        let meter = TrafficMeter::for_topology(&topo);
+        Self {
+            topo,
+            meter,
+            failures: FailurePlan::none(),
+        }
+    }
+
+    /// Installs a failure plan (replacing any previous one).
+    pub fn set_failures(&mut self, failures: FailurePlan) {
+        self.failures = failures;
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Read access to the traffic meters.
+    pub fn meter(&self) -> &TrafficMeter {
+        &self.meter
+    }
+
+    /// Resets all traffic meters to zero.
+    pub fn reset_meter(&mut self) {
+        self.meter = TrafficMeter::for_topology(&self.topo);
+    }
+
+    /// Sends `bytes` from `from` to `to` at time `now`.
+    ///
+    /// The transfer is store-and-forward: each hop adds its propagation
+    /// latency plus `bytes / bandwidth` serialization delay. Bytes are
+    /// metered on every traversed link even if a later hop fails (the
+    /// traffic was already on the wire).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NoRoute`] / [`Error::UnknownNode`] for topology problems,
+    /// * [`Error::LinkDown`] if a hop's link is in an outage window,
+    /// * [`Error::MessageLost`] if injected packet loss drops the message.
+    pub fn send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        now: SimTime,
+    ) -> Result<Delivery> {
+        let path = self.topo.route(from, to)?;
+        let mut at = now;
+        let mut path_latency = Duration::ZERO;
+        for (hop_index, &link_id) in path.iter().enumerate() {
+            let link = self.topo.link(link_id);
+            let (a, b) = self.topo.link_endpoints(link_id);
+            if self.failures.is_down(link_id, at) {
+                return Err(Error::LinkDown { a, b, at });
+            }
+            // The message reaches the link before the loss coin is tossed,
+            // so meter it first: lost traffic still loaded the network.
+            self.meter.record(link_id, a, b, bytes, at);
+            if self.failures.drops(link_id) {
+                return Err(Error::MessageLost { a, b });
+            }
+            let hop_time = link.latency() + link.transfer_time(bytes);
+            at += hop_time;
+            path_latency += link.latency();
+            let _ = hop_index;
+        }
+        Ok(Delivery {
+            arrival: at,
+            hops: path.len(),
+            path_latency,
+        })
+    }
+
+    /// Round-trip: a small `request_bytes` message from `from` to `to`, then
+    /// `response_bytes` back. Returns the time the response arrives.
+    pub fn request_response(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        request_bytes: u64,
+        response_bytes: u64,
+        now: SimTime,
+    ) -> Result<Delivery> {
+        let there = self.send(from, to, request_bytes, now)?;
+        let back = self.send(to, from, response_bytes, there.arrival)?;
+        Ok(Delivery {
+            arrival: back.arrival,
+            hops: there.hops + back.hops,
+            path_latency: there.path_latency + back.path_latency,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line3() -> (Network, NodeId, NodeId, NodeId) {
+        let mut topo = Topology::new();
+        let a = topo.add_node("a");
+        let b = topo.add_node("b");
+        let c = topo.add_node("c");
+        topo.add_link(a, b, Link::new(Duration::from_millis(2), 1_000_000_000))
+            .unwrap();
+        topo.add_link(b, c, Link::new(Duration::from_millis(30), 1_000_000_000))
+            .unwrap();
+        (Network::new(topo), a, b, c)
+    }
+
+    #[test]
+    fn multi_hop_latency_accumulates() {
+        let (mut net, a, _, c) = line3();
+        let d = net.send(a, c, 0, SimTime::ZERO).unwrap();
+        assert_eq!(d.hops, 2);
+        assert_eq!(d.path_latency, Duration::from_millis(32));
+        assert_eq!(d.arrival, SimTime::ZERO + Duration::from_millis(32));
+    }
+
+    #[test]
+    fn serialization_delay_scales_with_bytes() {
+        let (mut net, a, b, _) = line3();
+        // 1 Gbit/s = 125 MB/s; 125 MB takes 1 s per hop.
+        let d = net.send(a, b, 125_000_000, SimTime::ZERO).unwrap();
+        assert_eq!(
+            d.arrival.as_micros(),
+            Duration::from_millis(2).as_micros() + 1_000_000
+        );
+    }
+
+    #[test]
+    fn traffic_is_metered_on_every_hop() {
+        let (mut net, a, _, c) = line3();
+        net.send(a, c, 500, SimTime::ZERO).unwrap();
+        // Both links carried the 500 bytes.
+        let total: u64 = net.meter().total_bytes();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn request_response_doubles_the_path() {
+        let (mut net, a, _, c) = line3();
+        let d = net.request_response(a, c, 100, 10_000, SimTime::ZERO).unwrap();
+        assert_eq!(d.hops, 4);
+        assert_eq!(d.path_latency, Duration::from_millis(64));
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let (mut net, a, _, _) = line3();
+        let ghost = NodeId::from_raw(99);
+        assert!(matches!(
+            net.send(a, ghost, 1, SimTime::ZERO),
+            Err(Error::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn reset_meter_zeroes_counts() {
+        let (mut net, a, b, _) = line3();
+        net.send(a, b, 100, SimTime::ZERO).unwrap();
+        assert!(net.meter().total_bytes() > 0);
+        net.reset_meter();
+        assert_eq!(net.meter().total_bytes(), 0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Labelled undirected graph with Dijkstra routing.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use super::Link;
+use crate::{Error, Result};
+
+/// Identifies a node in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Constructs from a raw index (mostly for tests).
+    pub fn from_raw(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifies a link in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(u32);
+
+impl LinkId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LinkEntry {
+    a: NodeId,
+    b: NodeId,
+    link: Link,
+}
+
+/// An undirected graph of labelled nodes and [`Link`]s.
+///
+/// Routing is shortest-path by propagation latency (Dijkstra). The graphs
+/// in this workspace are small (dozens to hundreds of nodes), so routes are
+/// computed on demand without caching.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    labels: Vec<String>,
+    adj: Vec<Vec<(NodeId, LinkId)>>,
+    links: Vec<LinkEntry>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, label: impl Into<String>) -> NodeId {
+        let id = NodeId(self.labels.len() as u32);
+        self.labels.push(label.into());
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected link between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnknownNode`] if either endpoint does not exist,
+    /// * [`Error::SelfLink`] if `a == b`,
+    /// * [`Error::DuplicateLink`] if the pair is already connected.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, link: Link) -> Result<LinkId> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if a == b {
+            return Err(Error::SelfLink { node: a });
+        }
+        if self.adj[a.index()].iter().any(|(n, _)| *n == b) {
+            return Err(Error::DuplicateLink { a, b });
+        }
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(LinkEntry { a, b, link });
+        self.adj[a.index()].push((b, id));
+        self.adj[b.index()].push((a, id));
+        Ok(id)
+    }
+
+    fn check_node(&self, n: NodeId) -> Result<()> {
+        if n.index() < self.labels.len() {
+            Ok(())
+        } else {
+            Err(Error::UnknownNode { node: n })
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The label given to `node`.
+    pub fn label(&self, node: NodeId) -> &str {
+        &self.labels[node.index()]
+    }
+
+    /// The link behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is stale (ids are only minted by `add_link`).
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()].link
+    }
+
+    /// Endpoints of a link.
+    pub fn link_endpoints(&self, id: LinkId) -> (NodeId, NodeId) {
+        let e = &self.links[id.index()];
+        (e.a, e.b)
+    }
+
+    /// Neighbors of `node` with the connecting link ids.
+    pub fn neighbors(&self, node: NodeId) -> &[(NodeId, LinkId)] {
+        &self.adj[node.index()]
+    }
+
+    /// Shortest path (by total latency) from `from` to `to`, as link ids in
+    /// traversal order. An empty path means `from == to`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownNode`] or [`Error::NoRoute`].
+    pub fn route(&self, from: NodeId, to: NodeId) -> Result<Vec<LinkId>> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if from == to {
+            return Ok(Vec::new());
+        }
+        let n = self.node_count();
+        let mut dist = vec![u64::MAX; n];
+        let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[from.index()] = 0;
+        heap.push(Reverse((0u64, from)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u.index()] {
+                continue;
+            }
+            if u == to {
+                break;
+            }
+            for &(v, lid) in &self.adj[u.index()] {
+                let w = self.links[lid.index()].link.latency().as_micros().max(1);
+                let nd = d + w;
+                if nd < dist[v.index()] {
+                    dist[v.index()] = nd;
+                    prev[v.index()] = Some((u, lid));
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        if dist[to.index()] == u64::MAX {
+            return Err(Error::NoRoute { from, to });
+        }
+        let mut path = Vec::new();
+        let mut cur = to;
+        while cur != from {
+            let (p, lid) = prev[cur.index()].expect("reachable node has predecessor");
+            path.push(lid);
+            cur = p;
+        }
+        path.reverse();
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    fn l(ms: u64) -> Link {
+        Link::new(Duration::from_millis(ms), 1_000_000_000)
+    }
+
+    #[test]
+    fn route_picks_lowest_latency_path() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let c = t.add_node("c");
+        // Direct a-c is slow; a-b-c is faster.
+        t.add_link(a, c, l(100)).unwrap();
+        let ab = t.add_link(a, b, l(10)).unwrap();
+        let bc = t.add_link(b, c, l(10)).unwrap();
+        assert_eq!(t.route(a, c).unwrap(), vec![ab, bc]);
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        assert!(t.route(a, a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn partitioned_graph_has_no_route() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        assert!(matches!(t.route(a, b), Err(Error::NoRoute { .. })));
+    }
+
+    #[test]
+    fn self_and_duplicate_links_rejected() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        assert!(matches!(t.add_link(a, a, l(1)), Err(Error::SelfLink { .. })));
+        t.add_link(a, b, l(1)).unwrap();
+        assert!(matches!(
+            t.add_link(a, b, l(2)),
+            Err(Error::DuplicateLink { .. })
+        ));
+        assert!(matches!(
+            t.add_link(b, a, l(2)),
+            Err(Error::DuplicateLink { .. })
+        ));
+    }
+
+    #[test]
+    fn labels_and_counts() {
+        let mut t = Topology::new();
+        let a = t.add_node("fog-1/section-07");
+        assert_eq!(t.label(a), "fog-1/section-07");
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.link_count(), 0);
+    }
+
+    #[test]
+    fn route_on_a_star_topology() {
+        // Hub-and-spoke: every spoke routes through the hub.
+        let mut t = Topology::new();
+        let hub = t.add_node("hub");
+        let spokes: Vec<NodeId> = (0..10).map(|i| t.add_node(format!("s{i}"))).collect();
+        for &s in &spokes {
+            t.add_link(hub, s, l(5)).unwrap();
+        }
+        let path = t.route(spokes[0], spokes[9]).unwrap();
+        assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let id = t.add_link(a, b, l(1)).unwrap();
+        assert_eq!(t.neighbors(a), &[(b, id)]);
+        assert_eq!(t.neighbors(b), &[(a, id)]);
+        assert_eq!(t.link_endpoints(id), (a, b));
+    }
+}

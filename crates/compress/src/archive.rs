@@ -1,0 +1,363 @@
+//! A minimal multi-entry archive container (the role zip files play in the
+//! paper's §V.B experiment: fog layer 1 batches one flush period's worth of
+//! observation files and ships a single compressed archive upward).
+//!
+//! # Format
+//!
+//! ```text
+//! magic "FZA1"                    4 bytes
+//! entry count                     u32 LE
+//! per entry:
+//!   name length                   u16 LE
+//!   name bytes (UTF-8)
+//!   method                        1 byte (0 stored, 1 deflate, 2 rle)
+//!   original size                 u64 LE
+//!   stored size                   u64 LE
+//!   CRC-32 of original            u32 LE
+//!   stored bytes
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::{crc32, deflate, rle, Error, Result};
+
+const MAGIC: [u8; 4] = *b"FZA1";
+
+/// Per-entry compression method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Method {
+    /// Store verbatim.
+    Stored,
+    /// LZ77 + Huffman ([`crate::deflate`]).
+    #[default]
+    Deflate,
+    /// Run-length encoding ([`crate::rle`]).
+    Rle,
+}
+
+impl Method {
+    fn to_byte(self) -> u8 {
+        match self {
+            Method::Stored => 0,
+            Method::Deflate => 1,
+            Method::Rle => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self> {
+        match b {
+            0 => Ok(Method::Stored),
+            1 => Ok(Method::Deflate),
+            2 => Ok(Method::Rle),
+            other => Err(Error::SymbolOutOfRange {
+                symbol: u16::from(other),
+            }),
+        }
+    }
+}
+
+/// One file inside an [`Archive`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchiveEntry {
+    name: String,
+    method: Method,
+    original_len: u64,
+    crc: u32,
+    stored: Vec<u8>,
+}
+
+impl ArchiveEntry {
+    /// Entry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Compression method used for this entry.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// Size of the original (uncompressed) payload.
+    pub fn original_len(&self) -> u64 {
+        self.original_len
+    }
+
+    /// Size of the payload as stored in the archive.
+    pub fn stored_len(&self) -> u64 {
+        self.stored.len() as u64
+    }
+
+    /// Decodes and integrity-checks the payload.
+    pub fn extract(&self) -> Result<Vec<u8>> {
+        let data = match self.method {
+            Method::Stored => self.stored.clone(),
+            Method::Deflate => deflate::decompress(&self.stored)?,
+            Method::Rle => rle::decode(&self.stored)?,
+        };
+        let actual = crc32::checksum(&data);
+        if actual != self.crc {
+            return Err(Error::ChecksumMismatch {
+                expected: self.crc,
+                actual,
+            });
+        }
+        if data.len() as u64 != self.original_len {
+            return Err(Error::UnexpectedEof { offset: data.len() });
+        }
+        Ok(data)
+    }
+}
+
+/// An in-memory multi-entry archive.
+///
+/// # Examples
+///
+/// ```
+/// use f2c_compress::{Archive, Method};
+///
+/// let mut ar = Archive::new();
+/// ar.add("fog-node-07/energy.csv", b"22.5;22.5;22.5\n".repeat(50).as_slice(), Method::Deflate)?;
+/// ar.add("fog-node-07/raw.bin", &[1, 2, 3], Method::Stored)?;
+///
+/// let bytes = ar.to_bytes();
+/// let back = Archive::from_bytes(&bytes)?;
+/// assert_eq!(back.entry("fog-node-07/raw.bin").unwrap().extract()?, vec![1, 2, 3]);
+/// # Ok::<(), f2c_compress::Error>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Archive {
+    entries: BTreeMap<String, ArchiveEntry>,
+}
+
+impl Archive {
+    /// Creates an empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `data` under `name` with the requested `method`.
+    ///
+    /// If the chosen method expands the payload, the entry silently falls
+    /// back to [`Method::Stored`] (mirroring zip's behaviour).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadEntryName`] if `name` is empty or already present.
+    pub fn add(&mut self, name: &str, data: &[u8], method: Method) -> Result<&ArchiveEntry> {
+        if name.is_empty() || self.entries.contains_key(name) {
+            return Err(Error::BadEntryName {
+                name: name.to_owned(),
+            });
+        }
+        let (method, stored) = match method {
+            Method::Stored => (Method::Stored, data.to_vec()),
+            Method::Deflate => {
+                let packed = deflate::compress(data)?;
+                if packed.len() < data.len() {
+                    (Method::Deflate, packed)
+                } else {
+                    (Method::Stored, data.to_vec())
+                }
+            }
+            Method::Rle => {
+                let packed = rle::encode(data);
+                if packed.len() < data.len() {
+                    (Method::Rle, packed)
+                } else {
+                    (Method::Stored, data.to_vec())
+                }
+            }
+        };
+        let entry = ArchiveEntry {
+            name: name.to_owned(),
+            method,
+            original_len: data.len() as u64,
+            crc: crc32::checksum(data),
+            stored,
+        };
+        Ok(self.entries.entry(name.to_owned()).or_insert(entry))
+    }
+
+    /// Looks up an entry by name.
+    pub fn entry(&self, name: &str) -> Option<&ArchiveEntry> {
+        self.entries.get(name)
+    }
+
+    /// Iterates entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &ArchiveEntry> {
+        self.entries.values()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the archive has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of original payload sizes.
+    pub fn total_original_len(&self) -> u64 {
+        self.entries.values().map(ArchiveEntry::original_len).sum()
+    }
+
+    /// Sum of stored payload sizes (excluding per-entry headers).
+    pub fn total_stored_len(&self) -> u64 {
+        self.entries.values().map(ArchiveEntry::stored_len).sum()
+    }
+
+    /// Serializes the archive.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.total_stored_len() as usize + 64);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for e in self.entries.values() {
+            out.extend_from_slice(&(e.name.len() as u16).to_le_bytes());
+            out.extend_from_slice(e.name.as_bytes());
+            out.push(e.method.to_byte());
+            out.extend_from_slice(&e.original_len.to_le_bytes());
+            out.extend_from_slice(&(e.stored.len() as u64).to_le_bytes());
+            out.extend_from_slice(&e.crc.to_le_bytes());
+            out.extend_from_slice(&e.stored);
+        }
+        out
+    }
+
+    /// Parses an archive produced by [`Archive::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Result<Self> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            if *pos + n > data.len() {
+                return Err(Error::UnexpectedEof { offset: data.len() });
+            }
+            let s = &data[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let magic = take(&mut pos, 4)?;
+        if magic != MAGIC {
+            return Err(Error::BadMagic {
+                found: [magic[0], magic[1], magic[2], magic[3]],
+            });
+        }
+        let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let mut entries = BTreeMap::new();
+        for _ in 0..count {
+            let name_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+            let name = String::from_utf8(take(&mut pos, name_len)?.to_vec()).map_err(|e| {
+                Error::BadEntryName {
+                    name: String::from_utf8_lossy(e.as_bytes()).into_owned(),
+                }
+            })?;
+            let method = Method::from_byte(take(&mut pos, 1)?[0])?;
+            let original_len =
+                u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+            let stored_len =
+                u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+            let stored = take(&mut pos, stored_len)?.to_vec();
+            if name.is_empty() || entries.contains_key(&name) {
+                return Err(Error::BadEntryName { name });
+            }
+            entries.insert(
+                name.clone(),
+                ArchiveEntry {
+                    name,
+                    method,
+                    original_len,
+                    crc,
+                    stored,
+                },
+            );
+        }
+        Ok(Self { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_archive_roundtrips() {
+        let ar = Archive::new();
+        assert!(ar.is_empty());
+        let back = Archive::from_bytes(&ar.to_bytes()).unwrap();
+        assert_eq!(back.len(), 0);
+    }
+
+    #[test]
+    fn multi_entry_roundtrip_all_methods() {
+        let mut ar = Archive::new();
+        let text = b"noise;67.2;section-12\n".repeat(100);
+        let runs = vec![0u8; 2000];
+        let rand: Vec<u8> = (0..500).map(|i| (i * 97 % 256) as u8).collect();
+        ar.add("text.csv", &text, Method::Deflate).unwrap();
+        ar.add("runs.bin", &runs, Method::Rle).unwrap();
+        ar.add("rand.bin", &rand, Method::Stored).unwrap();
+
+        let back = Archive::from_bytes(&ar.to_bytes()).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.entry("text.csv").unwrap().extract().unwrap(), text);
+        assert_eq!(back.entry("runs.bin").unwrap().extract().unwrap(), runs);
+        assert_eq!(back.entry("rand.bin").unwrap().extract().unwrap(), rand);
+        assert!(back.entry("text.csv").unwrap().stored_len() < text.len() as u64);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut ar = Archive::new();
+        ar.add("a", b"1", Method::Stored).unwrap();
+        assert!(matches!(
+            ar.add("a", b"2", Method::Stored),
+            Err(Error::BadEntryName { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_name_rejected() {
+        let mut ar = Archive::new();
+        assert!(ar.add("", b"x", Method::Stored).is_err());
+    }
+
+    #[test]
+    fn incompressible_entry_falls_back_to_stored() {
+        let mut ar = Archive::new();
+        let data: Vec<u8> = (0..64).map(|i| (i * 131 % 251) as u8).collect();
+        let e = ar.add("x", &data, Method::Deflate).unwrap();
+        assert_eq!(e.method(), Method::Stored);
+    }
+
+    #[test]
+    fn corrupt_entry_payload_detected() {
+        let mut ar = Archive::new();
+        ar.add("f", &b"abcabcabcabc".repeat(20), Method::Deflate)
+            .unwrap();
+        let mut bytes = ar.to_bytes();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xFF;
+        let back = Archive::from_bytes(&bytes).unwrap();
+        assert!(back.entry("f").unwrap().extract().is_err());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut ar = Archive::new();
+        ar.add("f", b"payload", Method::Stored).unwrap();
+        let bytes = ar.to_bytes();
+        for cut in [0, 3, 7, bytes.len() - 1] {
+            assert!(Archive::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn totals_account_all_entries() {
+        let mut ar = Archive::new();
+        ar.add("a", &[0u8; 100], Method::Rle).unwrap();
+        ar.add("b", &[1u8; 50], Method::Stored).unwrap();
+        assert_eq!(ar.total_original_len(), 150);
+        assert!(ar.total_stored_len() < 150);
+    }
+}

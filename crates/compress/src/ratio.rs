@@ -1,0 +1,123 @@
+//! Compression-ratio bookkeeping shared by the experiments.
+//!
+//! The paper's §V.B reports compression as a *reduction percentage* ("78 %
+//! of efficiency": 1,360,043,206 B → 295,428,463 B). [`CompressionStats`]
+//! accumulates (original, compressed) byte counts across many payloads and
+//! exposes both conventions — reduction percentage and compressed/original
+//! ratio — so report code never re-derives them inconsistently.
+
+/// Accumulated original/compressed byte totals.
+///
+/// # Examples
+///
+/// ```
+/// use f2c_compress::CompressionStats;
+///
+/// let mut stats = CompressionStats::new();
+/// stats.record(1000, 220);
+/// stats.record(500, 110);
+/// assert_eq!(stats.original_bytes(), 1500);
+/// assert_eq!(stats.compressed_bytes(), 330);
+/// assert!((stats.reduction_percent() - 78.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompressionStats {
+    original: u64,
+    compressed: u64,
+    payloads: u64,
+}
+
+impl CompressionStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one payload's sizes.
+    pub fn record(&mut self, original: u64, compressed: u64) {
+        self.original += original;
+        self.compressed += compressed;
+        self.payloads += 1;
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &CompressionStats) {
+        self.original += other.original;
+        self.compressed += other.compressed;
+        self.payloads += other.payloads;
+    }
+
+    /// Total original bytes seen.
+    pub fn original_bytes(&self) -> u64 {
+        self.original
+    }
+
+    /// Total compressed bytes produced.
+    pub fn compressed_bytes(&self) -> u64 {
+        self.compressed
+    }
+
+    /// Number of payloads recorded.
+    pub fn payload_count(&self) -> u64 {
+        self.payloads
+    }
+
+    /// `compressed / original` (1.0 when nothing was recorded).
+    pub fn ratio(&self) -> f64 {
+        if self.original == 0 {
+            1.0
+        } else {
+            self.compressed as f64 / self.original as f64
+        }
+    }
+
+    /// Size reduction as a percentage — the paper's convention
+    /// (`(1 - ratio) * 100`).
+    pub fn reduction_percent(&self) -> f64 {
+        (1.0 - self.ratio()) * 100.0
+    }
+}
+
+/// Converts a byte count to decimal gigabytes (the paper's "GB" unit).
+pub fn bytes_to_gb(bytes: u64) -> f64 {
+    bytes as f64 / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = CompressionStats::new();
+        assert_eq!(s.ratio(), 1.0);
+        assert_eq!(s.reduction_percent(), 0.0);
+        assert_eq!(s.payload_count(), 0);
+    }
+
+    #[test]
+    fn paper_headline_number() {
+        // §V.B: 1,360,043,206 B -> 295,428,463 B, "almost 78%".
+        let mut s = CompressionStats::new();
+        s.record(1_360_043_206, 295_428_463);
+        assert!((s.reduction_percent() - 78.28).abs() < 0.01);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = CompressionStats::new();
+        a.record(100, 40);
+        let mut b = CompressionStats::new();
+        b.record(300, 60);
+        a.merge(&b);
+        assert_eq!(a.original_bytes(), 400);
+        assert_eq!(a.compressed_bytes(), 100);
+        assert_eq!(a.payload_count(), 2);
+        assert!((a.ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gb_conversion_is_decimal() {
+        assert!((bytes_to_gb(8_583_503_168) - 8.583503168).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,170 @@
+//! The data-access cost model of §IV.C: "when the required data is not
+//! present in the current fog node at layer 1, but can be accessed from
+//! either a node at a higher layer or a neighbor fog node at the same
+//! layer 1 … solved using some sort of cost model to estimate the effects
+//! of both cases and proceed according to the lowest cost."
+
+use citysim::barcelona::LatencyProfile;
+use citysim::time::Duration;
+
+/// Where a missing datum could be fetched from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessOption {
+    /// The requesting fog-1 node itself.
+    Local,
+    /// A neighbor fog-1 node `hops` ring-hops away in the same district.
+    Neighbor {
+        /// Ring distance (≥ 1).
+        hops: u32,
+    },
+    /// The fog-2 parent.
+    Parent,
+    /// The cloud.
+    Cloud,
+}
+
+/// Cost model: request/response latency plus serialization of the payload
+/// on the bottleneck link, per candidate source.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessCostModel {
+    profile: LatencyProfile,
+}
+
+impl AccessCostModel {
+    /// A model over the topology's link profile.
+    pub fn new(profile: LatencyProfile) -> Self {
+        Self { profile }
+    }
+
+    /// Estimated completion time for fetching `bytes` via `option`.
+    pub fn cost(&self, option: AccessOption, bytes: u64) -> Duration {
+        let (one_way, bandwidth) = match option {
+            AccessOption::Local => (self.profile.sensor_to_fog1, 1_000_000_000),
+            AccessOption::Neighbor { hops } => {
+                let (lat, bw) = self.profile.fog1_neighbor;
+                (
+                    Duration::from_micros(lat.as_micros() * u64::from(hops.max(1))),
+                    bw,
+                )
+            }
+            AccessOption::Parent => self.profile.fog1_to_fog2,
+            AccessOption::Cloud => {
+                let (l1, bw1) = self.profile.fog1_to_fog2;
+                let (l2, bw2) = self.profile.fog2_to_cloud;
+                (l1 + l2, bw1.min(bw2))
+            }
+        };
+        // Request there + response back + payload serialization.
+        let rtt = Duration::from_micros(one_way.as_micros() * 2);
+        let link = citysim::Link::new(Duration::ZERO, bandwidth.max(1));
+        rtt + link.transfer_time(bytes)
+    }
+
+    /// The cheapest of the given options for `bytes`.
+    ///
+    /// Returns `None` when `options` is empty.
+    pub fn cheapest(&self, options: &[AccessOption], bytes: u64) -> Option<AccessOption> {
+        options
+            .iter()
+            .copied()
+            .min_by_key(|&o| self.cost(o, bytes).as_micros())
+    }
+
+    /// Crossover analysis: the neighbor hop count above which going to the
+    /// parent is cheaper, for a payload of `bytes`.
+    pub fn neighbor_parent_crossover(&self, bytes: u64) -> u32 {
+        let parent = self.cost(AccessOption::Parent, bytes);
+        for hops in 1..=64 {
+            if self.cost(AccessOption::Neighbor { hops }, bytes) > parent {
+                return hops;
+            }
+        }
+        64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> AccessCostModel {
+        AccessCostModel::new(LatencyProfile::default())
+    }
+
+    #[test]
+    fn local_beats_everything() {
+        let m = model();
+        for bytes in [0u64, 1_000, 1_000_000] {
+            let local = m.cost(AccessOption::Local, bytes);
+            for other in [
+                AccessOption::Neighbor { hops: 1 },
+                AccessOption::Parent,
+                AccessOption::Cloud,
+            ] {
+                assert!(local < m.cost(other, bytes), "{other:?} at {bytes}B");
+            }
+        }
+    }
+
+    #[test]
+    fn cloud_is_the_most_expensive_source() {
+        let m = model();
+        let cloud = m.cost(AccessOption::Cloud, 10_000);
+        assert!(cloud > m.cost(AccessOption::Parent, 10_000));
+        assert!(cloud > m.cost(AccessOption::Neighbor { hops: 1 }, 10_000));
+    }
+
+    #[test]
+    fn near_neighbor_beats_parent_far_neighbor_does_not() {
+        // Default profile: neighbor hop 3 ms, parent 5 ms one-way.
+        let m = model();
+        let near = m.cost(AccessOption::Neighbor { hops: 1 }, 1_000);
+        let far = m.cost(AccessOption::Neighbor { hops: 4 }, 1_000);
+        let parent = m.cost(AccessOption::Parent, 1_000);
+        assert!(near < parent);
+        assert!(far > parent);
+    }
+
+    #[test]
+    fn crossover_is_at_two_hops_by_default() {
+        // 1 hop: 3 ms < 5 ms. 2 hops: 6 ms > 5 ms.
+        assert_eq!(model().neighbor_parent_crossover(1_000), 2);
+    }
+
+    #[test]
+    fn cheapest_picks_minimum() {
+        let m = model();
+        let options = [
+            AccessOption::Cloud,
+            AccessOption::Neighbor { hops: 2 },
+            AccessOption::Parent,
+        ];
+        assert_eq!(m.cheapest(&options, 1_000), Some(AccessOption::Parent));
+        assert_eq!(m.cheapest(&[], 1_000), None);
+    }
+
+    #[test]
+    fn payload_size_shifts_nothing_on_equal_bandwidth() {
+        // All fog links share bandwidth in the default profile, so size
+        // penalizes every option equally and ordering is stable.
+        let m = model();
+        let small = m.cheapest(
+            &[AccessOption::Neighbor { hops: 1 }, AccessOption::Parent],
+            100,
+        );
+        let large = m.cheapest(
+            &[AccessOption::Neighbor { hops: 1 }, AccessOption::Parent],
+            100_000_000,
+        );
+        assert_eq!(small, large);
+    }
+
+    #[test]
+    fn zero_hop_neighbor_is_clamped_to_one() {
+        let m = model();
+        assert_eq!(
+            m.cost(AccessOption::Neighbor { hops: 0 }, 0),
+            m.cost(AccessOption::Neighbor { hops: 1 }, 0)
+        );
+    }
+}

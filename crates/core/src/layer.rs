@@ -1,0 +1,93 @@
+//! The three layers of the F2C architecture (Fig. 4).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An architecture layer, ordered from edge to cloud.
+///
+/// Fog layer 1 nodes cover one city section (~1 km² in Barcelona, §V.B);
+/// fog layer 2 nodes cover one district; the cloud covers the whole city.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Layer {
+    /// Fog layer 1: edge devices coordinating one section.
+    Fog1,
+    /// Fog layer 2: district-level nodes.
+    Fog2,
+    /// The cloud data center.
+    Cloud,
+}
+
+impl Layer {
+    /// All layers, edge first.
+    pub const ALL: [Layer; 3] = [Layer::Fog1, Layer::Fog2, Layer::Cloud];
+
+    /// The layer one step up, or `None` at the cloud.
+    pub fn parent(self) -> Option<Layer> {
+        match self {
+            Layer::Fog1 => Some(Layer::Fog2),
+            Layer::Fog2 => Some(Layer::Cloud),
+            Layer::Cloud => None,
+        }
+    }
+
+    /// Relative compute capability (cloud ≫ fog 2 > fog 1), in abstract
+    /// "compute units" used by the placement engine.
+    pub fn compute_capacity(self) -> u64 {
+        match self {
+            Layer::Fog1 => 10,
+            Layer::Fog2 => 100,
+            Layer::Cloud => u64::MAX,
+        }
+    }
+
+    /// Whether data at this layer is typically within the paper's
+    /// "real-time" reach of the generating sensors.
+    pub fn is_fog(self) -> bool {
+        self != Layer::Cloud
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Layer::Fog1 => "fog layer 1",
+            Layer::Fog2 => "fog layer 2",
+            Layer::Cloud => "cloud",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parents_climb_to_cloud() {
+        assert_eq!(Layer::Fog1.parent(), Some(Layer::Fog2));
+        assert_eq!(Layer::Fog2.parent(), Some(Layer::Cloud));
+        assert_eq!(Layer::Cloud.parent(), None);
+    }
+
+    #[test]
+    fn ordering_is_edge_to_cloud() {
+        assert!(Layer::Fog1 < Layer::Fog2);
+        assert!(Layer::Fog2 < Layer::Cloud);
+    }
+
+    #[test]
+    fn capacity_grows_upward() {
+        assert!(Layer::Fog1.compute_capacity() < Layer::Fog2.compute_capacity());
+        assert!(Layer::Fog2.compute_capacity() < Layer::Cloud.compute_capacity());
+    }
+
+    #[test]
+    fn fog_predicate() {
+        assert!(Layer::Fog1.is_fog());
+        assert!(Layer::Fog2.is_fog());
+        assert!(!Layer::Cloud.is_fog());
+    }
+}

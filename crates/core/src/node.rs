@@ -1,0 +1,384 @@
+//! An F2C node: one box of Fig. 5, hosting the DLC phases appropriate to
+//! its layer. Fog-1 nodes run the acquisition block over their section's
+//! sensors and keep a short-retention tier; fog-2 nodes combine their
+//! children's flushes in a medium tier; the cloud runs preservation
+//! (classification + permanent archive + dissemination).
+
+use scc_dlc::acquisition::AcquisitionBlock;
+use scc_dlc::phase::{Phase, PhaseContext};
+use scc_dlc::preservation::ClassificationPhase;
+use scc_dlc::DataRecord;
+use scc_sensors::{wire, Catalog, Reading};
+
+use crate::layer::Layer;
+use crate::policy::{FlushPolicy, RetentionPolicy};
+use crate::store::TieredStore;
+use crate::{Error, Result};
+
+/// What happened to one ingested wave at a fog-1 node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestOutcome {
+    /// Readings offered by the sensors.
+    pub offered: u64,
+    /// Records stored after acquisition (dedup + quality).
+    pub stored: u64,
+    /// Table-I accounting bytes of the offered readings.
+    pub raw_bytes: u64,
+    /// Table-I accounting bytes of the stored records.
+    pub kept_bytes: u64,
+}
+
+/// One upward shipment.
+#[derive(Debug, Clone)]
+pub struct FlushBatch {
+    /// The shipped records.
+    pub records: Vec<DataRecord>,
+    /// Table-I accounting bytes (Σ per-type transaction sizes).
+    pub acct_bytes: u64,
+    /// Actual wire-encoded size of the batch.
+    pub wire_bytes: u64,
+    /// Compressed size of the wire batch, when the policy compresses.
+    pub compressed_bytes: Option<u64>,
+}
+
+impl FlushBatch {
+    /// Bytes that actually cross the uplink: compressed size when
+    /// compression is on, accounting bytes otherwise (the paper's Table I
+    /// accounts transaction sizes, Fig. 7 adds compression).
+    pub fn uplink_bytes(&self) -> u64 {
+        self.compressed_bytes.unwrap_or(self.acct_bytes)
+    }
+
+    /// An empty batch.
+    pub fn empty() -> Self {
+        Self {
+            records: Vec::new(),
+            acct_bytes: 0,
+            wire_bytes: 0,
+            compressed_bytes: None,
+        }
+    }
+}
+
+/// One node of the F2C hierarchy.
+#[derive(Debug)]
+pub struct F2cNode {
+    label: String,
+    layer: Layer,
+    district: u16,
+    section: Option<u16>,
+    acquisition: Option<AcquisitionBlock>,
+    classification: Option<ClassificationPhase>,
+    store: TieredStore,
+    flush_policy: FlushPolicy,
+}
+
+impl F2cNode {
+    /// A fog-1 node for `section` of `district`, with the given policies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy validation errors.
+    pub fn fog1(
+        district: u16,
+        section: u16,
+        flush_policy: FlushPolicy,
+        retention: RetentionPolicy,
+    ) -> Result<Self> {
+        let flush_policy = flush_policy.validated()?;
+        let acquisition = if flush_policy.aggregate {
+            AcquisitionBlock::new("Barcelona", district, section)
+        } else {
+            AcquisitionBlock::without_filtering("Barcelona", district, section)
+        };
+        Ok(Self {
+            label: format!("fog1/d{district}/s{section}"),
+            layer: Layer::Fog1,
+            district,
+            section: Some(section),
+            acquisition: Some(acquisition),
+            classification: None,
+            store: TieredStore::new(retention),
+            flush_policy,
+        })
+    }
+
+    /// A fog-2 node for `district`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy validation errors.
+    pub fn fog2(
+        district: u16,
+        flush_policy: FlushPolicy,
+        retention: RetentionPolicy,
+    ) -> Result<Self> {
+        Ok(Self {
+            label: format!("fog2/d{district}"),
+            layer: Layer::Fog2,
+            district,
+            section: None,
+            acquisition: None,
+            classification: None,
+            store: TieredStore::new(retention),
+            flush_policy: flush_policy.validated()?,
+        })
+    }
+
+    /// The cloud node: permanent storage, classification on receive.
+    pub fn cloud() -> Self {
+        Self {
+            label: "cloud".to_owned(),
+            layer: Layer::Cloud,
+            district: 0,
+            section: None,
+            acquisition: None,
+            classification: Some(ClassificationPhase::new()),
+            store: TieredStore::permanent(),
+            flush_policy: FlushPolicy::plain(86_400),
+        }
+    }
+
+    /// The node's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The node's layer.
+    pub fn layer(&self) -> Layer {
+        self.layer
+    }
+
+    /// District index.
+    pub fn district(&self) -> u16 {
+        self.district
+    }
+
+    /// Section index (fog-1 only).
+    pub fn section(&self) -> Option<u16> {
+        self.section
+    }
+
+    /// The flush policy.
+    pub fn flush_policy(&self) -> &FlushPolicy {
+        &self.flush_policy
+    }
+
+    /// The local store.
+    pub fn store(&self) -> &TieredStore {
+        &self.store
+    }
+
+    /// Ingests one wave of raw sensor readings (fog-1 only): runs the
+    /// acquisition block and stores the surviving records locally.
+    ///
+    /// `catalog` supplies the Table-I per-transaction sizes used for
+    /// traffic accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadConfig`] when called on a non-fog-1 node.
+    pub fn ingest_wave(
+        &mut self,
+        readings: Vec<Reading>,
+        now_s: u64,
+        catalog: &Catalog,
+    ) -> Result<IngestOutcome> {
+        let acquisition = self.acquisition.as_mut().ok_or(Error::BadConfig {
+            field: "layer",
+            reason: "only fog-1 nodes ingest sensor waves",
+        })?;
+        let offered = readings.len() as u64;
+        let raw_bytes: u64 = readings
+            .iter()
+            .map(|r| acct_bytes_for(r.sensor_type(), catalog))
+            .sum();
+        let records = acquisition.ingest(readings, &PhaseContext::at(now_s));
+        let stored = records.len() as u64;
+        let kept_bytes: u64 = records
+            .iter()
+            .map(|rec| acct_bytes_for(rec.sensor_type(), catalog))
+            .sum();
+        self.store.insert_batch(records);
+        Ok(IngestOutcome {
+            offered,
+            stored,
+            raw_bytes,
+            kept_bytes,
+        })
+    }
+
+    /// Receives a batch shipped from a child node. At the cloud the batch
+    /// additionally passes classification (versioning/lineage) before the
+    /// permanent archive, per §IV.B.
+    pub fn receive(&mut self, records: Vec<DataRecord>, now_s: u64) {
+        let records = match &mut self.classification {
+            Some(phase) => phase.run(records, &PhaseContext::at(now_s)),
+            None => records,
+        };
+        self.store.insert_batch(records);
+    }
+
+    /// Takes the records due for upward shipping at `now_s` and packages
+    /// them as a [`FlushBatch`] (compressing if the policy says so), then
+    /// applies retention eviction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compression failures.
+    pub fn flush(&mut self, now_s: u64, catalog: &Catalog) -> Result<FlushBatch> {
+        let records = self.store.take_flush_batch(now_s);
+        self.store.evict_expired(now_s);
+        if records.is_empty() {
+            return Ok(FlushBatch::empty());
+        }
+        let acct_bytes: u64 = records
+            .iter()
+            .map(|rec| acct_bytes_for(rec.sensor_type(), catalog))
+            .sum();
+        let readings: Vec<Reading> = records.iter().map(|r| r.reading().clone()).collect();
+        let encoded = wire::encode_batch(&readings);
+        let wire_bytes = encoded.len() as u64;
+        let compressed_bytes = if self.flush_policy.compress {
+            Some(f2c_compress::compress(&encoded)?.len() as u64)
+        } else {
+            None
+        };
+        Ok(FlushBatch {
+            records,
+            acct_bytes,
+            wire_bytes,
+            compressed_bytes,
+        })
+    }
+}
+
+/// Table-I accounting size of one reading of `ty`.
+fn acct_bytes_for(ty: scc_sensors::SensorType, catalog: &Catalog) -> u64 {
+    catalog.spec(ty).map_or(0, |s| s.tx_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_sensors::{ReadingGenerator, SensorType};
+
+    fn fog1() -> F2cNode {
+        F2cNode::fog1(
+            0,
+            0,
+            FlushPolicy::paper_fog1(),
+            RetentionPolicy::keep(86_400),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fog1_ingest_dedups_at_category_rate() {
+        let catalog = Catalog::barcelona();
+        let mut node = fog1();
+        let mut gen = ReadingGenerator::for_population(SensorType::ContainerPaper, 100, 7);
+        let mut total = IngestOutcome::default();
+        for w in 0..50u64 {
+            let out = node
+                .ingest_wave(gen.wave(w * 2400), w * 2400 + 1, &catalog)
+                .unwrap();
+            total.offered += out.offered;
+            total.stored += out.stored;
+            total.raw_bytes += out.raw_bytes;
+            total.kept_bytes += out.kept_bytes;
+        }
+        let keep_rate = total.kept_bytes as f64 / total.raw_bytes as f64;
+        // Garbage redundancy is 70% -> ~30% kept.
+        assert!((keep_rate - 0.30).abs() < 0.05, "keep rate {keep_rate:.3}");
+        assert_eq!(total.raw_bytes, 50 * 100 * 50); // 50 waves × 100 sensors × 50 B
+    }
+
+    #[test]
+    fn non_aggregating_node_keeps_everything() {
+        let catalog = Catalog::barcelona();
+        let mut node = F2cNode::fog1(
+            0,
+            0,
+            FlushPolicy::plain(900),
+            RetentionPolicy::keep(86_400),
+        )
+        .unwrap();
+        let mut gen = ReadingGenerator::for_population(SensorType::ContainerPaper, 50, 7);
+        for w in 0..10u64 {
+            let out = node
+                .ingest_wave(gen.wave(w * 2400), w * 2400 + 1, &catalog)
+                .unwrap();
+            assert_eq!(out.offered, out.stored);
+        }
+    }
+
+    #[test]
+    fn fog2_rejects_sensor_ingest() {
+        let catalog = Catalog::barcelona();
+        let mut node = F2cNode::fog2(
+            0,
+            FlushPolicy::plain(3600),
+            RetentionPolicy::keep(7 * 86_400),
+        )
+        .unwrap();
+        let mut gen = ReadingGenerator::for_population(SensorType::Weather, 5, 1);
+        assert!(matches!(
+            node.ingest_wave(gen.wave(0), 0, &catalog),
+            Err(Error::BadConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn flush_ships_and_compresses() {
+        let catalog = Catalog::barcelona();
+        let mut node = fog1();
+        let mut gen = ReadingGenerator::for_population(SensorType::Temperature, 200, 5);
+        for w in 0..4u64 {
+            node.ingest_wave(gen.wave(w * 900), w * 900 + 1, &catalog)
+                .unwrap();
+        }
+        let batch = node.flush(3600, &catalog).unwrap();
+        assert!(!batch.records.is_empty());
+        assert_eq!(
+            batch.acct_bytes,
+            batch.records.len() as u64 * 22,
+            "temperature rows are 22 B in Table I"
+        );
+        let compressed = batch.compressed_bytes.expect("policy compresses");
+        assert!(compressed < batch.wire_bytes);
+        // Second flush at the same instant ships nothing.
+        let again = node.flush(3600, &catalog).unwrap();
+        assert!(again.records.is_empty());
+        assert_eq!(again.uplink_bytes(), 0);
+    }
+
+    #[test]
+    fn cloud_receives_and_classifies_permanently() {
+        let catalog = Catalog::barcelona();
+        let mut f1 = fog1();
+        let mut cloud = F2cNode::cloud();
+        let mut gen = ReadingGenerator::for_population(SensorType::ParkingSpot, 50, 2);
+        for w in 0..5u64 {
+            f1.ingest_wave(gen.wave(w * 864), w * 864 + 1, &catalog).unwrap();
+        }
+        let batch = f1.flush(86_400, &catalog).unwrap();
+        let n = batch.records.len();
+        cloud.receive(batch.records, 86_400);
+        assert_eq!(cloud.store().len(), n);
+        assert_eq!(cloud.layer(), Layer::Cloud);
+        // Cloud never evicts.
+        let mut cloud2 = F2cNode::cloud();
+        cloud2.receive(Vec::new(), 0);
+        assert!(cloud2.store().is_empty());
+    }
+
+    #[test]
+    fn labels_and_accessors() {
+        let node = fog1();
+        assert_eq!(node.label(), "fog1/d0/s0");
+        assert_eq!(node.layer(), Layer::Fog1);
+        assert_eq!(node.section(), Some(0));
+        assert!(node.flush_policy().aggregate);
+    }
+}

@@ -1,0 +1,211 @@
+//! The tiered store: one node's slice of the "reversed memory hierarchy"
+//! (§IV.B) — data is born at the lowest tier and migrates *upward*, the
+//! opposite of a CPU cache hierarchy. Each node stores recent data locally
+//! (for real-time access), periodically ships everything received since the
+//! previous flush to its parent, and evicts what has outlived its
+//! retention.
+
+use scc_dlc::preservation::ArchiveStore;
+use scc_dlc::DataRecord;
+
+use crate::policy::RetentionPolicy;
+
+/// A node-local record store with a pending-ship queue and retention.
+///
+/// Shipping is by *arrival*, not by creation time: a record that reaches
+/// the node late (e.g. deferred by an off-peak flush window downstream)
+/// still ships on the next flush instead of being skipped.
+///
+/// # Examples
+///
+/// ```
+/// use f2c_core::{TieredStore, RetentionPolicy};
+/// use scc_dlc::DataRecord;
+/// use scc_sensors::{Reading, SensorId, SensorType, Value};
+///
+/// let mut store = TieredStore::new(RetentionPolicy::keep(3600));
+/// for t in 0..4u64 {
+///     let r = Reading::new(SensorId::new(SensorType::Traffic, 0), t * 900, Value::Counter(t));
+///     store.insert(DataRecord::from_reading(r));
+/// }
+/// let batch = store.take_flush_batch(3600);
+/// assert_eq!(batch.len(), 4);           // everything received so far ships
+/// assert!(store.take_flush_batch(3600).is_empty()); // nothing new
+/// assert_eq!(store.len(), 4);           // local copies stay for real-time reads
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TieredStore {
+    archive: ArchiveStore,
+    pending: Vec<DataRecord>,
+    retention: Option<RetentionPolicy>,
+    /// Root stores (the cloud) have no parent; they skip the pending queue.
+    is_root: bool,
+}
+
+impl TieredStore {
+    /// A store with `retention` that queues arrivals for upward shipping.
+    pub fn new(retention: RetentionPolicy) -> Self {
+        Self {
+            archive: ArchiveStore::new(),
+            pending: Vec::new(),
+            retention: Some(retention),
+            is_root: false,
+        }
+    }
+
+    /// A permanent root store (cloud tier): nothing is ever shipped or
+    /// evicted.
+    pub fn permanent() -> Self {
+        Self {
+            archive: ArchiveStore::new(),
+            pending: Vec::new(),
+            retention: None,
+            is_root: true,
+        }
+    }
+
+    /// Inserts one record.
+    pub fn insert(&mut self, record: DataRecord) {
+        if !self.is_root {
+            self.pending.push(record.clone());
+        }
+        self.archive.insert(record);
+    }
+
+    /// Inserts a batch.
+    pub fn insert_batch(&mut self, records: Vec<DataRecord>) {
+        for r in records {
+            self.insert(r);
+        }
+    }
+
+    /// Number of locally stored records.
+    pub fn len(&self) -> usize {
+        self.archive.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.archive.is_empty()
+    }
+
+    /// Number of records awaiting the next flush.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total wire size of the stored records.
+    pub fn wire_bytes(&self) -> u64 {
+        self.archive.wire_bytes()
+    }
+
+    /// Read access to the archive (queries, dissemination).
+    pub fn archive(&self) -> &ArchiveStore {
+        &self.archive
+    }
+
+    /// Takes everything received since the previous flush for upward
+    /// shipping. Local copies remain until retention evicts them — that is
+    /// what keeps real-time access fast while the data also climbs the
+    /// hierarchy. `_now_s` documents the flush instant for callers; the
+    /// batch itself is arrival-defined.
+    pub fn take_flush_batch(&mut self, _now_s: u64) -> Vec<DataRecord> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Evicts records past retention at `now_s`; returns the evicted count.
+    pub fn evict_expired(&mut self, now_s: u64) -> usize {
+        match self.retention.and_then(|r| r.eviction_deadline(now_s)) {
+            Some(deadline) => self.archive.evict_older_than(deadline).len(),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_sensors::{Reading, SensorId, SensorType, Value};
+
+    fn rec(t: u64) -> DataRecord {
+        DataRecord::from_reading(Reading::new(
+            SensorId::new(SensorType::ParkingSpot, 0),
+            t,
+            Value::Flag(t.is_multiple_of(2)),
+        ))
+    }
+
+    #[test]
+    fn flush_batches_partition_the_stream() {
+        let mut s = TieredStore::new(RetentionPolicy::permanent());
+        for t in 0..5 {
+            s.insert(rec(t * 100));
+        }
+        let b1 = s.take_flush_batch(500);
+        for t in 5..10 {
+            s.insert(rec(t * 100));
+        }
+        let b2 = s.take_flush_batch(1000);
+        assert_eq!(b1.len(), 5);
+        assert_eq!(b2.len(), 5);
+        // No record shipped twice, none lost.
+        assert!(s.take_flush_batch(2000).is_empty());
+    }
+
+    #[test]
+    fn retention_evicts_but_flushing_does_not() {
+        let mut s = TieredStore::new(RetentionPolicy::keep(1000));
+        for t in 0..10 {
+            s.insert(rec(t * 500));
+        }
+        s.take_flush_batch(5000);
+        assert_eq!(s.len(), 10, "flush keeps local copies");
+        let evicted = s.evict_expired(5000);
+        // Deadline 4000: evicts creation times 0..3500 (8 records).
+        assert_eq!(evicted, 8);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn permanent_store_never_evicts_or_queues() {
+        let mut s = TieredStore::permanent();
+        for t in 0..5 {
+            s.insert(rec(t));
+        }
+        assert_eq!(s.evict_expired(u64::MAX), 0);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.pending_len(), 0);
+        assert!(s.take_flush_batch(100).is_empty());
+    }
+
+    #[test]
+    fn late_data_still_ships() {
+        // A record created long ago but arriving now ships on the next
+        // flush — arrival-based queues cannot lose stragglers.
+        let mut s = TieredStore::new(RetentionPolicy::permanent());
+        s.insert(rec(1000));
+        s.take_flush_batch(2000);
+        s.insert(rec(500)); // late arrival, created before the last flush
+        let batch = s.take_flush_batch(3000);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].descriptor().created_s(), 500);
+    }
+
+    #[test]
+    fn pending_len_tracks_queue() {
+        let mut s = TieredStore::new(RetentionPolicy::permanent());
+        s.insert(rec(1));
+        s.insert(rec(2));
+        assert_eq!(s.pending_len(), 2);
+        s.take_flush_batch(10);
+        assert_eq!(s.pending_len(), 0);
+    }
+
+    #[test]
+    fn wire_bytes_track_inserts() {
+        let mut s = TieredStore::permanent();
+        assert_eq!(s.wire_bytes(), 0);
+        s.insert(rec(1));
+        assert!(s.wire_bytes() > 0);
+    }
+}

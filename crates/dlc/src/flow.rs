@@ -1,0 +1,134 @@
+//! The Fig. 1 data flow: acquisition output splits into *real-time* data
+//! (consumed immediately by processing) and *archivable* data (routed to
+//! preservation); archived data read back for processing is *historical*;
+//! processing results stored again are *higher-value* data. The two
+//! forward flows "are not exclusive" — a record may take both.
+
+use crate::age::{AgeClass, AgePolicy};
+use crate::record::DataRecord;
+
+/// Routing decision for one acquisition batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoutedBatch {
+    /// Records offered to processing right away (real-time path).
+    pub real_time: Vec<DataRecord>,
+    /// Records routed to preservation (archivable path).
+    pub archivable: Vec<DataRecord>,
+}
+
+/// Configuration of the forward split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowConfig {
+    /// Preserve real-time records too (the non-exclusive flows of Fig. 1).
+    pub preserve_real_time: bool,
+    /// Age policy used to decide what still counts as real-time.
+    pub age_policy: AgePolicy,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        Self {
+            preserve_real_time: true,
+            age_policy: AgePolicy::paper_default(),
+        }
+    }
+}
+
+/// Routes batches along the Fig. 1 flows.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DataFlow {
+    config: FlowConfig,
+}
+
+impl DataFlow {
+    /// A router with `config`.
+    pub fn new(config: FlowConfig) -> Self {
+        Self { config }
+    }
+
+    /// Splits an acquisition batch at time `now_s`.
+    ///
+    /// Real-time-aged records go to the real-time path (and, if configured,
+    /// also to preservation); everything older goes to preservation only.
+    pub fn route(&self, batch: Vec<DataRecord>, now_s: u64) -> RoutedBatch {
+        let mut out = RoutedBatch::default();
+        for rec in batch {
+            let class = rec.age_class(now_s, &self.config.age_policy);
+            if class == AgeClass::RealTime {
+                if self.config.preserve_real_time {
+                    out.archivable.push(rec.clone());
+                }
+                out.real_time.push(rec);
+            } else {
+                out.archivable.push(rec);
+            }
+        }
+        out
+    }
+
+    /// Tags a processing result as higher-value data ready for
+    /// preservation: stamps the modification time so provenance shows it
+    /// was derived, not sensed.
+    pub fn to_higher_value(&self, mut record: DataRecord, now_s: u64) -> DataRecord {
+        record.descriptor_mut().stamp_modified(now_s);
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_sensors::{Reading, SensorId, SensorType, Value};
+
+    fn rec(t: u64) -> DataRecord {
+        DataRecord::from_reading(Reading::new(
+            SensorId::new(SensorType::Traffic, 0),
+            t,
+            Value::Counter(1),
+        ))
+    }
+
+    #[test]
+    fn fresh_records_take_both_paths_by_default() {
+        let flow = DataFlow::default();
+        let routed = flow.route(vec![rec(1000)], 1010);
+        assert_eq!(routed.real_time.len(), 1);
+        assert_eq!(routed.archivable.len(), 1);
+    }
+
+    #[test]
+    fn old_records_are_archivable_only() {
+        let flow = DataFlow::default();
+        let routed = flow.route(vec![rec(0)], 100_000);
+        assert!(routed.real_time.is_empty());
+        assert_eq!(routed.archivable.len(), 1);
+    }
+
+    #[test]
+    fn exclusive_mode_keeps_paths_disjoint() {
+        let flow = DataFlow::new(FlowConfig {
+            preserve_real_time: false,
+            age_policy: AgePolicy::paper_default(),
+        });
+        let routed = flow.route(vec![rec(1000), rec(0)], 1010);
+        assert_eq!(routed.real_time.len(), 1);
+        assert_eq!(routed.archivable.len(), 1);
+    }
+
+    #[test]
+    fn higher_value_records_carry_modification_stamp() {
+        let flow = DataFlow::default();
+        let hv = flow.to_higher_value(rec(50), 777);
+        assert_eq!(hv.descriptor().modified_s(), Some(777));
+    }
+
+    #[test]
+    fn mixed_batch_splits_correctly() {
+        let flow = DataFlow::default();
+        let batch: Vec<DataRecord> = (0..10).map(|i| rec(i * 200)).collect();
+        let routed = flow.route(batch, 1800);
+        // Real-time band is < 900s old: records with t in (900, 1800].
+        assert_eq!(routed.real_time.len(), 5); // t=1000,1200,1400,1600,1800
+        assert_eq!(routed.archivable.len(), 10);
+    }
+}

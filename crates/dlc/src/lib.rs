@@ -1,0 +1,56 @@
+//! The SCC-DLC model: Smart City Comprehensive Data Life-Cycle (§II,
+//! Figs. 1–2 of the paper).
+//!
+//! The model organizes data management into three blocks of phases:
+//!
+//! * **Data acquisition** — [`acquisition`]: collection, filtering
+//!   (aggregation), quality, description;
+//! * **Data processing** — [`processing`]: process (transformation) and
+//!   analysis;
+//! * **Data preservation** — [`preservation`]: classification, archive,
+//!   dissemination.
+//!
+//! Data flows (Fig. 1): acquired data is *real-time* when consumed
+//! immediately, *archivable* when routed to preservation, *historical* when
+//! read back from the archive for processing, and *higher-value* when
+//! processing results are preserved again. [`flow::DataFlow`] implements
+//! this routing; [`age::AgeClass`] implements the age characterization of
+//! §II ("we characterize data according to its age").
+//!
+//! Phases are [`phase::Phase`] objects composed into [`pipeline::Pipeline`]s;
+//! the `f2c-core` crate maps pipelines onto fog/cloud nodes per Fig. 5.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use scc_dlc::acquisition::AcquisitionBlock;
+//! use scc_dlc::phase::PhaseContext;
+//! use scc_sensors::{ReadingGenerator, SensorType};
+//!
+//! let mut block = AcquisitionBlock::paper_default(7 /* section id */);
+//! let mut gen = ReadingGenerator::for_population(SensorType::Temperature, 20, 42);
+//! let out = block.ingest(gen.wave(0), &PhaseContext::at(0));
+//! assert!(!out.is_empty());
+//! assert!(out.iter().all(|r| r.descriptor().section() == Some(7)));
+//! ```
+
+pub mod acquisition;
+pub mod age;
+pub mod cosa;
+pub mod descriptor;
+mod error;
+pub mod flow;
+pub mod phase;
+pub mod pipeline;
+pub mod preservation;
+pub mod processing;
+pub mod quality;
+pub mod record;
+
+pub use age::AgeClass;
+pub use descriptor::{Descriptor, PrivacyLevel};
+pub use error::{Error, Result};
+pub use phase::{Block, Phase, PhaseContext, PhaseStats};
+pub use pipeline::Pipeline;
+pub use quality::{QualityPolicy, QualityReport};
+pub use record::DataRecord;

@@ -1,0 +1,185 @@
+//! Ordered composition of phases within one block.
+
+use crate::phase::{Block, Phase, PhaseContext, PhaseStats};
+use crate::record::DataRecord;
+use crate::{Error, Result};
+
+/// An ordered list of phases, all from the same [`Block`].
+///
+/// # Examples
+///
+/// ```
+/// use scc_dlc::{Block, Pipeline, PhaseContext};
+/// use scc_dlc::acquisition::{CollectionPhase, FilteringPhase};
+///
+/// let mut p = Pipeline::new(Block::Acquisition);
+/// p.push(Box::new(CollectionPhase::new()))?;
+/// p.push(Box::new(FilteringPhase::paper_default()))?;
+/// assert_eq!(p.len(), 2);
+/// # Ok::<(), scc_dlc::Error>(())
+/// ```
+pub struct Pipeline {
+    block: Block,
+    phases: Vec<Box<dyn Phase>>,
+    stats: Vec<PhaseStats>,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("block", &self.block)
+            .field(
+                "phases",
+                &self.phases.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Pipeline {
+    /// An empty pipeline for `block`.
+    pub fn new(block: Block) -> Self {
+        Self {
+            block,
+            phases: Vec::new(),
+            stats: Vec::new(),
+        }
+    }
+
+    /// The pipeline's block.
+    pub fn block(&self) -> Block {
+        self.block
+    }
+
+    /// Appends a phase.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::MixedBlocks`] if the phase belongs to a different block —
+    /// the SCC-DLC model keeps blocks separate (Fig. 2).
+    pub fn push(&mut self, phase: Box<dyn Phase>) -> Result<()> {
+        if phase.block() != self.block {
+            return Err(Error::MixedBlocks {
+                expected: self.block.name(),
+                found: phase.block().name(),
+                phase: phase.name(),
+            });
+        }
+        self.phases.push(phase);
+        self.stats.push(PhaseStats::default());
+        Ok(())
+    }
+
+    /// Number of phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Whether the pipeline has no phases.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Runs the batch through every phase in order.
+    pub fn run(&mut self, batch: Vec<DataRecord>, ctx: &PhaseContext) -> Vec<DataRecord> {
+        let mut current = batch;
+        for (phase, stats) in self.phases.iter_mut().zip(&mut self.stats) {
+            let before = current.len();
+            current = phase.run(current, ctx);
+            stats.record_run(before, current.len());
+        }
+        current
+    }
+
+    /// `(name, stats)` for every phase, in order.
+    pub fn stats(&self) -> Vec<(&'static str, PhaseStats)> {
+        self.phases
+            .iter()
+            .zip(&self.stats)
+            .map(|(p, s)| (p.name(), *s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Halver;
+    impl Phase for Halver {
+        fn name(&self) -> &'static str {
+            "halver"
+        }
+        fn block(&self) -> Block {
+            Block::Processing
+        }
+        fn run(&mut self, batch: Vec<DataRecord>, _ctx: &PhaseContext) -> Vec<DataRecord> {
+            let keep = batch.len() / 2;
+            batch.into_iter().take(keep).collect()
+        }
+    }
+
+    struct WrongBlock;
+    impl Phase for WrongBlock {
+        fn name(&self) -> &'static str {
+            "wrong"
+        }
+        fn block(&self) -> Block {
+            Block::Preservation
+        }
+        fn run(&mut self, batch: Vec<DataRecord>, _ctx: &PhaseContext) -> Vec<DataRecord> {
+            batch
+        }
+    }
+
+    fn records(n: usize) -> Vec<DataRecord> {
+        use scc_sensors::{Reading, SensorId, SensorType, Value};
+        (0..n)
+            .map(|i| {
+                DataRecord::from_reading(Reading::new(
+                    SensorId::new(SensorType::Traffic, i as u32),
+                    0,
+                    Value::Counter(i as u64),
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn phases_run_in_order_with_stats() {
+        let mut p = Pipeline::new(Block::Processing);
+        p.push(Box::new(Halver)).unwrap();
+        p.push(Box::new(Halver)).unwrap();
+        let out = p.run(records(16), &PhaseContext::at(0));
+        assert_eq!(out.len(), 4);
+        let stats = p.stats();
+        assert_eq!(stats[0].1.records_in, 16);
+        assert_eq!(stats[0].1.records_out, 8);
+        assert_eq!(stats[1].1.records_in, 8);
+        assert_eq!(stats[1].1.records_out, 4);
+    }
+
+    #[test]
+    fn mixed_blocks_rejected() {
+        let mut p = Pipeline::new(Block::Processing);
+        let err = p.push(Box::new(WrongBlock)).unwrap_err();
+        assert!(matches!(err, Error::MixedBlocks { .. }));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let mut p = Pipeline::new(Block::Acquisition);
+        let input = records(3);
+        let out = p.run(input.clone(), &PhaseContext::at(0));
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn debug_lists_phase_names() {
+        let mut p = Pipeline::new(Block::Processing);
+        p.push(Box::new(Halver)).unwrap();
+        let dbg = format!("{p:?}");
+        assert!(dbg.contains("halver"));
+    }
+}

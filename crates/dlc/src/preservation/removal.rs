@@ -1,0 +1,175 @@
+//! Data removal — the end of the life cycle. The paper considers data
+//! "during their whole life cycle, from data acquisition … up to the data
+//! destruction" (§I) and lists "an eventual data elimination" among the
+//! model's properties (§VII). Removal is policy-driven: records expire by
+//! age, with privacy-sensitive categories allowed a *shorter* maximum
+//! retention than open data.
+
+use scc_sensors::Category;
+
+use crate::descriptor::PrivacyLevel;
+use crate::preservation::ArchiveStore;
+
+/// When records of a given class must be destroyed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemovalPolicy {
+    /// Maximum age (seconds since creation) for public data; `None` keeps
+    /// it forever.
+    pub public_max_age_s: Option<u64>,
+    /// Maximum age for restricted data.
+    pub restricted_max_age_s: Option<u64>,
+    /// Maximum age for private (or untagged — fail closed) data.
+    pub private_max_age_s: Option<u64>,
+}
+
+impl RemovalPolicy {
+    /// Open data forever, restricted 2 years, private 30 days — a typical
+    /// municipal policy shape.
+    pub fn paper_default() -> Self {
+        Self {
+            public_max_age_s: None,
+            restricted_max_age_s: Some(2 * 365 * 86_400),
+            private_max_age_s: Some(30 * 86_400),
+        }
+    }
+
+    /// Maximum age for a privacy level (untagged = private, fail closed).
+    pub fn max_age_for(&self, level: Option<PrivacyLevel>) -> Option<u64> {
+        match level {
+            Some(PrivacyLevel::Public) => self.public_max_age_s,
+            Some(PrivacyLevel::Restricted) => self.restricted_max_age_s,
+            Some(PrivacyLevel::Private) | None => self.private_max_age_s,
+        }
+    }
+}
+
+/// Outcome of one purge pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RemovalReport {
+    /// Records examined.
+    pub examined: u64,
+    /// Records destroyed.
+    pub removed: u64,
+    /// Destroyed records per category (only non-zero entries).
+    pub per_category: Vec<(Category, u64)>,
+}
+
+/// Destroys every record in `store` whose age at `now_s` exceeds its
+/// privacy class's maximum under `policy`. Returns what was removed.
+///
+/// Unlike retention-driven *eviction* (which migrates data upward), removal
+/// is terminal: destroyed records exist nowhere afterwards.
+pub fn purge_expired(
+    store: &mut ArchiveStore,
+    policy: &RemovalPolicy,
+    now_s: u64,
+) -> RemovalReport {
+    let mut report = RemovalReport::default();
+    let mut survivors = Vec::new();
+    let mut per_cat = std::collections::BTreeMap::new();
+    for record in store.drain() {
+        report.examined += 1;
+        let age = now_s.saturating_sub(record.descriptor().created_s());
+        let expired = policy
+            .max_age_for(record.descriptor().privacy())
+            .is_some_and(|max| age > max);
+        if expired {
+            report.removed += 1;
+            *per_cat.entry(record.sensor_type().category()).or_insert(0u64) += 1;
+        } else {
+            survivors.push(record);
+        }
+    }
+    for r in survivors {
+        store.insert(r);
+    }
+    report.per_category = per_cat.into_iter().collect();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::DataRecord;
+    use scc_sensors::{Reading, SensorId, SensorType, Value};
+
+    fn stored(ty: SensorType, created: u64, privacy: Option<PrivacyLevel>) -> DataRecord {
+        let mut rec =
+            DataRecord::from_reading(Reading::new(SensorId::new(ty, 0), created, Value::Counter(1)));
+        if let Some(p) = privacy {
+            rec.descriptor_mut().set_privacy(p);
+        }
+        rec
+    }
+
+    #[test]
+    fn public_data_is_kept_forever_by_default() {
+        let mut store = ArchiveStore::new();
+        store.insert(stored(SensorType::Weather, 0, Some(PrivacyLevel::Public)));
+        let report = purge_expired(&mut store, &RemovalPolicy::paper_default(), u64::MAX);
+        assert_eq!(report.removed, 0);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn private_data_expires_first() {
+        let mut store = ArchiveStore::new();
+        store.insert(stored(SensorType::ParkingSpot, 0, Some(PrivacyLevel::Private)));
+        store.insert(stored(SensorType::ElectricityMeter, 0, Some(PrivacyLevel::Restricted)));
+        store.insert(stored(SensorType::Weather, 0, Some(PrivacyLevel::Public)));
+        // 31 days in: only private data is destroyed.
+        let report = purge_expired(
+            &mut store,
+            &RemovalPolicy::paper_default(),
+            31 * 86_400,
+        );
+        assert_eq!(report.removed, 1);
+        assert_eq!(report.per_category, vec![(Category::Parking, 1)]);
+        assert_eq!(store.len(), 2);
+        // 3 years in: restricted goes too.
+        let report = purge_expired(
+            &mut store,
+            &RemovalPolicy::paper_default(),
+            3 * 365 * 86_400,
+        );
+        assert_eq!(report.removed, 1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn untagged_records_fail_closed_to_private_expiry() {
+        let mut store = ArchiveStore::new();
+        store.insert(stored(SensorType::Traffic, 0, None));
+        let report = purge_expired(&mut store, &RemovalPolicy::paper_default(), 31 * 86_400);
+        assert_eq!(report.removed, 1);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn survivors_keep_their_data_and_byte_accounting() {
+        let mut store = ArchiveStore::new();
+        for t in 0..10u64 {
+            store.insert(stored(SensorType::Weather, t, Some(PrivacyLevel::Public)));
+        }
+        let bytes_before = store.wire_bytes();
+        let report = purge_expired(&mut store, &RemovalPolicy::paper_default(), 100);
+        assert_eq!(report.examined, 10);
+        assert_eq!(report.removed, 0);
+        assert_eq!(store.wire_bytes(), bytes_before);
+        assert_eq!(store.len(), 10);
+    }
+
+    #[test]
+    fn boundary_age_is_inclusive_keep() {
+        // age == max is kept; age > max is destroyed.
+        let policy = RemovalPolicy {
+            public_max_age_s: Some(100),
+            restricted_max_age_s: Some(100),
+            private_max_age_s: Some(100),
+        };
+        let mut store = ArchiveStore::new();
+        store.insert(stored(SensorType::Weather, 0, Some(PrivacyLevel::Public)));
+        assert_eq!(purge_expired(&mut store, &policy, 100).removed, 0);
+        assert_eq!(purge_expired(&mut store, &policy, 101).removed, 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Data analysis: "implementing some analysis or analytic approaches for
+//! extracting knowledge" (§II). Provides per-type summary statistics,
+//! z-score anomaly detection, and linear trend estimation.
+
+use std::collections::BTreeMap;
+
+use f2c_aggregate::functions::{Decomposable, Moments};
+use scc_sensors::{SensorId, SensorType};
+
+use crate::phase::{Block, Phase, PhaseContext};
+use crate::record::DataRecord;
+
+/// A reading flagged as anomalous.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anomaly {
+    /// The reporting sensor.
+    pub sensor: SensorId,
+    /// Observation time.
+    pub timestamp_s: u64,
+    /// Observed magnitude.
+    pub value: f64,
+    /// Z-score against the type's running distribution.
+    pub z: f64,
+}
+
+/// Knowledge extracted by an [`AnalysisPhase`] so far.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AnalysisSummary {
+    /// Running moments per sensor type.
+    pub per_type: BTreeMap<SensorType, Moments>,
+    /// Anomalies detected, in detection order.
+    pub anomalies: Vec<Anomaly>,
+}
+
+/// Streaming analysis phase: accumulates per-type moments and flags
+/// readings whose |z-score| exceeds the threshold.
+///
+/// Records pass through unchanged — analysis extracts knowledge, it does
+/// not mutate the data (higher-value results are read via
+/// [`AnalysisPhase::summary`] and may be preserved as new records by the
+/// flow layer).
+#[derive(Debug, Clone)]
+pub struct AnalysisPhase {
+    threshold_z: f64,
+    /// Minimum samples per type before anomaly detection engages.
+    warmup: u64,
+    summary: AnalysisSummary,
+}
+
+impl AnalysisPhase {
+    /// A phase flagging |z| > `threshold_z` after a 30-sample warmup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold_z` is not positive.
+    pub fn new(threshold_z: f64) -> Self {
+        assert!(threshold_z > 0.0, "z threshold must be positive");
+        Self {
+            threshold_z,
+            warmup: 30,
+            summary: AnalysisSummary::default(),
+        }
+    }
+
+    /// The knowledge accumulated so far.
+    pub fn summary(&self) -> &AnalysisSummary {
+        &self.summary
+    }
+}
+
+impl Phase for AnalysisPhase {
+    fn name(&self) -> &'static str {
+        "data-analysis"
+    }
+
+    fn block(&self) -> Block {
+        Block::Processing
+    }
+
+    fn run(&mut self, batch: Vec<DataRecord>, _ctx: &PhaseContext) -> Vec<DataRecord> {
+        for rec in &batch {
+            let ty = rec.sensor_type();
+            let v = rec.reading().value().magnitude();
+            let m = self.summary.per_type.entry(ty).or_insert_with(Moments::empty);
+            if m.count >= self.warmup {
+                if let (Some(mean), Some(sd)) = (m.mean(), m.std_dev()) {
+                    if sd > 1e-9 {
+                        let z = (v - mean) / sd;
+                        if z.abs() > self.threshold_z {
+                            self.summary.anomalies.push(Anomaly {
+                                sensor: rec.reading().sensor(),
+                                timestamp_s: rec.reading().timestamp_s(),
+                                value: v,
+                                z,
+                            });
+                        }
+                    }
+                }
+            }
+            m.absorb(v);
+        }
+        batch
+    }
+}
+
+/// Least-squares linear trend over `(t, v)` samples: returns
+/// `(slope_per_second, intercept)`, or `None` with fewer than 2 distinct
+/// timestamps.
+pub fn linear_trend(samples: &[(u64, f64)]) -> Option<(f64, f64)> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let sx: f64 = samples.iter().map(|(t, _)| *t as f64).sum();
+    let sy: f64 = samples.iter().map(|(_, v)| *v).sum();
+    let sxx: f64 = samples.iter().map(|(t, _)| (*t as f64) * (*t as f64)).sum();
+    let sxy: f64 = samples.iter().map(|(t, v)| (*t as f64) * v).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    Some((slope, intercept))
+}
+
+/// One-shot z-score anomaly scan over magnitudes; returns indices of
+/// samples with |z| > `threshold`.
+pub fn zscore_anomalies(values: &[f64], threshold: f64) -> Vec<usize> {
+    let m: Moments = f2c_aggregate::functions::fold(values.iter().copied());
+    match (m.mean(), m.std_dev()) {
+        (Some(mean), Some(sd)) if sd > 1e-12 => values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| ((v - mean) / sd).abs() > threshold)
+            .map(|(i, _)| i)
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scc_sensors::{Reading, Value};
+
+    fn rec(idx: u32, t: u64, v: f64) -> DataRecord {
+        DataRecord::from_reading(Reading::new(
+            SensorId::new(SensorType::NoiseTrafficZone, idx),
+            t,
+            Value::from_f64(v),
+        ))
+    }
+
+    #[test]
+    fn records_pass_through_unchanged() {
+        let mut phase = AnalysisPhase::new(3.0);
+        let batch = vec![rec(0, 0, 60.0), rec(1, 0, 62.0)];
+        let out = phase.run(batch.clone(), &PhaseContext::at(0));
+        assert_eq!(out, batch);
+    }
+
+    #[test]
+    fn obvious_outlier_is_flagged_after_warmup() {
+        let mut phase = AnalysisPhase::new(3.0);
+        // 100 normal readings around 60 dB with real variance.
+        let normals: Vec<DataRecord> = (0..100)
+            .map(|i| rec(i, u64::from(i) * 60, 60.0 + (i % 7) as f64 - 3.0))
+            .collect();
+        phase.run(normals, &PhaseContext::at(0));
+        assert!(phase.summary().anomalies.is_empty());
+        // A 130 dB reading is far outside the running distribution.
+        phase.run(vec![rec(5, 7000, 130.0)], &PhaseContext::at(7000));
+        let anomalies = &phase.summary().anomalies;
+        assert_eq!(anomalies.len(), 1);
+        assert!(anomalies[0].z > 3.0);
+        assert_eq!(anomalies[0].value, 130.0);
+    }
+
+    #[test]
+    fn warmup_suppresses_early_false_positives() {
+        let mut phase = AnalysisPhase::new(1.0);
+        phase.run(vec![rec(0, 0, 1.0), rec(1, 1, 100.0)], &PhaseContext::at(1));
+        assert!(phase.summary().anomalies.is_empty());
+    }
+
+    #[test]
+    fn per_type_moments_accumulate() {
+        let mut phase = AnalysisPhase::new(3.0);
+        phase.run(vec![rec(0, 0, 10.0), rec(1, 0, 20.0)], &PhaseContext::at(0));
+        let m = phase.summary().per_type[&SensorType::NoiseTrafficZone];
+        assert_eq!(m.count, 2);
+        assert_eq!(m.mean(), Some(15.0));
+    }
+
+    #[test]
+    fn linear_trend_recovers_known_slope() {
+        let samples: Vec<(u64, f64)> = (0..50).map(|t| (t, 3.0 + 0.5 * t as f64)).collect();
+        let (slope, intercept) = linear_trend(&samples).unwrap();
+        assert!((slope - 0.5).abs() < 1e-9);
+        assert!((intercept - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_trend_degenerate_cases() {
+        assert_eq!(linear_trend(&[]), None);
+        assert_eq!(linear_trend(&[(0, 1.0)]), None);
+        assert_eq!(linear_trend(&[(5, 1.0), (5, 2.0)]), None); // same timestamp
+    }
+
+    #[test]
+    fn zscore_scan_finds_the_spike() {
+        let mut values = vec![10.0; 50];
+        values[17] = 1000.0;
+        // Some jitter so sd > 0 even without the spike.
+        values[3] = 10.5;
+        values[9] = 9.5;
+        let hits = zscore_anomalies(&values, 3.0);
+        assert_eq!(hits, vec![17]);
+    }
+
+    #[test]
+    fn zscore_scan_on_constant_data_is_empty() {
+        assert!(zscore_anomalies(&[5.0; 20], 2.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_threshold_panics() {
+        AnalysisPhase::new(0.0);
+    }
+}

@@ -1,0 +1,9 @@
+//! The data processing block (Fig. 2): data process (transformation) and
+//! data analysis (knowledge extraction). Runs at whichever F2C layer the
+//! service placement picks (§IV.C).
+
+mod analysis;
+mod process;
+
+pub use analysis::{linear_trend, zscore_anomalies, AnalysisPhase, AnalysisSummary, Anomaly};
+pub use process::{ProcessPhase, Transform};

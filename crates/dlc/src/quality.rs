@@ -1,0 +1,249 @@
+//! Data quality assessment (§II: "aiming to appraise the quality level of
+//! collected data"; §IV.A: "data quality can also be implemented at this
+//! fog layer, assessing and guaranteeing higher data quality").
+//!
+//! Quality is checked once, in the acquisition block — the paper
+//! explicitly notes processing and preservation need no quality phase
+//! because everything reaching them was already checked.
+
+use scc_sensors::{Category, SensorType, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Result};
+
+/// One detected quality violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Violation {
+    /// Magnitude outside the plausible range for the sensor type.
+    OutOfRange,
+    /// The reading's timestamp is older than the staleness limit.
+    Stale,
+    /// The reading's timestamp lies in the future of the collection time.
+    FutureTimestamp,
+    /// A composite value with the wrong number of channels.
+    MalformedComposite,
+}
+
+/// Result of assessing one reading.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityReport {
+    score: f64,
+    violations: Vec<Violation>,
+}
+
+impl QualityReport {
+    /// A report with no violations (score 1.0).
+    pub fn perfect() -> Self {
+        Self {
+            score: 1.0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Quality score in `[0, 1]`; each violation costs 0.34 so two or more
+    /// violations always fail the default 0.5 acceptance threshold.
+    pub fn score(&self) -> f64 {
+        self.score
+    }
+
+    /// Detected violations.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Whether the record passed (score ≥ 0.5 by convention).
+    pub fn passed(&self) -> bool {
+        self.score >= 0.5
+    }
+}
+
+/// Plausibility bounds and staleness limits per sensor type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityPolicy {
+    /// Maximum age (collection time − creation time) before a reading is
+    /// considered stale, in seconds.
+    pub max_staleness_s: u64,
+    /// Per-violation score penalty.
+    pub penalty: f64,
+}
+
+impl QualityPolicy {
+    /// The default policy: 1-hour staleness, 0.34 penalty per violation.
+    pub fn paper_default() -> Self {
+        Self {
+            max_staleness_s: 3600,
+            penalty: 0.34,
+        }
+    }
+
+    /// Plausible magnitude bounds for a sensor type.
+    ///
+    /// These encode physical sanity (temperatures in °C, noise in dB(A),
+    /// levels in %, counters non-negative) rather than Sentilo specifics.
+    pub fn bounds_for(ty: SensorType) -> (f64, f64) {
+        use SensorType::*;
+        match ty {
+            Temperature | ExternalAmbientConditions | InternalAmbientConditions
+            | SolarThermalInstallation => (-30.0, 70.0),
+            NoiseAmbient | NoiseTrafficZone | NoiseLeisureZone => (0.0, 150.0),
+            ElectricityMeter | GasMeter => (0.0, f64::MAX),
+            BicycleFlow | PeopleFlow | Traffic => (0.0, f64::MAX),
+            ParkingSpot => (0.0, 1.0),
+            ContainerGlass | ContainerOrganic | ContainerPaper | ContainerPlastic
+            | ContainerRefuse => (0.0, 100.0),
+            NetworkAnalyzer => (0.0, 1_000.0),
+            AirQuality => (0.0, 1_000.0),
+            Weather => (-50.0, 200.0),
+        }
+    }
+
+    /// Expected composite channel count, if the type is composite.
+    pub fn composite_arity(ty: SensorType) -> Option<usize> {
+        use SensorType::*;
+        match ty {
+            NetworkAnalyzer => Some(11),
+            AirQuality => Some(6),
+            Weather => Some(5),
+            _ => None,
+        }
+    }
+
+    /// Validates policy invariants (builder-style use).
+    pub fn validated(self) -> Result<Self> {
+        if !(0.0..=1.0).contains(&self.penalty) {
+            return Err(Error::InvertedBounds {
+                min: 0.0,
+                max: self.penalty,
+            });
+        }
+        Ok(self)
+    }
+
+    /// Assesses one reading collected at `collected_s`.
+    pub fn assess(
+        &self,
+        ty: SensorType,
+        value: &Value,
+        created_s: u64,
+        collected_s: u64,
+    ) -> QualityReport {
+        let mut violations = Vec::new();
+        let (lo, hi) = Self::bounds_for(ty);
+        let mag = value.magnitude();
+        if !(lo..=hi).contains(&mag) {
+            violations.push(Violation::OutOfRange);
+        }
+        if let Value::Composite(fields) = value {
+            if Self::composite_arity(ty).is_some_and(|n| n != fields.len()) {
+                violations.push(Violation::MalformedComposite);
+            }
+        }
+        if created_s > collected_s {
+            violations.push(Violation::FutureTimestamp);
+        } else if collected_s - created_s > self.max_staleness_s {
+            violations.push(Violation::Stale);
+        }
+        let score = (1.0 - self.penalty * violations.len() as f64).max(0.0);
+        QualityReport { score, violations }
+    }
+}
+
+impl Default for QualityPolicy {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Convenience: the category a violation report would block from open-data
+/// publication (used by dissemination tests).
+pub fn is_publishable(category: Category, report: &QualityReport) -> bool {
+    // All Sentilo categories are open data; publication only requires
+    // passing quality.
+    let _ = category;
+    report.passed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_reading_scores_one() {
+        let p = QualityPolicy::paper_default();
+        let r = p.assess(SensorType::Temperature, &Value::from_f64(21.0), 100, 110);
+        assert_eq!(r.score(), 1.0);
+        assert!(r.passed());
+        assert!(r.violations().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let p = QualityPolicy::paper_default();
+        let r = p.assess(SensorType::Temperature, &Value::from_f64(400.0), 0, 0);
+        assert!(r.violations().contains(&Violation::OutOfRange));
+        assert!(r.score() < 1.0);
+        assert!(r.passed(), "one violation still passes at 0.66");
+    }
+
+    #[test]
+    fn stale_and_future_timestamps_detected() {
+        let p = QualityPolicy::paper_default();
+        let stale = p.assess(SensorType::Weather, &Value::from_f64(10.0), 0, 10_000);
+        assert!(stale.violations().contains(&Violation::Stale));
+        let future = p.assess(SensorType::Weather, &Value::from_f64(10.0), 500, 100);
+        assert!(future.violations().contains(&Violation::FutureTimestamp));
+    }
+
+    #[test]
+    fn two_violations_fail() {
+        let p = QualityPolicy::paper_default();
+        let r = p.assess(
+            SensorType::NoiseAmbient,
+            &Value::from_f64(-10.0), // out of range
+            0,
+            50_000, // stale
+        );
+        assert_eq!(r.violations().len(), 2);
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn composite_arity_checked() {
+        let p = QualityPolicy::paper_default();
+        let bad = Value::Composite(vec![100, 200]); // weather expects 5
+        let r = p.assess(SensorType::Weather, &bad, 0, 0);
+        assert!(r.violations().contains(&Violation::MalformedComposite));
+        let good = Value::Composite(vec![100, 200, 300, 400, 500]);
+        let r = p.assess(SensorType::Weather, &good, 0, 0);
+        assert!(!r.violations().contains(&Violation::MalformedComposite));
+    }
+
+    #[test]
+    fn parking_flags_are_in_range() {
+        let p = QualityPolicy::paper_default();
+        for v in [Value::Flag(false), Value::Flag(true)] {
+            assert!(p.assess(SensorType::ParkingSpot, &v, 0, 0).passed());
+        }
+    }
+
+    #[test]
+    fn validated_rejects_silly_penalty() {
+        let p = QualityPolicy {
+            max_staleness_s: 10,
+            penalty: 3.0,
+        };
+        assert!(p.validated().is_err());
+        assert!(QualityPolicy::paper_default().validated().is_ok());
+    }
+
+    #[test]
+    fn score_floors_at_zero() {
+        let p = QualityPolicy {
+            max_staleness_s: 0,
+            penalty: 0.9,
+        };
+        let r = p.assess(SensorType::Temperature, &Value::from_f64(999.0), 0, 100);
+        assert_eq!(r.score(), 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests on DLC invariants: quality monotonicity, archive
+//! query algebra, flow routing totality, removal safety.
+
+use proptest::prelude::*;
+use scc_dlc::age::AgePolicy;
+use scc_dlc::flow::{DataFlow, FlowConfig};
+use scc_dlc::phase::{Phase, PhaseContext};
+use scc_dlc::preservation::{purge_expired, ArchiveStore, ClassificationPhase, RemovalPolicy};
+use scc_dlc::quality::QualityPolicy;
+use scc_dlc::DataRecord;
+use scc_sensors::{Reading, SensorId, SensorType, Value};
+
+fn record(idx: u32, t: u64, v: i64) -> DataRecord {
+    DataRecord::from_reading(Reading::new(
+        SensorId::new(SensorType::Temperature, idx),
+        t,
+        Value::Scalar(v),
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quality_score_decreases_with_violations(
+        v in -10_000i64..10_000,
+        created in 0u64..100_000,
+        collected in 0u64..100_000,
+    ) {
+        let policy = QualityPolicy::paper_default();
+        let report = policy.assess(
+            SensorType::Temperature,
+            &Value::Scalar(v),
+            created,
+            collected,
+        );
+        let expected = 1.0 - 0.34 * report.violations().len() as f64;
+        prop_assert!((report.score() - expected.max(0.0)).abs() < 1e-12);
+        prop_assert_eq!(report.passed(), report.score() >= 0.5);
+    }
+
+    #[test]
+    fn archive_range_queries_partition(
+        times in proptest::collection::vec(0u64..10_000, 0..200),
+        split in 0u64..10_000,
+    ) {
+        let mut store = ArchiveStore::new();
+        for (i, &t) in times.iter().enumerate() {
+            store.insert(record(i as u32, t, 0));
+        }
+        let below = store.query_range(0, split).unwrap().len();
+        let above = store.query_range(split, u64::MAX).unwrap().len();
+        prop_assert_eq!(below + above, times.len());
+    }
+
+    #[test]
+    fn eviction_plus_survivors_equals_total(
+        times in proptest::collection::vec(0u64..10_000, 0..200),
+        deadline in 0u64..12_000,
+    ) {
+        let mut store = ArchiveStore::new();
+        for (i, &t) in times.iter().enumerate() {
+            store.insert(record(i as u32, t, 0));
+        }
+        let total = store.len();
+        let evicted = store.evict_older_than(deadline);
+        prop_assert_eq!(evicted.len() + store.len(), total);
+        for r in evicted {
+            prop_assert!(r.descriptor().created_s() < deadline);
+        }
+        for r in store.iter() {
+            prop_assert!(r.descriptor().created_s() >= deadline);
+        }
+    }
+
+    #[test]
+    fn flow_routing_loses_nothing(
+        times in proptest::collection::vec(0u64..200_000, 0..100),
+        now in 0u64..200_000,
+        preserve_rt in any::<bool>(),
+    ) {
+        let flow = DataFlow::new(FlowConfig {
+            preserve_real_time: preserve_rt,
+            age_policy: AgePolicy::paper_default(),
+        });
+        let batch: Vec<DataRecord> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| record(i as u32, t, 0))
+            .collect();
+        let routed = flow.route(batch.clone(), now);
+        // Every record appears on at least one path; none is invented.
+        let rt = routed.real_time.len();
+        let ar = routed.archivable.len();
+        if preserve_rt {
+            prop_assert_eq!(ar, batch.len());
+            prop_assert_eq!(rt + ar, batch.len() + rt);
+        } else {
+            prop_assert_eq!(rt + ar, batch.len());
+        }
+    }
+
+    #[test]
+    fn classification_sort_is_stable_under_permutation(
+        times in proptest::collection::vec(0u64..1_000, 1..50),
+    ) {
+        let batch: Vec<DataRecord> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| record(i as u32 % 3, t, i as i64))
+            .collect();
+        let mut reversed = batch.clone();
+        reversed.reverse();
+        let mut p1 = ClassificationPhase::new();
+        let mut p2 = ClassificationPhase::new();
+        let a = p1.run(batch.clone(), &PhaseContext::at(0));
+        let b = p2.run(reversed, &PhaseContext::at(0));
+        // (1) Classification is a permutation: nothing lost or invented.
+        let multiset = |recs: &[DataRecord]| {
+            let mut keys: Vec<String> = recs
+                .iter()
+                .map(|r| scc_sensors::wire::encode(r.reading()))
+                .collect();
+            keys.sort();
+            keys
+        };
+        prop_assert_eq!(multiset(&a), multiset(&batch));
+        prop_assert_eq!(multiset(&a), multiset(&b));
+        // (2) Both outputs are sorted by the canonical key (ties may keep
+        // arbitrary relative order of identical keys).
+        let key = |r: &DataRecord| {
+            (
+                r.sensor_type().category(),
+                r.sensor_type(),
+                r.descriptor().created_s(),
+                r.reading().sensor(),
+            )
+        };
+        for out in [&a, &b] {
+            for w in out.windows(2) {
+                prop_assert!(key(&w[0]) <= key(&w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn removal_never_destroys_young_data(
+        ages in proptest::collection::vec(0u64..100 * 86_400, 0..100),
+        now in 0u64..200 * 86_400,
+    ) {
+        let mut store = ArchiveStore::new();
+        for (i, &a) in ages.iter().enumerate() {
+            let created = now.saturating_sub(a);
+            let mut rec = record(i as u32, created, 0);
+            rec.descriptor_mut().set_privacy(scc_dlc::PrivacyLevel::Private);
+            store.insert(rec);
+        }
+        let policy = RemovalPolicy::paper_default();
+        let report = purge_expired(&mut store, &policy, now);
+        prop_assert_eq!(report.examined as usize, ages.len());
+        // Everything younger than the private bound survives.
+        for r in store.iter() {
+            prop_assert!(now.saturating_sub(r.descriptor().created_s()) <= 30 * 86_400);
+        }
+        prop_assert_eq!(report.removed + store.len() as u64, ages.len() as u64);
+    }
+}

@@ -1,0 +1,52 @@
+//! Smart-city sensor substrate for the F2C reproduction.
+//!
+//! The paper's experiment (§V.B, Table I) is driven by the **Sentilo**
+//! platform's five sensor categories in Barcelona — energy, noise, garbage,
+//! parking and urban — with published per-type sensor counts, message sizes,
+//! message frequencies, and per-category redundancy rates. Sentilo's real
+//! feeds are not public, so this crate is the substitution: a synthetic
+//! catalog that encodes Table I verbatim plus deterministic generators that
+//! produce observation streams with exactly the published redundancy
+//! characteristics.
+//!
+//! * [`Category`] / [`SensorType`] — the 5 categories and 21 sensor types,
+//! * [`Catalog`] / [`TypeSpec`] — deployment descriptions ([`Catalog::barcelona`]
+//!   is Table I),
+//! * [`Reading`] / [`Value`] — one observation,
+//! * [`generator`] — per-sensor value models with tunable redundancy,
+//! * [`wire`] — Sentilo-style text encoding of observations.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use scc_sensors::{Catalog, SensorType};
+//!
+//! let catalog = Catalog::barcelona();
+//! assert_eq!(catalog.total_sensors(), 1_005_019);
+//! assert_eq!(catalog.total_daily_bytes(), 8_583_503_168); // ≈ 8 GB/day
+//!
+//! let spec = catalog.spec(SensorType::ElectricityMeter).unwrap();
+//! assert_eq!(spec.sensors(), 70_717);
+//! assert_eq!(spec.tx_bytes(), 22);
+//! ```
+
+pub mod catalog;
+pub mod category;
+mod error;
+pub mod generator;
+pub mod ids;
+pub mod reading;
+pub mod rngutil;
+pub mod sensor_type;
+pub mod sources;
+pub mod value;
+pub mod wire;
+
+pub use catalog::{Catalog, CatalogBuilder, TypeSpec};
+pub use category::Category;
+pub use error::{Error, Result};
+pub use generator::{ReadingGenerator, SensorStream, TimeCorrelatedStream};
+pub use ids::SensorId;
+pub use reading::Reading;
+pub use sensor_type::SensorType;
+pub use value::Value;

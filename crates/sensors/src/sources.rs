@@ -1,0 +1,208 @@
+//! Non-infrastructure data sources (§I, §IV.A): *participatory sensing* —
+//! "sensors integrated in citizens' smartphones" — which roams between
+//! city sections, and *third-party feeds* — "data collected from web
+//! services or third party applications … collected at cloud level,
+//! \[which\] will be a small data set compared to the vast volumes of sensor
+//! generated data".
+
+use rand::Rng;
+
+use crate::rngutil::derive_rng;
+use crate::{Reading, SensorId, SensorStream, SensorType};
+
+/// A fleet of citizen smartphones contributing noise measurements while
+/// moving through the city's sections.
+///
+/// # Examples
+///
+/// ```
+/// use scc_sensors::sources::ParticipatorySource;
+///
+/// let mut phones = ParticipatorySource::new(100, 73, 42);
+/// let contributions = phones.tick(0);
+/// assert_eq!(contributions.len(), 100);
+/// assert!(contributions.iter().all(|(section, _)| *section < 73));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParticipatorySource {
+    devices: Vec<Device>,
+    sections: u16,
+    move_probability: f64,
+    rng: rand::rngs::SmallRng,
+}
+
+#[derive(Debug, Clone)]
+struct Device {
+    stream: SensorStream,
+    section: u16,
+}
+
+impl ParticipatorySource {
+    /// `devices` smartphones spread over `sections`, deterministic in
+    /// `seed`. Each tick a device moves to an adjacent section with
+    /// probability 0.3 (people walk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sections` is zero.
+    pub fn new(devices: u32, sections: u16, seed: u64) -> Self {
+        assert!(sections > 0, "need at least one section");
+        let mut rng = derive_rng(seed, 0x5048_4F4E_4553); // "PHONES"
+        let devices = (0..devices)
+            .map(|i| Device {
+                stream: SensorStream::new(SensorId::new(SensorType::NoiseAmbient, i), seed),
+                section: rng.gen_range(0..sections),
+            })
+            .collect();
+        Self {
+            devices,
+            sections,
+            move_probability: 0.3,
+            rng,
+        }
+    }
+
+    /// Number of participating devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// One reporting round at `now_s`: every device contributes a reading
+    /// attributed to its *current* section, then possibly moves.
+    pub fn tick(&mut self, now_s: u64) -> Vec<(u16, Reading)> {
+        let mut out = Vec::with_capacity(self.devices.len());
+        for device in &mut self.devices {
+            out.push((device.section, device.stream.next_reading(now_s)));
+            if self.rng.gen_bool(self.move_probability) {
+                // Walk to a neighboring section (ring of sections).
+                let step: i32 = if self.rng.gen_bool(0.5) { 1 } else { -1 };
+                let s = i32::from(device.section) + step;
+                device.section =
+                    s.rem_euclid(i32::from(self.sections)) as u16;
+            }
+        }
+        out
+    }
+
+    /// Current section of each device (diagnostics).
+    pub fn sections_of_devices(&self) -> Vec<u16> {
+        self.devices.iter().map(|d| d.section).collect()
+    }
+}
+
+/// A third-party web feed (e.g. a weather API) polled at the cloud.
+///
+/// Volumes are intentionally tiny relative to the sensor network — the
+/// paper's point is exactly that such feeds do not change the traffic
+/// picture.
+#[derive(Debug, Clone)]
+pub struct ThirdPartyFeed {
+    ty: SensorType,
+    stream: SensorStream,
+    records_per_poll: u32,
+}
+
+impl ThirdPartyFeed {
+    /// A feed of `ty` records, `records_per_poll` per poll.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records_per_poll` is zero.
+    pub fn new(ty: SensorType, records_per_poll: u32, seed: u64) -> Self {
+        assert!(records_per_poll > 0, "a feed must produce something");
+        Self {
+            ty,
+            stream: SensorStream::with_redundancy(
+                SensorId::new(ty, u32::MAX), // a virtual provider id
+                seed,
+                0.0,
+            ),
+            records_per_poll,
+        }
+    }
+
+    /// The feed's record type.
+    pub fn feed_type(&self) -> SensorType {
+        self.ty
+    }
+
+    /// One poll at `now_s`.
+    pub fn poll(&mut self, now_s: u64) -> Vec<Reading> {
+        (0..self.records_per_poll)
+            .map(|i| self.stream.next_reading(now_s + u64::from(i)))
+            .collect()
+    }
+
+    /// Daily byte estimate at `polls_per_day`, using Table I accounting for
+    /// the feed's type.
+    pub fn daily_bytes_estimate(&self, polls_per_day: u64, tx_bytes: u64) -> u64 {
+        polls_per_day * u64::from(self.records_per_poll) * tx_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Catalog;
+
+    #[test]
+    fn devices_spread_over_sections_and_move() {
+        let mut src = ParticipatorySource::new(200, 73, 7);
+        let before = src.sections_of_devices();
+        for t in 0..20 {
+            src.tick(t * 60);
+        }
+        let after = src.sections_of_devices();
+        let moved = before.iter().zip(&after).filter(|(a, b)| a != b).count();
+        assert!(moved > 100, "only {moved}/200 devices moved in 20 ticks");
+        assert!(after.iter().all(|&s| s < 73));
+    }
+
+    #[test]
+    fn participatory_readings_are_noise_measurements() {
+        let mut src = ParticipatorySource::new(10, 5, 1);
+        for (_, reading) in src.tick(0) {
+            assert_eq!(reading.sensor_type(), SensorType::NoiseAmbient);
+            let v = reading.value().as_f64().expect("noise is scalar");
+            assert!((25.0..=115.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn participatory_source_is_deterministic() {
+        let mut a = ParticipatorySource::new(50, 73, 9);
+        let mut b = ParticipatorySource::new(50, 73, 9);
+        for t in 0..10 {
+            assert_eq!(a.tick(t * 30), b.tick(t * 30));
+        }
+    }
+
+    #[test]
+    fn third_party_feed_is_small_relative_to_the_sensor_network() {
+        let feed = ThirdPartyFeed::new(SensorType::Weather, 100, 3);
+        // Hourly polls of 100 records at weather's 120 B/record.
+        let daily = feed.daily_bytes_estimate(24, 120);
+        let network = Catalog::barcelona().total_daily_bytes();
+        assert!(
+            daily * 1000 < network,
+            "feed {daily} B/day should be vanishing vs network {network} B/day"
+        );
+    }
+
+    #[test]
+    fn feed_produces_parseable_readings() {
+        let mut feed = ThirdPartyFeed::new(SensorType::AirQuality, 5, 2);
+        let batch = feed.poll(1_000);
+        assert_eq!(batch.len(), 5);
+        for r in &batch {
+            let line = crate::wire::encode(r);
+            assert_eq!(crate::wire::parse(&line).unwrap(), *r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one section")]
+    fn zero_sections_rejected() {
+        ParticipatorySource::new(1, 0, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Observation values.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The measured value carried by one [`crate::Reading`].
+///
+/// Values are comparable for *exact* equality — that is what redundant-data
+/// elimination (the paper's first aggregation technique) keys on: "each
+/// sensor sends the current temperature measurements, but this type of data
+/// is prone to repetitions" (§V.A). Floats are wrapped in a fixed-point
+/// representation so equality is well-defined.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// A scalar measurement with 2 fixed decimal places (value × 100).
+    Scalar(i64),
+    /// A monotone counter (meter readings, flow counts).
+    Counter(u64),
+    /// A binary state (parking occupancy).
+    Flag(bool),
+    /// A percentage level 0–100 (container fill).
+    Level(u8),
+    /// A multi-field measurement (network analyzer, weather station):
+    /// field values with 2 fixed decimal places, in a fixed field order.
+    Composite(Vec<i64>),
+}
+
+impl Value {
+    /// Builds a scalar from a float, keeping 2 decimal places.
+    pub fn from_f64(v: f64) -> Self {
+        Value::Scalar((v * 100.0).round() as i64)
+    }
+
+    /// The scalar as a float, if this is a `Scalar`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Scalar(raw) => Some(*raw as f64 / 100.0),
+            _ => None,
+        }
+    }
+
+    /// A single numeric magnitude for analysis phases: scalars and levels
+    /// map to their value, counters to their count, flags to 0/1, and
+    /// composites to their first field (by convention, the primary channel).
+    pub fn magnitude(&self) -> f64 {
+        match self {
+            Value::Scalar(raw) => *raw as f64 / 100.0,
+            Value::Counter(c) => *c as f64,
+            Value::Flag(b) => f64::from(u8::from(*b)),
+            Value::Level(l) => f64::from(*l),
+            Value::Composite(fields) => fields.first().map_or(0.0, |&v| v as f64 / 100.0),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Scalar(raw) => write!(f, "{:.2}", *raw as f64 / 100.0),
+            Value::Counter(c) => write!(f, "{c}"),
+            Value::Flag(b) => write!(f, "{}", u8::from(*b)),
+            Value::Level(l) => write!(f, "{l}%"),
+            Value::Composite(fields) => {
+                let mut first = true;
+                for v in fields {
+                    if !first {
+                        f.write_str("|")?;
+                    }
+                    write!(f, "{:.2}", *v as f64 / 100.0)?;
+                    first = false;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_point_roundtrip() {
+        let v = Value::from_f64(21.57);
+        assert_eq!(v.as_f64(), Some(21.57));
+        assert_eq!(v, Value::Scalar(2157));
+    }
+
+    #[test]
+    fn equality_is_exact_after_quantization() {
+        // 21.571 and 21.574 quantize to the same stored value -> redundant.
+        assert_eq!(Value::from_f64(21.571), Value::from_f64(21.574));
+        assert_ne!(Value::from_f64(21.57), Value::from_f64(21.58));
+    }
+
+    #[test]
+    fn magnitude_covers_all_variants() {
+        assert_eq!(Value::from_f64(3.5).magnitude(), 3.5);
+        assert_eq!(Value::Counter(17).magnitude(), 17.0);
+        assert_eq!(Value::Flag(true).magnitude(), 1.0);
+        assert_eq!(Value::Level(73).magnitude(), 73.0);
+        assert_eq!(Value::Composite(vec![250, 100]).magnitude(), 2.5);
+        assert_eq!(Value::Composite(vec![]).magnitude(), 0.0);
+    }
+
+    #[test]
+    fn display_forms_are_compact() {
+        assert_eq!(Value::from_f64(21.5).to_string(), "21.50");
+        assert_eq!(Value::Counter(9).to_string(), "9");
+        assert_eq!(Value::Flag(false).to_string(), "0");
+        assert_eq!(Value::Level(40).to_string(), "40%");
+        assert_eq!(Value::Composite(vec![100, 250]).to_string(), "1.00|2.50");
+    }
+}

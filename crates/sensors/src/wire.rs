@@ -1,0 +1,197 @@
+//! Sentilo-style textual wire encoding of observations.
+//!
+//! Sentilo transports observations as small text messages (provider /
+//! sensor / value / timestamp). The compression experiment (§V.B) operates
+//! on accumulated files of such messages, so the encoding here is what the
+//! [`f2c-compress`](../../compress) codec is measured against.
+//!
+//! Format (one observation per line):
+//!
+//! ```text
+//! PROVIDER.type-slug.index;timestamp;value
+//! ```
+
+use crate::{Error, Reading, Result, SensorId, SensorType, Value};
+
+/// Encodes one reading as a wire line (no trailing newline).
+///
+/// # Examples
+///
+/// ```
+/// use scc_sensors::{wire, Reading, SensorId, SensorType, Value};
+///
+/// let r = Reading::new(SensorId::new(SensorType::Temperature, 7), 900, Value::from_f64(21.5));
+/// assert_eq!(wire::encode(&r), "ENERGY.temp.7;900;21.50");
+/// ```
+pub fn encode(reading: &Reading) -> String {
+    let ty = reading.sensor_type();
+    format!(
+        "{}.{}.{};{};{}",
+        ty.category().provider(),
+        ty.slug(),
+        reading.sensor().index(),
+        reading.timestamp_s(),
+        reading.value()
+    )
+}
+
+/// Encodes a batch of readings, one line each, newline-terminated.
+pub fn encode_batch(readings: &[Reading]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(readings.len() * 32);
+    for r in readings {
+        out.extend_from_slice(encode(r).as_bytes());
+        out.push(b'\n');
+    }
+    out
+}
+
+/// Parses one wire line back into a [`Reading`].
+///
+/// The value grammar is disambiguated by the sensor type (flags for parking,
+/// counters for meters/flows, levels for containers, composites for
+/// multi-channel stations, scalars otherwise).
+///
+/// # Errors
+///
+/// [`Error::MalformedObservation`] on any structural or numeric violation.
+pub fn parse(line: &str) -> Result<Reading> {
+    let bad = |reason: &'static str| Error::MalformedObservation {
+        line: line.chars().take(80).collect(),
+        reason,
+    };
+    let mut parts = line.trim_end().split(';');
+    let head = parts.next().ok_or_else(|| bad("missing head"))?;
+    let ts_str = parts.next().ok_or_else(|| bad("missing timestamp"))?;
+    let val_str = parts.next().ok_or_else(|| bad("missing value"))?;
+    if parts.next().is_some() {
+        return Err(bad("too many fields"));
+    }
+
+    let mut head_parts = head.split('.');
+    let provider = head_parts.next().ok_or_else(|| bad("missing provider"))?;
+    let slug = head_parts.next().ok_or_else(|| bad("missing type slug"))?;
+    let index_str = head_parts.next().ok_or_else(|| bad("missing index"))?;
+    if head_parts.next().is_some() {
+        return Err(bad("too many head fields"));
+    }
+    let ty = SensorType::from_slug(slug).ok_or_else(|| bad("unknown type slug"))?;
+    if ty.category().provider() != provider {
+        return Err(bad("provider does not match type"));
+    }
+    let index: u32 = index_str.parse().map_err(|_| bad("bad index"))?;
+    let timestamp: u64 = ts_str.parse().map_err(|_| bad("bad timestamp"))?;
+    let value = parse_value(ty, val_str).ok_or_else(|| bad("bad value"))?;
+    Ok(Reading::new(SensorId::new(ty, index), timestamp, value))
+}
+
+/// Parses every line of a batch produced by [`encode_batch`].
+pub fn parse_batch(data: &[u8]) -> Result<Vec<Reading>> {
+    let text = std::str::from_utf8(data).map_err(|_| Error::MalformedObservation {
+        line: String::from("<non-utf8>"),
+        reason: "batch is not UTF-8",
+    })?;
+    text.lines().map(parse).collect()
+}
+
+fn parse_value(ty: SensorType, s: &str) -> Option<Value> {
+    use SensorType::*;
+    match ty {
+        ParkingSpot => match s {
+            "0" => Some(Value::Flag(false)),
+            "1" => Some(Value::Flag(true)),
+            _ => None,
+        },
+        ElectricityMeter | GasMeter | BicycleFlow | PeopleFlow | Traffic => {
+            s.parse::<u64>().ok().map(Value::Counter)
+        }
+        ContainerGlass | ContainerOrganic | ContainerPaper | ContainerPlastic
+        | ContainerRefuse => {
+            let level = s.strip_suffix('%')?;
+            let l: u8 = level.parse().ok()?;
+            (l <= 100).then_some(Value::Level(l))
+        }
+        NetworkAnalyzer | AirQuality | Weather => {
+            let fields: Option<Vec<i64>> = s
+                .split('|')
+                .map(|f| {
+                    let v: f64 = f.parse().ok()?;
+                    Some((v * 100.0).round() as i64)
+                })
+                .collect();
+            fields.map(Value::Composite)
+        }
+        _ => {
+            let v: f64 = s.parse().ok()?;
+            Some(Value::from_f64(v))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReadingGenerator;
+
+    #[test]
+    fn roundtrip_every_sensor_type() {
+        for ty in SensorType::ALL {
+            let mut g = ReadingGenerator::for_population(ty, 3, 11);
+            for wave_t in 0..5u64 {
+                for r in g.wave(wave_t * 900) {
+                    let line = encode(&r);
+                    let back = parse(&line).unwrap_or_else(|e| panic!("{ty}: {e}"));
+                    assert_eq!(back, r, "{ty}: {line}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let mut g = ReadingGenerator::for_population(SensorType::Weather, 20, 3);
+        let wave = g.wave(0);
+        let bytes = encode_batch(&wave);
+        let back = parse_batch(&bytes).unwrap();
+        assert_eq!(back, wave);
+    }
+
+    #[test]
+    fn malformed_lines_error_not_panic() {
+        for line in [
+            "",
+            "x",
+            "ENERGY.temp.7",
+            "ENERGY.temp.7;900",
+            "ENERGY.temp.7;900;21.5;extra",
+            "BOGUS.temp.7;900;21.5",
+            "ENERGY.nope.7;900;21.5",
+            "ENERGY.temp.x;900;21.5",
+            "ENERGY.temp.7;notatime;21.5",
+            "ENERGY.temp.7;900;notanumber",
+            "PARKING.parking.1;0;2",
+            "GARBAGE.cont-glass.1;0;150%",
+            "GARBAGE.cont-glass.1;0;73",
+        ] {
+            assert!(parse(line).is_err(), "should reject {line:?}");
+        }
+    }
+
+    #[test]
+    fn wire_lines_are_compact() {
+        // The paper's small types report ~22 bytes per transaction; the
+        // natural text encoding must stay in that ballpark for the
+        // compression experiment to be representative.
+        let r = Reading::new(
+            SensorId::new(SensorType::Temperature, 70_000),
+            86_399,
+            Value::from_f64(21.5),
+        );
+        let line = encode(&r);
+        assert!(line.len() <= 40, "line too long: {line}");
+    }
+
+    #[test]
+    fn provider_mismatch_is_rejected() {
+        assert!(parse("NOISE.temp.7;900;21.50").is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! One simulated day of the future Barcelona deployment (Table I workload)
+//! at 1/1000 population scale: 73 fog-1 nodes, 10 fog-2 nodes, one cloud.
+//! Prints the measured traffic against the paper's analytic predictions.
+//!
+//! Run with `cargo run --release --example barcelona_day`.
+
+use f2c_smartcity::core::report::gb;
+use f2c_smartcity::core::runtime::{simulate, SimConfig};
+use f2c_smartcity::core::traffic::TrafficModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("simulating one day of Barcelona at 1/1000 scale…\n");
+    let report = simulate(SimConfig::paper_scaled())?;
+    let model = TrafficModel::paper();
+    let totals = model.table1_totals();
+
+    println!("{:<34} {:>12} {:>12}", "", "simulated*", "Table I");
+    println!("{}", "-".repeat(62));
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "raw generation (fog-1 ingress)",
+        gb(report.scaled_up(report.raw_acct_bytes)),
+        gb(totals.daily_fog1)
+    );
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "fog1 -> fog2 (after dedup)",
+        gb(report.scaled_up(report.fog1_uplink_acct_bytes)),
+        gb(totals.daily_fog2)
+    );
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "fog2 -> cloud",
+        gb(report.scaled_up(report.fog2_uplink_acct_bytes)),
+        gb(totals.daily_cloud_f2c)
+    );
+    println!("  (* scaled back up by the population factor)");
+
+    println!(
+        "\n{} readings simulated | dedup rate {:.1}% | {} records preserved at the cloud",
+        report.generated_readings,
+        report.dedup_rate() * 100.0,
+        report.cloud_records
+    );
+    println!(
+        "metered network bytes: fog1->fog2 {}, fog2->cloud {}",
+        gb(report.scaled_up(report.network_fog1_fog2_bytes)),
+        gb(report.scaled_up(report.network_fog2_cloud_bytes))
+    );
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Service placement across the F2C hierarchy (§IV.C): a catalog of city
+//! services is placed at the lowest feasible layer, and missing data is
+//! fetched from the cheapest source (neighbor fog node vs parent).
+//!
+//! Run with `cargo run --example service_placement`.
+
+use f2c_smartcity::citysim::barcelona::LatencyProfile;
+use f2c_smartcity::citysim::time::Duration;
+use f2c_smartcity::core::cost::{AccessCostModel, AccessOption};
+use f2c_smartcity::core::placement::{AreaSpan, PlacementEngine, ServiceSpec};
+use f2c_smartcity::dlc::AgeClass;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = LatencyProfile::default();
+    let engine = PlacementEngine::new(profile);
+
+    let services: Vec<(&str, ServiceSpec)> = vec![
+        (
+            "traffic light adaptation",
+            ServiceSpec::realtime_critical(Duration::from_millis(10)),
+        ),
+        (
+            "parking guidance app backend",
+            ServiceSpec {
+                compute_units: 5,
+                data_span: AreaSpan::Section,
+                data_age: AgeClass::RealTime,
+                latency_bound: Some(Duration::from_millis(50)),
+                access_bytes: 4_000,
+            },
+        ),
+        (
+            "district waste-collection routing",
+            ServiceSpec {
+                compute_units: 80,
+                data_span: AreaSpan::District,
+                data_age: AgeClass::Recent,
+                latency_bound: None,
+                access_bytes: 200_000,
+            },
+        ),
+        ("city-wide mobility analytics", ServiceSpec::deep_analytics()),
+    ];
+
+    println!("{:<36} {:>12} {:>16}", "service", "layer", "access latency");
+    println!("{}", "-".repeat(66));
+    for (name, spec) in &services {
+        match engine.place(spec) {
+            Ok(p) => println!(
+                "{:<36} {:>12} {:>16}",
+                name,
+                p.layer.to_string(),
+                p.access_latency.to_string()
+            ),
+            Err(e) => println!("{name:<36} {:>12}   {e}", "—"),
+        }
+    }
+
+    // §IV.C cost model: where should a fog-1 node fetch a missing dataset?
+    let cost = AccessCostModel::new(profile);
+    println!("\nmissing-data fetch, 100 KB payload:");
+    for option in [
+        AccessOption::Neighbor { hops: 1 },
+        AccessOption::Neighbor { hops: 2 },
+        AccessOption::Parent,
+        AccessOption::Cloud,
+    ] {
+        println!("  {:?}: {}", option, cost.cost(option, 100_000));
+    }
+    let best = cost
+        .cheapest(
+            &[
+                AccessOption::Neighbor { hops: 2 },
+                AccessOption::Parent,
+                AccessOption::Cloud,
+            ],
+            100_000,
+        )
+        .expect("options are non-empty");
+    println!("  -> cost model picks {best:?}");
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! # f2c-smartcity — umbrella crate
+//!
+//! Re-exports the whole workspace behind one dependency, for the examples
+//! under `examples/` and downstream users who want everything:
+//!
+//! * [`sensors`] — the Sentilo-like sensor substrate (Table I catalog),
+//! * [`citysim`] — the discrete-event network simulator,
+//! * [`compress`] — the from-scratch deflate-style codec,
+//! * [`aggregate`] — aggregation filters, sketches and protocols,
+//! * [`dlc`] — the SCC-DLC life-cycle model,
+//! * [`core`] — the F2C data-management architecture itself.
+//!
+//! See the repository README for the quickstart and DESIGN.md /
+//! EXPERIMENTS.md for the reproduction index.
+//!
+//! # Example
+//!
+//! ```
+//! use f2c_smartcity::core::{F2cNode, FlushPolicy, RetentionPolicy};
+//! use f2c_smartcity::sensors::{Catalog, ReadingGenerator, SensorType};
+//!
+//! let catalog = Catalog::barcelona();                 // Table I, verbatim
+//! let mut fog1 = F2cNode::fog1(3, 21, FlushPolicy::paper_fog1(),
+//!                              RetentionPolicy::keep(86_400))?;
+//! let mut sensors = ReadingGenerator::for_population(SensorType::Temperature, 50, 42);
+//! let outcome = fog1.ingest_wave(sensors.wave(0), 1, &catalog)?;
+//! assert_eq!(outcome.offered, 50);
+//! let batch = fog1.flush(900, &catalog)?;             // aggregated + compressed
+//! assert!(batch.compressed_bytes.is_some());
+//! # Ok::<(), f2c_smartcity::core::Error>(())
+//! ```
+
+pub use citysim;
+pub use f2c_aggregate as aggregate;
+pub use f2c_compress as compress;
+pub use f2c_core as core;
+pub use scc_dlc as dlc;
+pub use scc_sensors as sensors;

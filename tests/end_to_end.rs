@@ -1,0 +1,132 @@
+//! End-to-end integration: raw sensor waves → fog-1 acquisition → fog-2 →
+//! cloud preservation → open-data dissemination, across all crates.
+
+use f2c_smartcity::core::{F2cNode, FlushPolicy, RetentionPolicy};
+use f2c_smartcity::dlc::preservation::{AccessRole, OpenDataPortal, QueryFilter};
+use f2c_smartcity::sensors::{Catalog, Category, ReadingGenerator, SensorType};
+
+/// A helper hierarchy: one fog-1, one fog-2, one cloud.
+fn chain() -> (F2cNode, F2cNode, F2cNode) {
+    let fog1 = F2cNode::fog1(
+        0,
+        0,
+        FlushPolicy::paper_fog1(),
+        RetentionPolicy::keep(86_400),
+    )
+    .unwrap();
+    let fog2 = F2cNode::fog2(0, FlushPolicy::plain(3600), RetentionPolicy::keep(7 * 86_400))
+        .unwrap();
+    let cloud = F2cNode::cloud();
+    (fog1, fog2, cloud)
+}
+
+#[test]
+fn readings_survive_the_full_hierarchy() {
+    let catalog = Catalog::barcelona();
+    let (mut fog1, mut fog2, mut cloud) = chain();
+    let mut gen = ReadingGenerator::for_population(SensorType::Weather, 40, 5);
+
+    let mut stored_total = 0u64;
+    for wave in 0..24u64 {
+        let t = wave * 300;
+        let out = fog1.ingest_wave(gen.wave(t), t + 1, &catalog).unwrap();
+        stored_total += out.stored;
+    }
+    let b1 = fog1.flush(7200, &catalog).unwrap();
+    assert_eq!(b1.records.len() as u64, stored_total);
+    fog2.receive(b1.records, 7200);
+    let b2 = fog2.flush(7200, &catalog).unwrap();
+    cloud.receive(b2.records, 7200);
+
+    assert_eq!(cloud.store().len() as u64, stored_total);
+    // Every record at the cloud is fully described and quality-tagged.
+    for rec in cloud.store().archive().iter() {
+        assert!(rec.descriptor().is_fully_described());
+        assert!(rec.quality().expect("assessed at fog 1").passed());
+    }
+}
+
+#[test]
+fn portal_roles_gate_cloud_data_by_category() {
+    let catalog = Catalog::barcelona();
+    let (mut fog1, mut fog2, mut cloud) = chain();
+
+    // Mixed workload: public weather + restricted energy.
+    let mut weather = ReadingGenerator::for_population(SensorType::Weather, 10, 1);
+    let mut meters = ReadingGenerator::for_population(SensorType::ElectricityMeter, 10, 2);
+    for wave in 0..6u64 {
+        let t = wave * 900;
+        fog1.ingest_wave(weather.wave(t), t + 1, &catalog).unwrap();
+        fog1.ingest_wave(meters.wave(t), t + 1, &catalog).unwrap();
+    }
+    let b = fog1.flush(6000, &catalog).unwrap();
+    fog2.receive(b.records, 6000);
+    let b = fog2.flush(6000, &catalog).unwrap();
+    cloud.receive(b.records, 6000);
+
+    let portal = OpenDataPortal::new();
+    let public_all = portal
+        .query(cloud.store().archive(), AccessRole::Public, QueryFilter::default())
+        .unwrap();
+    assert!(public_all.iter().all(|r| r.sensor_type() == SensorType::Weather));
+
+    // Energy explicitly requested by the public is denied, not empty.
+    let denied = portal.query(
+        cloud.store().archive(),
+        AccessRole::Public,
+        QueryFilter {
+            category: Some(Category::Energy),
+            range_s: None,
+        },
+    );
+    assert!(denied.is_err());
+
+    // A city service reads both.
+    let service_all = portal
+        .query(
+            cloud.store().archive(),
+            AccessRole::CityService,
+            QueryFilter::default(),
+        )
+        .unwrap();
+    assert!(service_all.len() > public_all.len());
+}
+
+#[test]
+fn fog1_retention_keeps_realtime_data_local_after_flush() {
+    let catalog = Catalog::barcelona();
+    let (mut fog1, _, _) = chain();
+    let mut gen = ReadingGenerator::for_population(SensorType::ParkingSpot, 20, 3);
+    for wave in 0..4u64 {
+        let t = wave * 900;
+        fog1.ingest_wave(gen.wave(t), t + 1, &catalog).unwrap();
+    }
+    let stored_before = fog1.store().len();
+    let batch = fog1.flush(3600, &catalog).unwrap();
+    assert!(!batch.records.is_empty());
+    // Flushing ships copies; local data stays for real-time reads.
+    assert_eq!(fog1.store().len(), stored_before);
+    // A day later, retention has evicted everything.
+    let _ = fog1.flush(2 * 86_400, &catalog).unwrap();
+    assert_eq!(fog1.store().len(), 0);
+}
+
+#[test]
+fn compression_reduces_what_crosses_the_uplink() {
+    let catalog = Catalog::barcelona();
+    let (mut fog1, _, _) = chain();
+    let mut gen = ReadingGenerator::for_population(SensorType::NoiseTrafficZone, 300, 4);
+    for wave in 0..10u64 {
+        let t = wave * 60;
+        fog1.ingest_wave(gen.wave(t), t + 1, &catalog).unwrap();
+    }
+    let batch = fog1.flush(600, &catalog).unwrap();
+    let compressed = batch.compressed_bytes.expect("paper policy compresses");
+    assert!(
+        compressed * 2 < batch.wire_bytes,
+        "compression should at least halve Sentilo text ({} vs {})",
+        compressed,
+        batch.wire_bytes
+    );
+    assert_eq!(batch.uplink_bytes(), compressed);
+}

@@ -1,0 +1,120 @@
+//! Failure injection across crates: WAN outages and packet loss on the
+//! Barcelona topology, exercising the paper's fault-tolerance claims
+//! (§IV.D: shorter paths cross fewer failure domains).
+
+use f2c_smartcity::citysim::barcelona::{BarcelonaTopology, LatencyProfile};
+use f2c_smartcity::citysim::net::FailurePlan;
+use f2c_smartcity::citysim::time::SimTime;
+use f2c_smartcity::citysim::Error as NetError;
+use f2c_smartcity::core::request::AccessSimulator;
+
+fn wan_outage_city(until_s: u64) -> BarcelonaTopology {
+    let mut city = BarcelonaTopology::build(&LatencyProfile::default());
+    let cloud = city.cloud();
+    let mut links = Vec::new();
+    for &f2 in city.fog2_nodes() {
+        for &(peer, link) in city.network().topology().neighbors(f2) {
+            if peer == cloud {
+                links.push(link);
+            }
+        }
+    }
+    let mut plan = FailurePlan::with_seed(42);
+    for link in links {
+        plan.add_outage(link, SimTime::ZERO, SimTime::from_secs(until_s));
+    }
+    city.network_mut().set_failures(plan);
+    city
+}
+
+#[test]
+fn fog_reads_survive_a_total_wan_outage() {
+    let mut sim = AccessSimulator::new(wan_outage_city(3600));
+    for section in [0usize, 20, 40, 72] {
+        let out = sim.realtime_read_f2c(section, 1_000);
+        assert!(out.latency.as_micros() > 0);
+    }
+}
+
+#[test]
+fn centralized_reads_fail_during_the_outage() {
+    let mut sim = AccessSimulator::new(wan_outage_city(3600));
+    let err = sim.realtime_read_centralized(0, 1_000).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("down"), "unexpected error: {msg}");
+}
+
+#[test]
+fn historical_reads_recover_after_the_outage_window() {
+    let mut city = wan_outage_city(10);
+    // The outage covers [0, 10); a send at t=10 succeeds.
+    let fog1 = city.fog1_nodes()[0];
+    let cloud = city.cloud();
+    assert!(matches!(
+        city.network_mut().send(fog1, cloud, 100, SimTime::ZERO),
+        Err(NetError::LinkDown { .. })
+    ));
+    assert!(city
+        .network_mut()
+        .send(fog1, cloud, 100, SimTime::from_secs(10))
+        .is_ok());
+}
+
+#[test]
+fn packet_loss_drops_a_predictable_fraction() {
+    let mut city = BarcelonaTopology::build(&LatencyProfile::default());
+    // 20% loss on the first fog1->fog2 link.
+    let f1 = city.fog1_nodes()[0];
+    let (_, link) = city.network().topology().neighbors(f1)[0];
+    let mut plan = FailurePlan::with_seed(9);
+    plan.set_loss(link, 0.2);
+    city.network_mut().set_failures(plan);
+
+    let parent = city.parent_of(0);
+    let mut lost = 0;
+    for i in 0..1_000u64 {
+        let t = SimTime::from_secs(i);
+        if city.network_mut().send(f1, parent, 100, t).is_err() {
+            lost += 1;
+        }
+    }
+    assert!(
+        (120..280).contains(&lost),
+        "expected ~200/1000 losses, got {lost}"
+    );
+    // Lost messages still loaded the wire (they were metered).
+    assert_eq!(
+        city.network()
+            .meter()
+            .link_traffic(link)
+            .messages,
+        1_000
+    );
+}
+
+#[test]
+fn partial_outage_leaves_other_districts_reachable() {
+    let mut city = BarcelonaTopology::build(&LatencyProfile::default());
+    let cloud = city.cloud();
+    // Take down only district 0's WAN link.
+    let f2_0 = city.fog2_nodes()[0];
+    let mut plan = FailurePlan::with_seed(1);
+    for &(peer, link) in city.network().topology().neighbors(f2_0) {
+        if peer == cloud {
+            plan.add_outage(link, SimTime::ZERO, SimTime::from_secs(100));
+        }
+    }
+    city.network_mut().set_failures(plan);
+
+    // District 0's sections cannot reach the cloud...
+    let d0_sections = city.fog1_in_district(0);
+    let blocked = city.fog1_nodes()[d0_sections[0]];
+    assert!(city
+        .network_mut()
+        .send(blocked, cloud, 10, SimTime::ZERO)
+        .is_err());
+    // ...but district 5's can.
+    let d5_sections = city.fog1_in_district(5);
+    let open = city.fog1_nodes()[d5_sections[0]];
+    assert!(city.network_mut().send(open, cloud, 10, SimTime::ZERO).is_ok());
+}
