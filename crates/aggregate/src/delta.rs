@@ -110,7 +110,10 @@ mod tests {
             (0..1000).map(|i| i * i % 977 - 400).collect::<Vec<_>>(),
         ] {
             assert_eq!(decode(&encode(&series)), series);
-            assert_eq!(from_varint_bytes(&to_varint_bytes(&series)).unwrap(), series);
+            assert_eq!(
+                from_varint_bytes(&to_varint_bytes(&series)).unwrap(),
+                series
+            );
         }
     }
 
@@ -140,7 +143,9 @@ mod tests {
         let series: Vec<i64> = (0..5_000).map(|i| 1_000_000 + i * 7 + (i % 3)).collect();
         let raw: Vec<u8> = series.iter().flat_map(|v| v.to_le_bytes()).collect();
         let direct = f2c_compress::compress(&raw).unwrap().len();
-        let delta = f2c_compress::compress(&to_varint_bytes(&series)).unwrap().len();
+        let delta = f2c_compress::compress(&to_varint_bytes(&series))
+            .unwrap()
+            .len();
         assert!(
             delta < direct,
             "delta+deflate {delta} should beat deflate {direct}"

@@ -121,8 +121,10 @@ impl AggregationTree {
         for &node in &self.bottom_up {
             // Clone child states out to appease the borrow checker; states
             // are small by design (they cross the network in the real system).
-            let child_states: Vec<S> =
-                self.children[node].iter().map(|&c| acc[c].clone()).collect();
+            let child_states: Vec<S> = self.children[node]
+                .iter()
+                .map(|&c| acc[c].clone())
+                .collect();
             for cs in &child_states {
                 acc[node].merge(cs);
             }

@@ -153,7 +153,10 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.items(), whole.items());
         for i in 0..31u32 {
-            assert_eq!(a.estimate(&i.to_le_bytes()), whole.estimate(&i.to_le_bytes()));
+            assert_eq!(
+                a.estimate(&i.to_le_bytes()),
+                whole.estimate(&i.to_le_bytes())
+            );
         }
     }
 

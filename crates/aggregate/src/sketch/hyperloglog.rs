@@ -138,7 +138,10 @@ mod tests {
             }
         }
         let est = hll.estimate();
-        assert!((170..=230).contains(&est), "estimated {est} for 200 distinct");
+        assert!(
+            (170..=230).contains(&est),
+            "estimated {est} for 200 distinct"
+        );
     }
 
     #[test]

@@ -32,7 +32,9 @@ impl QDigest {
     /// and `k ≥ 1`.
     pub fn new(domain: u64, k: u64) -> Result<Self> {
         if domain < 2 || !domain.is_power_of_two() {
-            return Err(Error::DegenerateSketch { parameter: "domain" });
+            return Err(Error::DegenerateSketch {
+                parameter: "domain",
+            });
         }
         if k == 0 {
             return Err(Error::DegenerateSketch { parameter: "k" });
@@ -67,7 +69,11 @@ impl QDigest {
 
     /// Adds `n` occurrences of `value`.
     pub fn add_n(&mut self, value: u64, n: u64) {
-        assert!(value < self.domain, "value {value} outside domain {}", self.domain);
+        assert!(
+            value < self.domain,
+            "value {value} outside domain {}",
+            self.domain
+        );
         let leaf = self.domain + value;
         *self.nodes.entry(leaf).or_insert(0) += n;
         self.total += n;

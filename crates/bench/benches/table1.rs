@@ -12,9 +12,7 @@ fn bench_table1(c: &mut Criterion) {
         render_table1(&model.table1_rows(), &model.table1_totals())
     );
 
-    c.bench_function("table1/rows", |b| {
-        b.iter(|| black_box(model.table1_rows()))
-    });
+    c.bench_function("table1/rows", |b| b.iter(|| black_box(model.table1_rows())));
     c.bench_function("table1/totals", |b| {
         b.iter(|| black_box(model.table1_totals()))
     });

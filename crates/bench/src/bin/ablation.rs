@@ -15,8 +15,8 @@ fn main() {
     //     compressing) batches but delay upstream freshness.
     println!("== E6a: fog-1 flush period vs per-flush uplink bytes ==\n");
     println!("{:>12} {:>22}", "period (s)", "avg bytes per flush");
-    let rows = flush_period_ablation(&[300, 900, 1800, 3600], 10_000)
-        .expect("ablation simulations run");
+    let rows =
+        flush_period_ablation(&[300, 900, 1800, 3600], 10_000).expect("ablation simulations run");
     let mut prev = 0u64;
     for (period, bytes) in &rows {
         println!("{:>12} {:>22}", period, thousands(*bytes));
@@ -98,7 +98,10 @@ fn main() {
         thousands(base2.cloud_ingress_acct_bytes),
         centralized_growth
     );
-    assert!(centralized_growth > 1.8, "centralized WAN must scale with frequency");
+    assert!(
+        centralized_growth > 1.8,
+        "centralized WAN must scale with frequency"
+    );
 
     // F2C side, measured: time-correlated phenomena (change as a Poisson
     // process) sampled faster repeat more, and fog-1 dedup absorbs the

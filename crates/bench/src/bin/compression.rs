@@ -10,7 +10,8 @@ use f2c_core::traffic::{PAPER_COMPRESSED_BYTES, PAPER_ORIGINAL_BYTES};
 
 fn main() {
     let paper_ratio = PAPER_COMPRESSED_BYTES as f64 / PAPER_ORIGINAL_BYTES as f64;
-    println!("== E3: compression ratio (paper: {} B -> {} B, {} reduction) ==\n",
+    println!(
+        "== E3: compression ratio (paper: {} B -> {} B, {} reduction) ==\n",
         PAPER_ORIGINAL_BYTES,
         PAPER_COMPRESSED_BYTES,
         pct(1.0 - paper_ratio)

@@ -38,7 +38,10 @@ fn main() {
             cloud.mean().to_string(),
             speedup
         );
-        assert!(speedup > 5.0, "fog must dominate ({speedup:.1}x at {bytes}B)");
+        assert!(
+            speedup > 5.0,
+            "fog must dominate ({speedup:.1}x at {bytes}B)"
+        );
     }
 
     println!("\n== E4b: age-tiered access (local / fog-2 / cloud) ==\n");
@@ -70,8 +73,14 @@ fn main() {
     let mut sim = AccessSimulator::new(city);
     let local_ok = sim.realtime_read_f2c(0, 1_000);
     let cloud_err = sim.realtime_read_centralized(0, 1_000);
-    println!("  fog-1 real-time read during WAN outage: OK  ({})", local_ok.latency);
-    println!("  centralized read during WAN outage:     {:?}", cloud_err.err().map(|e| e.to_string()));
+    println!(
+        "  fog-1 real-time read during WAN outage: OK  ({})",
+        local_ok.latency
+    );
+    println!(
+        "  centralized read during WAN outage:     {:?}",
+        cloud_err.err().map(|e| e.to_string())
+    );
     println!("\nFog-local reads survive the outage; centralized reads do not. SHAPE OK");
 
     println!("\n== E4d: device radio energy, centralized (3G) vs F2C (WiFi first hop) ==\n");

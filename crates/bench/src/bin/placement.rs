@@ -14,13 +14,18 @@ fn main() {
     let cost = AccessCostModel::new(profile);
 
     println!("== E7a: neighbor vs parent access cost (request completion) ==\n");
-    println!("{:>10} {:>14} {:>14} {:>14} {:>14}", "bytes", "neighbor x1", "neighbor x3", "parent", "cloud");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>14}",
+        "bytes", "neighbor x1", "neighbor x3", "parent", "cloud"
+    );
     for bytes in [1_000u64, 100_000, 10_000_000] {
         println!(
             "{:>10} {:>14} {:>14} {:>14} {:>14}",
             bytes,
-            cost.cost(AccessOption::Neighbor { hops: 1 }, bytes).to_string(),
-            cost.cost(AccessOption::Neighbor { hops: 3 }, bytes).to_string(),
+            cost.cost(AccessOption::Neighbor { hops: 1 }, bytes)
+                .to_string(),
+            cost.cost(AccessOption::Neighbor { hops: 3 }, bytes)
+                .to_string(),
             cost.cost(AccessOption::Parent, bytes).to_string(),
             cost.cost(AccessOption::Cloud, bytes).to_string(),
         );
@@ -53,7 +58,9 @@ fn main() {
         match engine.place(&spec) {
             Ok(p) => println!(
                 "  {:<38} -> {:<12} (access latency {})",
-                name, p.layer.to_string(), p.access_latency
+                name,
+                p.layer.to_string(),
+                p.access_latency
             ),
             Err(e) => println!("  {:<38} -> UNPLACEABLE ({e})", name),
         }

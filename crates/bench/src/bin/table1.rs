@@ -17,10 +17,26 @@ fn main() {
     println!("\n== Paper checkpoints ==");
     let checks = [
         ("total sensors", totals.sensors, 1_005_019u64),
-        ("wave bytes at centralized cloud", totals.wave_cloud_model, 54_388_158),
-        ("wave bytes at fog2 / F2C cloud", totals.wave_fog2, 28_165_079),
-        ("daily bytes generated (E5: ~8 GB)", totals.daily_fog1, 8_583_503_168),
-        ("daily bytes at F2C cloud", totals.daily_cloud_f2c, 5_036_071_584),
+        (
+            "wave bytes at centralized cloud",
+            totals.wave_cloud_model,
+            54_388_158,
+        ),
+        (
+            "wave bytes at fog2 / F2C cloud",
+            totals.wave_fog2,
+            28_165_079,
+        ),
+        (
+            "daily bytes generated (E5: ~8 GB)",
+            totals.daily_fog1,
+            8_583_503_168,
+        ),
+        (
+            "daily bytes at F2C cloud",
+            totals.daily_cloud_f2c,
+            5_036_071_584,
+        ),
     ];
     let mut all_ok = true;
     for (name, got, expected) in checks {

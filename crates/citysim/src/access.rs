@@ -79,8 +79,7 @@ impl AccessTechnology {
     /// Time to push `bytes` through the access hop (latency +
     /// serialization).
     pub fn transfer_time(self, bytes: u64) -> Duration {
-        let micros = (u128::from(bytes) * 8 * 1_000_000
-            / u128::from(self.bandwidth_bps())) as u64;
+        let micros = (u128::from(bytes) * 8 * 1_000_000 / u128::from(self.bandwidth_bps())) as u64;
         self.latency() + Duration::from_micros(micros)
     }
 }

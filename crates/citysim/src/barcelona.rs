@@ -195,7 +195,10 @@ mod tests {
         let cloud = city.cloud();
         for i in 0..city.fog1_nodes().len() {
             let f1 = city.fog1_nodes()[i];
-            let d = city.network_mut().send(f1, cloud, 100, SimTime::ZERO).unwrap();
+            let d = city
+                .network_mut()
+                .send(f1, cloud, 100, SimTime::ZERO)
+                .unwrap();
             assert_eq!(d.hops, 2, "fog1 #{i} should reach cloud via its fog2");
         }
     }
@@ -230,8 +233,14 @@ mod tests {
         let f1 = city.fog1_nodes()[0];
         let f2 = city.parent_of(0);
         let cloud = city.cloud();
-        let to_fog2 = city.network_mut().send(f1, f2, 1000, SimTime::ZERO).unwrap();
-        let to_cloud = city.network_mut().send(f1, cloud, 1000, SimTime::ZERO).unwrap();
+        let to_fog2 = city
+            .network_mut()
+            .send(f1, f2, 1000, SimTime::ZERO)
+            .unwrap();
+        let to_cloud = city
+            .network_mut()
+            .send(f1, cloud, 1000, SimTime::ZERO)
+            .unwrap();
         assert!(to_fog2.path_latency < to_cloud.path_latency);
     }
 

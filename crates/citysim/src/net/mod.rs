@@ -101,13 +101,7 @@ impl Network {
     /// * [`Error::NoRoute`] / [`Error::UnknownNode`] for topology problems,
     /// * [`Error::LinkDown`] if a hop's link is in an outage window,
     /// * [`Error::MessageLost`] if injected packet loss drops the message.
-    pub fn send(
-        &mut self,
-        from: NodeId,
-        to: NodeId,
-        bytes: u64,
-        now: SimTime,
-    ) -> Result<Delivery> {
+    pub fn send(&mut self, from: NodeId, to: NodeId, bytes: u64, now: SimTime) -> Result<Delivery> {
         let path = self.topo.route(from, to)?;
         let mut at = now;
         let mut path_latency = Duration::ZERO;
@@ -203,7 +197,9 @@ mod tests {
     #[test]
     fn request_response_doubles_the_path() {
         let (mut net, a, _, c) = line3();
-        let d = net.request_response(a, c, 100, 10_000, SimTime::ZERO).unwrap();
+        let d = net
+            .request_response(a, c, 100, 10_000, SimTime::ZERO)
+            .unwrap();
         assert_eq!(d.hops, 4);
         assert_eq!(d.path_latency, Duration::from_millis(64));
     }

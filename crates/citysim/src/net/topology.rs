@@ -237,7 +237,10 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_node("a");
         let b = t.add_node("b");
-        assert!(matches!(t.add_link(a, a, l(1)), Err(Error::SelfLink { .. })));
+        assert!(matches!(
+            t.add_link(a, a, l(1)),
+            Err(Error::SelfLink { .. })
+        ));
         t.add_link(a, b, l(1)).unwrap();
         assert!(matches!(
             t.add_link(a, b, l(2)),

@@ -191,7 +191,10 @@ mod tests {
         assert_eq!(t.as_micros(), 10_500_000);
         assert_eq!((t - SimTime::from_secs(10)).as_micros(), 500_000);
         // Saturating: earlier - later = 0.
-        assert_eq!((SimTime::from_secs(1) - SimTime::from_secs(5)), Duration::ZERO);
+        assert_eq!(
+            (SimTime::from_secs(1) - SimTime::from_secs(5)),
+            Duration::ZERO
+        );
     }
 
     #[test]

@@ -252,10 +252,8 @@ impl Archive {
                 }
             })?;
             let method = Method::from_byte(take(&mut pos, 1)?[0])?;
-            let original_len =
-                u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
-            let stored_len =
-                u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+            let original_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+            let stored_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
             let crc = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
             let stored = take(&mut pos, stored_len)?.to_vec();
             if name.is_empty() || entries.contains_key(&name) {

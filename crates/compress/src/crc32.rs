@@ -17,7 +17,11 @@ const fn build_table() -> [u32; 256] {
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
             bit += 1;
         }
         table[i] = crc;
@@ -93,7 +97,10 @@ mod tests {
     fn known_vectors() {
         assert_eq!(checksum(b""), 0);
         assert_eq!(checksum(b"123456789"), 0xCBF4_3926);
-        assert_eq!(checksum(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            checksum(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
         assert_eq!(checksum(&[0u8; 32]), 0x190A_55AD);
         assert_eq!(checksum(&[0xFFu8; 32]), 0xFF6C_AB0B);
     }

@@ -43,8 +43,8 @@ pub const DEFAULT_SIZE_LIMIT: u64 = 1 << 30;
 
 /// Base match length for each length code 257..=285.
 const LEN_BASE: [u16; 29] = [
-    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
-    131, 163, 195, 227, 258,
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
 ];
 /// Extra bits for each length code.
 const LEN_EXTRA: [u32; 29] = [
@@ -57,8 +57,8 @@ const DIST_BASE: [u16; 30] = [
 ];
 /// Extra bits for each distance code.
 const DIST_EXTRA: [u32; 30] = [
-    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
-    13, 13,
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
 ];
 
 /// Compression effort presets.
@@ -250,7 +250,9 @@ pub fn decompress_with_limit(input: &[u8], limit: u64) -> Result<Vec<u8>> {
         METHOD_STORED => {
             let body = &input[4 + 13..];
             if (body.len() as u64) < declared {
-                return Err(Error::UnexpectedEof { offset: input.len() });
+                return Err(Error::UnexpectedEof {
+                    offset: input.len(),
+                });
             }
             body[..declared as usize].to_vec()
         }
@@ -298,7 +300,9 @@ fn decode_body(r: &mut BitReader<'_>, expected_len: usize) -> Result<Vec<u8>> {
             let len = LEN_BASE[code] as usize + r.read_bits(LEN_EXTRA[code])? as usize;
             let dsym = dist_dec.decode(r)? as usize;
             if dsym >= DIST_BASE.len() {
-                return Err(Error::SymbolOutOfRange { symbol: dsym as u16 });
+                return Err(Error::SymbolOutOfRange {
+                    symbol: dsym as u16,
+                });
             }
             let dist = DIST_BASE[dsym] as usize + r.read_bits(DIST_EXTRA[dsym])? as usize;
             if dist == 0 || dist > out.len() {
@@ -501,8 +505,7 @@ mod tests {
 
     #[test]
     fn levels_trade_ratio_monotonically_on_text() {
-        let data = b"the city of barcelona generates sensor data all day long "
-            .repeat(300);
+        let data = b"the city of barcelona generates sensor data all day long ".repeat(300);
         let fast = compress_with(&data, Level::Fast).unwrap().len();
         let best = compress_with(&data, Level::Best).unwrap().len();
         assert!(best <= fast, "best {best} should be <= fast {fast}");

@@ -53,10 +53,8 @@ pub fn code_lengths(freqs: &[u64], limit: u8) -> Vec<u8> {
     // contains; a symbol's final code length is the number of selected
     // packages it appears in. Alphabets here are small (<= 286 symbols), so
     // the flattened representation is plenty fast.
-    let mut items: Vec<(u64, Vec<u32>)> = active
-        .iter()
-        .map(|&i| (freqs[i], vec![i as u32]))
-        .collect();
+    let mut items: Vec<(u64, Vec<u32>)> =
+        active.iter().map(|&i| (freqs[i], vec![i as u32])).collect();
     items.sort_by_key(|e| e.0);
 
     let mut level: Vec<(u64, Vec<u32>)> = items.clone();
@@ -73,8 +71,7 @@ pub fn code_lengths(freqs: &[u64], limit: u8) -> Vec<u8> {
         let mut merged = Vec::with_capacity(items.len() + packages.len());
         let (mut i, mut p) = (0, 0);
         while i < items.len() || p < packages.len() {
-            let take_item = p >= packages.len()
-                || (i < items.len() && items[i].0 <= packages[p].0);
+            let take_item = p >= packages.len() || (i < items.len() && items[i].0 <= packages[p].0);
             if take_item {
                 merged.push(items[i].clone());
                 i += 1;
@@ -391,7 +388,10 @@ mod tests {
             .zip(&lens)
             .map(|(&f, &l)| f * u64::from(l))
             .sum();
-        assert!(bits < total * 8, "expected < 8 bits/symbol, got {bits}/{total}");
+        assert!(
+            bits < total * 8,
+            "expected < 8 bits/symbol, got {bits}/{total}"
+        );
     }
 
     #[test]

@@ -68,9 +68,7 @@ impl SearchParams {
 
 #[inline]
 fn hash3(data: &[u8], i: usize) -> usize {
-    let v = u32::from(data[i])
-        | (u32::from(data[i + 1]) << 8)
-        | (u32::from(data[i + 2]) << 16);
+    let v = u32::from(data[i]) | (u32::from(data[i + 1]) << 8) | (u32::from(data[i + 2]) << 16);
     (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
 }
 
@@ -285,8 +283,13 @@ mod tests {
         let mut data = Vec::new();
         for i in 0..2000 {
             data.extend_from_slice(
-                format!("ENERGY.electricity_meter.{:05},2017-03-01T{:02}:00:00Z,{}.{}\n",
-                        i % 700, i % 24, 20 + i % 5, i % 10)
+                format!(
+                    "ENERGY.electricity_meter.{:05},2017-03-01T{:02}:00:00Z,{}.{}\n",
+                    i % 700,
+                    i % 24,
+                    20 + i % 5,
+                    i % 10
+                )
                 .as_bytes(),
             );
         }

@@ -1,0 +1,74 @@
+//! CRC-32 known-answer vectors plus compress/decompress integrity
+//! properties that tie the checksum to the codec round-trip.
+
+use f2c_compress::crc32::{checksum, Hasher};
+use f2c_compress::{compress_with, decompress, Level};
+use proptest::prelude::*;
+
+/// Published CRC-32 (IEEE 802.3, reflected 0xEDB88320) answer vectors.
+#[test]
+fn crc32_matches_known_answer_vectors() {
+    let vectors: &[(&[u8], u32)] = &[
+        (b"", 0x0000_0000),
+        (b"a", 0xE8B7_BE43),
+        (b"abc", 0x3524_41C2),
+        (b"123456789", 0xCBF4_3926), // the CRC catalogue's "check" value
+        (b"message digest", 0x2015_9D7F),
+        (b"abcdefghijklmnopqrstuvwxyz", 0x4C27_50BD),
+        (
+            b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+            0x1FC2_E6D2,
+        ),
+        (&[0u8; 32], 0x190A_55AD),
+        (&[0xFFu8; 32], 0xFF6C_AB0B),
+    ];
+    for (input, expected) in vectors {
+        assert_eq!(checksum(input), *expected, "CRC-32 mismatch for {input:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn incremental_hasher_matches_one_shot(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        split in 0usize..2048,
+    ) {
+        let split = split.min(data.len());
+        let mut hasher = Hasher::new();
+        hasher.update(&data[..split]);
+        hasher.update(&data[split..]);
+        prop_assert_eq!(hasher.finalize(), checksum(&data));
+    }
+
+    #[test]
+    fn deflate_then_inflate_preserves_crc(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        // Identity through the codec, witnessed by the checksum: the CRC of
+        // the decompressed output must equal the CRC of the input for every
+        // compression level.
+        let expected = checksum(&data);
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            let packed = compress_with(&data, level).unwrap();
+            let restored = decompress(&packed).unwrap();
+            prop_assert_eq!(&restored, &data);
+            prop_assert_eq!(checksum(&restored), expected);
+        }
+    }
+
+    #[test]
+    fn corruption_flips_the_crc(
+        data in proptest::collection::vec(any::<u8>(), 1..1024),
+        byte in 0usize..1024,
+        bit in 0u32..8,
+    ) {
+        // Single-bit errors — the fault model CRC-32 guarantees against —
+        // must always change the checksum.
+        let mut corrupted = data.clone();
+        let idx = byte % corrupted.len();
+        corrupted[idx] ^= 1u8 << bit;
+        prop_assert_ne!(checksum(&corrupted), checksum(&data));
+    }
+}

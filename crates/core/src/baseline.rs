@@ -133,7 +133,10 @@ pub fn simulate_baseline(config: BaselineConfig) -> Result<BaselineReport> {
                 let bytes = readings.len() as u64 * spec.tx_bytes();
                 report.generated_readings += readings.len() as u64;
                 report.cloud_ingress_acct_bytes += bytes;
-                *report.per_category.get_mut(&ty.category()).expect("prefilled") += bytes;
+                *report
+                    .per_category
+                    .get_mut(&ty.category())
+                    .expect("prefilled") += bytes;
                 let from = city.fog1_nodes()[section];
                 let to = city.cloud();
                 city.network_mut().send(from, to, bytes, now)?;
@@ -196,8 +199,7 @@ mod tests {
             baseline.cloud_ingress_acct_bytes
         );
         // And the reduction factor is in the paper's band (~41%).
-        let factor =
-            f2c.fog2_uplink_acct_bytes as f64 / baseline.cloud_ingress_acct_bytes as f64;
+        let factor = f2c.fog2_uplink_acct_bytes as f64 / baseline.cloud_ingress_acct_bytes as f64;
         assert!(
             (0.5..0.72).contains(&factor),
             "F2C/baseline ratio {factor:.3}, paper predicts ~0.587"
@@ -211,8 +213,7 @@ mod tests {
         let base = simulate_baseline(c.clone()).unwrap();
         c.frequency_factor = 2.0;
         let doubled = simulate_baseline(c).unwrap();
-        let ratio =
-            doubled.cloud_ingress_acct_bytes as f64 / base.cloud_ingress_acct_bytes as f64;
+        let ratio = doubled.cloud_ingress_acct_bytes as f64 / base.cloud_ingress_acct_bytes as f64;
         assert!((1.8..2.2).contains(&ratio), "ratio {ratio:.2}");
     }
 

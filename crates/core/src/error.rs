@@ -39,7 +39,10 @@ impl fmt::Display for Error {
         match self {
             Error::ZeroFlushPeriod => write!(f, "flush period must be positive"),
             Error::BadOffPeakWindow { start_s, end_s } => {
-                write!(f, "off-peak window [{start_s}, {end_s}) must lie within a day")
+                write!(
+                    f,
+                    "off-peak window [{start_s}, {end_s}) must lie within a day"
+                )
             }
             Error::Unplaceable { reason } => write!(f, "service cannot be placed: {reason}"),
             Error::BadConfig { field, reason } => {

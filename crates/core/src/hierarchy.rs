@@ -67,7 +67,12 @@ impl F2cCity {
         let mut section = 0u16;
         for (d, (_, sections)) in DISTRICTS.iter().enumerate() {
             for _ in 0..*sections {
-                fog1.push(F2cNode::fog1(d as u16, section, fog1_flush, fog1_retention)?);
+                fog1.push(F2cNode::fog1(
+                    d as u16,
+                    section,
+                    fog1_flush,
+                    fog1_retention,
+                )?);
                 section += 1;
             }
         }
@@ -145,9 +150,12 @@ impl F2cCity {
             fog1_bytes += batch.acct_bytes;
             let from = self.city.fog1_nodes()[i];
             let to = self.city.parent_of(i);
-            self.city
-                .network_mut()
-                .send(from, to, batch.uplink_bytes(), SimTime::from_secs(now_s))?;
+            self.city.network_mut().send(
+                from,
+                to,
+                batch.uplink_bytes(),
+                SimTime::from_secs(now_s),
+            )?;
             let district = self.city.district_of(i);
             self.fog2[district].receive(batch.records, now_s);
         }
@@ -160,9 +168,12 @@ impl F2cCity {
             fog2_bytes += batch.acct_bytes;
             let from = self.city.fog2_nodes()[d];
             let to = self.city.cloud();
-            self.city
-                .network_mut()
-                .send(from, to, batch.uplink_bytes(), SimTime::from_secs(now_s))?;
+            self.city.network_mut().send(
+                from,
+                to,
+                batch.uplink_bytes(),
+                SimTime::from_secs(now_s),
+            )?;
             self.cloud.receive(batch.records, now_s);
         }
         Ok((fog1_bytes, fog2_bytes))
@@ -295,7 +306,8 @@ mod tests {
     fn waves_into(city: &mut F2cCity, section: usize, ty: SensorType, waves: u64) {
         let mut gen = ReadingGenerator::for_population(ty, 10, section as u64 + 1);
         for w in 0..waves {
-            city.ingest(section, gen.wave(w * 900), w * 900 + 1).unwrap();
+            city.ingest(section, gen.wave(w * 900), w * 900 + 1)
+                .unwrap();
         }
     }
 
@@ -304,10 +316,16 @@ mod tests {
         let mut city = F2cCity::barcelona().unwrap();
         waves_into(&mut city, 5, SensorType::Weather, 4);
         let before = city.network_bytes();
-        let out = city.fetch(5, SensorType::Weather, 0, 10_000, 4_000).unwrap();
+        let out = city
+            .fetch(5, SensorType::Weather, 0, 10_000, 4_000)
+            .unwrap();
         assert_eq!(out.source, DataSource::Local);
         assert!(!out.records.is_empty());
-        assert_eq!(city.network_bytes(), before, "local reads never hit the network");
+        assert_eq!(
+            city.network_bytes(),
+            before,
+            "local reads never hit the network"
+        );
     }
 
     #[test]
@@ -315,7 +333,9 @@ mod tests {
         let mut city = F2cCity::barcelona().unwrap();
         // Section 0 and 1 are in Ciutat Vella (district 0), 1 ring hop.
         waves_into(&mut city, 1, SensorType::ParkingSpot, 4);
-        let out = city.fetch(0, SensorType::ParkingSpot, 0, 10_000, 4_000).unwrap();
+        let out = city
+            .fetch(0, SensorType::ParkingSpot, 0, 10_000, 4_000)
+            .unwrap();
         assert_eq!(out.source, DataSource::Neighbor(1));
         assert!(city.network_bytes() > 0, "neighbor fetch is metered");
     }
@@ -331,7 +351,9 @@ mod tests {
         // cloud has nothing yet either (fog2 flush shipped it!). After
         // flush_all, the cloud holds it too; district-0 requester gets it
         // from the cloud.
-        let out = city.fetch(0, SensorType::Traffic, 0, 10_000, 5_000).unwrap();
+        let out = city
+            .fetch(0, SensorType::Traffic, 0, 10_000, 5_000)
+            .unwrap();
         assert_eq!(out.source, DataSource::Cloud);
 
         // A requester in district 2 itself prefers its own fog-2 parent
@@ -339,7 +361,9 @@ mod tests {
         // section of district 2 whose neighbors include 10).
         let d2 = city.city.fog1_in_district(2);
         let far = *d2.iter().find(|&&s| s != 10).unwrap();
-        let out = city.fetch(far, SensorType::Traffic, 0, 10_000, 5_000).unwrap();
+        let out = city
+            .fetch(far, SensorType::Traffic, 0, 10_000, 5_000)
+            .unwrap();
         // Either the neighbor (section 10) or the parent wins, never the
         // cloud — both are strictly cheaper.
         assert_ne!(out.source, DataSource::Cloud);
@@ -391,11 +415,20 @@ mod tests {
     fn fetch_latency_ordering_matches_the_cost_model() {
         let mut city = F2cCity::barcelona().unwrap();
         waves_into(&mut city, 7, SensorType::AirQuality, 2);
-        let local = city.fetch(7, SensorType::AirQuality, 0, 10_000, 2_000).unwrap();
+        let local = city
+            .fetch(7, SensorType::AirQuality, 0, 10_000, 2_000)
+            .unwrap();
         // Same district, different section: neighbor access.
         let d = city.city.district_of(7);
-        let other = *city.city.fog1_in_district(d).iter().find(|&&s| s != 7).unwrap();
-        let neighbor = city.fetch(other, SensorType::AirQuality, 0, 10_000, 2_000).unwrap();
+        let other = *city
+            .city
+            .fog1_in_district(d)
+            .iter()
+            .find(|&&s| s != 7)
+            .unwrap();
+        let neighbor = city
+            .fetch(other, SensorType::AirQuality, 0, 10_000, 2_000)
+            .unwrap();
         assert!(local.est_latency < neighbor.est_latency);
     }
 

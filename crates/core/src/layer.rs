@@ -8,9 +8,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Fog layer 1 nodes cover one city section (~1 km² in Barcelona, §V.B);
 /// fog layer 2 nodes cover one district; the cloud covers the whole city.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Layer {
     /// Fog layer 1: edge devices coordinating one section.
     Fog1,

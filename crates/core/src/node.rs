@@ -297,13 +297,8 @@ mod tests {
     #[test]
     fn non_aggregating_node_keeps_everything() {
         let catalog = Catalog::barcelona();
-        let mut node = F2cNode::fog1(
-            0,
-            0,
-            FlushPolicy::plain(900),
-            RetentionPolicy::keep(86_400),
-        )
-        .unwrap();
+        let mut node =
+            F2cNode::fog1(0, 0, FlushPolicy::plain(900), RetentionPolicy::keep(86_400)).unwrap();
         let mut gen = ReadingGenerator::for_population(SensorType::ContainerPaper, 50, 7);
         for w in 0..10u64 {
             let out = node
@@ -360,7 +355,8 @@ mod tests {
         let mut cloud = F2cNode::cloud();
         let mut gen = ReadingGenerator::for_population(SensorType::ParkingSpot, 50, 2);
         for w in 0..5u64 {
-            f1.ingest_wave(gen.wave(w * 864), w * 864 + 1, &catalog).unwrap();
+            f1.ingest_wave(gen.wave(w * 864), w * 864 + 1, &catalog)
+                .unwrap();
         }
         let batch = f1.flush(86_400, &catalog).unwrap();
         let n = batch.records.len();

@@ -257,6 +257,9 @@ mod tests {
     fn data_home_matches_section_iv_b() {
         assert_eq!(PlacementEngine::data_home(AgeClass::RealTime), Layer::Fog1);
         assert_eq!(PlacementEngine::data_home(AgeClass::Recent), Layer::Fog2);
-        assert_eq!(PlacementEngine::data_home(AgeClass::Historical), Layer::Cloud);
+        assert_eq!(
+            PlacementEngine::data_home(AgeClass::Historical),
+            Layer::Cloud
+        );
     }
 }

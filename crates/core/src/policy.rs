@@ -103,7 +103,9 @@ pub struct RetentionPolicy {
 impl RetentionPolicy {
     /// Keep `keep_s` seconds of history.
     pub fn keep(keep_s: u64) -> Self {
-        Self { keep_s: Some(keep_s) }
+        Self {
+            keep_s: Some(keep_s),
+        }
     }
 
     /// Keep everything forever.
@@ -160,7 +162,10 @@ mod tests {
 
     #[test]
     fn retention_deadlines() {
-        assert_eq!(RetentionPolicy::keep(3600).eviction_deadline(10_000), Some(6_400));
+        assert_eq!(
+            RetentionPolicy::keep(3600).eviction_deadline(10_000),
+            Some(6_400)
+        );
         assert_eq!(RetentionPolicy::keep(3600).eviction_deadline(100), Some(0));
         assert_eq!(RetentionPolicy::permanent().eviction_deadline(10_000), None);
     }

@@ -27,7 +27,14 @@ pub fn render_table1(rows: &[Table1Row], totals: &Table1Totals) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<28} {:>10} {:>6} {:>14} {:>14} {:>16} {:>16} {:>16}\n",
-        "Type", "Sensors", "B/tx", "Wave cloud", "Wave fog2", "Daily fog1", "Daily fog2", "Daily cloud F2C"
+        "Type",
+        "Sensors",
+        "B/tx",
+        "Wave cloud",
+        "Wave fog2",
+        "Daily fog1",
+        "Daily fog2",
+        "Daily cloud F2C"
     ));
     out.push_str(&"-".repeat(126));
     out.push('\n');

@@ -95,10 +95,13 @@ impl AccessSimulator {
         let fog1 = self.city.fog1_nodes()[section];
         let cloud = self.city.cloud();
         let before = self.city.network().meter().total_bytes();
-        let d = self
-            .city
-            .network_mut()
-            .request_response(fog1, cloud, self.request_bytes, bytes, SimTime::ZERO)?;
+        let d = self.city.network_mut().request_response(
+            fog1,
+            cloud,
+            self.request_bytes,
+            bytes,
+            SimTime::ZERO,
+        )?;
         let after = self.city.network().meter().total_bytes();
         Ok(AccessOutcome {
             latency: d.arrival.since(SimTime::ZERO),
@@ -115,10 +118,13 @@ impl AccessSimulator {
         let fog1 = self.city.fog1_nodes()[section];
         let fog2 = self.city.parent_of(section);
         let before = self.city.network().meter().total_bytes();
-        let d = self
-            .city
-            .network_mut()
-            .request_response(fog1, fog2, self.request_bytes, bytes, SimTime::ZERO)?;
+        let d = self.city.network_mut().request_response(
+            fog1,
+            fog2,
+            self.request_bytes,
+            bytes,
+            SimTime::ZERO,
+        )?;
         let after = self.city.network().meter().total_bytes();
         Ok(AccessOutcome {
             latency: d.arrival.since(SimTime::ZERO),

@@ -107,10 +107,7 @@ impl CityService {
     ) -> Result<RequestOutcome> {
         let fetch = city.fetch(section, ty, from_s, until_s, now_s)?;
         let latency = fetch.est_latency + self.compute;
-        let deadline_met = self
-            .spec
-            .latency_bound
-            .is_none_or(|bound| latency <= bound);
+        let deadline_met = self.spec.latency_bound.is_none_or(|bound| latency <= bound);
         self.latencies.record(latency);
         self.requests += 1;
         if !deadline_met {
@@ -171,7 +168,14 @@ pub fn flagship_contrast(
         Duration::from_millis(100),
     )?;
     // Look back two collection periods so the most recent wave is covered.
-    let rt = realtime.execute(city, section, ty, now_s.saturating_sub(1800), now_s + 1, now_s)?;
+    let rt = realtime.execute(
+        city,
+        section,
+        ty,
+        now_s.saturating_sub(1800),
+        now_s + 1,
+        now_s,
+    )?;
     let an = analytics.execute(city, section, ty, 0, now_s + 1, now_s)?;
     Ok((rt.latency, an.latency))
 }
@@ -187,7 +191,8 @@ mod tests {
         let mut city = F2cCity::barcelona().unwrap();
         let mut gen = ReadingGenerator::for_population(ty, 10, 3);
         for w in 0..4u64 {
-            city.ingest(section, gen.wave(w * 900), w * 900 + 1).unwrap();
+            city.ingest(section, gen.wave(w * 900), w * 900 + 1)
+                .unwrap();
         }
         city
     }
@@ -203,7 +208,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(svc.layer(), Layer::Fog1);
-        let out = svc.execute(&mut city, 2, SensorType::Traffic, 0, 10_000, 4_000).unwrap();
+        let out = svc
+            .execute(&mut city, 2, SensorType::Traffic, 0, 10_000, 4_000)
+            .unwrap();
         assert!(out.deadline_met, "latency {}", out.latency);
         assert_eq!(out.source, DataSource::Local);
         assert_eq!(svc.miss_rate(), 0.0);

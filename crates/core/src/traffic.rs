@@ -220,8 +220,7 @@ impl TrafficModel {
                     category,
                     raw,
                     after_dedup,
-                    after_dedup_and_compression: (after_dedup as f64
-                        * self.compression_ratio)
+                    after_dedup_and_compression: (after_dedup as f64 * self.compression_ratio)
                         .round() as u64,
                     compressed_raw: (raw as f64 * self.compression_ratio).round() as u64,
                 }
@@ -246,33 +245,157 @@ mod tests {
         // (ty, wave_cloud, wave_fog2, daily_per_sensor, daily_fog1, daily_fog2)
         use SensorType::*;
         let expected: [(SensorType, u64, u64, u64, u64, u64); 21] = [
-            (ElectricityMeter, 1_555_774, 777_887, 2_112, 149_354_304, 74_677_152),
-            (ExternalAmbientConditions, 1_555_774, 777_887, 2_112, 149_354_304, 74_677_152),
+            (
+                ElectricityMeter,
+                1_555_774,
+                777_887,
+                2_112,
+                149_354_304,
+                74_677_152,
+            ),
+            (
+                ExternalAmbientConditions,
+                1_555_774,
+                777_887,
+                2_112,
+                149_354_304,
+                74_677_152,
+            ),
             (GasMeter, 1_555_774, 777_887, 2_112, 149_354_304, 74_677_152),
-            (InternalAmbientConditions, 1_555_774, 777_887, 2_112, 149_354_304, 74_677_152),
-            (NetworkAnalyzer, 17_113_514, 8_556_757, 23_232, 1_642_897_344, 821_448_672),
-            (SolarThermalInstallation, 1_555_774, 777_887, 2_112, 149_354_304, 74_677_152),
-            (Temperature, 1_555_774, 777_887, 2_112, 149_354_304, 74_677_152),
+            (
+                InternalAmbientConditions,
+                1_555_774,
+                777_887,
+                2_112,
+                149_354_304,
+                74_677_152,
+            ),
+            (
+                NetworkAnalyzer,
+                17_113_514,
+                8_556_757,
+                23_232,
+                1_642_897_344,
+                821_448_672,
+            ),
+            (
+                SolarThermalInstallation,
+                1_555_774,
+                777_887,
+                2_112,
+                149_354_304,
+                74_677_152,
+            ),
+            (
+                Temperature,
+                1_555_774,
+                777_887,
+                2_112,
+                149_354_304,
+                74_677_152,
+            ),
             (NoiseAmbient, 220_000, 55_000, 768, 7_680_000, 1_920_000),
-            (NoiseTrafficZone, 220_000, 55_000, 31_680, 316_800_000, 79_200_000),
-            (NoiseLeisureZone, 220_000, 55_000, 31_680, 316_800_000, 79_200_000),
-            (ContainerGlass, 2_000_000, 600_000, 1_800, 72_000_000, 21_600_000),
-            (ContainerOrganic, 2_000_000, 600_000, 1_800, 72_000_000, 21_600_000),
-            (ContainerPaper, 2_000_000, 600_000, 1_800, 72_000_000, 21_600_000),
-            (ContainerPlastic, 2_000_000, 600_000, 1_800, 72_000_000, 21_600_000),
-            (ContainerRefuse, 2_000_000, 600_000, 1_800, 72_000_000, 21_600_000),
-            (ParkingSpot, 3_200_000, 1_920_000, 4_000, 320_000_000, 192_000_000),
-            (AirQuality, 5_760_000, 4_032_000, 13_824, 552_960_000, 387_072_000),
-            (BicycleFlow, 880_000, 616_000, 3_168, 126_720_000, 88_704_000),
+            (
+                NoiseTrafficZone,
+                220_000,
+                55_000,
+                31_680,
+                316_800_000,
+                79_200_000,
+            ),
+            (
+                NoiseLeisureZone,
+                220_000,
+                55_000,
+                31_680,
+                316_800_000,
+                79_200_000,
+            ),
+            (
+                ContainerGlass,
+                2_000_000,
+                600_000,
+                1_800,
+                72_000_000,
+                21_600_000,
+            ),
+            (
+                ContainerOrganic,
+                2_000_000,
+                600_000,
+                1_800,
+                72_000_000,
+                21_600_000,
+            ),
+            (
+                ContainerPaper,
+                2_000_000,
+                600_000,
+                1_800,
+                72_000_000,
+                21_600_000,
+            ),
+            (
+                ContainerPlastic,
+                2_000_000,
+                600_000,
+                1_800,
+                72_000_000,
+                21_600_000,
+            ),
+            (
+                ContainerRefuse,
+                2_000_000,
+                600_000,
+                1_800,
+                72_000_000,
+                21_600_000,
+            ),
+            (
+                ParkingSpot,
+                3_200_000,
+                1_920_000,
+                4_000,
+                320_000_000,
+                192_000_000,
+            ),
+            (
+                AirQuality,
+                5_760_000,
+                4_032_000,
+                13_824,
+                552_960_000,
+                387_072_000,
+            ),
+            (
+                BicycleFlow,
+                880_000,
+                616_000,
+                3_168,
+                126_720_000,
+                88_704_000,
+            ),
             (PeopleFlow, 880_000, 616_000, 3_168, 126_720_000, 88_704_000),
-            (Traffic, 1_760_000, 1_232_000, 63_360, 2_534_400_000, 1_774_080_000),
-            (Weather, 4_800_000, 3_360_000, 34_560, 1_382_400_000, 967_680_000),
+            (
+                Traffic,
+                1_760_000,
+                1_232_000,
+                63_360,
+                2_534_400_000,
+                1_774_080_000,
+            ),
+            (
+                Weather,
+                4_800_000,
+                3_360_000,
+                34_560,
+                1_382_400_000,
+                967_680_000,
+            ),
         ];
         let rows = TrafficModel::paper().table1_rows();
         assert_eq!(rows.len(), 21);
-        for (row, (ty, wave_cloud, wave_fog2, dps, daily1, daily2)) in
-            rows.iter().zip(expected)
-        {
+        for (row, (ty, wave_cloud, wave_fog2, dps, daily1, daily2)) in rows.iter().zip(expected) {
             assert_eq!(row.ty, ty);
             assert_eq!(row.wave_cloud_model, wave_cloud, "{ty} wave cloud");
             assert_eq!(row.wave_fog1, wave_cloud, "{ty} wave fog1");

@@ -217,7 +217,8 @@ mod tests {
     fn missing_v_is_detected() {
         let mut scc = scc_instantiation();
         // Drop the only Veracity providers.
-        scc.phases.retain(|p| !p.addresses.contains(&SixV::Veracity));
+        scc.phases
+            .retain(|p| !p.addresses.contains(&SixV::Veracity));
         let violations = scc.verify();
         assert!(violations.contains(&CosaViolation::UncoveredV(SixV::Veracity)));
     }
@@ -252,10 +253,26 @@ mod tests {
         let escience = Instantiation {
             scenario: "eScience",
             phases: vec![
-                PhaseDecl { name: "ingest", block: Acquisition, addresses: &[Velocity, Veracity] },
-                PhaseDecl { name: "curate", block: Acquisition, addresses: &[Variety] },
-                PhaseDecl { name: "simulate", block: Processing, addresses: &[Value] },
-                PhaseDecl { name: "archive", block: Preservation, addresses: &[Volume, Variability] },
+                PhaseDecl {
+                    name: "ingest",
+                    block: Acquisition,
+                    addresses: &[Velocity, Veracity],
+                },
+                PhaseDecl {
+                    name: "curate",
+                    block: Acquisition,
+                    addresses: &[Variety],
+                },
+                PhaseDecl {
+                    name: "simulate",
+                    block: Processing,
+                    addresses: &[Value],
+                },
+                PhaseDecl {
+                    name: "archive",
+                    block: Preservation,
+                    addresses: &[Volume, Variability],
+                },
             ],
         };
         assert!(escience.is_comprehensive());

@@ -109,8 +109,9 @@ impl ArchiveStore {
     /// `deadline_s`, oldest first — the upward-migration primitive.
     pub fn evict_older_than(&mut self, deadline_s: u64) -> Vec<DataRecord> {
         let keep = self.records.split_off(&(deadline_s, 0));
-        let evicted: Vec<DataRecord> =
-            std::mem::replace(&mut self.records, keep).into_values().collect();
+        let evicted: Vec<DataRecord> = std::mem::replace(&mut self.records, keep)
+            .into_values()
+            .collect();
         for r in &evicted {
             self.wire_bytes -= r.wire_len();
         }
@@ -253,7 +254,10 @@ mod tests {
     #[test]
     fn archive_phase_is_pass_through_with_side_effect() {
         let mut phase = ArchivePhase::new();
-        let batch = vec![rec(SensorType::Weather, 0, 1), rec(SensorType::Weather, 1, 2)];
+        let batch = vec![
+            rec(SensorType::Weather, 0, 1),
+            rec(SensorType::Weather, 1, 2),
+        ];
         let out = phase.run(batch.clone(), &PhaseContext::at(10));
         assert_eq!(out, batch);
         assert_eq!(phase.store().len(), 2);

@@ -134,7 +134,10 @@ mod tests {
                 .version,
             1
         );
-        assert_eq!(phase.lineage_of(SensorId::new(SensorType::Traffic, 9)), None);
+        assert_eq!(
+            phase.lineage_of(SensorId::new(SensorType::Traffic, 9)),
+            None
+        );
     }
 
     #[test]
@@ -143,11 +146,20 @@ mod tests {
         let mut b = ClassificationPhase::new();
         // Same records, same order (classification sorts them identically).
         a.run(
-            vec![rec(SensorType::Traffic, 1, 0, 1), rec(SensorType::Traffic, 1, 60, 2)],
+            vec![
+                rec(SensorType::Traffic, 1, 0, 1),
+                rec(SensorType::Traffic, 1, 60, 2),
+            ],
             &PhaseContext::at(0),
         );
-        b.run(vec![rec(SensorType::Traffic, 1, 0, 1)], &PhaseContext::at(0));
-        b.run(vec![rec(SensorType::Traffic, 1, 60, 2)], &PhaseContext::at(60));
+        b.run(
+            vec![rec(SensorType::Traffic, 1, 0, 1)],
+            &PhaseContext::at(0),
+        );
+        b.run(
+            vec![rec(SensorType::Traffic, 1, 60, 2)],
+            &PhaseContext::at(60),
+        );
         let id = SensorId::new(SensorType::Traffic, 1);
         // Chaining is incremental: batch split must not change the digest.
         assert_eq!(a.lineage_of(id), b.lineage_of(id));
@@ -155,9 +167,15 @@ mod tests {
         // Different content -> different digest.
         let mut c = ClassificationPhase::new();
         c.run(
-            vec![rec(SensorType::Traffic, 1, 0, 9), rec(SensorType::Traffic, 1, 60, 2)],
+            vec![
+                rec(SensorType::Traffic, 1, 0, 9),
+                rec(SensorType::Traffic, 1, 60, 2),
+            ],
             &PhaseContext::at(0),
         );
-        assert_ne!(a.lineage_of(id).unwrap().digest, c.lineage_of(id).unwrap().digest);
+        assert_ne!(
+            a.lineage_of(id).unwrap().digest,
+            c.lineage_of(id).unwrap().digest
+        );
     }
 }

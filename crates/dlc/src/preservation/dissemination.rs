@@ -140,11 +140,8 @@ mod tests {
     use scc_sensors::{Reading, SensorId, SensorType, Value};
 
     fn stored(ty: SensorType, t: u64, privacy: Option<PrivacyLevel>) -> DataRecord {
-        let mut rec = DataRecord::from_reading(Reading::new(
-            SensorId::new(ty, 0),
-            t,
-            Value::Counter(1),
-        ));
+        let mut rec =
+            DataRecord::from_reading(Reading::new(SensorId::new(ty, 0), t, Value::Counter(1)));
         if let Some(p) = privacy {
             rec.descriptor_mut().set_privacy(p);
         }
@@ -154,7 +151,11 @@ mod tests {
     fn store() -> ArchiveStore {
         let mut s = ArchiveStore::new();
         s.insert(stored(SensorType::Weather, 10, Some(PrivacyLevel::Public)));
-        s.insert(stored(SensorType::ElectricityMeter, 20, Some(PrivacyLevel::Restricted)));
+        s.insert(stored(
+            SensorType::ElectricityMeter,
+            20,
+            Some(PrivacyLevel::Restricted),
+        ));
         s.insert(stored(SensorType::ParkingSpot, 30, None)); // untagged
         s
     }

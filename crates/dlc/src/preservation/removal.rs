@@ -75,7 +75,9 @@ pub fn purge_expired(
             .is_some_and(|max| age > max);
         if expired {
             report.removed += 1;
-            *per_cat.entry(record.sensor_type().category()).or_insert(0u64) += 1;
+            *per_cat
+                .entry(record.sensor_type().category())
+                .or_insert(0u64) += 1;
         } else {
             survivors.push(record);
         }
@@ -94,8 +96,11 @@ mod tests {
     use scc_sensors::{Reading, SensorId, SensorType, Value};
 
     fn stored(ty: SensorType, created: u64, privacy: Option<PrivacyLevel>) -> DataRecord {
-        let mut rec =
-            DataRecord::from_reading(Reading::new(SensorId::new(ty, 0), created, Value::Counter(1)));
+        let mut rec = DataRecord::from_reading(Reading::new(
+            SensorId::new(ty, 0),
+            created,
+            Value::Counter(1),
+        ));
         if let Some(p) = privacy {
             rec.descriptor_mut().set_privacy(p);
         }
@@ -114,15 +119,19 @@ mod tests {
     #[test]
     fn private_data_expires_first() {
         let mut store = ArchiveStore::new();
-        store.insert(stored(SensorType::ParkingSpot, 0, Some(PrivacyLevel::Private)));
-        store.insert(stored(SensorType::ElectricityMeter, 0, Some(PrivacyLevel::Restricted)));
+        store.insert(stored(
+            SensorType::ParkingSpot,
+            0,
+            Some(PrivacyLevel::Private),
+        ));
+        store.insert(stored(
+            SensorType::ElectricityMeter,
+            0,
+            Some(PrivacyLevel::Restricted),
+        ));
         store.insert(stored(SensorType::Weather, 0, Some(PrivacyLevel::Public)));
         // 31 days in: only private data is destroyed.
-        let report = purge_expired(
-            &mut store,
-            &RemovalPolicy::paper_default(),
-            31 * 86_400,
-        );
+        let report = purge_expired(&mut store, &RemovalPolicy::paper_default(), 31 * 86_400);
         assert_eq!(report.removed, 1);
         assert_eq!(report.per_category, vec![(Category::Parking, 1)]);
         assert_eq!(store.len(), 2);

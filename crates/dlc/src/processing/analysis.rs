@@ -81,7 +81,11 @@ impl Phase for AnalysisPhase {
         for rec in &batch {
             let ty = rec.sensor_type();
             let v = rec.reading().value().magnitude();
-            let m = self.summary.per_type.entry(ty).or_insert_with(Moments::empty);
+            let m = self
+                .summary
+                .per_type
+                .entry(ty)
+                .or_insert_with(Moments::empty);
             if m.count >= self.warmup {
                 if let (Some(mean), Some(sd)) = (m.mean(), m.std_dev()) {
                     if sd > 1e-9 {

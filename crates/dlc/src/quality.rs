@@ -84,7 +84,9 @@ impl QualityPolicy {
     pub fn bounds_for(ty: SensorType) -> (f64, f64) {
         use SensorType::*;
         match ty {
-            Temperature | ExternalAmbientConditions | InternalAmbientConditions
+            Temperature
+            | ExternalAmbientConditions
+            | InternalAmbientConditions
             | SolarThermalInstallation => (-30.0, 70.0),
             NoiseAmbient | NoiseTrafficZone | NoiseLeisureZone => (0.0, 150.0),
             ElectricityMeter | GasMeter => (0.0, f64::MAX),

@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 /// the fraction of observations that redundant-data elimination removes at
 /// fog layer 1 (Table I / Fig. 7): energy ≈50 %, noise ≈75 %, garbage ≈70 %,
 /// parking ≈40 %, urban ≈30 %.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Category {
     /// Energy monitoring (meters, ambient conditions, solar, temperature).
     Energy,

@@ -43,7 +43,9 @@ impl ValueModel {
     fn for_type(ty: SensorType, rng: &mut SmallRng) -> Self {
         use SensorType::*;
         match ty {
-            Temperature | ExternalAmbientConditions | InternalAmbientConditions
+            Temperature
+            | ExternalAmbientConditions
+            | InternalAmbientConditions
             | SolarThermalInstallation => ValueModel::RandomWalk {
                 value: rng.gen_range(5.0..30.0),
                 min: -10.0,
@@ -156,8 +158,14 @@ impl ValueModel {
 
     fn force_distinct(&mut self, previous: Option<&Value>) -> Value {
         match self {
-            ValueModel::RandomWalk { value, min, max, .. } => {
-                *value = if (*value - *min).abs() < 1.0 { *max } else { *min };
+            ValueModel::RandomWalk {
+                value, min, max, ..
+            } => {
+                *value = if (*value - *min).abs() < 1.0 {
+                    *max
+                } else {
+                    *min
+                };
                 let v = Value::from_f64(*value);
                 debug_assert!(previous != Some(&v));
                 v
@@ -176,7 +184,11 @@ impl ValueModel {
             }
             ValueModel::Composite { values, max, .. } => {
                 if let Some(first) = values.first_mut() {
-                    *first = if (*first - *max).abs() < 0.01 { *max - 1.0 } else { *max };
+                    *first = if (*first - *max).abs() < 0.01 {
+                        *max - 1.0
+                    } else {
+                        *max
+                    };
                 }
                 Value::Composite(values.iter().map(|v| (v * 100.0).round() as i64).collect())
             }
@@ -352,8 +364,7 @@ impl TimeCorrelatedStream {
     /// reproduces the sensor category's Table-I redundancy rate:
     /// `exp(-interval/tau) = redundancy  ⇒  tau = -interval / ln(redundancy)`.
     pub fn calibrated(id: SensorId, root_seed: u64, reference_interval_s: f64) -> Self {
-        let redundancy =
-            f64::from(id.sensor_type().category().redundancy_percent()) / 100.0;
+        let redundancy = f64::from(id.sensor_type().category().redundancy_percent()) / 100.0;
         let tau = -reference_interval_s / redundancy.ln();
         Self::new(id, root_seed, tau)
     }
@@ -444,7 +455,10 @@ mod tests {
         let same = (0..50)
             .filter(|&t| a.next_reading(t) == b.next_reading(t))
             .count();
-        assert!(same < 40, "independent seeds should diverge, {same}/50 equal");
+        assert!(
+            same < 40,
+            "independent seeds should diverge, {same}/50 equal"
+        );
     }
 
     #[test]
@@ -538,7 +552,10 @@ mod tests {
     fn time_correlated_stream_reproduces_table1_rate_at_reference_interval() {
         // Energy: 50% redundancy at the 900 s reference interval.
         let rate = measured_repeat_rate(900, 200);
-        assert!((rate - 0.5).abs() < 0.04, "rate {rate:.3} at reference interval");
+        assert!(
+            (rate - 0.5).abs() < 0.04,
+            "rate {rate:.3} at reference interval"
+        );
     }
 
     #[test]
@@ -546,10 +563,16 @@ mod tests {
         // Halving the interval raises the repeat probability to
         // exp(-450/tau) = sqrt(0.5) ≈ 0.707.
         let rate = measured_repeat_rate(450, 200);
-        assert!((rate - 0.707).abs() < 0.04, "rate {rate:.3} at half interval");
+        assert!(
+            (rate - 0.707).abs() < 0.04,
+            "rate {rate:.3} at half interval"
+        );
         // And 4x sampling: exp(-225/tau) = 0.5^(1/4) ≈ 0.841.
         let rate = measured_repeat_rate(225, 400);
-        assert!((rate - 0.841).abs() < 0.04, "rate {rate:.3} at quarter interval");
+        assert!(
+            (rate - 0.841).abs() < 0.04,
+            "rate {rate:.3} at quarter interval"
+        );
     }
 
     #[test]

@@ -19,9 +19,7 @@ use crate::SensorType;
 /// assert_eq!(id.index(), 42);
 /// assert_eq!(id.to_string(), "temp#42");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SensorId {
     ty: SensorType,
     index: u32,

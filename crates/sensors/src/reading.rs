@@ -76,8 +76,16 @@ mod tests {
 
     #[test]
     fn redundancy_requires_same_sensor() {
-        let a = Reading::new(SensorId::new(SensorType::Temperature, 1), 0, Value::Flag(true));
-        let b = Reading::new(SensorId::new(SensorType::Temperature, 2), 0, Value::Flag(true));
+        let a = Reading::new(
+            SensorId::new(SensorType::Temperature, 1),
+            0,
+            Value::Flag(true),
+        );
+        let b = Reading::new(
+            SensorId::new(SensorType::Temperature, 2),
+            0,
+            Value::Flag(true),
+        );
         assert!(!a.is_redundant_with(&b));
     }
 

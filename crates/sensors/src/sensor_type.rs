@@ -14,9 +14,7 @@ use crate::Category;
 /// machine-readable slug used in wire encodings.
 // Deliberately exhaustive: the 21 types are a closed set fixed by Table I,
 // and downstream crates (quality bounds, value models) match on all of them.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum SensorType {
     // --- Energy monitoring -------------------------------------------------
     /// Household/office electricity meter.
@@ -97,8 +95,12 @@ impl SensorType {
     pub fn category(self) -> Category {
         use SensorType::*;
         match self {
-            ElectricityMeter | ExternalAmbientConditions | GasMeter
-            | InternalAmbientConditions | NetworkAnalyzer | SolarThermalInstallation
+            ElectricityMeter
+            | ExternalAmbientConditions
+            | GasMeter
+            | InternalAmbientConditions
+            | NetworkAnalyzer
+            | SolarThermalInstallation
             | Temperature => Category::Energy,
             NoiseAmbient | NoiseTrafficZone | NoiseLeisureZone => Category::Noise,
             ContainerGlass | ContainerOrganic | ContainerPaper | ContainerPlastic

@@ -77,8 +77,7 @@ impl ParticipatorySource {
                 // Walk to a neighboring section (ring of sections).
                 let step: i32 = if self.rng.gen_bool(0.5) { 1 } else { -1 };
                 let s = i32::from(device.section) + step;
-                device.section =
-                    s.rem_euclid(i32::from(self.sections)) as u16;
+                device.section = s.rem_euclid(i32::from(self.sections)) as u16;
             }
         }
         out

@@ -104,8 +104,7 @@ fn parse_value(ty: SensorType, s: &str) -> Option<Value> {
         ElectricityMeter | GasMeter | BicycleFlow | PeopleFlow | Traffic => {
             s.parse::<u64>().ok().map(Value::Counter)
         }
-        ContainerGlass | ContainerOrganic | ContainerPaper | ContainerPlastic
-        | ContainerRefuse => {
+        ContainerGlass | ContainerOrganic | ContainerPaper | ContainerPlastic | ContainerRefuse => {
             let level = s.strip_suffix('%')?;
             let l: u8 = level.parse().ok()?;
             (l <= 100).then_some(Value::Level(l))

@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (fog1_b, fog2_b) = city.flush_all(3_600)?;
     println!("flushed upward: fog1->fog2 {fog1_b} B, fog2->cloud {fog2_b} B (accounting)");
-    println!("cloud archive now holds {} records", city.cloud().store().len());
+    println!(
+        "cloud archive now holds {} records",
+        city.cloud().store().len()
+    );
 
     // A latency-critical congestion service, placed at fog layer 1.
     let mut svc = CityService::place(
@@ -76,7 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // End of life: a retention audit three years out.
     let mut snapshot = city.cloud().store().archive().clone();
-    let report = purge_expired(&mut snapshot, &RemovalPolicy::paper_default(), 3 * 365 * 86_400);
+    let report = purge_expired(
+        &mut snapshot,
+        &RemovalPolicy::paper_default(),
+        3 * 365 * 86_400,
+    );
     println!(
         "\nremoval audit (3 years out): {} of {} records would be destroyed ({:?})",
         report.removed, report.examined, report.per_category

@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FlushPolicy::paper_fog1(),
         RetentionPolicy::keep(86_400),
     )?;
-    let mut fog2 = F2cNode::fog2(3, FlushPolicy::plain(3600), RetentionPolicy::keep(7 * 86_400))?;
+    let mut fog2 = F2cNode::fog2(
+        3,
+        FlushPolicy::plain(3600),
+        RetentionPolicy::keep(7 * 86_400),
+    )?;
     let mut cloud = F2cNode::cloud();
 
     // 50 temperature sensors report every 15 minutes for 2 hours.
@@ -45,13 +49,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     fog2.receive(batch.records, 7200);
     let batch = fog2.flush(7200, &catalog)?;
     cloud.receive(batch.records, 7200);
-    println!("cloud now preserves {} records permanently", cloud.store().len());
+    println!(
+        "cloud now preserves {} records permanently",
+        cloud.store().len()
+    );
 
     // Consume through the dissemination interface. Energy data is tagged
     // Restricted by the description phase, so a public query is refused
     // while a city service succeeds.
     let portal = OpenDataPortal::new();
-    let public = portal.query(cloud.store().archive(), AccessRole::Public, QueryFilter::default());
+    let public = portal.query(
+        cloud.store().archive(),
+        AccessRole::Public,
+        QueryFilter::default(),
+    );
     let service = portal.query(
         cloud.store().archive(),
         AccessRole::CityService,

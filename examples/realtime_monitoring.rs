@@ -42,16 +42,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         7_300,
         Value::from_f64(130.0),
     );
-    analysis.run(vec![DataRecord::from_reading(spike)], &PhaseContext::at(7_300));
+    analysis.run(
+        vec![DataRecord::from_reading(spike)],
+        &PhaseContext::at(7_300),
+    );
     let summary = analysis.summary();
     println!(
         "analyzed {} readings; {} anomal{} detected",
         summary.per_type[&SensorType::NoiseTrafficZone].count,
         summary.anomalies.len(),
-        if summary.anomalies.len() == 1 { "y" } else { "ies" }
+        if summary.anomalies.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        }
     );
     for a in &summary.anomalies {
-        println!("  ALERT {} at t={}s: {:.1} dB (z = {:.1})", a.sensor, a.timestamp_s, a.value, a.z);
+        println!(
+            "  ALERT {} at t={}s: {:.1} dB (z = {:.1})",
+            a.sensor, a.timestamp_s, a.value, a.z
+        );
     }
 
     // (c) The deadline argument: fog vs centralized access latency.
@@ -60,9 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cloud = sim.realtime_read_centralized(12, 1_000)?;
     println!(
         "\nreal-time read: {} at fog-1 vs {} centralized -> only {} meets the 10 ms deadline",
-        fog.latency,
-        cloud.latency,
-        placement.layer
+        fog.latency, cloud.latency, placement.layer
     );
     Ok(())
 }

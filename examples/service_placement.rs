@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 access_bytes: 200_000,
             },
         ),
-        ("city-wide mobility analytics", ServiceSpec::deep_analytics()),
+        (
+            "city-wide mobility analytics",
+            ServiceSpec::deep_analytics(),
+        ),
     ];
 
     println!("{:<36} {:>12} {:>16}", "service", "layer", "access latency");

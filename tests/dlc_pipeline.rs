@@ -22,7 +22,9 @@ fn acquisition_to_processing_to_preservation() {
     processing.push(Box::new(AnalysisPhase::new(4.0))).unwrap();
 
     let mut preservation = Pipeline::new(Block::Preservation);
-    preservation.push(Box::new(ClassificationPhase::new())).unwrap();
+    preservation
+        .push(Box::new(ClassificationPhase::new()))
+        .unwrap();
     let archive_idx = preservation.len();
     preservation.push(Box::new(ArchivePhase::new())).unwrap();
     let _ = archive_idx;
@@ -55,7 +57,9 @@ fn quality_is_checked_exactly_once_in_acquisition() {
     }
     // Processing preserves the existing quality report untouched.
     let mut processing = Pipeline::new(Block::Processing);
-    processing.push(Box::new(ProcessPhase::new(vec![]))).unwrap();
+    processing
+        .push(Box::new(ProcessPhase::new(vec![])))
+        .unwrap();
     let processed = processing.run(out.clone(), &PhaseContext::at(2));
     for (a, b) in out.iter().zip(&processed) {
         assert_eq!(a.quality(), b.quality());

@@ -14,8 +14,12 @@ fn chain() -> (F2cNode, F2cNode, F2cNode) {
         RetentionPolicy::keep(86_400),
     )
     .unwrap();
-    let fog2 = F2cNode::fog2(0, FlushPolicy::plain(3600), RetentionPolicy::keep(7 * 86_400))
-        .unwrap();
+    let fog2 = F2cNode::fog2(
+        0,
+        FlushPolicy::plain(3600),
+        RetentionPolicy::keep(7 * 86_400),
+    )
+    .unwrap();
     let cloud = F2cNode::cloud();
     (fog1, fog2, cloud)
 }
@@ -66,9 +70,15 @@ fn portal_roles_gate_cloud_data_by_category() {
 
     let portal = OpenDataPortal::new();
     let public_all = portal
-        .query(cloud.store().archive(), AccessRole::Public, QueryFilter::default())
+        .query(
+            cloud.store().archive(),
+            AccessRole::Public,
+            QueryFilter::default(),
+        )
         .unwrap();
-    assert!(public_all.iter().all(|r| r.sensor_type() == SensorType::Weather));
+    assert!(public_all
+        .iter()
+        .all(|r| r.sensor_type() == SensorType::Weather));
 
     // Energy explicitly requested by the public is denied, not empty.
     let denied = portal.query(

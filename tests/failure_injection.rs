@@ -83,13 +83,7 @@ fn packet_loss_drops_a_predictable_fraction() {
         "expected ~200/1000 losses, got {lost}"
     );
     // Lost messages still loaded the wire (they were metered).
-    assert_eq!(
-        city.network()
-            .meter()
-            .link_traffic(link)
-            .messages,
-        1_000
-    );
+    assert_eq!(city.network().meter().link_traffic(link).messages, 1_000);
 }
 
 #[test]
@@ -116,5 +110,8 @@ fn partial_outage_leaves_other_districts_reachable() {
     // ...but district 5's can.
     let d5_sections = city.fog1_in_district(5);
     let open = city.fog1_nodes()[d5_sections[0]];
-    assert!(city.network_mut().send(open, cloud, 10, SimTime::ZERO).is_ok());
+    assert!(city
+        .network_mut()
+        .send(open, cloud, 10, SimTime::ZERO)
+        .is_ok());
 }

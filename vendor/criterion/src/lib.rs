@@ -1,0 +1,202 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this shim provides the
+//! API surface the workspace's benches use — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — over a simple
+//! wall-clock harness: each benchmark warms up briefly, then runs timed
+//! batches for ~`measurement_ms` and reports mean ns/iter (plus derived
+//! throughput when one was declared).
+//!
+//! No statistics, plots, or baselines; the numbers are honest but coarse.
+//! Swap in the real criterion if rigorous comparisons are ever needed.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — defers to `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Declared work-per-iteration, used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many abstract elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// The benchmark driver handed to group functions.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Warmup duration per benchmark, milliseconds.
+    pub warmup_ms: u64,
+    /// Measurement duration per benchmark, milliseconds.
+    pub measurement_ms: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Modest defaults: full `cargo bench` over all targets stays in
+        // seconds, not minutes. Override via CRITERION_MEASUREMENT_MS.
+        let measurement_ms = std::env::var("CRITERION_MEASUREMENT_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Criterion {
+            warmup_ms: 100,
+            measurement_ms,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, &name.into(), None, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(self.criterion, &full, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(config: &Criterion, name: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warmup: discover a batch size that runs ≳1ms, so timer overhead is
+    // negligible, while calibrating the loop.
+    let warmup_deadline = Instant::now() + Duration::from_millis(config.warmup_ms);
+    let mut batch = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(1) || Instant::now() >= warmup_deadline {
+            break;
+        }
+        batch = batch.saturating_mul(2);
+    }
+
+    let deadline = Instant::now() + Duration::from_millis(config.measurement_ms);
+    let mut total_iters = 0u64;
+    let mut total_time = Duration::ZERO;
+    while Instant::now() < deadline {
+        let mut b = Bencher {
+            iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total_iters += batch;
+        total_time += b.elapsed;
+    }
+    if total_iters == 0 {
+        // Degenerate warmup budget; still produce one sample.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total_iters = 1;
+        total_time = b.elapsed;
+    }
+
+    let ns_per_iter = total_time.as_nanos() as f64 / total_iters as f64;
+    let mut line = format!("{name:<40} {ns_per_iter:>14.1} ns/iter");
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / (ns_per_iter / 1e9);
+            line.push_str(&format!("  ({per_sec:>12.0} elem/s)"));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let mib_s = n as f64 / (ns_per_iter / 1e9) / (1024.0 * 1024.0);
+            line.push_str(&format!("  ({mib_s:>9.1} MiB/s)"));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` / `cargo test` pass harness flags (--bench,
+            // --test, filters); a plain-binary harness safely ignores them.
+            $($group();)+
+        }
+    };
+}

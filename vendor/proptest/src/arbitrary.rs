@@ -1,0 +1,74 @@
+//! `any::<T>()` — whole-domain strategies for primitive types.
+
+use core::marker::PhantomData;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore};
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value covering the full domain of `Self`.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+/// Strategy over the full domain of `T` — `any::<u8>()` etc.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        // Printable ASCII keeps generated text debuggable; the workspace
+        // never relies on exotic code points from `any::<char>()`.
+        rng.gen_range(0x20u32..0x7f)
+            .try_into()
+            .expect("printable ASCII is always a char")
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        // Finite values across a wide magnitude range (no NaN/inf — the
+        // workspace's properties assume ordered arithmetic).
+        let mag = rng.gen_range(-300.0f64..300.0);
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * 10f64.powf(mag / 10.0)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}

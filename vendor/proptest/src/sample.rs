@@ -1,0 +1,26 @@
+//! Sampling strategies over fixed collections — `proptest::sample::select`.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Strategy drawing uniformly from a fixed set of options.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select: empty option set");
+    Select { options }
+}
+
+/// The strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}

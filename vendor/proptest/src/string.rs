@@ -1,0 +1,174 @@
+//! Regex-subset string generation for `&str` strategies.
+//!
+//! Supported syntax — enough for patterns like `"[a-z]{1,12}"`:
+//!
+//! * literal characters,
+//! * character classes `[a-z0-9_]` (ranges and single characters),
+//! * repetition `{n}`, `{m,n}`, `?`, `+`, `*` (the unbounded forms cap at 8),
+//! * `.` (any printable ASCII character).
+//!
+//! Anything else panics with a clear message rather than silently
+//! generating the wrong language.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One parsed pattern element: a set of candidate chars + repetition range.
+struct Piece {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Samples one string from `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut SmallRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for p in &pieces {
+        let reps = rng.gen_range(p.min..=p.max);
+        for _ in 0..reps {
+            out.push(p.choices[rng.gen_range(0..p.choices.len())]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"))
+                    + i;
+                let class = expand_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                class
+            }
+            '.' => {
+                i += 1;
+                (0x20u8..0x7f).map(char::from).collect()
+            }
+            '\\' => {
+                let next = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 2;
+                match next {
+                    'd' => ('0'..='9').collect(),
+                    'w' => ('a'..='z')
+                        .chain('A'..='Z')
+                        .chain('0'..='9')
+                        .chain(std::iter::once('_'))
+                        .collect(),
+                    's' => vec![' ', '\t'],
+                    c if !c.is_alphanumeric() => vec![c],
+                    c => panic!("unsupported escape \\{c} in pattern {pattern:?}"),
+                }
+            }
+            c if "(){}|*+?^$".contains(c) => {
+                panic!("unsupported regex syntax {c:?} in pattern {pattern:?} (shim supports literals, classes, repetitions)")
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated repetition in pattern {pattern:?}"))
+                    + i;
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().unwrap_or_else(|_| {
+                            panic!("bad repetition {spec:?} in pattern {pattern:?}")
+                        }),
+                        hi.trim().parse().unwrap_or_else(|_| {
+                            panic!("bad repetition {spec:?} in pattern {pattern:?}")
+                        }),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().unwrap_or_else(|_| {
+                            panic!("bad repetition {spec:?} in pattern {pattern:?}")
+                        });
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "empty repetition in pattern {pattern:?}");
+        pieces.push(Piece { choices, min, max });
+    }
+    pieces
+}
+
+fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(
+        body.first() != Some(&'^'),
+        "negated classes unsupported in pattern {pattern:?}"
+    );
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted range {lo}-{hi} in pattern {pattern:?}");
+            out.extend(lo..=hi);
+            i += 3;
+        } else {
+            out.push(body[i]);
+            i += 1;
+        }
+    }
+    assert!(!out.is_empty(), "empty class in pattern {pattern:?}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    use super::sample_pattern;
+
+    #[test]
+    fn class_with_bounded_repetition() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let s = sample_pattern("[a-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_and_digits() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let s = sample_pattern("id-\\d{3}", &mut rng);
+        assert!(s.starts_with("id-"));
+        assert_eq!(s.len(), 6);
+        assert!(s[3..].chars().all(|c| c.is_ascii_digit()));
+    }
+}

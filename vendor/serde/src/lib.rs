@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container cannot reach crates.io, and the workspace only uses
+//! serde as `#[derive(Serialize, Deserialize)]` annotations on plain data
+//! types — no code path actually serializes. This shim keeps those
+//! annotations compiling: the traits are markers and the derives (re-exported
+//! from the sibling `serde_derive` shim) expand to nothing.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
