@@ -1,0 +1,72 @@
+//! Criterion bench for E7: serving-path costs of the query engine —
+//! edge-cache hits vs planner+store execution, point vs aggregate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use f2c_core::runtime::populate_city;
+use f2c_core::F2cCity;
+use f2c_query::{plan, EngineConfig, Query, QueryEngine, QueryKind, Scope, Selector, TimeWindow};
+use scc_sensors::{Category, SensorType};
+
+fn warm_engine() -> QueryEngine {
+    let mut city = F2cCity::barcelona().expect("city builds");
+    populate_city(&mut city, 20_000, 7, 2 * 3_600, 900).expect("warm-up runs");
+    let mut engine = QueryEngine::new(city, EngineConfig::default());
+    engine.flush_all(2 * 3_600).expect("settling flush");
+    engine
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut engine = warm_engine();
+    let now = 2 * 3_600 + 10;
+    let district = engine.city().district_of(21);
+    let dashboard = Query {
+        origin: 21,
+        selector: Selector::Category(Category::Urban),
+        scope: Scope::District(district),
+        window: TimeWindow::new(0, 2 * 3_600),
+        kind: QueryKind::Aggregate,
+    };
+    let realtime = Query {
+        origin: 21,
+        selector: Selector::Type(SensorType::Traffic),
+        scope: Scope::Section(21),
+        window: TimeWindow::new(0, now),
+        kind: QueryKind::Point,
+    };
+
+    c.bench_function("queries/plan", |b| {
+        b.iter(|| black_box(plan(engine.city(), black_box(&dashboard)).unwrap()))
+    });
+    // First serve fills the caches; iterations then measure the hit path.
+    engine.serve_sync(&dashboard, now).unwrap();
+    c.bench_function("queries/edge_cache_hit", |b| {
+        b.iter(|| black_box(engine.serve_sync(black_box(&dashboard), now).unwrap()))
+    });
+    c.bench_function("queries/point_local_store", |b| {
+        let mut shift = 0u64;
+        b.iter(|| {
+            // A moving window defeats the result cache, so every
+            // iteration pays the reverse scan.
+            shift += 1;
+            let q = Query {
+                window: TimeWindow::new(shift % 600, now),
+                ..realtime
+            };
+            black_box(engine.serve_sync(&q, now).unwrap())
+        })
+    });
+    c.bench_function("queries/aggregate_cold_window", |b| {
+        let mut shift = 0u64;
+        b.iter(|| {
+            shift += 1;
+            let q = Query {
+                window: TimeWindow::new(shift % 3_600, 2 * 3_600),
+                ..dashboard
+            };
+            black_box(engine.serve_sync(&q, now).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

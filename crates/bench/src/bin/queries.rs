@@ -1,0 +1,185 @@
+//! Experiment E7: consumer query serving over the F2C hierarchy — a
+//! seeded ≥1M-request closed-loop workload (dashboard / analytics /
+//! real-time mix) against a warmed Barcelona deployment, reporting
+//! per-layer latency percentiles, cache hit rates and admission sheds,
+//! plus a warm-vs-cold serving microbenchmark.
+//!
+//! Run with `cargo run --release -p f2c-bench --bin queries`.
+
+use std::time::Instant;
+
+use f2c_core::runtime::populate_city;
+use f2c_core::{F2cCity, Layer};
+use f2c_query::workload::{self, WorkloadConfig};
+use f2c_query::{
+    EngineConfig, LayerCaps, Outcome, Query, QueryEngine, QueryKind, Scope, Selector, TimeWindow,
+};
+use scc_sensors::Category;
+
+const WARMUP_SCALE: u64 = 2_000;
+const WARMUP_HORIZON_S: u64 = 4 * 3_600;
+const REQUESTS: u64 = 1_000_000;
+
+fn main() {
+    println!("== E7: closed-loop query serving over the F2C hierarchy ==\n");
+
+    // --- warm-up: event-driven ingest day slice ------------------------
+    let t = Instant::now();
+    let mut city = F2cCity::barcelona().expect("barcelona deployment builds");
+    let warm =
+        populate_city(&mut city, WARMUP_SCALE, 2017, WARMUP_HORIZON_S, 900).expect("warm-up runs");
+    println!(
+        "warm-up: {} readings -> {} records over {} simulated hours \
+         ({} flushes) in {:.2?}",
+        warm.offered,
+        warm.stored,
+        WARMUP_HORIZON_S / 3_600,
+        warm.flushes,
+        t.elapsed()
+    );
+
+    // --- serving: 1M closed-loop requests ------------------------------
+    let cfg = EngineConfig {
+        caps: LayerCaps {
+            fog1: 256,
+            fog2: 16,
+            cloud: 2,
+        },
+        ..EngineConfig::default()
+    };
+    let mut engine = QueryEngine::new(city, cfg);
+    let config = WorkloadConfig {
+        seed: 2017,
+        requests: REQUESTS,
+        users: 600,
+        start_s: WARMUP_HORIZON_S,
+        flush_period_s: 900,
+        ingest_period_s: 300,
+        ingest_scale: WARMUP_SCALE,
+        record_transcript: false,
+        ..WorkloadConfig::default()
+    };
+    let t = Instant::now();
+    let report = workload::run(&mut engine, &config).expect("workload runs");
+    let wall = t.elapsed();
+
+    println!(
+        "\nworkload: {} requests from {} users over {} simulated seconds \
+         in {:.2?} ({:.0} req/s wall)",
+        report.issued,
+        config.users,
+        report.sim_end_s - config.start_s,
+        wall,
+        report.issued as f64 / wall.as_secs_f64()
+    );
+    println!(
+        "transcript hash: {:#018x} (seeded replays reproduce it)\n",
+        report.transcript_hash
+    );
+
+    println!(
+        "{:<12} {:>9} {:>14} {:>14}",
+        "layer", "served", "p50 latency", "p99 latency"
+    );
+    println!("{}", "-".repeat(52));
+    for layer in Layer::ALL {
+        let h = report.layer_hist(layer);
+        if h.count() == 0 {
+            continue;
+        }
+        println!(
+            "{:<12} {:>9} {:>14} {:>14}",
+            format!("{layer}"),
+            h.count(),
+            h.quantile(0.5).to_string(),
+            h.quantile(0.99).to_string()
+        );
+    }
+
+    let stats = engine.stats();
+    println!(
+        "\nanswered {} | edge hits {} | source hits {} | store served {} \
+         | cache hit rate {:.1}%",
+        report.answered,
+        report.edge_hits,
+        report.source_hits,
+        report.store_served,
+        report.cache_hit_rate() * 100.0
+    );
+    println!(
+        "shed: fog1 {} / fog2 {} / cloud {} (total {}) | unanswerable {}",
+        stats.shed[0],
+        stats.shed[1],
+        stats.shed[2],
+        stats.shed_total(),
+        report.unanswerable
+    );
+    println!(
+        "scans: {} records visited | partial cache: {} hits / {} fills",
+        stats.records_scanned, stats.partial_hits, stats.partial_fills
+    );
+
+    assert!(report.issued >= REQUESTS, "must push at least 1M requests");
+    assert!(
+        report.answered as f64 >= 0.9 * report.issued as f64,
+        "a warm hierarchy answers the overwhelming majority"
+    );
+    assert!(
+        report.cache_hit_rate() > 0.10,
+        "dashboards must produce real cache traffic"
+    );
+
+    // --- warm vs cold: the cache pays for itself ------------------------
+    // Section 3 (district 0) sits where the scaled-down populations
+    // concentrate, so the probe aggregates a non-trivial record set. The
+    // probe's window must be *closed* (end at or before the serve
+    // instant) to be result-cacheable, so it ends at the settling flush.
+    let now = report.sim_end_s + 900;
+    engine.flush_all(now).expect("flush to invalidate caches");
+    let district = engine.city().district_of(3);
+    let probe = Query {
+        origin: 3,
+        selector: Selector::Category(Category::Energy),
+        scope: Scope::District(district),
+        window: TimeWindow::new(0, engine.last_flush_s()),
+        kind: QueryKind::Aggregate,
+    };
+    let serve = |engine: &mut QueryEngine, at: u64| {
+        let t = Instant::now();
+        let outcome = engine.serve_sync(&probe, at).expect("probe serves");
+        let wall = t.elapsed();
+        match outcome {
+            Outcome::Answered(resp) => (resp, wall),
+            Outcome::Shed { layer } => panic!("probe shed at {layer}"),
+        }
+    };
+    let (cold, cold_wall) = serve(&mut engine, now + 1);
+    let (hot, hot_wall) = serve(&mut engine, now + 2);
+    println!(
+        "\nwarm vs cold ({} records aggregated):",
+        match &cold.answer {
+            f2c_query::QueryAnswer::Aggregate(a) => a.count,
+            _ => 0,
+        }
+    );
+    println!(
+        "  cold path : {:>12} simulated, {:>10.2?} wall  ({:?})",
+        cold.est_latency.to_string(),
+        cold_wall,
+        cold.via
+    );
+    println!(
+        "  warm hit  : {:>12} simulated, {:>10.2?} wall  ({:?})",
+        hot.est_latency.to_string(),
+        hot_wall,
+        hot.via
+    );
+    assert!(
+        hot.est_latency < cold.est_latency,
+        "a warm result-cache hit must be cheaper than the cold path"
+    );
+    println!(
+        "  -> {:.1}x cheaper simulated latency on the warm path. SHAPE OK",
+        cold.est_latency.as_secs_f64() / hot.est_latency.as_secs_f64().max(1e-12)
+    );
+}

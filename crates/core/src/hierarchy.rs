@@ -48,6 +48,7 @@ pub struct F2cCity {
     fog2: Vec<F2cNode>,
     cloud: F2cNode,
     cost: AccessCostModel,
+    flush_epoch: u64,
 }
 
 impl F2cCity {
@@ -86,6 +87,7 @@ impl F2cCity {
             fog1,
             fog2,
             cloud: F2cNode::cloud(),
+            flush_epoch: 0,
         })
     }
 
@@ -119,6 +121,66 @@ impl F2cCity {
         &self.cloud
     }
 
+    /// The Table-I catalog backing the deployment.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The §IV.C access cost model (shared with the query planner).
+    pub fn cost_model(&self) -> &AccessCostModel {
+        &self.cost
+    }
+
+    /// District of a section (0..73 → 0..10).
+    pub fn district_of(&self, section: usize) -> usize {
+        self.city.district_of(section)
+    }
+
+    /// The section indices of a district's fog-1 nodes.
+    pub fn sections_in_district(&self, district: usize) -> Vec<usize> {
+        self.city.fog1_in_district(district)
+    }
+
+    /// Monotone counter bumped by every [`F2cCity::flush_all`]. Result
+    /// caches key their entries on it: archives above fog 1 only change
+    /// when a flush ships data upward, so an unchanged epoch certifies
+    /// that a cached answer is still current.
+    pub fn flush_epoch(&self) -> u64 {
+        self.flush_epoch
+    }
+
+    /// Meters one consumer request/response on the simulated network:
+    /// `request_bytes` from `section`'s fog-1 node to the `source`, and
+    /// `response_bytes` back. Local serves never touch the network.
+    ///
+    /// # Errors
+    ///
+    /// Network errors (e.g. injected outages on the chosen path).
+    pub fn meter_query(
+        &mut self,
+        section: usize,
+        source: DataSource,
+        request_bytes: u64,
+        response_bytes: u64,
+        now_s: u64,
+    ) -> Result<()> {
+        let requester = self.city.fog1_nodes()[section];
+        let source_node = match source {
+            DataSource::Local => return Ok(()),
+            DataSource::Neighbor(n) => self.city.fog1_nodes()[n],
+            DataSource::Parent => self.city.fog2_nodes()[self.city.district_of(section)],
+            DataSource::Cloud => self.city.cloud(),
+        };
+        self.city.network_mut().request_response(
+            requester,
+            source_node,
+            request_bytes,
+            response_bytes,
+            SimTime::from_secs(now_s),
+        )?;
+        Ok(())
+    }
+
     /// Ingests one wave of readings at a section's fog-1 node.
     ///
     /// # Errors
@@ -141,6 +203,7 @@ impl F2cCity {
     ///
     /// Network or compression failures.
     pub fn flush_all(&mut self, now_s: u64) -> Result<(u64, u64)> {
+        self.flush_epoch += 1;
         let mut fog1_bytes = 0;
         for i in 0..self.fog1.len() {
             let batch = self.fog1[i].flush(now_s, &self.catalog)?;
@@ -180,7 +243,7 @@ impl F2cCity {
     }
 
     /// Ring distance between two sections of the same district.
-    fn ring_hops(&self, a: usize, b: usize) -> u32 {
+    pub fn ring_hops(&self, a: usize, b: usize) -> u32 {
         let district = self.city.district_of(a);
         let members = self.city.fog1_in_district(district);
         let pa = members.iter().position(|&m| m == a).expect("member");
@@ -196,15 +259,10 @@ impl F2cCity {
         until_s: u64,
     ) -> Vec<DataRecord> {
         store
-            .archive()
-            .query_range(from_s, until_s)
-            .map(|v| {
-                v.into_iter()
-                    .filter(|r| r.sensor_type() == ty)
-                    .cloned()
-                    .collect()
-            })
-            .unwrap_or_default()
+            .range(from_s, until_s)
+            .filter(|r| r.sensor_type() == ty)
+            .cloned()
+            .collect()
     }
 
     /// §IV.C data fetch: serves `(ty, [from_s, until_s))` to a consumer at
@@ -430,6 +488,23 @@ mod tests {
             .fetch(other, SensorType::AirQuality, 0, 10_000, 2_000)
             .unwrap();
         assert!(local.est_latency < neighbor.est_latency);
+    }
+
+    #[test]
+    fn flush_epoch_counts_flushes_and_metering_skips_local() {
+        let mut city = F2cCity::barcelona().unwrap();
+        assert_eq!(city.flush_epoch(), 0);
+        city.flush_all(900).unwrap();
+        city.flush_all(1800).unwrap();
+        assert_eq!(city.flush_epoch(), 2);
+
+        let before = city.network_bytes();
+        city.meter_query(0, DataSource::Local, 200, 10_000, 2_000)
+            .unwrap();
+        assert_eq!(city.network_bytes(), before, "local serves are free");
+        city.meter_query(0, DataSource::Parent, 200, 10_000, 2_000)
+            .unwrap();
+        assert!(city.network_bytes() > before, "parent serves are metered");
     }
 
     #[test]

@@ -22,6 +22,16 @@ impl Layer {
     /// All layers, edge first.
     pub const ALL: [Layer; 3] = [Layer::Fog1, Layer::Fog2, Layer::Cloud];
 
+    /// Dense index (fog 1 = 0, fog 2 = 1, cloud = 2) for per-layer
+    /// tables (histograms, in-flight slots, shed counters).
+    pub fn index(self) -> usize {
+        match self {
+            Layer::Fog1 => 0,
+            Layer::Fog2 => 1,
+            Layer::Cloud => 2,
+        }
+    }
+
     /// The layer one step up, or `None` at the cloud.
     pub fn parent(self) -> Option<Layer> {
         match self {
@@ -68,6 +78,13 @@ mod tests {
         assert_eq!(Layer::Fog1.parent(), Some(Layer::Fog2));
         assert_eq!(Layer::Fog2.parent(), Some(Layer::Cloud));
         assert_eq!(Layer::Cloud.parent(), None);
+    }
+
+    #[test]
+    fn indices_are_dense_and_match_all_order() {
+        for (i, layer) in Layer::ALL.into_iter().enumerate() {
+            assert_eq!(layer.index(), i);
+        }
     }
 
     #[test]

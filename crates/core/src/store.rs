@@ -40,16 +40,19 @@ pub struct TieredStore {
     retention: Option<RetentionPolicy>,
     /// Root stores (the cloud) have no parent; they skip the pending queue.
     is_root: bool,
+    /// Oldest creation time among the pending records, if any.
+    pending_earliest_s: Option<u64>,
+    /// Highest eviction deadline ever applied: every record received with
+    /// a creation time at or after this is still held locally.
+    evicted_before_s: u64,
 }
 
 impl TieredStore {
     /// A store with `retention` that queues arrivals for upward shipping.
     pub fn new(retention: RetentionPolicy) -> Self {
         Self {
-            archive: ArchiveStore::new(),
-            pending: Vec::new(),
             retention: Some(retention),
-            is_root: false,
+            ..Self::default()
         }
     }
 
@@ -57,16 +60,19 @@ impl TieredStore {
     /// evicted.
     pub fn permanent() -> Self {
         Self {
-            archive: ArchiveStore::new(),
-            pending: Vec::new(),
-            retention: None,
             is_root: true,
+            ..Self::default()
         }
     }
 
     /// Inserts one record.
     pub fn insert(&mut self, record: DataRecord) {
         if !self.is_root {
+            let created = record.descriptor().created_s();
+            self.pending_earliest_s = Some(match self.pending_earliest_s {
+                Some(e) => e.min(created),
+                None => created,
+            });
             self.pending.push(record.clone());
         }
         self.archive.insert(record);
@@ -104,19 +110,51 @@ impl TieredStore {
         &self.archive
     }
 
+    /// Iterates locally held records created in `[from_s, until_s)`,
+    /// oldest first, without cloning. The query executor and the
+    /// hierarchy's fetch path scan through this instead of materializing
+    /// the matching slice.
+    pub fn range(&self, from_s: u64, until_s: u64) -> impl DoubleEndedIterator<Item = &DataRecord> {
+        self.archive.range(from_s, until_s)
+    }
+
+    /// The retention policy, or `None` for a permanent root store.
+    pub fn retention(&self) -> Option<RetentionPolicy> {
+        self.retention
+    }
+
+    /// The completeness watermark: the store still holds *every* record it
+    /// ever received whose creation time is at or after this instant.
+    /// Planners use it to decide whether a window can be answered here or
+    /// has aged out upward.
+    pub fn evicted_before_s(&self) -> u64 {
+        self.evicted_before_s
+    }
+
+    /// Oldest creation time still awaiting the next flush, or `None` when
+    /// the pending queue is empty. A parent tier is complete for windows
+    /// ending at or before this frontier.
+    pub fn pending_earliest_s(&self) -> Option<u64> {
+        self.pending_earliest_s
+    }
+
     /// Takes everything received since the previous flush for upward
     /// shipping. Local copies remain until retention evicts them — that is
     /// what keeps real-time access fast while the data also climbs the
     /// hierarchy. `_now_s` documents the flush instant for callers; the
     /// batch itself is arrival-defined.
     pub fn take_flush_batch(&mut self, _now_s: u64) -> Vec<DataRecord> {
+        self.pending_earliest_s = None;
         std::mem::take(&mut self.pending)
     }
 
     /// Evicts records past retention at `now_s`; returns the evicted count.
     pub fn evict_expired(&mut self, now_s: u64) -> usize {
         match self.retention.and_then(|r| r.eviction_deadline(now_s)) {
-            Some(deadline) => self.archive.evict_older_than(deadline).len(),
+            Some(deadline) => {
+                self.evicted_before_s = self.evicted_before_s.max(deadline);
+                self.archive.evict_older_than(deadline).len()
+            }
             None => 0,
         }
     }
@@ -199,6 +237,40 @@ mod tests {
         assert_eq!(s.pending_len(), 2);
         s.take_flush_batch(10);
         assert_eq!(s.pending_len(), 0);
+    }
+
+    #[test]
+    fn watermark_and_pending_frontier_track_completeness() {
+        let mut s = TieredStore::new(RetentionPolicy::keep(1000));
+        assert_eq!(s.evicted_before_s(), 0);
+        assert_eq!(s.pending_earliest_s(), None);
+        s.insert(rec(700));
+        s.insert(rec(300));
+        assert_eq!(s.pending_earliest_s(), Some(300));
+        s.take_flush_batch(800);
+        assert_eq!(s.pending_earliest_s(), None);
+        // Eviction advances the watermark even when nothing is removed yet.
+        s.evict_expired(1200);
+        assert_eq!(s.evicted_before_s(), 200);
+        s.evict_expired(2000);
+        assert_eq!(s.evicted_before_s(), 1000);
+        // The watermark never moves backwards.
+        s.evict_expired(1500);
+        assert_eq!(s.evicted_before_s(), 1000);
+    }
+
+    #[test]
+    fn range_reads_do_not_disturb_pending() {
+        let mut s = TieredStore::new(RetentionPolicy::permanent());
+        for t in 0..5 {
+            s.insert(rec(t * 100));
+        }
+        let seen: Vec<u64> = s
+            .range(100, 400)
+            .map(|r| r.descriptor().created_s())
+            .collect();
+        assert_eq!(seen, [100, 200, 300]);
+        assert_eq!(s.pending_len(), 5, "reads must not consume the queue");
     }
 
     #[test]

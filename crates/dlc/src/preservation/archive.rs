@@ -90,11 +90,19 @@ impl ArchiveStore {
         if until_s < from_s {
             return Err(Error::InvertedRange { from_s, until_s });
         }
-        Ok(self
-            .records
+        Ok(self.range(from_s, until_s).collect())
+    }
+
+    /// Iterates records created in `[from_s, until_s)`, oldest first,
+    /// without materializing them. An inverted range yields nothing.
+    ///
+    /// This is the scan primitive for the query layer: consumers filter
+    /// and fold in place instead of cloning the archive slice.
+    pub fn range(&self, from_s: u64, until_s: u64) -> impl DoubleEndedIterator<Item = &DataRecord> {
+        let until_s = until_s.max(from_s);
+        self.records
             .range((from_s, 0)..(until_s, 0))
             .map(|(_, r)| r)
-            .collect())
     }
 
     /// All records of one category, oldest first.
@@ -192,6 +200,23 @@ mod tests {
         assert_eq!(s.query_range(100, 300).unwrap().len(), 2);
         assert_eq!(s.query_range(100, 301).unwrap().len(), 3);
         assert_eq!(s.query_range(0, 100).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn range_iterates_without_allocation_and_reverses() {
+        let mut s = ArchiveStore::new();
+        for t in [100u64, 200, 300] {
+            s.insert(rec(SensorType::Traffic, 0, t));
+        }
+        let fwd: Vec<u64> = s
+            .range(100, 301)
+            .map(|r| r.descriptor().created_s())
+            .collect();
+        assert_eq!(fwd, [100, 200, 300]);
+        let newest = s.range(0, 1_000).next_back().unwrap();
+        assert_eq!(newest.descriptor().created_s(), 300);
+        // Inverted ranges are empty rather than panicking.
+        assert_eq!(s.range(300, 100).count(), 0);
     }
 
     #[test]

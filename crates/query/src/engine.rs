@@ -1,0 +1,831 @@
+//! The query engine: tiered caches in front of a planner-routed executor
+//! over an [`F2cCity`].
+//!
+//! Serving order per query:
+//!
+//! 1. **edge cache** at the requester's fog-1 node (free — no network),
+//! 2. plan the cheapest complete source (§IV.C cost model),
+//! 3. **source cache** at the planned node (pays the route, skips the scan),
+//! 4. **admission control** — per-layer in-flight caps; over cap → shed,
+//! 5. **execute** against the source's tiered store: point/range scans
+//!    over the iterator range-read API, aggregates assembled from
+//!    mergeable bucket partials (cached per flush epoch).
+//!
+//! Estimated latency composes the cost model's transfer time with a
+//! per-record scan cost, so a warm cache hit is strictly cheaper than the
+//! cold path that computed it.
+
+use citysim::time::Duration;
+use f2c_core::cost::AccessOption;
+use f2c_core::node::IngestOutcome;
+use f2c_core::{DataSource, F2cCity, Layer, TieredStore};
+use scc_sensors::Reading;
+
+use crate::cache::{CacheKey, NodeKey, PartialCache, PartialKey, ResultCache};
+use crate::model::{AggPartial, PointSample, Query, QueryAnswer, QueryKind, Scope};
+use crate::planner::{self, QueryPlan};
+use crate::{Error, Result};
+
+/// Per-layer in-flight request caps (admission control).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerCaps {
+    /// Concurrent store-executions across all fog-1 nodes.
+    pub fog1: u32,
+    /// Concurrent store-executions across all fog-2 nodes.
+    pub fog2: u32,
+    /// Concurrent store-executions at the cloud.
+    pub cloud: u32,
+}
+
+impl Default for LayerCaps {
+    fn default() -> Self {
+        Self {
+            fog1: 4_096,
+            fog2: 256,
+            cloud: 64,
+        }
+    }
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Result-cache TTL in simulated seconds.
+    pub result_ttl_s: u64,
+    /// Capacity of each per-node result cache.
+    pub result_capacity: usize,
+    /// Capacity of the shared bucket-partial cache.
+    pub partial_capacity: usize,
+    /// Admission caps.
+    pub caps: LayerCaps,
+    /// Modeled cost of visiting one archived record during a scan.
+    pub scan_cost_per_record_us: u64,
+    /// Request envelope size for network metering.
+    pub request_bytes: u64,
+    /// Aggregation bucket width (seconds).
+    pub bucket_s: u64,
+    /// Largest answer payload worth caching: bulky range answers are
+    /// cheaper to re-scan than to hold in dozens of per-node caches.
+    pub max_cache_entry_bytes: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            result_ttl_s: 120,
+            result_capacity: 512,
+            partial_capacity: 16_384,
+            caps: LayerCaps::default(),
+            scan_cost_per_record_us: 2,
+            request_bytes: 200,
+            bucket_s: 900,
+            max_cache_entry_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// How an answered query was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedVia {
+    /// Result cache at the requester's own fog-1 node.
+    EdgeCache,
+    /// Result cache at the planned source node.
+    SourceCache(DataSource),
+    /// Executed against the source's tiered store.
+    Store(DataSource),
+}
+
+/// One answered query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// The answer.
+    pub answer: QueryAnswer,
+    /// How it was served.
+    pub via: ServedVia,
+    /// The layer that served it (edge hits count as fog 1).
+    pub layer: Layer,
+    /// Cost-model transfer time plus scan time.
+    pub est_latency: Duration,
+    /// Response payload size.
+    pub response_bytes: u64,
+    /// The layer slot this request occupies until [`QueryEngine::release`]
+    /// (store executions only; cache hits hold nothing).
+    pub held_slot: Option<Layer>,
+}
+
+/// What happened to one served query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Answered (possibly from cache).
+    Answered(QueryResponse),
+    /// Rejected by admission control at the planned layer.
+    Shed {
+        /// The saturated layer.
+        layer: Layer,
+    },
+}
+
+/// Serving counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries offered to [`QueryEngine::serve`].
+    pub requests: u64,
+    /// Queries answered (any path).
+    pub answered: u64,
+    /// Edge result-cache hits.
+    pub edge_hits: u64,
+    /// Source result-cache hits.
+    pub source_hits: u64,
+    /// Queries executed against a store.
+    pub store_served: u64,
+    /// Queries no layer could answer completely.
+    pub unanswerable: u64,
+    /// Sheds per layer (fog 1, fog 2, cloud).
+    pub shed: [u64; 3],
+    /// Archive records visited by scans.
+    pub records_scanned: u64,
+    /// Bucket partials served from cache.
+    pub partial_hits: u64,
+    /// Bucket partials folded and cached.
+    pub partial_fills: u64,
+}
+
+impl EngineStats {
+    /// Total sheds across layers.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.iter().sum()
+    }
+
+    /// Fraction of answered queries served from a result cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.answered == 0 {
+            0.0
+        } else {
+            (self.edge_hits + self.source_hits) as f64 / self.answered as f64
+        }
+    }
+}
+
+/// The consumer-facing query engine over an assembled city.
+#[derive(Debug)]
+pub struct QueryEngine {
+    city: F2cCity,
+    cfg: EngineConfig,
+    edge: Vec<ResultCache>,
+    src_fog1: Vec<ResultCache>,
+    src_fog2: Vec<ResultCache>,
+    src_cloud: ResultCache,
+    partials: PartialCache,
+    in_flight: [u32; 3],
+    last_flush_s: u64,
+    /// Latest instant any query was served at — the frontier behind
+    /// which cached results and closed-bucket partials assume no new
+    /// records will appear.
+    served_frontier_s: u64,
+    /// Local invalidations (backdated ingests) added on top of the
+    /// hierarchy's flush epoch.
+    extra_epochs: u64,
+    stats: EngineStats,
+}
+
+impl QueryEngine {
+    /// Wraps `city` with caches and admission control per `cfg`.
+    pub fn new(city: F2cCity, cfg: EngineConfig) -> Self {
+        let cache = || ResultCache::new(cfg.result_ttl_s, cfg.result_capacity);
+        Self {
+            edge: (0..city.section_count()).map(|_| cache()).collect(),
+            src_fog1: (0..city.section_count()).map(|_| cache()).collect(),
+            src_fog2: (0..10).map(|_| cache()).collect(),
+            src_cloud: cache(),
+            partials: PartialCache::new(cfg.partial_capacity),
+            in_flight: [0; 3],
+            last_flush_s: 0,
+            served_frontier_s: 0,
+            extra_epochs: 0,
+            stats: EngineStats::default(),
+            city,
+            cfg,
+        }
+    }
+
+    /// The wrapped city.
+    pub fn city(&self) -> &F2cCity {
+        &self.city
+    }
+
+    /// Serving counters so far.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// When the hierarchy last flushed through this engine — the settled
+    /// frontier workload generators can safely query district windows up
+    /// to.
+    pub fn last_flush_s(&self) -> u64 {
+        self.last_flush_s
+    }
+
+    /// In-flight store executions at `layer`.
+    pub fn in_flight(&self, layer: Layer) -> u32 {
+        self.in_flight[layer.index()]
+    }
+
+    /// Whether an answer to `query` may enter the result caches: only
+    /// **closed** windows (ending at or before the serve instant)
+    /// qualify, and only modestly sized payloads. Closed windows are
+    /// what makes invalidation airtight: every cached window then lies
+    /// entirely behind the served frontier, so an ordinary
+    /// frontier-appending ingest can never land inside one, and a
+    /// backdated ingest (below the frontier) bumps the epoch.
+    fn cacheable(&self, query: &Query, now_s: u64, response_bytes: u64) -> bool {
+        query.window.until_s <= now_s && response_bytes <= self.cfg.max_cache_entry_bytes
+    }
+
+    /// Ingests a sensor wave at a section's fog-1 node. The write path
+    /// runs through the engine so the cache frontier invariant is
+    /// *enforced*, not assumed: a reading backdated behind any already
+    /// served instant bumps the engine's epoch, lazily invalidating
+    /// every cached result and closed-bucket partial it could falsify.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hierarchy errors.
+    pub fn ingest(
+        &mut self,
+        section: usize,
+        readings: Vec<Reading>,
+        now_s: u64,
+    ) -> Result<IngestOutcome> {
+        if readings
+            .iter()
+            .any(|r| r.timestamp_s() < self.served_frontier_s)
+        {
+            self.extra_epochs += 1;
+        }
+        Ok(self.city.ingest(section, readings, now_s)?)
+    }
+
+    /// Flushes the whole hierarchy upward; bumps the flush epoch, which
+    /// lazily invalidates every cached result and partial.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network/compression errors.
+    pub fn flush_all(&mut self, now_s: u64) -> Result<(u64, u64)> {
+        let shipped = self.city.flush_all(now_s)?;
+        self.last_flush_s = now_s;
+        Ok(shipped)
+    }
+
+    /// Releases the layer slot a store execution held (call when the
+    /// simulated response completes; see [`QueryResponse::held_slot`]).
+    pub fn release(&mut self, layer: Layer) {
+        let i = layer.index();
+        self.in_flight[i] = self.in_flight[i].saturating_sub(1);
+    }
+
+    /// Serves one query at `now_s`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadQuery`] / [`Error::Unanswerable`] per the planner;
+    /// network errors while metering the transfer.
+    pub fn serve(&mut self, query: &Query, now_s: u64) -> Result<Outcome> {
+        query.validated()?;
+        self.stats.requests += 1;
+        self.served_frontier_s = self.served_frontier_s.max(now_s);
+        let key = CacheKey::from(query);
+        // Flush epoch plus local invalidations: both only grow, so any
+        // bump strictly outdates every previously stamped entry.
+        let epoch = self.city.flush_epoch() + self.extra_epochs;
+
+        // 1. Edge cache at the requester's fog-1 node: a free local answer.
+        if let Some(answer) = self.edge[query.origin].get(&key, now_s, epoch) {
+            self.stats.edge_hits += 1;
+            self.stats.answered += 1;
+            let bytes = answer.response_bytes();
+            return Ok(Outcome::Answered(QueryResponse {
+                est_latency: self.city.cost_model().cost(AccessOption::Local, bytes),
+                layer: Layer::Fog1,
+                via: ServedVia::EdgeCache,
+                response_bytes: bytes,
+                held_slot: None,
+                answer,
+            }));
+        }
+
+        // 2. Route.
+        let plan = match planner::plan(&self.city, query) {
+            Ok(p) => p,
+            Err(e @ Error::Unanswerable { .. }) => {
+                self.stats.unanswerable += 1;
+                return Err(e);
+            }
+            Err(e) => return Err(e),
+        };
+
+        // 3. Source cache at the planned node: pays the route, skips the scan.
+        if let Some(answer) = self
+            .source_cache(plan.source, query.origin)
+            .get(&key, now_s, epoch)
+        {
+            self.stats.source_hits += 1;
+            self.stats.answered += 1;
+            let bytes = answer.response_bytes();
+            self.city.meter_query(
+                query.origin,
+                plan.source,
+                self.cfg.request_bytes,
+                bytes,
+                now_s,
+            )?;
+            if self.cacheable(query, now_s, bytes) {
+                self.edge[query.origin].put(key, answer.clone(), now_s, epoch);
+            }
+            return Ok(Outcome::Answered(QueryResponse {
+                est_latency: self.city.cost_model().cost(plan.option, bytes),
+                layer: plan.layer,
+                via: ServedVia::SourceCache(plan.source),
+                response_bytes: bytes,
+                held_slot: None,
+                answer,
+            }));
+        }
+
+        // 4. Admission control.
+        let li = plan.layer.index();
+        let cap = match plan.layer {
+            Layer::Fog1 => self.cfg.caps.fog1,
+            Layer::Fog2 => self.cfg.caps.fog2,
+            Layer::Cloud => self.cfg.caps.cloud,
+        };
+        if self.in_flight[li] >= cap {
+            self.stats.shed[li] += 1;
+            return Ok(Outcome::Shed { layer: plan.layer });
+        }
+
+        // 5. Execute against the source store.
+        let (answer, visited) = self.execute(query, &plan, now_s, epoch);
+        self.stats.records_scanned += visited;
+        let bytes = answer.response_bytes();
+        let est_latency = self.city.cost_model().cost(plan.option, bytes)
+            + Duration::from_micros(self.cfg.scan_cost_per_record_us * visited);
+        self.city.meter_query(
+            query.origin,
+            plan.source,
+            self.cfg.request_bytes,
+            bytes,
+            now_s,
+        )?;
+        if self.cacheable(query, now_s, bytes) {
+            self.source_cache(plan.source, query.origin)
+                .put(key, answer.clone(), now_s, epoch);
+            self.edge[query.origin].put(key, answer.clone(), now_s, epoch);
+        }
+        self.in_flight[li] += 1;
+        self.stats.store_served += 1;
+        self.stats.answered += 1;
+        Ok(Outcome::Answered(QueryResponse {
+            answer,
+            via: ServedVia::Store(plan.source),
+            layer: plan.layer,
+            est_latency,
+            response_bytes: bytes,
+            held_slot: Some(plan.layer),
+        }))
+    }
+
+    /// [`QueryEngine::serve`] for synchronous callers: any held slot is
+    /// released immediately (no simulated completion event).
+    ///
+    /// # Errors
+    ///
+    /// As [`QueryEngine::serve`].
+    pub fn serve_sync(&mut self, query: &Query, now_s: u64) -> Result<Outcome> {
+        let outcome = self.serve(query, now_s)?;
+        if let Outcome::Answered(resp) = &outcome {
+            if let Some(layer) = resp.held_slot {
+                self.release(layer);
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn source_cache(&mut self, source: DataSource, origin: usize) -> &mut ResultCache {
+        match source {
+            DataSource::Local => &mut self.src_fog1[origin],
+            DataSource::Neighbor(n) => &mut self.src_fog1[n],
+            DataSource::Parent => {
+                let d = self.city.district_of(origin);
+                &mut self.src_fog2[d]
+            }
+            DataSource::Cloud => &mut self.src_cloud,
+        }
+    }
+
+    fn execute(
+        &mut self,
+        query: &Query,
+        plan: &QueryPlan,
+        now_s: u64,
+        epoch: u64,
+    ) -> (QueryAnswer, u64) {
+        let (store, node): (&TieredStore, NodeKey) = match plan.source {
+            DataSource::Local => (
+                self.city.fog1(query.origin).store(),
+                NodeKey::Fog1(query.origin as u16),
+            ),
+            DataSource::Neighbor(n) => (self.city.fog1(n).store(), NodeKey::Fog1(n as u16)),
+            DataSource::Parent => {
+                let d = match query.scope {
+                    Scope::Section(s) => self.city.district_of(s),
+                    Scope::District(d) => d,
+                };
+                (self.city.fog2(d).store(), NodeKey::Fog2(d as u16))
+            }
+            DataSource::Cloud => (self.city.cloud().store(), NodeKey::Cloud),
+        };
+        match query.kind {
+            QueryKind::Point => execute_point(store, query),
+            QueryKind::Range => execute_range(store, query),
+            QueryKind::Aggregate => execute_aggregate(
+                store,
+                node,
+                query,
+                &mut self.partials,
+                &mut self.stats,
+                epoch,
+                now_s,
+                self.cfg.bucket_s,
+            ),
+        }
+    }
+}
+
+/// Latest matching observation: reverse range scan with canonical
+/// tie-breaking by sensor identity at equal creation times, so every
+/// complete source yields the same point.
+fn execute_point(store: &TieredStore, query: &Query) -> (QueryAnswer, u64) {
+    let w = query.window;
+    let mut visited = 0u64;
+    let mut best: Option<(u64, u64, PointSample)> = None;
+    for rec in store.range(w.from_s, w.until_s).rev() {
+        visited += 1;
+        let created = rec.descriptor().created_s();
+        if let Some((best_created, _, _)) = best {
+            if created < best_created {
+                break;
+            }
+        }
+        if query.matches(rec) {
+            let sensor = rec.reading().sensor();
+            let rank = (created, sensor.seed_material());
+            if best.is_none_or(|(c, s, _)| rank > (c, s)) {
+                best = Some((
+                    created,
+                    sensor.seed_material(),
+                    PointSample {
+                        created_s: created,
+                        sensor,
+                        value: rec.reading().value().magnitude(),
+                    },
+                ));
+            }
+        }
+    }
+    (QueryAnswer::Point(best.map(|(_, _, p)| p)), visited)
+}
+
+fn execute_range(store: &TieredStore, query: &Query) -> (QueryAnswer, u64) {
+    let w = query.window;
+    let mut visited = 0u64;
+    let mut out = Vec::new();
+    for rec in store.range(w.from_s, w.until_s) {
+        visited += 1;
+        if query.matches(rec) {
+            out.push(rec.clone());
+        }
+    }
+    (QueryAnswer::Records(out), visited)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_aggregate(
+    store: &TieredStore,
+    node: NodeKey,
+    query: &Query,
+    partials: &mut PartialCache,
+    stats: &mut EngineStats,
+    epoch: u64,
+    now_s: u64,
+    bucket_s: u64,
+) -> (QueryAnswer, u64) {
+    let w = query.window;
+    let bucket_s = bucket_s.max(1);
+    let mut acc = AggPartial::empty();
+    let mut visited = 0u64;
+    let first_full = w.from_s.next_multiple_of(bucket_s);
+    let last_full = (w.until_s / bucket_s) * bucket_s;
+    if first_full >= last_full {
+        // No full bucket inside the window: one direct fold.
+        visited += fold_segment(store, query, w.from_s, w.until_s, &mut acc);
+    } else {
+        visited += fold_segment(store, query, w.from_s, first_full, &mut acc);
+        let mut bucket = first_full;
+        while bucket < last_full {
+            let bucket_end = bucket + bucket_s;
+            // Only closed buckets are cacheable: fog-1 ingest appends at
+            // the clock frontier, and tiers above only change on flush
+            // (which bumps the epoch), so a cached closed bucket cannot
+            // drift.
+            if bucket_end <= now_s {
+                let key = PartialKey {
+                    node,
+                    selector: query.selector,
+                    scope: query.scope,
+                    bucket_start_s: bucket,
+                };
+                // A cached-partial merge is O(1) — no records visited,
+                // so it never costs more than folding the bucket (even
+                // an empty one).
+                if partials.merge_into(&key, epoch, &mut acc) {
+                    stats.partial_hits += 1;
+                } else {
+                    let mut part = AggPartial::empty();
+                    visited += fold_segment(store, query, bucket, bucket_end, &mut part);
+                    acc.merge(&part);
+                    partials.put(key, part, epoch);
+                    stats.partial_fills += 1;
+                }
+            } else {
+                visited += fold_segment(store, query, bucket, bucket_end, &mut acc);
+            }
+            bucket = bucket_end;
+        }
+        visited += fold_segment(store, query, last_full, w.until_s, &mut acc);
+    }
+    (QueryAnswer::Aggregate(acc.result()), visited)
+}
+
+fn fold_segment(
+    store: &TieredStore,
+    query: &Query,
+    from_s: u64,
+    until_s: u64,
+    acc: &mut AggPartial,
+) -> u64 {
+    let mut visited = 0u64;
+    for rec in store.range(from_s, until_s) {
+        visited += 1;
+        if query.matches(rec) {
+            acc.absorb(rec);
+        }
+    }
+    visited
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Selector, TimeWindow};
+    use scc_sensors::{Category, ReadingGenerator, SensorType};
+
+    fn engine_with_data(section: usize, ty: SensorType, waves: u64) -> QueryEngine {
+        let mut city = F2cCity::barcelona().unwrap();
+        let mut gen = ReadingGenerator::for_population(ty, 10, 42);
+        for w in 0..waves {
+            city.ingest(section, gen.wave(w * 900), w * 900 + 1)
+                .unwrap();
+        }
+        QueryEngine::new(city, EngineConfig::default())
+    }
+
+    fn aggregate_query(origin: usize, scope: Scope, from: u64, until: u64) -> Query {
+        Query {
+            origin,
+            selector: Selector::Category(Category::Urban),
+            scope,
+            window: TimeWindow::new(from, until),
+            kind: QueryKind::Aggregate,
+        }
+    }
+
+    fn answered(outcome: Outcome) -> QueryResponse {
+        match outcome {
+            Outcome::Answered(r) => r,
+            Outcome::Shed { layer } => panic!("unexpected shed at {layer}"),
+        }
+    }
+
+    #[test]
+    fn point_query_returns_latest_local_observation() {
+        let mut e = engine_with_data(5, SensorType::Traffic, 4);
+        let q = Query {
+            origin: 5,
+            selector: Selector::Type(SensorType::Traffic),
+            scope: Scope::Section(5),
+            window: TimeWindow::new(0, 10_000),
+            kind: QueryKind::Point,
+        };
+        let resp = answered(e.serve_sync(&q, 4_000).unwrap());
+        assert_eq!(resp.via, ServedVia::Store(DataSource::Local));
+        match resp.answer {
+            QueryAnswer::Point(Some(p)) => assert_eq!(p.created_s, 2_700),
+            other => panic!("expected a point sample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_edge_cache_and_cost_less() {
+        let mut e = engine_with_data(5, SensorType::Traffic, 4);
+        let q = aggregate_query(5, Scope::Section(5), 0, 3_600);
+        let cold = answered(e.serve_sync(&q, 4_000).unwrap());
+        assert_eq!(cold.via, ServedVia::Store(DataSource::Local));
+        let warm = answered(e.serve_sync(&q, 4_001).unwrap());
+        assert_eq!(warm.via, ServedVia::EdgeCache);
+        assert_eq!(warm.answer, cold.answer, "cache returns the same answer");
+        assert!(
+            warm.est_latency < cold.est_latency,
+            "warm {} vs cold {}",
+            warm.est_latency,
+            cold.est_latency
+        );
+        assert_eq!(e.stats().edge_hits, 1);
+    }
+
+    #[test]
+    fn flush_invalidates_cached_results() {
+        let mut e = engine_with_data(5, SensorType::Traffic, 4);
+        let q = aggregate_query(5, Scope::Section(5), 0, 3_600);
+        answered(e.serve_sync(&q, 4_000).unwrap());
+        e.flush_all(4_100).unwrap();
+        let after = answered(e.serve_sync(&q, 4_200).unwrap());
+        assert!(
+            matches!(after.via, ServedVia::Store(_)),
+            "epoch bump forces re-execution, got {:?}",
+            after.via
+        );
+    }
+
+    #[test]
+    fn admission_control_sheds_over_cap_and_release_reopens() {
+        let mut city = F2cCity::barcelona().unwrap();
+        let mut gen = ReadingGenerator::for_population(SensorType::Traffic, 10, 42);
+        for w in 0..4 {
+            city.ingest(5, gen.wave(w * 900), w * 900 + 1).unwrap();
+        }
+        let cfg = EngineConfig {
+            caps: LayerCaps {
+                fog1: 1,
+                ..LayerCaps::default()
+            },
+            ..EngineConfig::default()
+        };
+        let mut e = QueryEngine::new(city, cfg);
+        let q1 = aggregate_query(5, Scope::Section(5), 0, 1_800);
+        let q2 = aggregate_query(5, Scope::Section(5), 0, 2_700);
+        let first = answered(e.serve(&q1, 4_000).unwrap());
+        assert_eq!(first.held_slot, Some(Layer::Fog1));
+        match e.serve(&q2, 4_000).unwrap() {
+            Outcome::Shed { layer } => assert_eq!(layer, Layer::Fog1),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        assert_eq!(e.stats().shed_total(), 1);
+        e.release(Layer::Fog1);
+        answered(e.serve(&q2, 4_000).unwrap());
+    }
+
+    #[test]
+    fn aggregates_reuse_bucket_partials_across_windows() {
+        let mut e = engine_with_data(5, SensorType::Traffic, 8);
+        // Two overlapping dashboard windows sharing full buckets.
+        let a = aggregate_query(5, Scope::Section(5), 0, 5_400);
+        let b = aggregate_query(5, Scope::Section(5), 900, 6_300);
+        answered(e.serve_sync(&a, 8_000).unwrap());
+        let fills_after_first = e.stats().partial_fills;
+        assert!(fills_after_first > 0);
+        answered(e.serve_sync(&b, 8_000).unwrap());
+        assert!(
+            e.stats().partial_hits > 0,
+            "second window reuses cached buckets"
+        );
+    }
+
+    #[test]
+    fn open_window_answers_are_never_cached() {
+        use scc_sensors::ReadingGenerator;
+        let mut e = engine_with_data(5, SensorType::Traffic, 4);
+        // Window extends past "now": a later perfectly ordinary ingest
+        // could land inside it, so serving must not cache the answer.
+        let q = aggregate_query(5, Scope::Section(5), 0, 10_000);
+        let first = answered(e.serve_sync(&q, 4_000).unwrap());
+        let first_count = match &first.answer {
+            QueryAnswer::Aggregate(a) => a.count,
+            other => panic!("expected aggregate, got {other:?}"),
+        };
+        let mut gen = ReadingGenerator::for_population(SensorType::Traffic, 10, 43);
+        e.ingest(5, gen.wave(4_050), 4_050).unwrap();
+        let second = answered(e.serve_sync(&q, 4_060).unwrap());
+        assert!(
+            matches!(second.via, ServedVia::Store(_)),
+            "open windows must re-execute, got {:?}",
+            second.via
+        );
+        let second_count = match &second.answer {
+            QueryAnswer::Aggregate(a) => a.count,
+            other => panic!("expected aggregate, got {other:?}"),
+        };
+        assert!(
+            second_count > first_count,
+            "in-window ingest must be visible ({first_count} -> {second_count})"
+        );
+    }
+
+    #[test]
+    fn oversized_answers_bypass_the_result_cache() {
+        let mut city = F2cCity::barcelona().unwrap();
+        let mut gen = ReadingGenerator::for_population(SensorType::Traffic, 50, 42);
+        for w in 0..8 {
+            city.ingest(5, gen.wave(w * 300), w * 300 + 1).unwrap();
+        }
+        let cfg = EngineConfig {
+            max_cache_entry_bytes: 64,
+            ..EngineConfig::default()
+        };
+        let mut e = QueryEngine::new(city, cfg);
+        let q = Query {
+            origin: 5,
+            selector: Selector::Type(SensorType::Traffic),
+            scope: Scope::Section(5),
+            window: TimeWindow::new(0, 2_400),
+            kind: QueryKind::Range,
+        };
+        let first = answered(e.serve_sync(&q, 4_000).unwrap());
+        assert!(first.response_bytes > 64, "probe answer must be bulky");
+        let second = answered(e.serve_sync(&q, 4_001).unwrap());
+        assert!(
+            matches!(second.via, ServedVia::Store(_)),
+            "bulky answers re-scan instead of bloating the caches, got {:?}",
+            second.via
+        );
+        assert_eq!(second.answer, first.answer);
+    }
+
+    #[test]
+    fn backdated_ingest_invalidates_cached_answers() {
+        use scc_sensors::{Reading, SensorId, Value};
+        let mut e = engine_with_data(5, SensorType::Traffic, 4);
+        let q = aggregate_query(5, Scope::Section(5), 0, 2_700);
+        let cold = answered(e.serve_sync(&q, 4_000).unwrap());
+        let cold_count = match &cold.answer {
+            QueryAnswer::Aggregate(a) => a.count,
+            other => panic!("expected aggregate, got {other:?}"),
+        };
+        // A straggler created inside an already-served (and cached)
+        // window must not be masked by the caches.
+        let late = Reading::new(
+            SensorId::new(SensorType::Traffic, 900),
+            1_000,
+            Value::from_f64(3.0),
+        );
+        e.ingest(5, vec![late], 4_100).unwrap();
+        let warm = answered(e.serve_sync(&q, 4_200).unwrap());
+        assert!(
+            matches!(warm.via, ServedVia::Store(_)),
+            "backdated ingest must force re-execution, got {:?}",
+            warm.via
+        );
+        match &warm.answer {
+            QueryAnswer::Aggregate(a) => assert_eq!(a.count, cold_count + 1),
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unanswerable_windows_surface_and_are_counted() {
+        let mut e = engine_with_data(5, SensorType::Traffic, 4);
+        let district = e.city().district_of(5);
+        // District window ending past the flush frontier: nothing above
+        // fog 1 holds it yet.
+        let q = aggregate_query(5, Scope::District(district), 0, 3_000);
+        assert!(matches!(
+            e.serve_sync(&q, 4_000),
+            Err(Error::Unanswerable { .. })
+        ));
+        assert_eq!(e.stats().unanswerable, 1);
+        e.flush_all(4_000).unwrap();
+        let resp = answered(e.serve_sync(&q, 4_100).unwrap());
+        assert_eq!(resp.via, ServedVia::Store(DataSource::Parent));
+    }
+
+    #[test]
+    fn non_local_serving_is_metered_on_the_network() {
+        let mut e = engine_with_data(5, SensorType::Traffic, 4);
+        e.flush_all(4_000).unwrap();
+        let district = e.city().district_of(5);
+        let before = e.city().network_bytes();
+        let q = aggregate_query(5, Scope::District(district), 0, 3_000);
+        answered(e.serve_sync(&q, 4_100).unwrap());
+        assert!(e.city().network_bytes() > before);
+    }
+}

@@ -1,0 +1,51 @@
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors from query validation and serving.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A structurally invalid query (bad indices, inverted window).
+    BadQuery {
+        /// Which part is invalid.
+        field: &'static str,
+        /// Why it is invalid.
+        reason: String,
+    },
+    /// No layer both holds the window completely and is reachable from
+    /// the requester — typically a window reaching past what has been
+    /// flushed upward so far.
+    Unanswerable {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An underlying hierarchy/network error surfaced while serving.
+    Hierarchy(f2c_core::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BadQuery { field, reason } => write!(f, "bad query ({field}): {reason}"),
+            Error::Unanswerable { reason } => write!(f, "query unanswerable: {reason}"),
+            Error::Hierarchy(e) => write!(f, "hierarchy error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Hierarchy(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<f2c_core::Error> for Error {
+    fn from(e: f2c_core::Error) -> Self {
+        Error::Hierarchy(e)
+    }
+}

@@ -1,0 +1,69 @@
+//! # f2c-query — consumer-facing query serving over the F2C hierarchy
+//!
+//! The paper's §IV.C–§IV.D argue that the fog-to-cloud hierarchy lets
+//! city services consume data from the *cheapest layer that holds it* —
+//! real-time reads at fog 1, recent windows at fog 2, history at the
+//! cloud. This crate is that consumption path as a subsystem:
+//!
+//! * [`model`] — typed queries: point / range / aggregate, keyed by
+//!   sensor type or category, scoped to a section or district, over a
+//!   half-open time window,
+//! * [`planner`] — the §IV.C cost model applied to serving: route each
+//!   query to the cheapest source that *provably* holds the whole window
+//!   (eviction watermarks + flush-propagation frontiers), falling back
+//!   upward when data has aged out of a fog tier,
+//! * [`engine`] — the executor behind tiered result caches (edge +
+//!   source, TTL- and flush-epoch-invalidated) and per-layer admission
+//!   control; aggregates are assembled from mergeable bucket partials
+//!   ([`f2c_aggregate::functions`] moments/extremes plus a HyperLogLog
+//!   distinct-sensor sketch) instead of rescanning archives,
+//! * [`workload`] — deterministic, seeded closed-loop workloads
+//!   (dashboard / analytics / real-time mixes) on the event-driven clock,
+//!   for driving millions of simulated requests reproducibly.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use f2c_core::{F2cCity, runtime::populate_city};
+//! use f2c_query::{EngineConfig, Outcome, Query, QueryEngine, QueryKind};
+//! use f2c_query::{Scope, Selector, TimeWindow};
+//! use scc_sensors::Category;
+//!
+//! // Warm a city (2 simulated hours at 1/50000 population), then serve.
+//! let mut city = F2cCity::barcelona()?;
+//! populate_city(&mut city, 50_000, 7, 7_200, 900)?;
+//! let mut engine = QueryEngine::new(city, EngineConfig::default());
+//! engine.flush_all(7_200)?;
+//!
+//! let district = engine.city().district_of(21);
+//! let dashboard = Query {
+//!     origin: 21,
+//!     selector: Selector::Category(Category::Urban),
+//!     scope: Scope::District(district),
+//!     window: TimeWindow::new(0, 7_200),
+//!     kind: QueryKind::Aggregate,
+//! };
+//! match engine.serve_sync(&dashboard, 7_300)? {
+//!     Outcome::Answered(resp) => assert!(resp.est_latency.as_micros() > 0),
+//!     Outcome::Shed { layer } => panic!("shed at {layer}"),
+//! }
+//! # Ok::<(), f2c_query::Error>(())
+//! ```
+
+pub mod cache;
+pub mod engine;
+mod error;
+pub mod model;
+pub mod planner;
+pub mod workload;
+
+pub use engine::{
+    EngineConfig, EngineStats, LayerCaps, Outcome, QueryEngine, QueryResponse, ServedVia,
+};
+pub use error::{Error, Result};
+pub use model::{
+    AggPartial, AggregateResult, PointSample, Query, QueryAnswer, QueryKind, Scope, Selector,
+    TimeWindow,
+};
+pub use planner::{plan, QueryPlan};
+pub use workload::{Mix, ServiceClass, WorkloadConfig, WorkloadReport};

@@ -1,0 +1,231 @@
+//! The layer-aware query planner: §IV.C's cost model applied to serving.
+//!
+//! For every query the planner enumerates the sources that *provably*
+//! hold the whole window and picks the cheapest by access cost. A source
+//! is provably complete when
+//!
+//! * its **eviction watermark** is at or before the window start (the
+//!   retention business rule of §IV.B hasn't aged the data out), and
+//! * everything created before the window end has **propagated** to it —
+//!   checked against the pending-queue frontiers of the tiers below.
+//!
+//! When recent data has aged out of fog 1 the plan falls back upward
+//! (fog 2, then the cloud), mirroring the residency ladder of §IV.B.
+
+use citysim::time::Duration;
+use f2c_core::cost::AccessOption;
+use f2c_core::{DataSource, F2cCity, Layer, TieredStore};
+
+use crate::model::{Query, Scope, TimeWindow};
+use crate::{Error, Result};
+
+/// Payload size used to rank candidate sources before the answer size is
+/// known. All fog links share a bandwidth class in the default profile,
+/// so the ranking is insensitive to the exact figure.
+pub const NOMINAL_PAYLOAD_BYTES: u64 = 1_024;
+
+/// Where and how a query will be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// The chosen source, relative to the requester.
+    pub source: DataSource,
+    /// The §IV.C access option it maps to.
+    pub option: AccessOption,
+    /// The architecture layer that will do the work.
+    pub layer: Layer,
+    /// Cost-model estimate at the nominal payload.
+    pub est_cost: Duration,
+}
+
+/// Whether `store` still holds every record it ever received with a
+/// creation time inside the window.
+fn holds_window(store: &TieredStore, w: TimeWindow) -> bool {
+    w.from_s >= store.evicted_before_s()
+}
+
+/// Whether everything created before `until_s` has left `store`'s
+/// pending queue (i.e. has been flushed to the tier above).
+fn pending_settled(store: &TieredStore, until_s: u64) -> bool {
+    store.pending_earliest_s().is_none_or(|e| e >= until_s)
+}
+
+/// Plans the cheapest complete source for `query`.
+///
+/// # Errors
+///
+/// [`Error::BadQuery`] on invalid queries; [`Error::Unanswerable`] when
+/// no reachable layer provably holds the whole window (e.g. the window
+/// reaches past what the hierarchy has flushed upward so far).
+pub fn plan(city: &F2cCity, query: &Query) -> Result<QueryPlan> {
+    query.validated()?;
+    let w = query.window;
+    let origin_district = city.district_of(query.origin);
+    let mut candidates: Vec<(AccessOption, DataSource, Layer)> = Vec::new();
+    match query.scope {
+        Scope::Section(target) => {
+            let td = city.district_of(target);
+            // The section's own fog-1 node holds everything the section
+            // produced (pending copies included) until retention evicts.
+            if holds_window(city.fog1(target).store(), w) {
+                if target == query.origin {
+                    candidates.push((AccessOption::Local, DataSource::Local, Layer::Fog1));
+                } else if td == origin_district {
+                    let hops = city.ring_hops(query.origin, target);
+                    candidates.push((
+                        AccessOption::Neighbor { hops },
+                        DataSource::Neighbor(target),
+                        Layer::Fog1,
+                    ));
+                }
+                // Cross-district fog-1 peering is not modeled; the cloud
+                // serves those requesters below.
+            }
+            if td == origin_district
+                && holds_window(city.fog2(td).store(), w)
+                && pending_settled(city.fog1(target).store(), w.until_s)
+            {
+                candidates.push((AccessOption::Parent, DataSource::Parent, Layer::Fog2));
+            }
+            if pending_settled(city.fog1(target).store(), w.until_s)
+                && pending_settled(city.fog2(td).store(), w.until_s)
+            {
+                candidates.push((AccessOption::Cloud, DataSource::Cloud, Layer::Cloud));
+            }
+        }
+        Scope::District(d) => {
+            // Individual fog-1 nodes each hold one section's slice, so a
+            // district window needs fog 2 or above (per-section
+            // scatter-gather is a roadmap follow-on).
+            let members = city.sections_in_district(d);
+            let members_settled = members
+                .iter()
+                .all(|&s| pending_settled(city.fog1(s).store(), w.until_s));
+            if d == origin_district && holds_window(city.fog2(d).store(), w) && members_settled {
+                candidates.push((AccessOption::Parent, DataSource::Parent, Layer::Fog2));
+            }
+            if members_settled && pending_settled(city.fog2(d).store(), w.until_s) {
+                candidates.push((AccessOption::Cloud, DataSource::Cloud, Layer::Cloud));
+            }
+        }
+    }
+    let cost = city.cost_model();
+    candidates
+        .into_iter()
+        .map(|(option, source, layer)| QueryPlan {
+            source,
+            option,
+            layer,
+            est_cost: cost.cost(option, NOMINAL_PAYLOAD_BYTES),
+        })
+        .min_by_key(|p| p.est_cost.as_micros())
+        .ok_or_else(|| Error::Unanswerable {
+            reason: format!(
+                "no layer provably holds {:?}/{:?} over [{}, {}) yet",
+                query.selector, query.scope, w.from_s, w.until_s
+            ),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{QueryKind, Selector};
+    use scc_sensors::{ReadingGenerator, SensorType};
+
+    fn city_with_data(section: usize, ty: SensorType, waves: u64) -> F2cCity {
+        let mut city = F2cCity::barcelona().unwrap();
+        let mut gen = ReadingGenerator::for_population(ty, 10, section as u64 + 1);
+        for w in 0..waves {
+            city.ingest(section, gen.wave(w * 900), w * 900 + 1)
+                .unwrap();
+        }
+        city
+    }
+
+    fn q(origin: usize, scope: Scope, from: u64, until: u64) -> Query {
+        Query {
+            origin,
+            selector: Selector::Type(SensorType::Weather),
+            scope,
+            window: TimeWindow::new(from, until),
+            kind: QueryKind::Aggregate,
+        }
+    }
+
+    #[test]
+    fn local_data_plans_local() {
+        let city = city_with_data(5, SensorType::Weather, 4);
+        let plan = plan(&city, &q(5, Scope::Section(5), 0, 10_000)).unwrap();
+        assert_eq!(plan.source, DataSource::Local);
+        assert_eq!(plan.layer, Layer::Fog1);
+    }
+
+    #[test]
+    fn neighbor_beats_cloud_for_same_district_sections() {
+        let city = city_with_data(1, SensorType::Weather, 4);
+        let plan = plan(&city, &q(0, Scope::Section(1), 0, 10_000)).unwrap();
+        assert_eq!(plan.source, DataSource::Neighbor(1));
+    }
+
+    #[test]
+    fn unflushed_district_window_is_unanswerable_then_parent_after_flush() {
+        let mut city = city_with_data(5, SensorType::Weather, 4);
+        let district = city.district_of(5);
+        let query = q(5, Scope::District(district), 0, 3_000);
+        assert!(matches!(
+            plan(&city, &query),
+            Err(Error::Unanswerable { .. })
+        ));
+        city.flush_all(4_000).unwrap();
+        let p = plan(&city, &query).unwrap();
+        assert_eq!(p.source, DataSource::Parent);
+        assert_eq!(p.layer, Layer::Fog2);
+    }
+
+    #[test]
+    fn cross_district_requester_is_served_by_the_cloud() {
+        let mut city = city_with_data(5, SensorType::Weather, 4);
+        city.flush_all(4_000).unwrap();
+        let district = city.district_of(5);
+        // Section 70 is in Sant Martí (district 9), far from district of 5.
+        assert_ne!(city.district_of(70), district);
+        let p = plan(&city, &q(70, Scope::District(district), 0, 3_000)).unwrap();
+        assert_eq!(p.source, DataSource::Cloud);
+    }
+
+    #[test]
+    fn aged_out_fog1_falls_back_upward() {
+        let mut city = city_with_data(5, SensorType::Weather, 2);
+        city.flush_all(2_000).unwrap();
+        // Two days in: fog-1 retention (1 day) evicts; fog-2 still holds.
+        city.flush_all(2 * 86_400).unwrap();
+        let p = plan(&city, &q(5, Scope::Section(5), 0, 2_000)).unwrap();
+        assert_eq!(p.source, DataSource::Parent, "fog-1 window aged out");
+        // Ten days in: fog-2 retention (7 days) evicts too; only the
+        // cloud still has the historical window.
+        city.flush_all(10 * 86_400).unwrap();
+        let p = plan(&city, &q(5, Scope::Section(5), 0, 2_000)).unwrap();
+        assert_eq!(p.source, DataSource::Cloud);
+    }
+
+    #[test]
+    fn plans_rank_by_cost_model() {
+        let mut city = city_with_data(5, SensorType::Weather, 4);
+        city.flush_all(4_000).unwrap();
+        let local = plan(&city, &q(5, Scope::Section(5), 0, 3_000)).unwrap();
+        let district = city.district_of(5);
+        let parent = plan(&city, &q(5, Scope::District(district), 0, 3_000)).unwrap();
+        let cloud = plan(&city, &q(70, Scope::District(district), 0, 3_000)).unwrap();
+        assert!(local.est_cost < parent.est_cost);
+        assert!(parent.est_cost < cloud.est_cost);
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected() {
+        let city = F2cCity::barcelona().unwrap();
+        assert!(matches!(
+            plan(&city, &q(73, Scope::Section(0), 0, 10)),
+            Err(Error::BadQuery { .. })
+        ));
+    }
+}

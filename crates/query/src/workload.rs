@@ -1,0 +1,489 @@
+//! Deterministic closed-loop query workloads.
+//!
+//! A fixed population of simulated users (each assigned a service class)
+//! drives the engine through the event-driven clock: every user issues a
+//! query, waits for its simulated completion plus a per-class think time,
+//! then issues the next — while background ingest waves and periodic
+//! hierarchy flushes keep the city live. Everything derives from one
+//! seed, and every request appends to an order-exact transcript hash, so
+//! two replays of the same configuration are byte-identical (the same
+//! guarantee `tests/determinism.rs` enforces for the ingest pipeline).
+
+use std::fmt::Write as _;
+
+use citysim::event::EventQueue;
+use citysim::time::{Duration, SimTime};
+use citysim::Histogram;
+use f2c_core::runtime::section_generators;
+use f2c_core::Layer;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scc_sensors::{Category, SensorType};
+
+use crate::engine::{Outcome, QueryEngine};
+use crate::model::{Query, QueryKind, Scope, Selector, TimeWindow};
+use crate::{Error, Result};
+
+/// The service classes of the paper's consumer taxonomy (§IV.D): live
+/// per-section reads, refreshing district dashboards, and long-window
+/// analytics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceClass {
+    /// District dashboards: aggregate panels over recent settled windows,
+    /// plus an occasional raw feed of the user's own section.
+    Dashboard,
+    /// Long-window district aggregates (history since the epoch start).
+    Analytics,
+    /// Latest-value point reads at the user's own section.
+    RealTime,
+}
+
+/// Relative weights of the service classes in a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mix {
+    /// Weight of [`ServiceClass::Dashboard`].
+    pub dashboard: u32,
+    /// Weight of [`ServiceClass::Analytics`].
+    pub analytics: u32,
+    /// Weight of [`ServiceClass::RealTime`].
+    pub realtime: u32,
+}
+
+impl Default for Mix {
+    fn default() -> Self {
+        Self {
+            dashboard: 45,
+            analytics: 10,
+            realtime: 45,
+        }
+    }
+}
+
+impl Mix {
+    fn total(&self) -> u32 {
+        self.dashboard + self.analytics + self.realtime
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> ServiceClass {
+        let x = rng.gen_range(0..self.total());
+        if x < self.dashboard {
+            ServiceClass::Dashboard
+        } else if x < self.dashboard + self.analytics {
+            ServiceClass::Analytics
+        } else {
+            ServiceClass::RealTime
+        }
+    }
+}
+
+/// Workload shape: everything the closed loop needs, seed included.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadConfig {
+    /// Master seed: user classes, query parameters, think-time jitter.
+    pub seed: u64,
+    /// Total requests to issue before draining.
+    pub requests: u64,
+    /// Closed-loop user population.
+    pub users: u32,
+    /// Service-class mix.
+    pub mix: Mix,
+    /// Simulated start instant (typically the warm-up horizon).
+    pub start_s: u64,
+    /// Hierarchy-wide flush period during serving (0 disables).
+    pub flush_period_s: u64,
+    /// Background ingest-wave period during serving (0 disables).
+    pub ingest_period_s: u64,
+    /// Population divisor for the background ingest generators.
+    pub ingest_scale: u64,
+    /// Keep the full per-request transcript in the report (the rolling
+    /// hash is always computed).
+    pub record_transcript: bool,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            seed: 2017,
+            requests: 10_000,
+            users: 64,
+            mix: Mix::default(),
+            start_s: 0,
+            flush_period_s: 900,
+            ingest_period_s: 300,
+            ingest_scale: 20_000,
+            record_transcript: false,
+        }
+    }
+}
+
+/// What a workload run measured.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Requests issued.
+    pub issued: u64,
+    /// Requests answered (cache or store).
+    pub answered: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests no layer could answer completely.
+    pub unanswerable: u64,
+    /// Edge result-cache hits during the run.
+    pub edge_hits: u64,
+    /// Source result-cache hits during the run.
+    pub source_hits: u64,
+    /// Store executions during the run.
+    pub store_served: u64,
+    /// Estimated-latency histograms per serving layer (fog 1, fog 2,
+    /// cloud).
+    pub latency_by_layer: [Histogram; 3],
+    /// Simulated instant of the last processed request.
+    pub sim_end_s: u64,
+    /// Order-exact FNV-1a hash over every request's transcript line.
+    pub transcript_hash: u64,
+    /// The transcript itself, when recorded.
+    pub transcript: Vec<u8>,
+}
+
+impl WorkloadReport {
+    /// The latency histogram of one serving layer.
+    pub fn layer_hist(&self, layer: Layer) -> &Histogram {
+        &self.latency_by_layer[layer.index()]
+    }
+
+    /// Fraction of answered requests served from a result cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.answered == 0 {
+            0.0
+        } else {
+            (self.edge_hits + self.source_hits) as f64 / self.answered as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// User `u` issues their next request.
+    Tick(u32),
+    /// A store execution's simulated response completed.
+    Release(Layer),
+    /// Hierarchy-wide flush.
+    Flush,
+    /// Background sensor waves at every section.
+    Ingest,
+}
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn think(class: ServiceClass, rng: &mut SmallRng) -> Duration {
+    let (base_ms, jitter_ms) = match class {
+        ServiceClass::RealTime => (1_000, 1_000),
+        ServiceClass::Dashboard => (2_000, 3_000),
+        ServiceClass::Analytics => (8_000, 8_000),
+    };
+    Duration::from_millis(base_ms + rng.gen_range(0..jitter_ms))
+}
+
+fn gen_query(class: ServiceClass, now_s: u64, engine: &QueryEngine, rng: &mut SmallRng) -> Query {
+    let origin = rng.gen_range(0..73usize);
+    let settled = engine.last_flush_s();
+    match class {
+        ServiceClass::RealTime => Query {
+            origin,
+            selector: Selector::Type(SensorType::ALL[rng.gen_range(0..SensorType::ALL.len())]),
+            scope: Scope::Section(origin),
+            window: TimeWindow::new(now_s.saturating_sub(1_800), now_s + 1),
+            kind: QueryKind::Point,
+        },
+        ServiceClass::Dashboard => {
+            if rng.gen_bool(0.25) {
+                // Raw recent feed of the user's own section (always
+                // local-complete).
+                Query {
+                    origin,
+                    selector: Selector::Type(
+                        SensorType::ALL[rng.gen_range(0..SensorType::ALL.len())],
+                    ),
+                    scope: Scope::Section(origin),
+                    window: TimeWindow::new(now_s.saturating_sub(900), now_s + 1),
+                    kind: QueryKind::Range,
+                }
+            } else {
+                // District aggregate over the last settled hour.
+                let district = engine.city().district_of(origin);
+                Query {
+                    origin,
+                    selector: Selector::Category(
+                        Category::ALL[rng.gen_range(0..Category::ALL.len())],
+                    ),
+                    scope: Scope::District(district),
+                    window: TimeWindow::new(settled.saturating_sub(3_600), settled),
+                    kind: QueryKind::Aggregate,
+                }
+            }
+        }
+        ServiceClass::Analytics => Query {
+            origin,
+            selector: Selector::Category(Category::ALL[rng.gen_range(0..Category::ALL.len())]),
+            scope: Scope::District(rng.gen_range(0..10usize)),
+            window: TimeWindow::new(0, settled),
+            kind: QueryKind::Aggregate,
+        },
+    }
+}
+
+/// Runs one closed-loop workload against `engine`.
+///
+/// The run opens with a settling flush at `start_s` (stamping the
+/// engine's settled frontier), then interleaves user requests, background
+/// ingest and periodic flushes on one deterministic event clock until
+/// `requests` have been issued and the in-flight tail has drained.
+///
+/// # Errors
+///
+/// [`Error::BadQuery`] on a degenerate configuration; hierarchy/network
+/// errors from serving.
+pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<WorkloadReport> {
+    if config.users == 0 || config.requests == 0 || config.mix.total() == 0 {
+        return Err(Error::BadQuery {
+            field: "workload",
+            reason: "users, requests and the mix total must be positive".to_owned(),
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    engine.flush_all(config.start_s)?;
+    let stats0 = *engine.stats();
+
+    let mut ingest_gens = (config.ingest_period_s > 0).then(|| {
+        section_generators(
+            &engine
+                .city()
+                .catalog()
+                .scaled_down(config.ingest_scale.max(1)),
+            config.seed ^ 0x9E37_79B9_7F4A_7C15,
+        )
+    });
+
+    let classes: Vec<ServiceClass> = (0..config.users)
+        .map(|_| config.mix.sample(&mut rng))
+        .collect();
+
+    let start = SimTime::from_secs(config.start_s);
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    for u in 0..config.users {
+        // Stagger arrivals so users do not tick in lockstep forever.
+        queue.schedule_at(
+            start + Duration::from_millis(u64::from(u) * 31),
+            Ev::Tick(u),
+        );
+    }
+    if config.flush_period_s > 0 {
+        queue.schedule_at(
+            start + Duration::from_secs(config.flush_period_s),
+            Ev::Flush,
+        );
+    }
+    if ingest_gens.is_some() {
+        queue.schedule_at(
+            start + Duration::from_secs(config.ingest_period_s),
+            Ev::Ingest,
+        );
+    }
+
+    let mut issued = 0u64;
+    let mut answered = 0u64;
+    let mut shed = 0u64;
+    let mut unanswerable = 0u64;
+    let mut hists = [Histogram::new(), Histogram::new(), Histogram::new()];
+    let mut sim_end_s = config.start_s;
+    let mut transcript = Vec::new();
+    let mut transcript_hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut line = String::new();
+
+    while let Some((at, ev)) = queue.pop() {
+        let now_s = at.as_secs();
+        match ev {
+            Ev::Flush => {
+                engine.flush_all(now_s)?;
+                if issued < config.requests {
+                    queue.schedule_at(at + Duration::from_secs(config.flush_period_s), Ev::Flush);
+                }
+            }
+            Ev::Ingest => {
+                if let Some(gens) = ingest_gens.as_mut() {
+                    for (section, per_section) in gens.iter_mut().enumerate() {
+                        for gen in per_section.values_mut() {
+                            engine.ingest(section, gen.wave(now_s), now_s)?;
+                        }
+                    }
+                    if issued < config.requests {
+                        queue.schedule_at(
+                            at + Duration::from_secs(config.ingest_period_s),
+                            Ev::Ingest,
+                        );
+                    }
+                }
+            }
+            Ev::Release(layer) => engine.release(layer),
+            Ev::Tick(u) => {
+                if issued >= config.requests {
+                    continue;
+                }
+                issued += 1;
+                sim_end_s = now_s;
+                let class = classes[u as usize];
+                let query = gen_query(class, now_s, engine, &mut rng);
+                line.clear();
+                let next_at = match engine.serve(&query, now_s) {
+                    Ok(Outcome::Answered(resp)) => {
+                        answered += 1;
+                        hists[resp.layer.index()].record(resp.est_latency);
+                        let done = at + resp.est_latency;
+                        if let Some(layer) = resp.held_slot {
+                            queue.schedule_at(done, Ev::Release(layer));
+                        }
+                        write!(
+                            line,
+                            "{issued};{class:?};A;{:?};{}",
+                            resp.via,
+                            resp.est_latency.as_micros()
+                        )
+                        .expect("writing to a String cannot fail");
+                        done + think(class, &mut rng)
+                    }
+                    Ok(Outcome::Shed { layer }) => {
+                        shed += 1;
+                        write!(line, "{issued};{class:?};S;{layer};0")
+                            .expect("writing to a String cannot fail");
+                        // Back off half a think time before retrying.
+                        at + Duration::from_micros(think(class, &mut rng).as_micros() / 2)
+                    }
+                    Err(Error::Unanswerable { .. }) => {
+                        unanswerable += 1;
+                        write!(line, "{issued};{class:?};U;;0")
+                            .expect("writing to a String cannot fail");
+                        at + think(class, &mut rng)
+                    }
+                    Err(e) => return Err(e),
+                };
+                line.push('\n');
+                fnv1a(&mut transcript_hash, line.as_bytes());
+                if config.record_transcript {
+                    transcript.extend_from_slice(line.as_bytes());
+                }
+                if issued < config.requests {
+                    queue.schedule_at(next_at, Ev::Tick(u));
+                }
+            }
+        }
+    }
+
+    let stats = engine.stats();
+    Ok(WorkloadReport {
+        issued,
+        answered,
+        shed,
+        unanswerable,
+        edge_hits: stats.edge_hits - stats0.edge_hits,
+        source_hits: stats.source_hits - stats0.source_hits,
+        store_served: stats.store_served - stats0.store_served,
+        latency_by_layer: hists,
+        sim_end_s,
+        transcript_hash,
+        transcript,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use f2c_core::runtime::populate_city;
+    use f2c_core::F2cCity;
+
+    fn warm_engine() -> QueryEngine {
+        let mut city = F2cCity::barcelona().unwrap();
+        populate_city(&mut city, 50_000, 7, 3_600, 900).unwrap();
+        QueryEngine::new(city, EngineConfig::default())
+    }
+
+    fn small_config() -> WorkloadConfig {
+        WorkloadConfig {
+            requests: 800,
+            users: 16,
+            start_s: 3_600,
+            record_transcript: true,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn closed_loop_issues_exactly_the_requested_count() {
+        let mut engine = warm_engine();
+        let report = run(&mut engine, &small_config()).unwrap();
+        assert_eq!(report.issued, 800);
+        assert_eq!(
+            report.answered + report.shed + report.unanswerable,
+            report.issued,
+            "every request has exactly one outcome"
+        );
+        assert!(report.answered > 0, "a warm city answers most requests");
+        assert!(
+            report.latency_by_layer.iter().any(|h| h.count() > 0),
+            "latencies were recorded"
+        );
+        assert_eq!(
+            report.transcript.iter().filter(|&&b| b == b'\n').count() as u64,
+            report.issued,
+            "one transcript line per request"
+        );
+    }
+
+    #[test]
+    fn repeated_queries_warm_the_caches() {
+        let mut engine = warm_engine();
+        let report = run(&mut engine, &small_config()).unwrap();
+        assert!(
+            report.edge_hits + report.source_hits > 0,
+            "dashboards repeat over settled windows: {report:?}"
+        );
+    }
+
+    #[test]
+    fn replays_are_transcript_identical_and_seeds_matter() {
+        let run_once = |seed: u64| {
+            let mut engine = warm_engine();
+            let mut config = small_config();
+            config.seed = seed;
+            run(&mut engine, &config).unwrap()
+        };
+        let a = run_once(2017);
+        let b = run_once(2017);
+        assert_eq!(a.transcript, b.transcript, "replays must be identical");
+        assert_eq!(a.transcript_hash, b.transcript_hash);
+        let c = run_once(2018);
+        assert_ne!(
+            a.transcript_hash, c.transcript_hash,
+            "a different seed must change the workload"
+        );
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let mut engine = warm_engine();
+        let mut config = small_config();
+        config.users = 0;
+        assert!(run(&mut engine, &config).is_err());
+        let mut config = small_config();
+        config.mix = Mix {
+            dashboard: 0,
+            analytics: 0,
+            realtime: 0,
+        };
+        assert!(run(&mut engine, &config).is_err());
+    }
+}

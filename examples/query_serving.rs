@@ -1,0 +1,134 @@
+//! Consumer query serving over the hierarchy: warm a small Barcelona
+//! deployment, then ask it the three kinds of questions city services
+//! ask — a live point read at the edge, a district dashboard aggregate,
+//! and a long-window analytics scan — and finish with a seeded
+//! closed-loop mini-workload.
+//!
+//! Run with `cargo run --release --example query_serving`.
+
+use f2c_smartcity::core::runtime::populate_city;
+use f2c_smartcity::core::{F2cCity, Layer};
+use f2c_smartcity::query::workload::{self, WorkloadConfig};
+use f2c_smartcity::query::{
+    EngineConfig, Outcome, Query, QueryAnswer, QueryEngine, QueryKind, Scope, Selector, TimeWindow,
+};
+use f2c_smartcity::sensors::{Category, SensorType};
+
+fn show(label: &str, outcome: &Outcome) {
+    match outcome {
+        Outcome::Answered(resp) => {
+            let summary = match &resp.answer {
+                QueryAnswer::Point(Some(p)) => {
+                    format!("latest value {:.2} at t={}s", p.value, p.created_s)
+                }
+                QueryAnswer::Point(None) => "no matching observation".to_owned(),
+                QueryAnswer::Records(recs) => format!("{} records", recs.len()),
+                QueryAnswer::Aggregate(a) => format!(
+                    "count {} mean {:.2} from ~{} sensors",
+                    a.count,
+                    a.mean.unwrap_or(0.0),
+                    a.distinct_sensors
+                ),
+            };
+            println!(
+                "{label:<28} {summary:<42} via {:?}, est {}",
+                resp.via, resp.est_latency
+            );
+        }
+        Outcome::Shed { layer } => println!("{label:<28} shed at {layer}"),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One simulated hour of city data at 1/2000 population scale.
+    let mut city = F2cCity::barcelona()?;
+    let warm = populate_city(&mut city, 2_000, 42, 3_600, 900)?;
+    println!(
+        "warmed: {} readings -> {} records at the cloud\n",
+        warm.offered,
+        city.cloud().store().len()
+    );
+
+    let mut engine = QueryEngine::new(city, EngineConfig::default());
+    engine.flush_all(3_600)?;
+    let now = 3_700;
+    // Scaled-down populations concentrate in the low section indices, so
+    // the demo consumer lives in section 3 (Ciutat Vella, district 0).
+    let origin = 3;
+    let district = engine.city().district_of(origin);
+
+    // A live read served by the consumer's own fog-1 node.
+    let live = Query {
+        origin,
+        selector: Selector::Type(SensorType::ElectricityMeter),
+        scope: Scope::Section(origin),
+        window: TimeWindow::new(0, now),
+        kind: QueryKind::Point,
+    };
+    show("live meter @ section 3", &engine.serve_sync(&live, now)?);
+
+    // A district dashboard aggregate — fog 2 is the cheapest complete
+    // source; repeating it hits the edge cache.
+    let dashboard = Query {
+        origin,
+        selector: Selector::Category(Category::Energy),
+        scope: Scope::District(district),
+        window: TimeWindow::new(0, 3_600),
+        kind: QueryKind::Aggregate,
+    };
+    show(
+        "energy dashboard (cold)",
+        &engine.serve_sync(&dashboard, now)?,
+    );
+    show(
+        "energy dashboard (repeat)",
+        &engine.serve_sync(&dashboard, now + 1)?,
+    );
+
+    // Analytics over another district: the cloud serves cross-district
+    // consumers.
+    let analytics = Query {
+        origin,
+        selector: Selector::Category(Category::Energy),
+        scope: Scope::District(district + 2),
+        window: TimeWindow::new(0, 3_600),
+        kind: QueryKind::Aggregate,
+    };
+    show(
+        "energy analytics (far)",
+        &engine.serve_sync(&analytics, now)?,
+    );
+
+    // A seeded closed-loop mini-workload over the same engine.
+    let report = workload::run(
+        &mut engine,
+        &WorkloadConfig {
+            seed: 42,
+            requests: 5_000,
+            users: 48,
+            start_s: now,
+            ..WorkloadConfig::default()
+        },
+    )?;
+    println!(
+        "\nworkload: {} requests -> {} answered ({:.0}% cache hits), \
+         {} shed, {} unanswerable",
+        report.issued,
+        report.answered,
+        report.cache_hit_rate() * 100.0,
+        report.shed,
+        report.unanswerable
+    );
+    for layer in Layer::ALL {
+        let h = report.layer_hist(layer);
+        if h.count() > 0 {
+            println!(
+                "  {layer:<12} {:>6} served, p50 {}, p99 {}",
+                h.count(),
+                h.quantile(0.5),
+                h.quantile(0.99)
+            );
+        }
+    }
+    Ok(())
+}

@@ -8,7 +8,8 @@
 //! * [`compress`] — the from-scratch deflate-style codec,
 //! * [`aggregate`] — aggregation filters, sketches and protocols,
 //! * [`dlc`] — the SCC-DLC life-cycle model,
-//! * [`core`] — the F2C data-management architecture itself.
+//! * [`core`] — the F2C data-management architecture itself,
+//! * [`query`] — consumer-facing query serving over the hierarchy.
 //!
 //! See the repository README for the quickstart and DESIGN.md /
 //! EXPERIMENTS.md for the reproduction index.
@@ -34,5 +35,6 @@ pub use citysim;
 pub use f2c_aggregate as aggregate;
 pub use f2c_compress as compress;
 pub use f2c_core as core;
+pub use f2c_query as query;
 pub use scc_dlc as dlc;
 pub use scc_sensors as sensors;

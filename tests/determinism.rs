@@ -10,7 +10,10 @@
 //! ROADMAP's sharding/scale work needs replicas that agree.
 
 use f2c_smartcity::compress;
-use f2c_smartcity::core::{F2cNode, FlushPolicy, RetentionPolicy};
+use f2c_smartcity::core::runtime::populate_city;
+use f2c_smartcity::core::{F2cCity, F2cNode, FlushPolicy, RetentionPolicy};
+use f2c_smartcity::query::workload::{self, WorkloadConfig};
+use f2c_smartcity::query::{EngineConfig, QueryEngine};
 use f2c_smartcity::sensors::{wire, Catalog, ReadingGenerator, SensorType};
 
 /// One full replica: ingests 24 waves (6 simulated hours at 900 s) from
@@ -109,6 +112,44 @@ fn distinct_seeds_produce_distinct_transcripts() {
     let a = replica(2017);
     let b = replica(2018);
     assert_ne!(a, b, "different seeds must change the observation stream");
+}
+
+/// One full serving replica: warm a small city through the event-driven
+/// runtime, then drive a seeded closed-loop query workload (dashboard /
+/// analytics / real-time mix, background ingest and flushes included)
+/// and return its per-request transcript.
+fn query_replica(seed: u64) -> Vec<u8> {
+    let mut city = F2cCity::barcelona().expect("city builds");
+    populate_city(&mut city, 20_000, seed, 3_600, 900).expect("warm-up runs");
+    let mut engine = QueryEngine::new(city, EngineConfig::default());
+    let config = WorkloadConfig {
+        seed,
+        requests: 2_000,
+        users: 24,
+        start_s: 3_600,
+        record_transcript: true,
+        ..WorkloadConfig::default()
+    };
+    let report = workload::run(&mut engine, &config).expect("workload runs");
+    report.transcript
+}
+
+#[test]
+fn query_workload_replays_are_transcript_identical() {
+    let first = query_replica(2017);
+    let second = query_replica(2017);
+    assert!(
+        first.len() > 10_000,
+        "transcript suspiciously small ({} bytes) — workload issued nothing",
+        first.len()
+    );
+    assert_byte_identical(&first, &second, "query replica 1 vs 2");
+    // And the seed must matter, exactly as for the ingest pipeline.
+    let other = query_replica(2018);
+    assert_ne!(
+        first, other,
+        "different seeds must change the serving transcript"
+    );
 }
 
 #[test]
