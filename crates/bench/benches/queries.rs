@@ -66,6 +66,22 @@ fn bench_queries(c: &mut Criterion) {
             black_box(engine.serve_sync(&q, now).unwrap())
         })
     });
+    c.bench_function("queries/city_scatter_gather", |b| {
+        let mut shift = 0u64;
+        b.iter(|| {
+            // Both window ends move so the window shapes (3600 × 3599
+            // combinations) outlast any measurement: every iteration
+            // misses the gather-node result cache, fans out over the
+            // ten district fog-2 legs and merges the partials.
+            shift += 1;
+            let q = Query {
+                scope: Scope::City,
+                window: TimeWindow::new(shift % 3_600, 3_601 + (shift % 3_599)),
+                ..dashboard
+            };
+            black_box(engine.serve_sync(&q, now).unwrap())
+        })
+    });
 }
 
 criterion_group!(benches, bench_queries);

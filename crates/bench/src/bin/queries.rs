@@ -1,7 +1,8 @@
 //! Experiment E7: consumer query serving over the F2C hierarchy — a
 //! seeded ≥1M-request closed-loop workload (dashboard / analytics /
-//! real-time mix) against a warmed Barcelona deployment, reporting
-//! per-layer latency percentiles, cache hit rates and admission sheds,
+//! real-time / city-wide mix) against a warmed Barcelona deployment,
+//! reporting per-layer latency percentiles, scatter-gather percentiles
+//! and fan-out-vs-cloud win rates, cache hit rates and admission sheds,
 //! plus a warm-vs-cold serving microbenchmark.
 //!
 //! Run with `cargo run --release -p f2c-bench --bin queries`.
@@ -10,7 +11,7 @@ use std::time::Instant;
 
 use f2c_core::runtime::populate_city;
 use f2c_core::{F2cCity, Layer};
-use f2c_query::workload::{self, WorkloadConfig};
+use f2c_query::workload::{self, Mix, WorkloadConfig};
 use f2c_query::{
     EngineConfig, LayerCaps, Outcome, Query, QueryEngine, QueryKind, Scope, Selector, TimeWindow,
 };
@@ -39,10 +40,13 @@ fn main() {
     );
 
     // --- serving: 1M closed-loop requests ------------------------------
+    // Fog-2 capacity must absorb fan-out pressure: one city-wide
+    // scatter-gather holds a slot per district leg, so the cap is sized
+    // in whole fan-outs (64 ≈ six concurrent city-wide queries).
     let cfg = EngineConfig {
         caps: LayerCaps {
             fog1: 256,
-            fog2: 16,
+            fog2: 64,
             cloud: 2,
         },
         ..EngineConfig::default()
@@ -52,12 +56,17 @@ fn main() {
         seed: 2017,
         requests: REQUESTS,
         users: 600,
+        mix: Mix {
+            dashboard: 40,
+            analytics: 10,
+            realtime: 40,
+            city: 10,
+        },
         start_s: WARMUP_HORIZON_S,
         flush_period_s: 900,
         ingest_period_s: 300,
         ingest_scale: WARMUP_SCALE,
         record_transcript: false,
-        ..WorkloadConfig::default()
     };
     let t = Instant::now();
     let report = workload::run(&mut engine, &config).expect("workload runs");
@@ -96,6 +105,17 @@ fn main() {
         );
     }
 
+    let scatter = &report.scatter_latency;
+    if scatter.count() > 0 {
+        println!(
+            "{:<12} {:>9} {:>14} {:>14}",
+            "scatter",
+            scatter.count(),
+            scatter.quantile(0.5).to_string(),
+            scatter.quantile(0.99).to_string()
+        );
+    }
+
     let stats = engine.stats();
     println!(
         "\nanswered {} | edge hits {} | source hits {} | store served {} \
@@ -105,6 +125,17 @@ fn main() {
         report.source_hits,
         report.store_served,
         report.cache_hit_rate() * 100.0
+    );
+    println!(
+        "scatter-gather: {} served over {} legs ({:.1} legs/query) | \
+         contested routes: fan-out {} / cloud {} ({:.1}% fan-out wins)",
+        report.scatter_served,
+        report.scatter_legs,
+        report.scatter_legs as f64 / report.scatter_served.max(1) as f64,
+        report.scatter_wins,
+        report.cloud_wins,
+        100.0 * report.scatter_wins as f64
+            / (report.scatter_wins + report.cloud_wins).max(1) as f64
     );
     println!(
         "shed: fog1 {} / fog2 {} / cloud {} (total {}) | unanswerable {}",
@@ -128,12 +159,21 @@ fn main() {
         report.cache_hit_rate() > 0.10,
         "dashboards must produce real cache traffic"
     );
+    assert!(
+        report.scatter_served > 0 && report.scatter_latency.count() == report.scatter_served,
+        "the city-wide mix must exercise scatter-gather with recorded latencies"
+    );
+    assert!(
+        report.scatter_wins > 0,
+        "settled city windows must put the fog-2 fan-out ahead of the cloud read"
+    );
 
     // --- warm vs cold: the cache pays for itself ------------------------
-    // Section 3 (district 0) sits where the scaled-down populations
-    // concentrate, so the probe aggregates a non-trivial record set. The
-    // probe's window must be *closed* (end at or before the serve
-    // instant) to be result-cacheable, so it ends at the settling flush.
+    // The probe aggregates a whole category over a district, so the
+    // hash-spread scaled-down population guarantees a non-trivial record
+    // set. The probe's window must be *closed* (end at or before the
+    // serve instant) to be result-cacheable, so it ends at the settling
+    // flush.
     let now = report.sim_end_s + 900;
     engine.flush_all(now).expect("flush to invalidate caches");
     let district = engine.city().district_of(3);

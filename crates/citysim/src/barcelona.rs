@@ -39,6 +39,11 @@ pub struct LatencyProfile {
     pub fog2_to_cloud: (Duration, u64),
     /// Fog-1 to a neighboring fog-1 in the same district.
     pub fog1_neighbor: (Duration, u64),
+    /// Fog-2 to an adjacent fog-2 on the district metro ring. These
+    /// lateral links are what make city-wide scatter-gather competitive
+    /// with a cloud read: a fan-out leg crosses metro hops instead of the
+    /// WAN twice.
+    pub fog2_sibling: (Duration, u64),
 }
 
 impl Default for LatencyProfile {
@@ -48,6 +53,7 @@ impl Default for LatencyProfile {
             fog1_to_fog2: (Duration::from_millis(5), 1_000_000_000),
             fog2_to_cloud: (Duration::from_millis(30), 1_000_000_000),
             fog1_neighbor: (Duration::from_millis(3), 1_000_000_000),
+            fog2_sibling: (Duration::from_millis(4), 1_000_000_000),
         }
     }
 }
@@ -113,6 +119,20 @@ impl BarcelonaTopology {
                     .expect("ring edges are fresh");
                 }
             }
+        }
+
+        // Ring-connect the district fog-2 nodes (the metro backbone):
+        // scatter-gather legs and sibling-district reads cross these
+        // lateral links instead of bouncing off the cloud.
+        for d in 0..fog2.len() {
+            let a = fog2[d];
+            let b = fog2[(d + 1) % fog2.len()];
+            topo.add_link(
+                a,
+                b,
+                Link::new(profile.fog2_sibling.0, profile.fog2_sibling.1),
+            )
+            .expect("ring edges are fresh");
         }
 
         Self {
@@ -258,6 +278,23 @@ mod tests {
             }
         }
         assert_eq!(seen, 73);
+    }
+
+    #[test]
+    fn fog2_ring_keeps_sibling_districts_off_the_wan() {
+        let mut city = BarcelonaTopology::build(&LatencyProfile::default());
+        // Adjacent districts: one metro hop, never via the cloud.
+        let a = city.fog2_nodes()[0];
+        let b = city.fog2_nodes()[1];
+        let d = city.network_mut().send(a, b, 10, SimTime::ZERO).unwrap();
+        assert_eq!(d.hops, 1);
+        assert_eq!(d.path_latency, Duration::from_millis(4));
+        // Antipodal districts: 5 ring hops (20 ms) still beat the
+        // 60 ms cloud bounce.
+        let far = city.fog2_nodes()[5];
+        let d = city.network_mut().send(a, far, 10, SimTime::ZERO).unwrap();
+        assert_eq!(d.hops, 5);
+        assert_eq!(d.path_latency, Duration::from_millis(20));
     }
 
     #[test]

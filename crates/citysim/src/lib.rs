@@ -12,7 +12,8 @@
 //!   traffic metering and failure injection,
 //! * [`metrics`] — counters and latency histograms,
 //! * [`barcelona`] — the paper's deployment: 73 fog-1 nodes (city
-//!   sections), 10 fog-2 nodes (districts), 1 cloud (Fig. 6).
+//!   sections, ring-connected per district), 10 fog-2 nodes (districts,
+//!   ring-connected as a metro backbone), 1 cloud (Fig. 6).
 //!
 //! # Quickstart
 //!

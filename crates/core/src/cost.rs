@@ -19,9 +19,48 @@ pub enum AccessOption {
     },
     /// The fog-2 parent.
     Parent,
+    /// A sibling district's fog-2 node, reached through the requester's
+    /// own fog-2 parent and then `hops` metro-ring hops laterally —
+    /// never via the cloud.
+    SiblingFog2 {
+        /// Fog-2 ring distance (≥ 1).
+        hops: u32,
+    },
     /// The cloud.
     Cloud,
 }
+
+/// Transport path of one scatter-gather fan-out leg, priced from the
+/// *gather* fog-2 node's perspective (the requester's district fog-2,
+/// where the partial results are merged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FanoutPath {
+    /// The shard lives at the gather node itself: no transport.
+    GatherLocal,
+    /// A sibling fog-2 node `hops` metro-ring hops from the gather node.
+    SiblingFog2 {
+        /// Fog-2 ring distance (≥ 1).
+        hops: u32,
+    },
+    /// A member fog-1 node: its uplink to its own district fog-2, then
+    /// `hops` ring hops laterally to the gather node (0 when the member
+    /// belongs to the gather district).
+    MemberFog1 {
+        /// Fog-2 ring distance from the member's district to the gather
+        /// district.
+        hops: u32,
+    },
+}
+
+/// Modeled cost of merging one leg's partial result at the gather node
+/// (fold of an `AggPartial`, or one heap round of the k-way merge).
+pub const MERGE_PER_LEG_US: u64 = 300;
+
+/// Modeled admission overhead per fan-out leg: every leg occupies an
+/// in-flight slot at its layer, and the gather node pays dispatch +
+/// completion bookkeeping for it. This is what lets a single cloud read
+/// win against very wide fan-outs.
+pub const LEG_ADMISSION_US: u64 = 500;
 
 /// Cost model: request/response latency plus serialization of the payload
 /// on the bottleneck link, per candidate source.
@@ -48,6 +87,14 @@ impl AccessCostModel {
                 )
             }
             AccessOption::Parent => self.profile.fog1_to_fog2,
+            AccessOption::SiblingFog2 { hops } => {
+                let (l1, bw1) = self.profile.fog1_to_fog2;
+                let (l2, bw2) = self.profile.fog2_sibling;
+                (
+                    l1 + Duration::from_micros(l2.as_micros() * u64::from(hops.max(1))),
+                    bw1.min(bw2),
+                )
+            }
             AccessOption::Cloud => {
                 let (l1, bw1) = self.profile.fog1_to_fog2;
                 let (l2, bw2) = self.profile.fog2_to_cloud;
@@ -68,6 +115,57 @@ impl AccessCostModel {
             .iter()
             .copied()
             .min_by_key(|&o| self.cost(o, bytes).as_micros())
+    }
+
+    /// Estimated completion time of one fan-out leg shipping `bytes` of
+    /// partial result to the gather fog-2 node.
+    pub fn leg_cost(&self, path: FanoutPath, bytes: u64) -> Duration {
+        let (one_way, bandwidth) = match path {
+            FanoutPath::GatherLocal => return Duration::ZERO,
+            FanoutPath::SiblingFog2 { hops } => {
+                let (lat, bw) = self.profile.fog2_sibling;
+                (
+                    Duration::from_micros(lat.as_micros() * u64::from(hops.max(1))),
+                    bw,
+                )
+            }
+            FanoutPath::MemberFog1 { hops } => {
+                let (l1, bw1) = self.profile.fog1_to_fog2;
+                let (l2, bw2) = self.profile.fog2_sibling;
+                (
+                    l1 + Duration::from_micros(l2.as_micros() * u64::from(hops)),
+                    bw1.min(bw2),
+                )
+            }
+        };
+        let rtt = Duration::from_micros(one_way.as_micros() * 2);
+        let link = citysim::Link::new(Duration::ZERO, bandwidth.max(1));
+        rtt + link.transfer_time(bytes)
+    }
+
+    /// Estimated completion time of a scatter-gather plan: the legs run
+    /// concurrently (their cost is the *max*, not the sum), the gather
+    /// node pays a merge and an admission overhead *per leg*, and the
+    /// merged answer still has to travel the last fog-2 → fog-1 hop to
+    /// the requester.
+    pub fn scatter_cost(
+        &self,
+        legs: &[FanoutPath],
+        shard_bytes: u64,
+        response_bytes: u64,
+    ) -> Duration {
+        let slowest = legs
+            .iter()
+            .map(|&p| self.leg_cost(p, shard_bytes))
+            .max()
+            .unwrap_or(Duration::ZERO);
+        slowest + self.fanout_overhead(legs.len()) + self.cost(AccessOption::Parent, response_bytes)
+    }
+
+    /// The gather node's per-leg merge + admission overhead for a
+    /// fan-out of `legs` legs.
+    pub fn fanout_overhead(&self, legs: usize) -> Duration {
+        Duration::from_micros((MERGE_PER_LEG_US + LEG_ADMISSION_US) * legs as u64)
     }
 
     /// Crossover analysis: the neighbor hop count above which going to the
@@ -157,6 +255,65 @@ mod tests {
             100_000_000,
         );
         assert_eq!(small, large);
+    }
+
+    #[test]
+    fn sibling_fog2_beats_the_cloud_at_any_ring_distance() {
+        // The fog-2 metro ring has 10 nodes, so the worst lateral
+        // distance is 5 hops; even that stays under the WAN round trip.
+        let m = model();
+        let cloud = m.cost(AccessOption::Cloud, 1_000);
+        for hops in 1..=5 {
+            let sibling = m.cost(AccessOption::SiblingFog2 { hops }, 1_000);
+            assert!(sibling < cloud, "{hops} hops: {sibling} vs {cloud}");
+            assert!(sibling > m.cost(AccessOption::Parent, 1_000));
+        }
+    }
+
+    #[test]
+    fn fog2_scatter_over_all_districts_beats_one_cloud_read() {
+        // 10 fog-2 legs (one GatherLocal, the rest at ring distance
+        // 1..=5) plus merge/admission overhead and the final parent
+        // delivery still undercut a single cloud read: 40 ms worst leg +
+        // 8 ms overhead + 10 ms delivery < 70 ms WAN round trip.
+        let m = model();
+        let legs: Vec<FanoutPath> = (0..10)
+            .map(|d: u32| {
+                if d == 0 {
+                    FanoutPath::GatherLocal
+                } else {
+                    FanoutPath::SiblingFog2 {
+                        hops: d.min(10 - d),
+                    }
+                }
+            })
+            .collect();
+        let scatter = m.scatter_cost(&legs, 1_024, 1_024);
+        assert!(scatter < m.cost(AccessOption::Cloud, 1_024));
+    }
+
+    #[test]
+    fn wide_fog1_scatter_loses_to_one_cloud_read() {
+        // A 73-leg city-wide fan-out over fog-1 nodes pays per-leg
+        // merge + admission; the single cloud read wins that contest.
+        let m = model();
+        let legs: Vec<FanoutPath> = (0..73)
+            .map(|i: u32| FanoutPath::MemberFog1 {
+                hops: (i % 10).min(10 - i % 10),
+            })
+            .collect();
+        assert!(m.scatter_cost(&legs, 1_024, 1_024) > m.cost(AccessOption::Cloud, 1_024));
+    }
+
+    #[test]
+    fn leg_costs_order_by_path_length() {
+        let m = model();
+        assert_eq!(m.leg_cost(FanoutPath::GatherLocal, 4_096), Duration::ZERO);
+        let near = m.leg_cost(FanoutPath::SiblingFog2 { hops: 1 }, 4_096);
+        let far = m.leg_cost(FanoutPath::SiblingFog2 { hops: 5 }, 4_096);
+        let member = m.leg_cost(FanoutPath::MemberFog1 { hops: 1 }, 4_096);
+        assert!(near < far);
+        assert!(member > near, "fog-1 legs add the uplink hop");
     }
 
     #[test]

@@ -23,8 +23,21 @@ pub enum DataSource {
     Neighbor(usize),
     /// The district's fog-2 node.
     Parent,
+    /// A sibling district's fog-2 node (district index), reached over the
+    /// fog-2 metro ring.
+    RemoteFog2(usize),
     /// The cloud archive.
     Cloud,
+}
+
+/// One node of a scatter-gather fan-out: the member fog nodes that each
+/// provably hold one shard of a distributed query's window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FanoutLeg {
+    /// A fog-1 node by section index.
+    Fog1(usize),
+    /// A fog-2 node by district index.
+    Fog2(usize),
 }
 
 /// Result of a data fetch.
@@ -141,6 +154,20 @@ impl F2cCity {
         self.city.fog1_in_district(district)
     }
 
+    /// Number of districts (fog-2 nodes) in the deployment.
+    pub fn district_count(&self) -> usize {
+        self.fog2.len()
+    }
+
+    /// Metro-ring distance between two districts' fog-2 nodes (0 for the
+    /// same district). Scatter-gather planning prices fan-out legs with
+    /// it.
+    pub fn fog2_ring_hops(&self, a: usize, b: usize) -> u32 {
+        let n = self.fog2.len();
+        let d = a.abs_diff(b);
+        d.min(n - d) as u32
+    }
+
     /// Monotone counter bumped by every [`F2cCity::flush_all`]. Result
     /// caches key their entries on it: archives above fog 1 only change
     /// when a flush ships data upward, so an unchanged epoch certifies
@@ -169,6 +196,7 @@ impl F2cCity {
             DataSource::Local => return Ok(()),
             DataSource::Neighbor(n) => self.city.fog1_nodes()[n],
             DataSource::Parent => self.city.fog2_nodes()[self.city.district_of(section)],
+            DataSource::RemoteFog2(d) => self.city.fog2_nodes()[d],
             DataSource::Cloud => self.city.cloud(),
         };
         self.city.network_mut().request_response(
@@ -177,6 +205,49 @@ impl F2cCity {
             request_bytes,
             response_bytes,
             SimTime::from_secs(now_s),
+        )?;
+        Ok(())
+    }
+
+    /// Meters one scatter-gather execution on the simulated network: a
+    /// `request_bytes` fan-out from the gather node (the requester's
+    /// fog-2) to every leg with each leg's partial result shipped back,
+    /// then the merged `response_bytes` delivered over the last
+    /// fog-2 → fog-1 hop. Legs colocated with the gather node are free.
+    ///
+    /// # Errors
+    ///
+    /// Network errors (e.g. injected outages on a leg's path).
+    pub fn meter_fanout(
+        &mut self,
+        section: usize,
+        legs: &[(FanoutLeg, u64)],
+        request_bytes: u64,
+        response_bytes: u64,
+        now_s: u64,
+    ) -> Result<()> {
+        let gather_district = self.city.district_of(section);
+        let gather = self.city.fog2_nodes()[gather_district];
+        let at = SimTime::from_secs(now_s);
+        for &(leg, leg_bytes) in legs {
+            let node = match leg {
+                FanoutLeg::Fog1(s) => self.city.fog1_nodes()[s],
+                FanoutLeg::Fog2(d) => self.city.fog2_nodes()[d],
+            };
+            if node == gather {
+                continue;
+            }
+            self.city
+                .network_mut()
+                .request_response(gather, node, request_bytes, leg_bytes, at)?;
+        }
+        let requester = self.city.fog1_nodes()[section];
+        self.city.network_mut().request_response(
+            requester,
+            gather,
+            request_bytes,
+            response_bytes,
+            at,
         )?;
         Ok(())
     }
@@ -334,6 +405,7 @@ impl F2cCity {
             DataSource::Local => unreachable!("local handled above"),
             DataSource::Neighbor(n) => self.city.fog1_nodes()[n],
             DataSource::Parent => self.city.fog2_nodes()[district],
+            DataSource::RemoteFog2(d) => self.city.fog2_nodes()[d],
             DataSource::Cloud => self.city.cloud(),
         };
         self.city.network_mut().request_response(
@@ -505,6 +577,60 @@ mod tests {
         city.meter_query(0, DataSource::Parent, 200, 10_000, 2_000)
             .unwrap();
         assert!(city.network_bytes() > before, "parent serves are metered");
+    }
+
+    #[test]
+    fn fog2_ring_hops_are_symmetric_and_bounded() {
+        let city = F2cCity::barcelona().unwrap();
+        assert_eq!(city.district_count(), 10);
+        for a in 0..10 {
+            assert_eq!(city.fog2_ring_hops(a, a), 0);
+            for b in 0..10 {
+                assert_eq!(city.fog2_ring_hops(a, b), city.fog2_ring_hops(b, a));
+                assert!(city.fog2_ring_hops(a, b) <= 5);
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_metering_charges_every_remote_leg_plus_delivery() {
+        let mut city = F2cCity::barcelona().unwrap();
+        let before = city.network_bytes();
+        // Gather at section 0's district (0); district-0 leg is free.
+        city.meter_fanout(
+            0,
+            &[
+                (FanoutLeg::Fog2(0), 1_000),
+                (FanoutLeg::Fog2(5), 1_000),
+                (FanoutLeg::Fog1(10), 1_000),
+            ],
+            200,
+            2_000,
+            100,
+        )
+        .unwrap();
+        let fanout = city.network_bytes() - before;
+        // Two remote legs (request + partial back, multi-hop) plus the
+        // final fog-2 -> fog-1 delivery; the colocated leg costs nothing.
+        assert!(fanout > 2 * (200 + 1_000) + 200 + 2_000);
+
+        let before = city.network_bytes();
+        city.meter_fanout(0, &[(FanoutLeg::Fog2(0), 1_000)], 200, 2_000, 100)
+            .unwrap();
+        assert_eq!(
+            city.network_bytes() - before,
+            200 + 2_000,
+            "a gather-local leg meters only the last-hop delivery"
+        );
+    }
+
+    #[test]
+    fn remote_fog2_queries_are_metered_over_the_ring() {
+        let mut city = F2cCity::barcelona().unwrap();
+        let before = city.network_bytes();
+        city.meter_query(0, DataSource::RemoteFog2(5), 200, 1_000, 100)
+            .unwrap();
+        assert!(city.network_bytes() > before);
     }
 
     #[test]

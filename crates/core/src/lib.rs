@@ -16,9 +16,13 @@
 //!   analytic model over synthetic Sentilo data on the Barcelona topology,
 //! * [`baseline`] — the centralized cloud architecture (Fig. 3),
 //! * [`hierarchy`] — the assembled city ([`hierarchy::F2cCity`]) with the
-//!   §IV.C cost-model-driven data fetch,
-//! * [`placement`] / [`cost`] — service placement and the neighbor-vs-parent
-//!   access cost model (§IV.C),
+//!   §IV.C cost-model-driven data fetch and the fan-out metering used by
+//!   scatter-gather serving,
+//! * [`placement`] / [`cost`] — service placement and the access cost
+//!   model (§IV.C): local / neighbor / parent / sibling-fog-2 / cloud
+//!   single sources, plus scatter-gather pricing (max over concurrent
+//!   fan-out legs + per-leg merge/admission overhead + last-hop
+//!   delivery),
 //! * [`request`] — data-access latency: fog-local vs cloud round trips,
 //!   including the centralized "two transfers through the same path" effect
 //!   (§IV.D),
@@ -52,7 +56,7 @@ pub mod store;
 pub mod traffic;
 
 pub use error::{Error, Result};
-pub use hierarchy::{DataSource, F2cCity, FetchOutcome};
+pub use hierarchy::{DataSource, F2cCity, FanoutLeg, FetchOutcome};
 pub use layer::Layer;
 pub use node::{F2cNode, FlushBatch, IngestOutcome};
 pub use policy::{FlushPolicy, RetentionPolicy};

@@ -4,12 +4,17 @@
 //! Serving order per query:
 //!
 //! 1. **edge cache** at the requester's fog-1 node (free — no network),
-//! 2. plan the cheapest complete source (§IV.C cost model),
-//! 3. **source cache** at the planned node (pays the route, skips the scan),
-//! 4. **admission control** — per-layer in-flight caps; over cap → shed,
-//! 5. **execute** against the source's tiered store: point/range scans
-//!    over the iterator range-read API, aggregates assembled from
-//!    mergeable bucket partials (cached per flush epoch).
+//! 2. plan the cheapest provably-complete route (§IV.C cost model):
+//!    one source, or a scatter-gather fan-out merged at the requester's
+//!    fog-2,
+//! 3. **source cache** at the planned source (or the gather node for a
+//!    fan-out — pays the route, skips the scan),
+//! 4. **admission control** — per-layer in-flight caps; a fan-out
+//!    occupies one slot *per leg* at each leg's layer; over cap → shed,
+//! 5. **execute** against the tiered store(s): point/range scans over
+//!    the iterator range-read API, aggregates assembled from mergeable
+//!    bucket partials (cached per flush epoch); fan-out legs merge
+//!    through [`crate::scatter`].
 //!
 //! Estimated latency composes the cost model's transfer time with a
 //! per-record scan cost, so a warm cache hit is strictly cheaper than the
@@ -18,12 +23,13 @@
 use citysim::time::Duration;
 use f2c_core::cost::AccessOption;
 use f2c_core::node::IngestOutcome;
-use f2c_core::{DataSource, F2cCity, Layer, TieredStore};
+use f2c_core::{DataSource, F2cCity, FanoutLeg, Layer, TieredStore};
+use scc_dlc::DataRecord;
 use scc_sensors::Reading;
 
 use crate::cache::{CacheKey, NodeKey, PartialCache, PartialKey, ResultCache};
 use crate::model::{AggPartial, PointSample, Query, QueryAnswer, QueryKind, Scope};
-use crate::planner::{self, QueryPlan};
+use crate::planner::{self, Choice, QueryPlan, ScatterPlan};
 use crate::{Error, Result};
 
 /// Per-layer in-flight request caps (admission control).
@@ -93,6 +99,46 @@ pub enum ServedVia {
     SourceCache(DataSource),
     /// Executed against the source's tiered store.
     Store(DataSource),
+    /// Scatter-gather: executed against `legs` fog stores and merged at
+    /// the requester's fog-2.
+    Scatter {
+        /// Number of fan-out legs executed.
+        legs: u32,
+    },
+}
+
+/// Per-layer admission slots an in-flight response occupies until
+/// [`QueryEngine::release_held`]. Single-source store executions hold
+/// one slot; scatter-gather holds one per leg at each leg's layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeldSlots([u32; 3]);
+
+impl HeldSlots {
+    /// No slots held (cache hits).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// One slot at `layer` (single-source store executions).
+    pub fn single(layer: Layer) -> Self {
+        let mut slots = [0; 3];
+        slots[layer.index()] = 1;
+        Self(slots)
+    }
+
+    /// Slots held at `layer`.
+    pub fn at(&self, layer: Layer) -> u32 {
+        self.0[layer.index()]
+    }
+
+    /// Whether nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.0.iter().all(|&c| c == 0)
+    }
+
+    fn add(&mut self, layer: Layer, count: u32) {
+        self.0[layer.index()] += count;
+    }
 }
 
 /// One answered query.
@@ -108,9 +154,10 @@ pub struct QueryResponse {
     pub est_latency: Duration,
     /// Response payload size.
     pub response_bytes: u64,
-    /// The layer slot this request occupies until [`QueryEngine::release`]
-    /// (store executions only; cache hits hold nothing).
-    pub held_slot: Option<Layer>,
+    /// The per-layer slots this request occupies until
+    /// [`QueryEngine::release_held`] (store executions only; cache hits
+    /// hold nothing).
+    pub held: HeldSlots,
 }
 
 /// What happened to one served query.
@@ -148,6 +195,15 @@ pub struct EngineStats {
     pub partial_hits: u64,
     /// Bucket partials folded and cached.
     pub partial_fills: u64,
+    /// Queries served by scatter-gather fan-out.
+    pub scatter_served: u64,
+    /// Fan-out legs executed across all scatter-gather queries.
+    pub scatter_legs: u64,
+    /// Contested routes (fan-out and cloud both provably complete) the
+    /// fan-out won.
+    pub scatter_wins: u64,
+    /// Contested routes the single-source cloud read won.
+    pub cloud_wins: u64,
 }
 
 impl EngineStats {
@@ -277,11 +333,18 @@ impl QueryEngine {
         Ok(shipped)
     }
 
-    /// Releases the layer slot a store execution held (call when the
-    /// simulated response completes; see [`QueryResponse::held_slot`]).
+    /// Releases one layer slot a single-source store execution held.
     pub fn release(&mut self, layer: Layer) {
-        let i = layer.index();
-        self.in_flight[i] = self.in_flight[i].saturating_sub(1);
+        self.release_held(HeldSlots::single(layer));
+    }
+
+    /// Releases every slot a response held (call when the simulated
+    /// response completes; see [`QueryResponse::held`]).
+    pub fn release_held(&mut self, held: HeldSlots) {
+        for layer in Layer::ALL {
+            let i = layer.index();
+            self.in_flight[i] = self.in_flight[i].saturating_sub(held.at(layer));
+        }
     }
 
     /// Serves one query at `now_s`.
@@ -309,21 +372,42 @@ impl QueryEngine {
                 layer: Layer::Fog1,
                 via: ServedVia::EdgeCache,
                 response_bytes: bytes,
-                held_slot: None,
+                held: HeldSlots::none(),
                 answer,
             }));
         }
 
-        // 2. Route.
-        let plan = match planner::plan(&self.city, query) {
-            Ok(p) => p,
+        // 2. Route: one complete source, or a fan-out over the member
+        // fog nodes — whichever the cost model prices cheaper.
+        let route = match planner::plan(&self.city, query) {
+            Ok(r) => r,
             Err(e @ Error::Unanswerable { .. }) => {
                 self.stats.unanswerable += 1;
                 return Err(e);
             }
             Err(e) => return Err(e),
         };
+        if let Some((scatter_cost, cloud_cost)) = route.contest {
+            if scatter_cost <= cloud_cost {
+                self.stats.scatter_wins += 1;
+            } else {
+                self.stats.cloud_wins += 1;
+            }
+        }
+        match route.choice {
+            Choice::Single(plan) => self.serve_single(query, &plan, key, epoch, now_s),
+            Choice::Scatter(plan) => self.serve_scatter(query, &plan, key, epoch, now_s),
+        }
+    }
 
+    fn serve_single(
+        &mut self,
+        query: &Query,
+        plan: &QueryPlan,
+        key: CacheKey,
+        epoch: u64,
+        now_s: u64,
+    ) -> Result<Outcome> {
         // 3. Source cache at the planned node: pays the route, skips the scan.
         if let Some(answer) = self
             .source_cache(plan.source, query.origin)
@@ -347,25 +431,20 @@ impl QueryEngine {
                 layer: plan.layer,
                 via: ServedVia::SourceCache(plan.source),
                 response_bytes: bytes,
-                held_slot: None,
+                held: HeldSlots::none(),
                 answer,
             }));
         }
 
         // 4. Admission control.
-        let li = plan.layer.index();
-        let cap = match plan.layer {
-            Layer::Fog1 => self.cfg.caps.fog1,
-            Layer::Fog2 => self.cfg.caps.fog2,
-            Layer::Cloud => self.cfg.caps.cloud,
-        };
-        if self.in_flight[li] >= cap {
-            self.stats.shed[li] += 1;
-            return Ok(Outcome::Shed { layer: plan.layer });
+        let held = HeldSlots::single(plan.layer);
+        if let Some(layer) = self.admission_overflow(held) {
+            self.stats.shed[layer.index()] += 1;
+            return Ok(Outcome::Shed { layer });
         }
 
         // 5. Execute against the source store.
-        let (answer, visited) = self.execute(query, &plan, now_s, epoch);
+        let (answer, visited) = self.execute(query, plan, now_s, epoch);
         self.stats.records_scanned += visited;
         let bytes = answer.response_bytes();
         let est_latency = self.city.cost_model().cost(plan.option, bytes)
@@ -382,7 +461,7 @@ impl QueryEngine {
                 .put(key, answer.clone(), now_s, epoch);
             self.edge[query.origin].put(key, answer.clone(), now_s, epoch);
         }
-        self.in_flight[li] += 1;
+        self.occupy(held);
         self.stats.store_served += 1;
         self.stats.answered += 1;
         Ok(Outcome::Answered(QueryResponse {
@@ -391,12 +470,108 @@ impl QueryEngine {
             layer: plan.layer,
             est_latency,
             response_bytes: bytes,
-            held_slot: Some(plan.layer),
+            held,
         }))
     }
 
-    /// [`QueryEngine::serve`] for synchronous callers: any held slot is
-    /// released immediately (no simulated completion event).
+    fn serve_scatter(
+        &mut self,
+        query: &Query,
+        plan: &ScatterPlan,
+        key: CacheKey,
+        epoch: u64,
+        now_s: u64,
+    ) -> Result<Outcome> {
+        // 3. Result cache at the gather node (the requester's fog-2):
+        // pays the parent hop, skips the whole fan-out.
+        let gather = plan.gather_district;
+        if let Some(answer) = self.src_fog2[gather].get(&key, now_s, epoch) {
+            self.stats.source_hits += 1;
+            self.stats.answered += 1;
+            let bytes = answer.response_bytes();
+            self.city.meter_query(
+                query.origin,
+                DataSource::Parent,
+                self.cfg.request_bytes,
+                bytes,
+                now_s,
+            )?;
+            if self.cacheable(query, now_s, bytes) {
+                self.edge[query.origin].put(key, answer.clone(), now_s, epoch);
+            }
+            return Ok(Outcome::Answered(QueryResponse {
+                est_latency: self.city.cost_model().cost(AccessOption::Parent, bytes),
+                layer: Layer::Fog2,
+                via: ServedVia::SourceCache(DataSource::Parent),
+                response_bytes: bytes,
+                held: HeldSlots::none(),
+                answer,
+            }));
+        }
+
+        // 4. Admission control: one slot per leg at each leg's layer.
+        let mut held = HeldSlots::none();
+        for leg in &plan.legs {
+            held.add(leg.layer, 1);
+        }
+        if let Some(layer) = self.admission_overflow(held) {
+            self.stats.shed[layer.index()] += 1;
+            return Ok(Outcome::Shed { layer });
+        }
+
+        // 5. Execute every leg and merge at the gather node.
+        let (answer, leg_reports, slowest) = self.execute_scatter(query, plan, now_s, epoch);
+        let visited: u64 = leg_reports.iter().map(|&(_, _, v)| v).sum();
+        self.stats.records_scanned += visited;
+        let bytes = answer.response_bytes();
+        let est_latency = slowest
+            + self.city.cost_model().fanout_overhead(plan.legs.len())
+            + self.city.cost_model().cost(AccessOption::Parent, bytes);
+        let metered: Vec<(FanoutLeg, u64)> = leg_reports
+            .iter()
+            .map(|&(node, leg_bytes, _)| (node, leg_bytes))
+            .collect();
+        self.city
+            .meter_fanout(query.origin, &metered, self.cfg.request_bytes, bytes, now_s)?;
+        if self.cacheable(query, now_s, bytes) {
+            self.src_fog2[gather].put(key, answer.clone(), now_s, epoch);
+            self.edge[query.origin].put(key, answer.clone(), now_s, epoch);
+        }
+        self.occupy(held);
+        self.stats.store_served += 1;
+        self.stats.scatter_served += 1;
+        self.stats.scatter_legs += plan.legs.len() as u64;
+        self.stats.answered += 1;
+        Ok(Outcome::Answered(QueryResponse {
+            answer,
+            via: ServedVia::Scatter {
+                legs: plan.legs.len() as u32,
+            },
+            layer: Layer::Fog2,
+            est_latency,
+            response_bytes: bytes,
+            held,
+        }))
+    }
+
+    /// The first layer whose cap would overflow if `held` were admitted,
+    /// or `None` when every layer has room.
+    fn admission_overflow(&self, held: HeldSlots) -> Option<Layer> {
+        let caps = [self.cfg.caps.fog1, self.cfg.caps.fog2, self.cfg.caps.cloud];
+        Layer::ALL.into_iter().find(|&layer| {
+            let i = layer.index();
+            held.at(layer) > 0 && self.in_flight[i] + held.at(layer) > caps[i]
+        })
+    }
+
+    fn occupy(&mut self, held: HeldSlots) {
+        for layer in Layer::ALL {
+            self.in_flight[layer.index()] += held.at(layer);
+        }
+    }
+
+    /// [`QueryEngine::serve`] for synchronous callers: any held slots
+    /// are released immediately (no simulated completion event).
     ///
     /// # Errors
     ///
@@ -404,9 +579,7 @@ impl QueryEngine {
     pub fn serve_sync(&mut self, query: &Query, now_s: u64) -> Result<Outcome> {
         let outcome = self.serve(query, now_s)?;
         if let Outcome::Answered(resp) = &outcome {
-            if let Some(layer) = resp.held_slot {
-                self.release(layer);
-            }
+            self.release_held(resp.held);
         }
         Ok(outcome)
     }
@@ -419,6 +592,7 @@ impl QueryEngine {
                 let d = self.city.district_of(origin);
                 &mut self.src_fog2[d]
             }
+            DataSource::RemoteFog2(d) => &mut self.src_fog2[d],
             DataSource::Cloud => &mut self.src_cloud,
         }
     }
@@ -440,9 +614,13 @@ impl QueryEngine {
                 let d = match query.scope {
                     Scope::Section(s) => self.city.district_of(s),
                     Scope::District(d) => d,
+                    // City scopes never plan a Parent single source —
+                    // one fog-2 only holds its own district.
+                    Scope::City => unreachable!("city scope has no parent single source"),
                 };
                 (self.city.fog2(d).store(), NodeKey::Fog2(d as u16))
             }
+            DataSource::RemoteFog2(d) => (self.city.fog2(d).store(), NodeKey::Fog2(d as u16)),
             DataSource::Cloud => (self.city.cloud().store(), NodeKey::Cloud),
         };
         match query.kind {
@@ -460,12 +638,81 @@ impl QueryEngine {
             ),
         }
     }
+
+    /// Executes every fan-out leg against its shard and merges the
+    /// partial results ([`crate::scatter`]). Returns the merged answer,
+    /// a per-leg `(node, partial bytes, records visited)` report for
+    /// metering, and the slowest leg's transport + scan estimate.
+    fn execute_scatter(
+        &mut self,
+        query: &Query,
+        plan: &ScatterPlan,
+        now_s: u64,
+        epoch: u64,
+    ) -> (QueryAnswer, Vec<(FanoutLeg, u64, u64)>, Duration) {
+        let mut reports = Vec::with_capacity(plan.legs.len());
+        let mut slowest = Duration::ZERO;
+        let mut points = Vec::new();
+        let mut ranges = Vec::new();
+        let mut partial_legs = Vec::new();
+        for leg in &plan.legs {
+            let shard = Query {
+                scope: leg.scope,
+                ..*query
+            };
+            let (store, node): (&TieredStore, NodeKey) = match leg.node {
+                FanoutLeg::Fog1(s) => (self.city.fog1(s).store(), NodeKey::Fog1(s as u16)),
+                FanoutLeg::Fog2(d) => (self.city.fog2(d).store(), NodeKey::Fog2(d as u16)),
+            };
+            let (leg_bytes, visited) = match query.kind {
+                QueryKind::Point => {
+                    let (point, visited) = scan_point(store, &shard);
+                    points.push(point);
+                    (64, visited)
+                }
+                QueryKind::Range => {
+                    let (recs, visited) = scan_range(store, &shard);
+                    let bytes = recs.iter().map(DataRecord::wire_len).sum();
+                    ranges.push(recs);
+                    (bytes, visited)
+                }
+                QueryKind::Aggregate => {
+                    let (partial, visited) = fold_aggregate(
+                        store,
+                        node,
+                        &shard,
+                        &mut self.partials,
+                        &mut self.stats,
+                        epoch,
+                        now_s,
+                        self.cfg.bucket_s,
+                    );
+                    partial_legs.push(partial);
+                    (AGG_PARTIAL_WIRE_BYTES, visited)
+                }
+            };
+            let leg_time = self.city.cost_model().leg_cost(leg.path, leg_bytes)
+                + Duration::from_micros(self.cfg.scan_cost_per_record_us * visited);
+            slowest = slowest.max(leg_time);
+            reports.push((leg.node, leg_bytes, visited));
+        }
+        let answer = match query.kind {
+            QueryKind::Point => crate::scatter::merge_points(points),
+            QueryKind::Range => crate::scatter::merge_ranges(ranges),
+            QueryKind::Aggregate => crate::scatter::merge_aggregates(partial_legs),
+        };
+        (answer, reports, slowest)
+    }
 }
+
+/// Modeled wire size of one shipped [`AggPartial`]: moments + extremes
+/// envelope plus the 1024-register HyperLogLog sketch.
+const AGG_PARTIAL_WIRE_BYTES: u64 = 1_152;
 
 /// Latest matching observation: reverse range scan with canonical
 /// tie-breaking by sensor identity at equal creation times, so every
 /// complete source yields the same point.
-fn execute_point(store: &TieredStore, query: &Query) -> (QueryAnswer, u64) {
+fn scan_point(store: &TieredStore, query: &Query) -> (Option<PointSample>, u64) {
     let w = query.window;
     let mut visited = 0u64;
     let mut best: Option<(u64, u64, PointSample)> = None;
@@ -493,10 +740,15 @@ fn execute_point(store: &TieredStore, query: &Query) -> (QueryAnswer, u64) {
             }
         }
     }
-    (QueryAnswer::Point(best.map(|(_, _, p)| p)), visited)
+    (best.map(|(_, _, p)| p), visited)
 }
 
-fn execute_range(store: &TieredStore, query: &Query) -> (QueryAnswer, u64) {
+fn execute_point(store: &TieredStore, query: &Query) -> (QueryAnswer, u64) {
+    let (best, visited) = scan_point(store, query);
+    (QueryAnswer::Point(best), visited)
+}
+
+fn scan_range(store: &TieredStore, query: &Query) -> (Vec<DataRecord>, u64) {
     let w = query.window;
     let mut visited = 0u64;
     let mut out = Vec::new();
@@ -506,6 +758,11 @@ fn execute_range(store: &TieredStore, query: &Query) -> (QueryAnswer, u64) {
             out.push(rec.clone());
         }
     }
+    (out, visited)
+}
+
+fn execute_range(store: &TieredStore, query: &Query) -> (QueryAnswer, u64) {
+    let (out, visited) = scan_range(store, query);
     (QueryAnswer::Records(out), visited)
 }
 
@@ -520,6 +777,25 @@ fn execute_aggregate(
     now_s: u64,
     bucket_s: u64,
 ) -> (QueryAnswer, u64) {
+    let (acc, visited) =
+        fold_aggregate(store, node, query, partials, stats, epoch, now_s, bucket_s);
+    (QueryAnswer::Aggregate(acc.result()), visited)
+}
+
+/// Folds the window into one mergeable [`AggPartial`] — the shape a
+/// scatter-gather leg ships to the gather node — reusing cached closed
+/// buckets where the epoch allows.
+#[allow(clippy::too_many_arguments)]
+fn fold_aggregate(
+    store: &TieredStore,
+    node: NodeKey,
+    query: &Query,
+    partials: &mut PartialCache,
+    stats: &mut EngineStats,
+    epoch: u64,
+    now_s: u64,
+    bucket_s: u64,
+) -> (AggPartial, u64) {
     let w = query.window;
     let bucket_s = bucket_s.max(1);
     let mut acc = AggPartial::empty();
@@ -564,7 +840,7 @@ fn execute_aggregate(
         }
         visited += fold_segment(store, query, last_full, w.until_s, &mut acc);
     }
-    (QueryAnswer::Aggregate(acc.result()), visited)
+    (acc, visited)
 }
 
 fn fold_segment(
@@ -685,7 +961,7 @@ mod tests {
         let q1 = aggregate_query(5, Scope::Section(5), 0, 1_800);
         let q2 = aggregate_query(5, Scope::Section(5), 0, 2_700);
         let first = answered(e.serve(&q1, 4_000).unwrap());
-        assert_eq!(first.held_slot, Some(Layer::Fog1));
+        assert_eq!(first.held, HeldSlots::single(Layer::Fog1));
         match e.serve(&q2, 4_000).unwrap() {
             Outcome::Shed { layer } => assert_eq!(layer, Layer::Fog1),
             other => panic!("expected shed, got {other:?}"),
@@ -802,20 +1078,102 @@ mod tests {
     }
 
     #[test]
-    fn unanswerable_windows_surface_and_are_counted() {
+    fn unflushed_district_windows_scatter_then_use_the_parent_store() {
         let mut e = engine_with_data(5, SensorType::Traffic, 4);
         let district = e.city().district_of(5);
+        let members = e.city().sections_in_district(district).len() as u32;
         // District window ending past the flush frontier: nothing above
-        // fog 1 holds it yet.
+        // fog 1 holds it yet, so the engine fans out over the members.
         let q = aggregate_query(5, Scope::District(district), 0, 3_000);
+        let resp = answered(e.serve_sync(&q, 4_000).unwrap());
+        assert_eq!(resp.via, ServedVia::Scatter { legs: members });
+        assert_eq!(e.stats().scatter_served, 1);
+        assert_eq!(e.stats().scatter_legs, u64::from(members));
+        e.flush_all(4_000).unwrap();
+        let after = answered(e.serve_sync(&q, 4_100).unwrap());
+        assert_eq!(after.via, ServedVia::Store(DataSource::Parent));
+        match (&resp.answer, &after.answer) {
+            (QueryAnswer::Aggregate(a), QueryAnswer::Aggregate(b)) => {
+                assert_eq!(a.count, b.count, "scatter and parent answers agree");
+                assert_eq!(a.min, b.min);
+                assert_eq!(a.distinct_sensors, b.distinct_sensors);
+            }
+            other => panic!("expected aggregates, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unanswerable_windows_surface_and_are_counted() {
+        let mut e = engine_with_data(5, SensorType::Traffic, 2);
+        // Flush, then age fog-1 out (1-day retention) and leave a fresh
+        // unflushed wave behind: a window spanning the evicted past and
+        // the pending present has no provable cover anywhere.
+        e.flush_all(2_000).unwrap();
+        e.flush_all(2 * 86_400).unwrap();
+        let mut gen = ReadingGenerator::for_population(SensorType::Traffic, 10, 99);
+        let late = 2 * 86_400 + 10;
+        e.ingest(5, gen.wave(late), late).unwrap();
+        let q = aggregate_query(5, Scope::Section(5), 1_000, late + 100);
         assert!(matches!(
-            e.serve_sync(&q, 4_000),
+            e.serve_sync(&q, late + 200),
             Err(Error::Unanswerable { .. })
         ));
         assert_eq!(e.stats().unanswerable, 1);
+    }
+
+    #[test]
+    fn city_scope_scatters_and_caches_at_the_gather_fog2() {
+        let mut e = engine_with_data(5, SensorType::Traffic, 4);
         e.flush_all(4_000).unwrap();
-        let resp = answered(e.serve_sync(&q, 4_100).unwrap());
-        assert_eq!(resp.via, ServedVia::Store(DataSource::Parent));
+        let q = Query {
+            origin: 5,
+            selector: Selector::Type(SensorType::Traffic),
+            scope: Scope::City,
+            window: TimeWindow::new(0, 3_600),
+            kind: QueryKind::Aggregate,
+        };
+        let cold = answered(e.serve_sync(&q, 4_100).unwrap());
+        assert_eq!(cold.via, ServedVia::Scatter { legs: 10 });
+        assert_eq!(cold.layer, Layer::Fog2);
+        assert_eq!(e.stats().scatter_wins, 1, "fog-2 fan-out beat the cloud");
+        // A different requester in the same district rides the gather
+        // node's result cache instead of re-fanning.
+        let q2 = Query { origin: 6, ..q };
+        assert_eq!(e.city().district_of(5), e.city().district_of(6));
+        let warm = answered(e.serve_sync(&q2, 4_101).unwrap());
+        assert_eq!(warm.via, ServedVia::SourceCache(DataSource::Parent));
+        assert_eq!(warm.answer, cold.answer);
+        assert!(warm.est_latency < cold.est_latency);
+    }
+
+    #[test]
+    fn scatter_admission_requires_a_slot_per_leg() {
+        let mut city = F2cCity::barcelona().unwrap();
+        let mut gen = ReadingGenerator::for_population(SensorType::Traffic, 10, 42);
+        for w in 0..4 {
+            city.ingest(5, gen.wave(w * 900), w * 900 + 1).unwrap();
+        }
+        city.flush_all(4_000).unwrap();
+        let cfg = EngineConfig {
+            caps: LayerCaps {
+                fog2: 9, // a 10-leg city fan-out cannot fit
+                ..LayerCaps::default()
+            },
+            ..EngineConfig::default()
+        };
+        let mut e = QueryEngine::new(city, cfg);
+        let q = Query {
+            origin: 5,
+            selector: Selector::Type(SensorType::Traffic),
+            scope: Scope::City,
+            window: TimeWindow::new(0, 3_600),
+            kind: QueryKind::Aggregate,
+        };
+        match e.serve(&q, 4_100).unwrap() {
+            Outcome::Shed { layer } => assert_eq!(layer, Layer::Fog2),
+            other => panic!("expected a fog-2 shed, got {other:?}"),
+        }
+        assert_eq!(e.stats().shed[Layer::Fog2.index()], 1);
     }
 
     #[test]

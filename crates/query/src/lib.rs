@@ -6,20 +6,27 @@
 //! cloud. This crate is that consumption path as a subsystem:
 //!
 //! * [`model`] — typed queries: point / range / aggregate, keyed by
-//!   sensor type or category, scoped to a section or district, over a
-//!   half-open time window,
+//!   sensor type or category, scoped to a section, a district or the
+//!   whole city, over a half-open time window,
 //! * [`planner`] — the §IV.C cost model applied to serving: route each
-//!   query to the cheapest source that *provably* holds the whole window
-//!   (eviction watermarks + flush-propagation frontiers), falling back
-//!   upward when data has aged out of a fog tier,
+//!   query to the cheapest *provably complete* route — one source
+//!   (eviction watermarks + flush-propagation frontiers, falling back
+//!   upward when data has aged out of a fog tier), or a scatter-gather
+//!   fan-out over the member fog-1/fog-2 nodes that each hold one shard,
+//!   priced against the single-source cloud read,
+//! * [`scatter`] — merging fan-out partials at the requester's fog-2:
+//!   [`AggPartial`] folds for aggregates, k-way ordered merge with dedup
+//!   for range reads, canonical-rank races for points,
 //! * [`engine`] — the executor behind tiered result caches (edge +
-//!   source, TTL- and flush-epoch-invalidated) and per-layer admission
-//!   control; aggregates are assembled from mergeable bucket partials
+//!   source/gather, TTL- and flush-epoch-invalidated) and per-layer
+//!   admission control (a fan-out occupies one slot per leg); aggregates
+//!   are assembled from mergeable bucket partials
 //!   ([`f2c_aggregate::functions`] moments/extremes plus a HyperLogLog
 //!   distinct-sensor sketch) instead of rescanning archives,
 //! * [`workload`] — deterministic, seeded closed-loop workloads
-//!   (dashboard / analytics / real-time mixes) on the event-driven clock,
-//!   for driving millions of simulated requests reproducibly.
+//!   (dashboard / analytics / real-time / city-wide mixes) on the
+//!   event-driven clock, for driving millions of simulated requests
+//!   reproducibly.
 //!
 //! # Quickstart
 //!
@@ -55,15 +62,16 @@ pub mod engine;
 mod error;
 pub mod model;
 pub mod planner;
+pub mod scatter;
 pub mod workload;
 
 pub use engine::{
-    EngineConfig, EngineStats, LayerCaps, Outcome, QueryEngine, QueryResponse, ServedVia,
+    EngineConfig, EngineStats, HeldSlots, LayerCaps, Outcome, QueryEngine, QueryResponse, ServedVia,
 };
 pub use error::{Error, Result};
 pub use model::{
     AggPartial, AggregateResult, PointSample, Query, QueryAnswer, QueryKind, Scope, Selector,
     TimeWindow,
 };
-pub use planner::{plan, QueryPlan};
+pub use planner::{plan, Choice, QueryPlan, Route, ScatterLeg, ScatterPlan};
 pub use workload::{Mix, ServiceClass, WorkloadConfig, WorkloadReport};

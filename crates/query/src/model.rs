@@ -38,15 +38,17 @@ impl Selector {
 }
 
 /// Which slice of the city a query covers.
-///
-/// City-wide scatter-gather is a roadmap follow-on; today a query targets
-/// one section's data or one district's.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Scope {
     /// Data produced in one section (one fog-1 node's catchment).
     Section(usize),
     /// Data produced anywhere in one district.
     District(usize),
+    /// Data produced anywhere in the city. No single fog node holds a
+    /// city-wide window; the planner serves it by scatter-gather over the
+    /// member fog nodes (merged at the requester's fog-2) or by one cloud
+    /// read, whichever the cost model prices cheaper.
+    City,
 }
 
 /// A half-open creation-time window `[from_s, until_s)`.
@@ -129,7 +131,7 @@ impl Query {
                     reason: format!("district {d} out of range (10 districts)"),
                 });
             }
-            _ => {}
+            Scope::Section(_) | Scope::District(_) | Scope::City => {}
         }
         if self.window.until_s < self.window.from_s {
             return Err(Error::BadQuery {
@@ -152,6 +154,9 @@ impl Query {
             && match self.scope {
                 Scope::Section(s) => record.descriptor().section() == Some(s as u16),
                 Scope::District(d) => record.descriptor().district() == Some(d as u16),
+                // Everything the hierarchy ingests is produced in the
+                // city; City selects on type and window alone.
+                Scope::City => true,
             }
     }
 }

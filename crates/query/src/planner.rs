@@ -1,20 +1,32 @@
 //! The layer-aware query planner: §IV.C's cost model applied to serving.
 //!
-//! For every query the planner enumerates the sources that *provably*
-//! hold the whole window and picks the cheapest by access cost. A source
-//! is provably complete when
+//! For every query the planner enumerates the routes that *provably*
+//! cover the whole window and picks the cheapest by access cost. A
+//! source is provably complete for its shard when
 //!
 //! * its **eviction watermark** is at or before the window start (the
 //!   retention business rule of §IV.B hasn't aged the data out), and
 //! * everything created before the window end has **propagated** to it —
 //!   checked against the pending-queue frontiers of the tiers below.
 //!
+//! Two route shapes exist. A **single-source** route reads one node that
+//! holds the whole scope: the section's own fog-1, a same-district
+//! neighbor, the fog-2 parent, a *sibling district's* fog-2 over the
+//! metro ring, or the cloud. A **scatter-gather** route fans the query
+//! out over the member fog-1/fog-2 nodes that each hold one shard of the
+//! scope, and merges the partials at the requester's fog-2 — the §V.A
+//! decomposability payoff across *nodes* instead of across time buckets.
+//! City-wide scopes and windows that have not yet flushed upward are
+//! only coverable this way; where both a fan-out and a cloud read are
+//! possible the cost model (max over legs + per-leg merge/admission +
+//! last-hop delivery, vs. one WAN round trip) decides per query.
+//!
 //! When recent data has aged out of fog 1 the plan falls back upward
 //! (fog 2, then the cloud), mirroring the residency ladder of §IV.B.
 
 use citysim::time::Duration;
-use f2c_core::cost::AccessOption;
-use f2c_core::{DataSource, F2cCity, Layer, TieredStore};
+use f2c_core::cost::{AccessOption, FanoutPath};
+use f2c_core::{DataSource, F2cCity, FanoutLeg, Layer, TieredStore};
 
 use crate::model::{Query, Scope, TimeWindow};
 use crate::{Error, Result};
@@ -24,7 +36,7 @@ use crate::{Error, Result};
 /// so the ranking is insensitive to the exact figure.
 pub const NOMINAL_PAYLOAD_BYTES: u64 = 1_024;
 
-/// Where and how a query will be served.
+/// A single-source serving plan: where and how the query will be served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueryPlan {
     /// The chosen source, relative to the requester.
@@ -35,6 +47,63 @@ pub struct QueryPlan {
     pub layer: Layer,
     /// Cost-model estimate at the nominal payload.
     pub est_cost: Duration,
+}
+
+/// One leg of a scatter-gather fan-out: a node that provably holds one
+/// shard of the query's scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScatterLeg {
+    /// The node executing this leg.
+    pub node: FanoutLeg,
+    /// The shard of the query's scope this leg answers for.
+    pub scope: Scope,
+    /// Transport path from the gather node, for pricing and latency.
+    pub path: FanoutPath,
+    /// The layer whose admission slot this leg occupies.
+    pub layer: Layer,
+}
+
+/// A scatter-gather serving plan: fan out over `legs`, merge at the
+/// requester's district fog-2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScatterPlan {
+    /// The fan-out legs (disjoint shards covering the scope).
+    pub legs: Vec<ScatterLeg>,
+    /// District whose fog-2 node merges the partials (the requester's).
+    pub gather_district: usize,
+    /// Cost-model estimate at the nominal payload: max over the legs,
+    /// plus per-leg merge and admission overhead, plus last-hop delivery.
+    pub est_cost: Duration,
+}
+
+/// The route shape the planner chose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Choice {
+    /// Serve from one complete source.
+    Single(QueryPlan),
+    /// Fan out over per-shard legs and merge at the gather fog-2.
+    Scatter(ScatterPlan),
+}
+
+/// The planner's decision for one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// The winning plan.
+    pub choice: Choice,
+    /// Set when *both* a fan-out and the single-source cloud read could
+    /// serve the query: `(scatter, cloud)` cost estimates. The engine
+    /// counts these contests to report fan-out-vs-cloud win rates.
+    pub contest: Option<(Duration, Duration)>,
+}
+
+impl Route {
+    /// The winning plan's cost estimate.
+    pub fn est_cost(&self) -> Duration {
+        match &self.choice {
+            Choice::Single(p) => p.est_cost,
+            Choice::Scatter(p) => p.est_cost,
+        }
+    }
 }
 
 /// Whether `store` still holds every record it ever received with a
@@ -49,67 +118,228 @@ fn pending_settled(store: &TieredStore, until_s: u64) -> bool {
     store.pending_earliest_s().is_none_or(|e| e >= until_s)
 }
 
-/// Plans the cheapest complete source for `query`.
+/// Whether district `d`'s fog-2 node provably holds the district's whole
+/// window: nothing aged out above, nothing still pending below.
+fn fog2_complete(city: &F2cCity, d: usize, w: TimeWindow) -> bool {
+    holds_window(city.fog2(d).store(), w)
+        && city
+            .sections_in_district(d)
+            .iter()
+            .all(|&s| pending_settled(city.fog1(s).store(), w.until_s))
+}
+
+/// Whether every member fog-1 node of district `d` still holds its own
+/// shard of the window. Fog-1 nodes hold everything their section
+/// produced (pending copies included) until retention evicts, so this
+/// covers windows that have not been flushed upward yet.
+fn fog1_shards_complete(city: &F2cCity, d: usize, w: TimeWindow) -> bool {
+    city.sections_in_district(d)
+        .iter()
+        .all(|&s| holds_window(city.fog1(s).store(), w))
+}
+
+/// Whether the cloud provably holds `w` for the given districts: every
+/// member fog-1 and fog-2 queue below it has settled past the window end.
+fn cloud_complete<'a>(
+    city: &F2cCity,
+    districts: impl Iterator<Item = &'a usize>,
+    w: TimeWindow,
+) -> bool {
+    districts.into_iter().all(|&d| {
+        pending_settled(city.fog2(d).store(), w.until_s)
+            && city
+                .sections_in_district(d)
+                .iter()
+                .all(|&s| pending_settled(city.fog1(s).store(), w.until_s))
+    })
+}
+
+/// The fan-out legs covering district `d`'s shard, gathered at
+/// `gather`'s fog-2: the district fog-2 when it is provably complete
+/// (one leg), else one leg per member fog-1 node, else `None` — the
+/// shard is not provably held at the fog tiers.
+fn district_legs(
+    city: &F2cCity,
+    d: usize,
+    gather: usize,
+    w: TimeWindow,
+) -> Option<Vec<ScatterLeg>> {
+    let hops = city.fog2_ring_hops(d, gather);
+    if fog2_complete(city, d, w) {
+        let path = if d == gather {
+            FanoutPath::GatherLocal
+        } else {
+            FanoutPath::SiblingFog2 { hops }
+        };
+        return Some(vec![ScatterLeg {
+            node: FanoutLeg::Fog2(d),
+            scope: Scope::District(d),
+            path,
+            layer: Layer::Fog2,
+        }]);
+    }
+    if fog1_shards_complete(city, d, w) {
+        return Some(
+            city.sections_in_district(d)
+                .into_iter()
+                .map(|s| ScatterLeg {
+                    node: FanoutLeg::Fog1(s),
+                    scope: Scope::Section(s),
+                    path: FanoutPath::MemberFog1 { hops },
+                    layer: Layer::Fog1,
+                })
+                .collect(),
+        );
+    }
+    None
+}
+
+fn scatter_plan(city: &F2cCity, legs: Vec<ScatterLeg>, gather: usize) -> ScatterPlan {
+    let paths: Vec<FanoutPath> = legs.iter().map(|l| l.path).collect();
+    let est_cost =
+        city.cost_model()
+            .scatter_cost(&paths, NOMINAL_PAYLOAD_BYTES, NOMINAL_PAYLOAD_BYTES);
+    ScatterPlan {
+        legs,
+        gather_district: gather,
+        est_cost,
+    }
+}
+
+/// Plans the cheapest provably-complete route for `query`.
 ///
 /// # Errors
 ///
 /// [`Error::BadQuery`] on invalid queries; [`Error::Unanswerable`] when
-/// no reachable layer provably holds the whole window (e.g. the window
-/// reaches past what the hierarchy has flushed upward so far).
-pub fn plan(city: &F2cCity, query: &Query) -> Result<QueryPlan> {
+/// no reachable route provably covers the whole window (e.g. the window
+/// reaches past what the hierarchy has flushed upward so far *and* some
+/// fog-1 shard has already aged out).
+pub fn plan(city: &F2cCity, query: &Query) -> Result<Route> {
     query.validated()?;
     let w = query.window;
     let origin_district = city.district_of(query.origin);
-    let mut candidates: Vec<(AccessOption, DataSource, Layer)> = Vec::new();
+    let cost = city.cost_model();
+    let mut singles: Vec<(AccessOption, DataSource, Layer)> = Vec::new();
+    let mut scatter: Option<ScatterPlan> = None;
     match query.scope {
         Scope::Section(target) => {
             let td = city.district_of(target);
+            let target_holds = holds_window(city.fog1(target).store(), w);
+            // Section scope only needs the *target's* slice: a sibling
+            // section's unflushed pendings cannot change this answer, so
+            // the fog-2/cloud proofs check the target's frontier alone
+            // (not the whole district's).
+            let target_settled = pending_settled(city.fog1(target).store(), w.until_s);
+            let fog2_ok = holds_window(city.fog2(td).store(), w) && target_settled;
             // The section's own fog-1 node holds everything the section
             // produced (pending copies included) until retention evicts.
-            if holds_window(city.fog1(target).store(), w) {
+            if target_holds {
                 if target == query.origin {
-                    candidates.push((AccessOption::Local, DataSource::Local, Layer::Fog1));
+                    singles.push((AccessOption::Local, DataSource::Local, Layer::Fog1));
                 } else if td == origin_district {
                     let hops = city.ring_hops(query.origin, target);
-                    candidates.push((
+                    singles.push((
                         AccessOption::Neighbor { hops },
                         DataSource::Neighbor(target),
                         Layer::Fog1,
                     ));
                 }
-                // Cross-district fog-1 peering is not modeled; the cloud
-                // serves those requesters below.
+                // Cross-district fog-1 peering is not modeled; remote
+                // requesters go through the target's fog-2 or the cloud.
             }
-            if td == origin_district
-                && holds_window(city.fog2(td).store(), w)
-                && pending_settled(city.fog1(target).store(), w.until_s)
-            {
-                candidates.push((AccessOption::Parent, DataSource::Parent, Layer::Fog2));
+            if fog2_ok {
+                if td == origin_district {
+                    singles.push((AccessOption::Parent, DataSource::Parent, Layer::Fog2));
+                } else {
+                    let hops = city.fog2_ring_hops(origin_district, td);
+                    singles.push((
+                        AccessOption::SiblingFog2 { hops },
+                        DataSource::RemoteFog2(td),
+                        Layer::Fog2,
+                    ));
+                }
             }
-            if pending_settled(city.fog1(target).store(), w.until_s)
-                && pending_settled(city.fog2(td).store(), w.until_s)
-            {
-                candidates.push((AccessOption::Cloud, DataSource::Cloud, Layer::Cloud));
+            if target_settled && pending_settled(city.fog2(td).store(), w.until_s) {
+                singles.push((AccessOption::Cloud, DataSource::Cloud, Layer::Cloud));
+            }
+            if td != origin_district && !fog2_ok && target_holds {
+                // A remote section whose window has not flushed upward
+                // yet: relay the target's fog-1 through the requester's
+                // fog-2 as a one-leg fan-out (neither the sibling fog-2
+                // nor the cloud can prove completeness here).
+                let hops = city.fog2_ring_hops(td, origin_district);
+                scatter = Some(scatter_plan(
+                    city,
+                    vec![ScatterLeg {
+                        node: FanoutLeg::Fog1(target),
+                        scope: Scope::Section(target),
+                        path: FanoutPath::MemberFog1 { hops },
+                        layer: Layer::Fog1,
+                    }],
+                    origin_district,
+                ));
             }
         }
         Scope::District(d) => {
-            // Individual fog-1 nodes each hold one section's slice, so a
-            // district window needs fog 2 or above (per-section
-            // scatter-gather is a roadmap follow-on).
-            let members = city.sections_in_district(d);
-            let members_settled = members
-                .iter()
-                .all(|&s| pending_settled(city.fog1(s).store(), w.until_s));
-            if d == origin_district && holds_window(city.fog2(d).store(), w) && members_settled {
-                candidates.push((AccessOption::Parent, DataSource::Parent, Layer::Fog2));
+            // One evaluation decides the shape: a lone fog-2 leg means
+            // the district fog-2 is provably complete (serve it as a
+            // single source — parent or metro-ring sibling); fog-1 legs
+            // mean the window lives only at the members (scatter-gather,
+            // merged at the requester's fog-2).
+            match district_legs(city, d, origin_district, w) {
+                Some(legs)
+                    if matches!(
+                        legs[..],
+                        [ScatterLeg {
+                            layer: Layer::Fog2,
+                            ..
+                        }]
+                    ) =>
+                {
+                    if d == origin_district {
+                        singles.push((AccessOption::Parent, DataSource::Parent, Layer::Fog2));
+                    } else {
+                        // A sibling district's fog-2 provably holds the
+                        // window: read it over the metro ring instead of
+                        // silently falling back to the cloud.
+                        let hops = city.fog2_ring_hops(origin_district, d);
+                        singles.push((
+                            AccessOption::SiblingFog2 { hops },
+                            DataSource::RemoteFog2(d),
+                            Layer::Fog2,
+                        ));
+                    }
+                }
+                Some(legs) => scatter = Some(scatter_plan(city, legs, origin_district)),
+                None => {}
             }
-            if members_settled && pending_settled(city.fog2(d).store(), w.until_s) {
-                candidates.push((AccessOption::Cloud, DataSource::Cloud, Layer::Cloud));
+            if cloud_complete(city, [d].iter(), w) {
+                singles.push((AccessOption::Cloud, DataSource::Cloud, Layer::Cloud));
+            }
+        }
+        Scope::City => {
+            let districts: Vec<usize> = (0..city.district_count()).collect();
+            let mut legs = Vec::new();
+            let mut coverable = true;
+            for &d in &districts {
+                match district_legs(city, d, origin_district, w) {
+                    Some(mut shard) => legs.append(&mut shard),
+                    None => {
+                        coverable = false;
+                        break;
+                    }
+                }
+            }
+            if coverable {
+                scatter = Some(scatter_plan(city, legs, origin_district));
+            }
+            if cloud_complete(city, districts.iter(), w) {
+                singles.push((AccessOption::Cloud, DataSource::Cloud, Layer::Cloud));
             }
         }
     }
-    let cost = city.cost_model();
-    candidates
+
+    let best_single = singles
         .into_iter()
         .map(|(option, source, layer)| QueryPlan {
             source,
@@ -117,13 +347,46 @@ pub fn plan(city: &F2cCity, query: &Query) -> Result<QueryPlan> {
             layer,
             est_cost: cost.cost(option, NOMINAL_PAYLOAD_BYTES),
         })
-        .min_by_key(|p| p.est_cost.as_micros())
-        .ok_or_else(|| Error::Unanswerable {
+        .min_by_key(|p| p.est_cost.as_micros());
+
+    // Fan-out-vs-cloud contest: only recorded when both shapes are
+    // viable, which (today) only happens against the cloud — every
+    // other single source implies the scope fits one fog node, where no
+    // scatter plan is built.
+    let contest = match (&scatter, &best_single) {
+        (Some(s), Some(b)) if b.source == DataSource::Cloud => Some((s.est_cost, b.est_cost)),
+        _ => None,
+    };
+
+    match (scatter, best_single) {
+        (Some(s), Some(b)) => {
+            if s.est_cost <= b.est_cost {
+                Ok(Route {
+                    choice: Choice::Scatter(s),
+                    contest,
+                })
+            } else {
+                Ok(Route {
+                    choice: Choice::Single(b),
+                    contest,
+                })
+            }
+        }
+        (Some(s), None) => Ok(Route {
+            choice: Choice::Scatter(s),
+            contest,
+        }),
+        (None, Some(b)) => Ok(Route {
+            choice: Choice::Single(b),
+            contest,
+        }),
+        (None, None) => Err(Error::Unanswerable {
             reason: format!(
-                "no layer provably holds {:?}/{:?} over [{}, {}) yet",
+                "no route provably covers {:?}/{:?} over [{}, {}) yet",
                 query.selector, query.scope, w.from_s, w.until_s
             ),
-        })
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -152,10 +415,24 @@ mod tests {
         }
     }
 
+    fn single(route: Route) -> QueryPlan {
+        match route.choice {
+            Choice::Single(p) => p,
+            Choice::Scatter(s) => panic!("expected a single-source plan, got scatter {s:?}"),
+        }
+    }
+
+    fn scatter(route: Route) -> ScatterPlan {
+        match route.choice {
+            Choice::Scatter(s) => s,
+            Choice::Single(p) => panic!("expected a scatter plan, got {p:?}"),
+        }
+    }
+
     #[test]
     fn local_data_plans_local() {
         let city = city_with_data(5, SensorType::Weather, 4);
-        let plan = plan(&city, &q(5, Scope::Section(5), 0, 10_000)).unwrap();
+        let plan = single(plan(&city, &q(5, Scope::Section(5), 0, 10_000)).unwrap());
         assert_eq!(plan.source, DataSource::Local);
         assert_eq!(plan.layer, Layer::Fog1);
     }
@@ -163,33 +440,96 @@ mod tests {
     #[test]
     fn neighbor_beats_cloud_for_same_district_sections() {
         let city = city_with_data(1, SensorType::Weather, 4);
-        let plan = plan(&city, &q(0, Scope::Section(1), 0, 10_000)).unwrap();
+        let plan = single(plan(&city, &q(0, Scope::Section(1), 0, 10_000)).unwrap());
         assert_eq!(plan.source, DataSource::Neighbor(1));
     }
 
     #[test]
-    fn unflushed_district_window_is_unanswerable_then_parent_after_flush() {
+    fn unflushed_district_window_scatters_then_parent_after_flush() {
         let mut city = city_with_data(5, SensorType::Weather, 4);
         let district = city.district_of(5);
         let query = q(5, Scope::District(district), 0, 3_000);
-        assert!(matches!(
-            plan(&city, &query),
-            Err(Error::Unanswerable { .. })
-        ));
+        // Nothing above fog 1 holds the window yet, but every member
+        // fog-1 does: fan out over the members instead of failing.
+        let s = scatter(plan(&city, &query).unwrap());
+        assert_eq!(s.gather_district, district);
+        assert_eq!(
+            s.legs.len(),
+            city.sections_in_district(district).len(),
+            "one leg per member section"
+        );
+        assert!(s.legs.iter().all(|l| l.layer == Layer::Fog1));
         city.flush_all(4_000).unwrap();
-        let p = plan(&city, &query).unwrap();
+        let p = single(plan(&city, &query).unwrap());
         assert_eq!(p.source, DataSource::Parent);
         assert_eq!(p.layer, Layer::Fog2);
     }
 
     #[test]
-    fn cross_district_requester_is_served_by_the_cloud() {
+    fn cross_district_requester_reads_the_sibling_fog2_not_the_cloud() {
         let mut city = city_with_data(5, SensorType::Weather, 4);
         city.flush_all(4_000).unwrap();
         let district = city.district_of(5);
         // Section 70 is in Sant Martí (district 9), far from district of 5.
         assert_ne!(city.district_of(70), district);
-        let p = plan(&city, &q(70, Scope::District(district), 0, 3_000)).unwrap();
+        let p = single(plan(&city, &q(70, Scope::District(district), 0, 3_000)).unwrap());
+        assert_eq!(
+            p.source,
+            DataSource::RemoteFog2(district),
+            "a sibling fog-2 that provably holds the window must win over the cloud"
+        );
+        assert!(p.est_cost < city.cost_model().cost(AccessOption::Cloud, 1_024));
+    }
+
+    #[test]
+    fn remote_section_windows_ride_the_fog2_ring_too() {
+        let mut city = city_with_data(5, SensorType::Weather, 4);
+        city.flush_all(4_000).unwrap();
+        let td = city.district_of(5);
+        assert_ne!(city.district_of(70), td);
+        let p = single(plan(&city, &q(70, Scope::Section(5), 0, 3_000)).unwrap());
+        assert_eq!(p.source, DataSource::RemoteFog2(td));
+    }
+
+    #[test]
+    fn city_scope_scatters_over_all_district_fog2s_when_settled() {
+        let mut city = city_with_data(5, SensorType::Weather, 4);
+        city.flush_all(4_000).unwrap();
+        let route = plan(&city, &q(5, Scope::City, 0, 3_000)).unwrap();
+        let (s_cost, c_cost) = route.contest.expect("cloud and fan-out both viable");
+        assert!(s_cost < c_cost, "all-fog2 fan-out undercuts the WAN read");
+        let s = scatter(route);
+        assert_eq!(s.legs.len(), 10, "one fog-2 leg per district");
+        assert!(s.legs.iter().all(|l| l.layer == Layer::Fog2));
+        assert_eq!(s.gather_district, city.district_of(5));
+    }
+
+    #[test]
+    fn unsettled_city_scope_mixes_fog1_and_fog2_legs_and_the_cloud_is_no_rival() {
+        let city = city_with_data(5, SensorType::Weather, 4);
+        // Section 5's district has unflushed pendings: its shard needs
+        // per-member fog-1 legs. Every other district is (vacuously)
+        // complete at its fog-2. The cloud cannot prove completeness.
+        let route = plan(&city, &q(5, Scope::City, 0, 3_000)).unwrap();
+        assert_eq!(route.contest, None);
+        let s = scatter(route);
+        let members = city.sections_in_district(city.district_of(5)).len();
+        let fog1_legs = s.legs.iter().filter(|l| l.layer == Layer::Fog1).count();
+        let fog2_legs = s.legs.iter().filter(|l| l.layer == Layer::Fog2).count();
+        assert_eq!(fog1_legs, members, "one fog-1 leg per unflushed member");
+        assert_eq!(fog2_legs, 9, "every settled district serves from fog-2");
+    }
+
+    #[test]
+    fn aged_out_city_window_is_served_by_the_cloud_alone() {
+        let mut city = city_with_data(5, SensorType::Weather, 2);
+        city.flush_all(2_000).unwrap();
+        // Ten days on, both fog tiers have evicted the historic window;
+        // no fan-out leg can prove completeness.
+        city.flush_all(10 * 86_400).unwrap();
+        let route = plan(&city, &q(5, Scope::City, 0, 2_000)).unwrap();
+        assert_eq!(route.contest, None);
+        let p = single(route);
         assert_eq!(p.source, DataSource::Cloud);
     }
 
@@ -199,12 +539,12 @@ mod tests {
         city.flush_all(2_000).unwrap();
         // Two days in: fog-1 retention (1 day) evicts; fog-2 still holds.
         city.flush_all(2 * 86_400).unwrap();
-        let p = plan(&city, &q(5, Scope::Section(5), 0, 2_000)).unwrap();
+        let p = single(plan(&city, &q(5, Scope::Section(5), 0, 2_000)).unwrap());
         assert_eq!(p.source, DataSource::Parent, "fog-1 window aged out");
         // Ten days in: fog-2 retention (7 days) evicts too; only the
         // cloud still has the historical window.
         city.flush_all(10 * 86_400).unwrap();
-        let p = plan(&city, &q(5, Scope::Section(5), 0, 2_000)).unwrap();
+        let p = single(plan(&city, &q(5, Scope::Section(5), 0, 2_000)).unwrap());
         assert_eq!(p.source, DataSource::Cloud);
     }
 
@@ -212,12 +552,13 @@ mod tests {
     fn plans_rank_by_cost_model() {
         let mut city = city_with_data(5, SensorType::Weather, 4);
         city.flush_all(4_000).unwrap();
-        let local = plan(&city, &q(5, Scope::Section(5), 0, 3_000)).unwrap();
+        let local = single(plan(&city, &q(5, Scope::Section(5), 0, 3_000)).unwrap());
         let district = city.district_of(5);
-        let parent = plan(&city, &q(5, Scope::District(district), 0, 3_000)).unwrap();
-        let cloud = plan(&city, &q(70, Scope::District(district), 0, 3_000)).unwrap();
+        let parent = single(plan(&city, &q(5, Scope::District(district), 0, 3_000)).unwrap());
+        let sibling = single(plan(&city, &q(70, Scope::District(district), 0, 3_000)).unwrap());
         assert!(local.est_cost < parent.est_cost);
-        assert!(parent.est_cost < cloud.est_cost);
+        assert!(parent.est_cost < sibling.est_cost);
+        assert!(sibling.est_cost < city.cost_model().cost(AccessOption::Cloud, 1_024));
     }
 
     #[test]
@@ -226,6 +567,45 @@ mod tests {
         assert!(matches!(
             plan(&city, &q(73, Scope::Section(0), 0, 10)),
             Err(Error::BadQuery { .. })
+        ));
+    }
+
+    #[test]
+    fn sibling_pendings_do_not_block_section_scope_proofs() {
+        // Section 5's window is fully flushed and then ages out of
+        // fog 1; a sibling section (6, same district) later ingests a
+        // *backdated* reading created inside the window. The sibling's
+        // pending data is section-6 data and cannot change a section-5
+        // answer, so fog-2 must still prove completeness for section 5.
+        let mut city = city_with_data(5, SensorType::Weather, 2);
+        city.flush_all(2_000).unwrap();
+        city.flush_all(2 * 86_400).unwrap(); // fog-1 evicts the window
+        assert_eq!(city.district_of(5), city.district_of(6));
+        let mut gen = ReadingGenerator::for_population(SensorType::Weather, 3, 7);
+        city.ingest(6, gen.wave(1_500), 2 * 86_400 + 10).unwrap();
+        let p = single(plan(&city, &q(5, Scope::Section(5), 0, 2_000)).unwrap());
+        assert_eq!(
+            p.source,
+            DataSource::Parent,
+            "a sibling's unflushed pendings must not make the target section unanswerable"
+        );
+    }
+
+    #[test]
+    fn truly_unreachable_windows_stay_unanswerable() {
+        let mut city = city_with_data(5, SensorType::Weather, 2);
+        // Flush, then age fog-1 out while leaving a *new* unflushed wave
+        // behind: a window covering both the evicted past and the
+        // pending present has no provable cover anywhere.
+        city.flush_all(2_000).unwrap();
+        city.flush_all(2 * 86_400).unwrap();
+        let mut gen = ReadingGenerator::for_population(SensorType::Weather, 10, 99);
+        city.ingest(5, gen.wave(2 * 86_400 + 10), 2 * 86_400 + 10)
+            .unwrap();
+        let query = q(5, Scope::Section(5), 1_000, 2 * 86_400 + 100);
+        assert!(matches!(
+            plan(&city, &query),
+            Err(Error::Unanswerable { .. })
         ));
     }
 }

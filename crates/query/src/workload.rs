@@ -20,13 +20,13 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use scc_sensors::{Category, SensorType};
 
-use crate::engine::{Outcome, QueryEngine};
+use crate::engine::{HeldSlots, Outcome, QueryEngine, ServedVia};
 use crate::model::{Query, QueryKind, Scope, Selector, TimeWindow};
 use crate::{Error, Result};
 
 /// The service classes of the paper's consumer taxonomy (§IV.D): live
-/// per-section reads, refreshing district dashboards, and long-window
-/// analytics.
+/// per-section reads, refreshing district dashboards, long-window
+/// analytics, and city-wide situation panels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServiceClass {
     /// District dashboards: aggregate panels over recent settled windows,
@@ -36,6 +36,9 @@ pub enum ServiceClass {
     Analytics,
     /// Latest-value point reads at the user's own section.
     RealTime,
+    /// City-wide aggregates (and an occasional city-wide latest-value
+    /// probe) over recent settled windows — the scatter-gather workload.
+    CityWide,
 }
 
 /// Relative weights of the service classes in a workload.
@@ -47,21 +50,24 @@ pub struct Mix {
     pub analytics: u32,
     /// Weight of [`ServiceClass::RealTime`].
     pub realtime: u32,
+    /// Weight of [`ServiceClass::CityWide`].
+    pub city: u32,
 }
 
 impl Default for Mix {
     fn default() -> Self {
         Self {
-            dashboard: 45,
+            dashboard: 42,
             analytics: 10,
-            realtime: 45,
+            realtime: 42,
+            city: 6,
         }
     }
 }
 
 impl Mix {
     fn total(&self) -> u32 {
-        self.dashboard + self.analytics + self.realtime
+        self.dashboard + self.analytics + self.realtime + self.city
     }
 
     fn sample(&self, rng: &mut SmallRng) -> ServiceClass {
@@ -70,8 +76,10 @@ impl Mix {
             ServiceClass::Dashboard
         } else if x < self.dashboard + self.analytics {
             ServiceClass::Analytics
-        } else {
+        } else if x < self.dashboard + self.analytics + self.realtime {
             ServiceClass::RealTime
+        } else {
+            ServiceClass::CityWide
         }
     }
 }
@@ -133,9 +141,19 @@ pub struct WorkloadReport {
     pub source_hits: u64,
     /// Store executions during the run.
     pub store_served: u64,
+    /// Scatter-gather executions during the run.
+    pub scatter_served: u64,
+    /// Fan-out legs executed during the run.
+    pub scatter_legs: u64,
+    /// Contested fan-out-vs-cloud routes the fan-out won during the run.
+    pub scatter_wins: u64,
+    /// Contested fan-out-vs-cloud routes the cloud won during the run.
+    pub cloud_wins: u64,
     /// Estimated-latency histograms per serving layer (fog 1, fog 2,
     /// cloud).
     pub latency_by_layer: [Histogram; 3],
+    /// Estimated-latency histogram of scatter-gather-served requests.
+    pub scatter_latency: Histogram,
     /// Simulated instant of the last processed request.
     pub sim_end_s: u64,
     /// Order-exact FNV-1a hash over every request's transcript line.
@@ -164,8 +182,9 @@ impl WorkloadReport {
 enum Ev {
     /// User `u` issues their next request.
     Tick(u32),
-    /// A store execution's simulated response completed.
-    Release(Layer),
+    /// A store execution's simulated response completed: release the
+    /// admission slots it held (one per fan-out leg for scatter-gather).
+    Release(HeldSlots),
     /// Hierarchy-wide flush.
     Flush,
     /// Background sensor waves at every section.
@@ -184,6 +203,7 @@ fn think(class: ServiceClass, rng: &mut SmallRng) -> Duration {
         ServiceClass::RealTime => (1_000, 1_000),
         ServiceClass::Dashboard => (2_000, 3_000),
         ServiceClass::Analytics => (8_000, 8_000),
+        ServiceClass::CityWide => (6_000, 6_000),
     };
     Duration::from_millis(base_ms + rng.gen_range(0..jitter_ms))
 }
@@ -233,6 +253,32 @@ fn gen_query(class: ServiceClass, now_s: u64, engine: &QueryEngine, rng: &mut Sm
             window: TimeWindow::new(0, settled),
             kind: QueryKind::Aggregate,
         },
+        ServiceClass::CityWide => {
+            if rng.gen_bool(0.2) {
+                // City-wide latest observation of one type (a status
+                // probe racing every shard's winner).
+                Query {
+                    origin,
+                    selector: Selector::Type(
+                        SensorType::ALL[rng.gen_range(0..SensorType::ALL.len())],
+                    ),
+                    scope: Scope::City,
+                    window: TimeWindow::new(now_s.saturating_sub(1_800), now_s + 1),
+                    kind: QueryKind::Point,
+                }
+            } else {
+                // City-wide aggregate panel over the last settled hour.
+                Query {
+                    origin,
+                    selector: Selector::Category(
+                        Category::ALL[rng.gen_range(0..Category::ALL.len())],
+                    ),
+                    scope: Scope::City,
+                    window: TimeWindow::new(settled.saturating_sub(3_600), settled),
+                    kind: QueryKind::Aggregate,
+                }
+            }
+        }
     }
 }
 
@@ -299,6 +345,7 @@ pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<Workload
     let mut shed = 0u64;
     let mut unanswerable = 0u64;
     let mut hists = [Histogram::new(), Histogram::new(), Histogram::new()];
+    let mut scatter_latency = Histogram::new();
     let mut sim_end_s = config.start_s;
     let mut transcript = Vec::new();
     let mut transcript_hash = 0xcbf2_9ce4_8422_2325u64;
@@ -328,7 +375,7 @@ pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<Workload
                     }
                 }
             }
-            Ev::Release(layer) => engine.release(layer),
+            Ev::Release(held) => engine.release_held(held),
             Ev::Tick(u) => {
                 if issued >= config.requests {
                     continue;
@@ -342,9 +389,12 @@ pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<Workload
                     Ok(Outcome::Answered(resp)) => {
                         answered += 1;
                         hists[resp.layer.index()].record(resp.est_latency);
+                        if matches!(resp.via, ServedVia::Scatter { .. }) {
+                            scatter_latency.record(resp.est_latency);
+                        }
                         let done = at + resp.est_latency;
-                        if let Some(layer) = resp.held_slot {
-                            queue.schedule_at(done, Ev::Release(layer));
+                        if !resp.held.is_empty() {
+                            queue.schedule_at(done, Ev::Release(resp.held));
                         }
                         write!(
                             line,
@@ -391,7 +441,12 @@ pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<Workload
         edge_hits: stats.edge_hits - stats0.edge_hits,
         source_hits: stats.source_hits - stats0.source_hits,
         store_served: stats.store_served - stats0.store_served,
+        scatter_served: stats.scatter_served - stats0.scatter_served,
+        scatter_legs: stats.scatter_legs - stats0.scatter_legs,
+        scatter_wins: stats.scatter_wins - stats0.scatter_wins,
+        cloud_wins: stats.cloud_wins - stats0.cloud_wins,
         latency_by_layer: hists,
+        scatter_latency,
         sim_end_s,
         transcript_hash,
         transcript,
@@ -454,6 +509,58 @@ mod tests {
     }
 
     #[test]
+    fn city_wide_mix_exercises_scatter_gather() {
+        let mut engine = warm_engine();
+        let mut config = small_config();
+        config.mix = Mix {
+            dashboard: 20,
+            analytics: 10,
+            realtime: 20,
+            city: 50,
+        };
+        let report = run(&mut engine, &config).unwrap();
+        assert!(
+            report.scatter_served > 0,
+            "city-wide queries must fan out: {report:?}"
+        );
+        assert!(
+            report.scatter_legs >= report.scatter_served,
+            "every scatter execution has at least one leg"
+        );
+        assert!(
+            report.scatter_latency.count() == report.scatter_served,
+            "scatter latencies are recorded per execution"
+        );
+        assert!(
+            report.scatter_wins + report.cloud_wins > 0,
+            "settled city windows put the fan-out and the cloud in contest"
+        );
+    }
+
+    #[test]
+    fn fan_out_replays_are_transcript_identical() {
+        // The scatter path merges per-leg partials; replays must stay
+        // byte-identical with fan-out (and its multi-slot admission
+        // releases) in the mix.
+        let run_once = || {
+            let mut engine = warm_engine();
+            let mut config = small_config();
+            config.mix = Mix {
+                dashboard: 10,
+                analytics: 10,
+                realtime: 10,
+                city: 70,
+            };
+            run(&mut engine, &config).unwrap()
+        };
+        let a = run_once();
+        let b = run_once();
+        assert!(a.scatter_served > 0, "fan-out must actually run: {a:?}");
+        assert_eq!(a.transcript, b.transcript, "fan-out replay diverged");
+        assert_eq!(a.transcript_hash, b.transcript_hash);
+    }
+
+    #[test]
     fn replays_are_transcript_identical_and_seeds_matter() {
         let run_once = |seed: u64| {
             let mut engine = warm_engine();
@@ -483,6 +590,7 @@ mod tests {
             dashboard: 0,
             analytics: 0,
             realtime: 0,
+            city: 0,
         };
         assert!(run(&mut engine, &config).is_err());
     }

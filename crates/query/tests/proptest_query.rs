@@ -203,10 +203,15 @@ proptest! {
             Selector::Category(Category::ALL[(seed as usize) % Category::ALL.len()])
         };
         let target = sections[seed as usize % sections.len()];
+        // Remote scopes matter: the origin is arbitrary, so the district
+        // scopes cover same-district (parent), sibling-fog-2 and
+        // scatter-gather routes, and City exercises the full fan-out.
         let scopes = [
             Scope::Section(target),
             Scope::Section(origin),
             Scope::District(engine.city().district_of(target)),
+            Scope::District((engine.city().district_of(target) + 5) % 10),
+            Scope::City,
         ];
         let window = TimeWindow::new(from_s, from_s + len_s);
         for scope in scopes {
@@ -259,6 +264,8 @@ proptest! {
         for (scope, kind) in [
             (Scope::Section(section), QueryKind::Range),
             (Scope::District(district), QueryKind::Aggregate),
+            (Scope::City, QueryKind::Aggregate),
+            (Scope::City, QueryKind::Range),
         ] {
             let query = Query {
                 origin,

@@ -1,7 +1,8 @@
 //! Consumer query serving over the hierarchy: warm a small Barcelona
-//! deployment, then ask it the three kinds of questions city services
-//! ask — a live point read at the edge, a district dashboard aggregate,
-//! and a long-window analytics scan — and finish with a seeded
+//! deployment, then ask it the kinds of questions city services ask — a
+//! live point read at the edge, a district dashboard aggregate, a
+//! sibling-district analytics scan over the fog-2 metro ring, and a
+//! city-wide scatter-gather aggregate — and finish with a seeded
 //! closed-loop mini-workload.
 //!
 //! Run with `cargo run --release --example query_serving`.
@@ -52,8 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut engine = QueryEngine::new(city, EngineConfig::default());
     engine.flush_all(3_600)?;
     let now = 3_700;
-    // Scaled-down populations concentrate in the low section indices, so
-    // the demo consumer lives in section 3 (Ciutat Vella, district 0).
+    // Scaled-down populations are hash-spread across all 73 sections, so
+    // any consumer section works; the demo lives in section 3 (Ciutat
+    // Vella, district 0).
     let origin = 3;
     let district = engine.city().district_of(origin);
 
@@ -85,8 +87,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &engine.serve_sync(&dashboard, now + 1)?,
     );
 
-    // Analytics over another district: the cloud serves cross-district
-    // consumers.
+    // Analytics over another district: the sibling fog-2 that provably
+    // holds the window serves it over the metro ring — not the cloud.
     let analytics = Query {
         origin,
         selector: Selector::Category(Category::Energy),
@@ -98,6 +100,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "energy analytics (far)",
         &engine.serve_sync(&analytics, now)?,
     );
+
+    // A city-wide panel: no single fog node holds it, so the planner
+    // fans out over the ten district fog-2 nodes, merges the partials at
+    // the requester's fog-2, and beats the single-source cloud read.
+    let citywide = Query {
+        origin,
+        selector: Selector::Category(Category::Urban),
+        scope: Scope::City,
+        window: TimeWindow::new(0, 3_600),
+        kind: QueryKind::Aggregate,
+    };
+    show("urban city-wide panel", &engine.serve_sync(&citywide, now)?);
 
     // A seeded closed-loop mini-workload over the same engine.
     let report = workload::run(
