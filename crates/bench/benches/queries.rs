@@ -1,10 +1,14 @@
 //! Criterion bench for E7: serving-path costs of the query engine —
-//! edge-cache hits vs planner+store execution, point vs aggregate.
+//! edge-cache hits vs planner+store execution, point vs aggregate, and
+//! the per-class QoS admission ledger on the hot path.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use f2c_core::runtime::populate_city;
-use f2c_core::F2cCity;
-use f2c_query::{plan, EngineConfig, Query, QueryEngine, QueryKind, Scope, Selector, TimeWindow};
+use f2c_core::{F2cCity, Layer};
+use f2c_query::{
+    plan, ClassLedger, EngineConfig, QosPolicy, Query, QueryEngine, QueryKind, Scope, Selector,
+    ServiceClass, TimeWindow,
+};
 use scc_sensors::{Category, SensorType};
 
 fn warm_engine() -> QueryEngine {
@@ -21,6 +25,7 @@ fn bench_queries(c: &mut Criterion) {
     let district = engine.city().district_of(21);
     let dashboard = Query {
         origin: 21,
+        class: ServiceClass::Dashboard,
         selector: Selector::Category(Category::Urban),
         scope: Scope::District(district),
         window: TimeWindow::new(0, 2 * 3_600),
@@ -28,6 +33,7 @@ fn bench_queries(c: &mut Criterion) {
     };
     let realtime = Query {
         origin: 21,
+        class: ServiceClass::RealTime,
         selector: Selector::Type(SensorType::Traffic),
         scope: Scope::Section(21),
         window: TimeWindow::new(0, now),
@@ -76,6 +82,7 @@ fn bench_queries(c: &mut Criterion) {
             shift += 1;
             let q = Query {
                 scope: Scope::City,
+                class: ServiceClass::CityWide,
                 window: TimeWindow::new(shift % 3_600, 3_601 + (shift % 3_599)),
                 ..dashboard
             };
@@ -84,5 +91,26 @@ fn bench_queries(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_queries);
+/// The class-aware admission ledger sits on every store execution, so
+/// its acquire/release cycle must stay trivially cheap: one single-slot
+/// grant plus a ten-leg fan-out grant per iteration, with the quota and
+/// borrow arithmetic of all four classes exercised.
+fn bench_qos(c: &mut Criterion) {
+    let mut ledger = ClassLedger::new([4_096, 256, 64], &QosPolicy::default());
+    c.bench_function("qos/admit_release", |b| {
+        b.iter(|| {
+            ledger
+                .try_acquire(ServiceClass::RealTime, [1, 0, 0])
+                .unwrap();
+            ledger
+                .try_acquire(ServiceClass::CityWide, [0, 10, 0])
+                .unwrap();
+            ledger.release(ServiceClass::RealTime, [1, 0, 0]);
+            ledger.release(ServiceClass::CityWide, [0, 10, 0]);
+            black_box(ledger.layer_total(Layer::Fog2))
+        })
+    });
+}
+
+criterion_group!(benches, bench_queries, bench_qos);
 criterion_main!(benches);

@@ -1,27 +1,72 @@
 //! Experiment E7: consumer query serving over the F2C hierarchy — a
 //! seeded ≥1M-request closed-loop workload (dashboard / analytics /
-//! real-time / city-wide mix) against a warmed Barcelona deployment,
-//! reporting per-layer latency percentiles, scatter-gather percentiles
-//! and fan-out-vs-cloud win rates, cache hit rates and admission sheds,
-//! plus a warm-vs-cold serving microbenchmark.
+//! real-time / city-wide mix under a diurnal load curve) against a
+//! warmed Barcelona deployment, reporting per-layer and per-class
+//! latency percentiles, per-class shed rates and SLO attainment,
+//! scatter-gather percentiles and fan-out-vs-cloud win rates, cache hit
+//! rates and admission sheds; then a flash-crowd scenario proving the
+//! QoS promise (an analytics burst sheds analytics, never a real-time
+//! read); and a warm-vs-cold serving microbenchmark.
 //!
 //! Run with `cargo run --release -p f2c-bench --bin queries`.
+//! Set `E7_REQUESTS` (e.g. `E7_REQUESTS=50000`) to shrink the main run
+//! for CI smoke coverage.
 
 use std::time::Instant;
 
 use f2c_core::runtime::populate_city;
 use f2c_core::{F2cCity, Layer};
-use f2c_query::workload::{self, Mix, WorkloadConfig};
+use f2c_query::workload::{self, DiurnalCurve, FlashCrowd, Mix, ServiceClass, WorkloadConfig};
 use f2c_query::{
     EngineConfig, LayerCaps, Outcome, Query, QueryEngine, QueryKind, Scope, Selector, TimeWindow,
+    WorkloadReport,
 };
 use scc_sensors::Category;
 
 const WARMUP_SCALE: u64 = 2_000;
 const WARMUP_HORIZON_S: u64 = 4 * 3_600;
-const REQUESTS: u64 = 1_000_000;
+const DEFAULT_REQUESTS: u64 = 1_000_000;
+
+fn requested_load() -> u64 {
+    std::env::var("E7_REQUESTS")
+        .ok()
+        .map(|s| {
+            s.parse()
+                .expect("E7_REQUESTS must be a positive request count")
+        })
+        .unwrap_or(DEFAULT_REQUESTS)
+}
+
+fn print_class_table(report: &WorkloadReport) {
+    println!(
+        "\n{:<10} {:>8} {:>9} {:>6} {:>8} {:>8} {:>7} {:>6} {:>12} {:>12}",
+        "class", "issued", "answered", "shed", "dl-shed", "reroute", "shed%", "SLO%", "p50", "p99"
+    );
+    println!("{}", "-".repeat(94));
+    for class in ServiceClass::ALL {
+        let stats = report.class_stats(class);
+        if stats.requests == 0 {
+            continue;
+        }
+        let h = report.class_hist(class);
+        println!(
+            "{:<10} {:>8} {:>9} {:>6} {:>8} {:>8} {:>6.2}% {:>5.1}% {:>12} {:>12}",
+            class.label(),
+            stats.requests,
+            stats.answered,
+            stats.shed,
+            stats.deadline_shed,
+            stats.rerouted,
+            stats.shed_rate() * 100.0,
+            stats.slo_attainment() * 100.0,
+            h.quantile(0.5).to_string(),
+            h.quantile(0.99).to_string()
+        );
+    }
+}
 
 fn main() {
+    let requests = requested_load();
     println!("== E7: closed-loop query serving over the F2C hierarchy ==\n");
 
     // --- warm-up: event-driven ingest day slice ------------------------
@@ -39,10 +84,17 @@ fn main() {
         t.elapsed()
     );
 
-    // --- serving: 1M closed-loop requests ------------------------------
+    // --- serving: the closed-loop main run ------------------------------
     // Fog-2 capacity must absorb fan-out pressure: one city-wide
-    // scatter-gather holds a slot per district leg, so the cap is sized
-    // in whole fan-outs (64 ≈ six concurrent city-wide queries).
+    // scatter-gather holds a slot per district leg, and the QoS policy
+    // carves every cap into per-class guarantees plus borrowable
+    // headroom (e.g. city-wide panels are guaranteed 20% of fog 2 and
+    // may borrow more, while analytics borrowing can never touch the
+    // real-time guarantee). One deliberate consequence shows up in the
+    // class table: a city-wide *live* probe over an unsettled window
+    // fans out over all 73 fog-1 nodes, which exceeds the city-wide
+    // fog-1 allowance — the quota refuses the mega-fan-out instead of
+    // letting it crowd the edge layer real-time reads run on.
     let cfg = EngineConfig {
         caps: LayerCaps {
             fog1: 256,
@@ -54,7 +106,7 @@ fn main() {
     let mut engine = QueryEngine::new(city, cfg);
     let config = WorkloadConfig {
         seed: 2017,
-        requests: REQUESTS,
+        requests,
         users: 600,
         mix: Mix {
             dashboard: 40,
@@ -66,6 +118,15 @@ fn main() {
         flush_period_s: 900,
         ingest_period_s: 300,
         ingest_scale: WARMUP_SCALE,
+        // A compressed two-hour "day": the run starts at the peak,
+        // sweeps down to the 0.5× off-peak trough and back (§IV.D).
+        diurnal: Some(DiurnalCurve {
+            period_s: 7_200,
+            trough_milli: 500,
+            peak_milli: 1_800,
+            peak_at_s: 0,
+        }),
+        flash_crowds: [None; 4],
         record_transcript: false,
     };
     let t = Instant::now();
@@ -116,6 +177,8 @@ fn main() {
         );
     }
 
+    print_class_table(&report);
+
     let stats = engine.stats();
     println!(
         "\nanswered {} | edge hits {} | source hits {} | store served {} \
@@ -138,11 +201,13 @@ fn main() {
             / (report.scatter_wins + report.cloud_wins).max(1) as f64
     );
     println!(
-        "shed: fog1 {} / fog2 {} / cloud {} (total {}) | unanswerable {}",
+        "shed: fog1 {} / fog2 {} / cloud {} (capacity {}) | deadline {} \
+         | unanswerable {}",
         stats.shed[0],
         stats.shed[1],
         stats.shed[2],
         stats.shed_total(),
+        stats.deadline_shed_total(),
         report.unanswerable
     );
     println!(
@@ -150,7 +215,7 @@ fn main() {
         stats.records_scanned, stats.partial_hits, stats.partial_fills
     );
 
-    assert!(report.issued >= REQUESTS, "must push at least 1M requests");
+    assert!(report.issued >= requests, "must push the requested load");
     assert!(
         report.answered as f64 >= 0.9 * report.issued as f64,
         "a warm hierarchy answers the overwhelming majority"
@@ -167,6 +232,80 @@ fn main() {
         report.scatter_wins > 0,
         "settled city windows must put the fog-2 fan-out ahead of the cloud read"
     );
+    assert_eq!(
+        report.class_stats(ServiceClass::RealTime).shed,
+        0,
+        "the steady mix must never shed a real-time read"
+    );
+
+    // --- flash crowd: the QoS promise under a deliberate overload -------
+    // A fresh, tightly-capped engine (result caches disabled so the
+    // burst's aggregates cannot hide behind cache hits, which bypass
+    // admission) takes a 300-user analytics stampede. The analytics
+    // quota saturates and sheds *during the burst window* while the
+    // real-time guarantee keeps every live read flowing — the
+    // "never shed a real-time read while analytics holds borrowed
+    // slots" invariant, demonstrated at the same instant.
+    println!("\n== flash crowd: analytics stampede vs the real-time guarantee ==");
+    let mut crowd_city = F2cCity::barcelona().expect("city builds");
+    populate_city(&mut crowd_city, 20_000, 2017, 3_600, 900).expect("warm-up runs");
+    let crowd_cfg = EngineConfig {
+        result_ttl_s: 0,
+        caps: LayerCaps {
+            fog1: 64,
+            fog2: 8,
+            cloud: 4,
+        },
+        ..EngineConfig::default()
+    };
+    let mut crowd_engine = QueryEngine::new(crowd_city, crowd_cfg);
+    let mut crowd_config = WorkloadConfig {
+        seed: 2017,
+        requests: 30_000,
+        users: 64,
+        start_s: 3_600,
+        ingest_scale: 20_000,
+        ..WorkloadConfig::default()
+    };
+    crowd_config.flash_crowds[0] = Some(FlashCrowd {
+        class: ServiceClass::Analytics,
+        start_s: 3_660,
+        duration_s: 120,
+        users: 300,
+        think_divisor: 32,
+    });
+    let t = Instant::now();
+    let crowd_report = workload::run(&mut crowd_engine, &crowd_config).expect("burst runs");
+    println!(
+        "burst workload: {} requests in {:.2?}",
+        crowd_report.issued,
+        t.elapsed()
+    );
+    print_class_table(&crowd_report);
+    let analytics = crowd_report.class_stats(ServiceClass::Analytics);
+    let realtime = crowd_report.class_stats(ServiceClass::RealTime);
+    println!(
+        "\nduring the burst window: analytics shed {} of {} issued \
+         ({:.1}% shed rate) while real-time shed {} of {}",
+        crowd_report.flash_shed(ServiceClass::Analytics),
+        analytics.requests,
+        analytics.shed_rate() * 100.0,
+        realtime.shed,
+        realtime.requests,
+    );
+    assert!(
+        crowd_report.flash_shed(ServiceClass::Analytics) > 0,
+        "the stampede must overrun the analytics quota"
+    );
+    assert_eq!(
+        realtime.shed, 0,
+        "the real-time guarantee must hold through the stampede"
+    );
+    assert!(
+        realtime.requests > 0 && realtime.answered > 0,
+        "real-time reads keep flowing during the burst"
+    );
+    println!("-> analytics sheds, the real-time guarantee holds. SHAPE OK");
 
     // --- warm vs cold: the cache pays for itself ------------------------
     // The probe aggregates a whole category over a district, so the
@@ -179,6 +318,7 @@ fn main() {
     let district = engine.city().district_of(3);
     let probe = Query {
         origin: 3,
+        class: ServiceClass::Dashboard,
         selector: Selector::Category(Category::Energy),
         scope: Scope::District(district),
         window: TimeWindow::new(0, engine.last_flush_s()),
@@ -190,7 +330,13 @@ fn main() {
         let wall = t.elapsed();
         match outcome {
             Outcome::Answered(resp) => (resp, wall),
-            Outcome::Shed { layer } => panic!("probe shed at {layer}"),
+            Outcome::Shed {
+                layer,
+                class,
+                cause,
+            } => {
+                panic!("probe ({class}) shed at {layer}: {cause:?}")
+            }
         }
     };
     let (cold, cold_wall) = serve(&mut engine, now + 1);

@@ -1,0 +1,123 @@
+//! Quota-conservation properties of the class-aware admission ledger.
+//!
+//! Under arbitrary interleavings of single-slot admissions, multi-layer
+//! scatter-style acquisitions and releases, the ledger must preserve:
+//!
+//! * **cap conservation** — the sum of all classes' in-flight slots at a
+//!   layer never exceeds the layer cap,
+//! * **guarantee liveness** — a class holding fewer slots than its
+//!   guaranteed share is never refused one more (no starvation by
+//!   borrowers),
+//! * **borrow bounds** — no class ever holds more than its guarantee
+//!   plus its borrow cap,
+//! * **no leakage** — a refused acquisition leaves the ledger exactly as
+//!   it was, and releasing everything drains every counter to zero.
+
+use f2c_core::Layer;
+use f2c_qos::{ClassLedger, QosPolicy, ServiceClass};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+fn check_invariants(ledger: &ClassLedger) -> Result<(), TestCaseError> {
+    let caps = ledger.caps();
+    for layer in Layer::ALL {
+        let total = ledger.layer_total(layer);
+        prop_assert!(
+            total <= caps[layer.index()],
+            "{}: {} in flight exceeds cap {}",
+            layer,
+            total,
+            caps[layer.index()]
+        );
+        for class in ServiceClass::ALL {
+            let used = ledger.class_in_flight(layer, class);
+            let limit = ledger.guarantee(layer, class) + ledger.borrow_cap(layer, class);
+            prop_assert!(
+                used <= limit,
+                "{}/{}: {} slots exceed guarantee+borrow {}",
+                layer,
+                class,
+                used,
+                limit
+            );
+            if used < ledger.guarantee(layer, class) {
+                prop_assert!(
+                    ledger.would_admit(layer, class, 1),
+                    "{}/{}: refused inside its own guarantee ({} of {})",
+                    layer,
+                    class,
+                    used,
+                    ledger.guarantee(layer, class)
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interleaved_admissions_conserve_quotas(
+        caps in (1u32..40, 1u32..20, 1u32..8),
+        // Ops encoded as plain integers (the vendored proptest shim has
+        // no prop_oneof/prop_map): `kind < 3` acquires `(w1, w2, w3)`
+        // for `class`, else release the `nth` oldest acquisition.
+        ops in proptest::collection::vec(
+            (0u8..5, 0usize..4, 0u32..4, 0u32..4, 0u32..3, 0usize..16),
+            1..120,
+        ),
+    ) {
+        let caps = [caps.0, caps.1, caps.2];
+        let mut ledger = ClassLedger::new(caps, &QosPolicy::default());
+        let mut outstanding: Vec<(ServiceClass, [u32; 3])> = Vec::new();
+        for (kind, class, w1, w2, w3, nth) in ops {
+            if kind < 3 {
+                let class = ServiceClass::ALL[class];
+                let want = [w1, w2, w3];
+                let before = ledger.clone();
+                match ledger.try_acquire(class, want) {
+                    Ok(()) => outstanding.push((class, want)),
+                    Err(layer) => {
+                        prop_assert_eq!(
+                            &ledger, &before,
+                            "refusal at {} must not change the ledger", layer
+                        );
+                    }
+                }
+            } else if !outstanding.is_empty() {
+                let (class, want) = outstanding.remove(nth % outstanding.len());
+                ledger.release(class, want);
+            }
+            check_invariants(&ledger)?;
+        }
+        // Draining every outstanding acquisition returns to zero.
+        for (class, want) in outstanding.drain(..) {
+            ledger.release(class, want);
+        }
+        for layer in Layer::ALL {
+            prop_assert_eq!(ledger.layer_total(layer), 0, "leaked slots at {}", layer);
+        }
+    }
+
+    #[test]
+    fn guarantees_admit_their_full_share_from_idle(
+        caps in (4u32..64, 4u32..32, 4u32..16),
+    ) {
+        // From an idle ledger, every class can take its whole guaranteed
+        // share at once, in any (priority) order, at every layer.
+        let mut ledger = ClassLedger::new([caps.0, caps.1, caps.2], &QosPolicy::default());
+        for class in ServiceClass::ALL {
+            let want = [
+                ledger.guarantee(Layer::Fog1, class),
+                ledger.guarantee(Layer::Fog2, class),
+                ledger.guarantee(Layer::Cloud, class),
+            ];
+            prop_assert!(
+                ledger.try_acquire(class, want).is_ok(),
+                "{} refused its own guarantee {:?}", class, want
+            );
+        }
+    }
+}

@@ -9,8 +9,16 @@
 //!    fog-2,
 //! 3. **source cache** at the planned source (or the gather node for a
 //!    fan-out — pays the route, skips the scan),
-//! 4. **admission control** — per-layer in-flight caps; a fan-out
-//!    occupies one slot *per leg* at each leg's layer; over cap → shed,
+//! 4. **admission control** — class-aware per-layer quotas (the
+//!    [`f2c_qos`] ledger): every request charges its service class's
+//!    quota at the planned layer(s); a fan-out occupies one class-tagged
+//!    slot *per leg* at each leg's layer. A class over its quota is shed
+//!    — lowest-priority first, and never out of another class's
+//!    guaranteed share — unless a priced fallback route (the losing side
+//!    of a fan-out-vs-cloud contest) still fits the class's deadline
+//!    budget, in which case the query is *rerouted* instead. Routes
+//!    whose transport estimate already busts the deadline budget are
+//!    shed at plan time, before holding any slot,
 //! 5. **execute** against the tiered store(s): point/range scans over
 //!    the iterator range-read API, aggregates assembled from mergeable
 //!    bucket partials (cached per flush epoch); fan-out legs merge
@@ -24,6 +32,7 @@ use citysim::time::Duration;
 use f2c_core::cost::AccessOption;
 use f2c_core::node::IngestOutcome;
 use f2c_core::{DataSource, F2cCity, FanoutLeg, Layer, TieredStore};
+use f2c_qos::{ClassLedger, QosPolicy, ServiceClass, ShedCause, CLASS_COUNT};
 use scc_dlc::DataRecord;
 use scc_sensors::Reading;
 
@@ -64,6 +73,9 @@ pub struct EngineConfig {
     pub partial_capacity: usize,
     /// Admission caps.
     pub caps: LayerCaps,
+    /// Per-class quotas, priorities and deadline budgets carving up the
+    /// layer caps.
+    pub qos: QosPolicy,
     /// Modeled cost of visiting one archived record during a scan.
     pub scan_cost_per_record_us: u64,
     /// Request envelope size for network metering.
@@ -82,6 +94,7 @@ impl Default for EngineConfig {
             result_capacity: 512,
             partial_capacity: 16_384,
             caps: LayerCaps::default(),
+            qos: QosPolicy::default(),
             scan_cost_per_record_us: 2,
             request_bytes: 200,
             bucket_s: 900,
@@ -108,36 +121,68 @@ pub enum ServedVia {
 }
 
 /// Per-layer admission slots an in-flight response occupies until
-/// [`QueryEngine::release_held`]. Single-source store executions hold
-/// one slot; scatter-gather holds one per leg at each leg's layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct HeldSlots([u32; 3]);
+/// [`QueryEngine::release_held`], tagged with the service class whose
+/// quota they charge. Single-source store executions hold one slot;
+/// scatter-gather holds one per leg at each leg's layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeldSlots {
+    class: ServiceClass,
+    slots: [u32; 3],
+}
 
 impl HeldSlots {
     /// No slots held (cache hits).
     pub fn none() -> Self {
-        Self::default()
+        Self {
+            class: ServiceClass::RealTime,
+            slots: [0; 3],
+        }
     }
 
-    /// One slot at `layer` (single-source store executions).
-    pub fn single(layer: Layer) -> Self {
+    /// One `class` slot at `layer` (single-source store executions).
+    pub fn single(layer: Layer, class: ServiceClass) -> Self {
         let mut slots = [0; 3];
         slots[layer.index()] = 1;
-        Self(slots)
+        Self { class, slots }
+    }
+
+    /// An empty holding for `class` (build fan-outs with
+    /// [`HeldSlots::add`]).
+    fn empty(class: ServiceClass) -> Self {
+        Self {
+            class,
+            slots: [0; 3],
+        }
     }
 
     /// Slots held at `layer`.
     pub fn at(&self, layer: Layer) -> u32 {
-        self.0[layer.index()]
+        self.slots[layer.index()]
+    }
+
+    /// The class whose quota the slots charge.
+    pub fn class(&self) -> ServiceClass {
+        self.class
+    }
+
+    /// The raw per-layer slot counts (fog 1, fog 2, cloud).
+    pub fn slots(&self) -> [u32; 3] {
+        self.slots
     }
 
     /// Whether nothing is held.
     pub fn is_empty(&self) -> bool {
-        self.0.iter().all(|&c| c == 0)
+        self.slots.iter().all(|&c| c == 0)
     }
 
     fn add(&mut self, layer: Layer, count: u32) {
-        self.0[layer.index()] += count;
+        self.slots[layer.index()] += count;
+    }
+}
+
+impl Default for HeldSlots {
+    fn default() -> Self {
+        Self::none()
     }
 }
 
@@ -165,11 +210,72 @@ pub struct QueryResponse {
 pub enum Outcome {
     /// Answered (possibly from cache).
     Answered(QueryResponse),
-    /// Rejected by admission control at the planned layer.
+    /// Rejected: quota pressure at the planned layer, or a route that
+    /// cannot meet the class's deadline budget. Carries the requester's
+    /// context so retry/abandon logic and per-class accounting never
+    /// have to re-derive it from the query.
     Shed {
-        /// The saturated layer.
+        /// The layer whose quota refused (or whose route busted the
+        /// deadline).
         layer: Layer,
+        /// The service class that was refused.
+        class: ServiceClass,
+        /// Why it was refused.
+        cause: ShedCause,
     },
+}
+
+/// Per-service-class serving counters, indexed by
+/// [`ServiceClass::index`] inside [`EngineStats::per_class`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Queries of this class offered to [`QueryEngine::serve`].
+    pub requests: u64,
+    /// Queries answered (any path).
+    pub answered: u64,
+    /// Queries shed by quota pressure ([`ShedCause::Capacity`]).
+    pub shed: u64,
+    /// Queries shed at plan time because no provably-complete route fit
+    /// the class deadline budget ([`ShedCause::Deadline`]).
+    pub deadline_shed: u64,
+    /// Queries whose planned route was saturated but which were served
+    /// by the in-budget fallback route instead of shedding.
+    pub rerouted: u64,
+    /// Answered queries whose estimated latency met the class deadline.
+    pub slo_met: u64,
+}
+
+impl ClassStats {
+    /// Fraction of this class's requests that were shed (either cause).
+    pub fn shed_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            (self.shed + self.deadline_shed) as f64 / self.requests as f64
+        }
+    }
+
+    /// Fraction of answered queries that met the class deadline.
+    pub fn slo_attainment(&self) -> f64 {
+        if self.answered == 0 {
+            1.0
+        } else {
+            self.slo_met as f64 / self.answered as f64
+        }
+    }
+
+    /// Counter-wise difference against an earlier snapshot (how a
+    /// workload run scopes lifetime engine counters to itself).
+    pub fn delta_since(&self, earlier: &Self) -> Self {
+        Self {
+            requests: self.requests - earlier.requests,
+            answered: self.answered - earlier.answered,
+            shed: self.shed - earlier.shed,
+            deadline_shed: self.deadline_shed - earlier.deadline_shed,
+            rerouted: self.rerouted - earlier.rerouted,
+            slo_met: self.slo_met - earlier.slo_met,
+        }
+    }
 }
 
 /// Serving counters.
@@ -187,8 +293,11 @@ pub struct EngineStats {
     pub store_served: u64,
     /// Queries no layer could answer completely.
     pub unanswerable: u64,
-    /// Sheds per layer (fog 1, fog 2, cloud).
+    /// Capacity sheds per layer (fog 1, fog 2, cloud).
     pub shed: [u64; 3],
+    /// Per-service-class counters (requests, sheds, SLO attainment),
+    /// indexed by [`ServiceClass::index`].
+    pub per_class: [ClassStats; CLASS_COUNT],
     /// Archive records visited by scans.
     pub records_scanned: u64,
     /// Bucket partials served from cache.
@@ -207,9 +316,19 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
-    /// Total sheds across layers.
+    /// Total capacity sheds across layers.
     pub fn shed_total(&self) -> u64 {
         self.shed.iter().sum()
+    }
+
+    /// The counters of one service class.
+    pub fn class(&self, class: ServiceClass) -> &ClassStats {
+        &self.per_class[class.index()]
+    }
+
+    /// Total deadline sheds across classes.
+    pub fn deadline_shed_total(&self) -> u64 {
+        self.per_class.iter().map(|c| c.deadline_shed).sum()
     }
 
     /// Fraction of answered queries served from a result cache.
@@ -232,7 +351,7 @@ pub struct QueryEngine {
     src_fog2: Vec<ResultCache>,
     src_cloud: ResultCache,
     partials: PartialCache,
-    in_flight: [u32; 3],
+    ledger: ClassLedger,
     last_flush_s: u64,
     /// Latest instant any query was served at — the frontier behind
     /// which cached results and closed-bucket partials assume no new
@@ -254,7 +373,7 @@ impl QueryEngine {
             src_fog2: (0..10).map(|_| cache()).collect(),
             src_cloud: cache(),
             partials: PartialCache::new(cfg.partial_capacity),
-            in_flight: [0; 3],
+            ledger: ClassLedger::new([cfg.caps.fog1, cfg.caps.fog2, cfg.caps.cloud], &cfg.qos),
             last_flush_s: 0,
             served_frontier_s: 0,
             extra_epochs: 0,
@@ -281,9 +400,15 @@ impl QueryEngine {
         self.last_flush_s
     }
 
-    /// In-flight store executions at `layer`.
+    /// In-flight store executions at `layer`, all classes.
     pub fn in_flight(&self, layer: Layer) -> u32 {
-        self.in_flight[layer.index()]
+        self.ledger.layer_total(layer)
+    }
+
+    /// The class-aware admission ledger (per-class in-flight counts,
+    /// guarantees and borrow caps).
+    pub fn ledger(&self) -> &ClassLedger {
+        &self.ledger
     }
 
     /// Whether an answer to `query` may enter the result caches: only
@@ -333,18 +458,16 @@ impl QueryEngine {
         Ok(shipped)
     }
 
-    /// Releases one layer slot a single-source store execution held.
-    pub fn release(&mut self, layer: Layer) {
-        self.release_held(HeldSlots::single(layer));
+    /// Releases one `class` slot a single-source store execution held at
+    /// `layer`.
+    pub fn release(&mut self, layer: Layer, class: ServiceClass) {
+        self.release_held(HeldSlots::single(layer, class));
     }
 
     /// Releases every slot a response held (call when the simulated
     /// response completes; see [`QueryResponse::held`]).
     pub fn release_held(&mut self, held: HeldSlots) {
-        for layer in Layer::ALL {
-            let i = layer.index();
-            self.in_flight[i] = self.in_flight[i].saturating_sub(held.at(layer));
-        }
+        self.ledger.release(held.class(), held.slots());
     }
 
     /// Serves one query at `now_s`.
@@ -355,7 +478,9 @@ impl QueryEngine {
     /// network errors while metering the transfer.
     pub fn serve(&mut self, query: &Query, now_s: u64) -> Result<Outcome> {
         query.validated()?;
+        let class = query.class;
         self.stats.requests += 1;
+        self.stats.per_class[class.index()].requests += 1;
         self.served_frontier_s = self.served_frontier_s.max(now_s);
         let key = CacheKey::from(query);
         // Flush epoch plus local invalidations: both only grow, so any
@@ -365,10 +490,11 @@ impl QueryEngine {
         // 1. Edge cache at the requester's fog-1 node: a free local answer.
         if let Some(answer) = self.edge[query.origin].get(&key, now_s, epoch) {
             self.stats.edge_hits += 1;
-            self.stats.answered += 1;
             let bytes = answer.response_bytes();
+            let est_latency = self.city.cost_model().cost(AccessOption::Local, bytes);
+            self.record_answered(class, est_latency);
             return Ok(Outcome::Answered(QueryResponse {
-                est_latency: self.city.cost_model().cost(AccessOption::Local, bytes),
+                est_latency,
                 layer: Layer::Fog1,
                 via: ServedVia::EdgeCache,
                 response_bytes: bytes,
@@ -394,9 +520,80 @@ impl QueryEngine {
                 self.stats.cloud_wins += 1;
             }
         }
-        match route.choice {
-            Choice::Single(plan) => self.serve_single(query, &plan, key, epoch, now_s),
-            Choice::Scatter(plan) => self.serve_scatter(query, &plan, key, epoch, now_s),
+
+        // 3. Deadline gate: when even the cheapest provably-complete
+        // route's transport estimate busts the class budget, executing
+        // it would burn a slot on an answer that misses its SLO — shed
+        // at plan time, before holding anything.
+        let budget = self.cfg.qos.deadline(class);
+        if route.est_cost() > budget {
+            self.stats.per_class[class.index()].deadline_shed += 1;
+            return Ok(Outcome::Shed {
+                layer: route.choice.charged_layer(),
+                class,
+                cause: ShedCause::Deadline,
+            });
+        }
+
+        match self.serve_choice(query, &route.choice, key, epoch, now_s)? {
+            Outcome::Answered(resp) => Ok(Outcome::Answered(resp)),
+            Outcome::Shed {
+                layer,
+                class,
+                cause,
+            } => {
+                // The planned route's quota is saturated. If the contest
+                // had a losing shape that still fits the deadline budget
+                // (e.g. the cloud read behind a fan-out), reroute onto
+                // it instead of shedding.
+                if let Some(fb) = &route.fallback {
+                    if fb.est_cost() <= budget {
+                        if let Outcome::Answered(resp) =
+                            self.serve_choice(query, fb, key, epoch, now_s)?
+                        {
+                            self.stats.per_class[class.index()].rerouted += 1;
+                            return Ok(Outcome::Answered(resp));
+                        }
+                    }
+                }
+                // Terminal shed (the fallback, if any, was over budget
+                // or saturated too): account it at the planned layer.
+                self.stats.shed[layer.index()] += 1;
+                self.stats.per_class[class.index()].shed += 1;
+                Ok(Outcome::Shed {
+                    layer,
+                    class,
+                    cause,
+                })
+            }
+        }
+    }
+
+    /// Serves one already-planned route shape. Returns capacity sheds
+    /// *without* recording them — the caller accounts the terminal
+    /// outcome, so a successful reroute is not double-counted.
+    fn serve_choice(
+        &mut self,
+        query: &Query,
+        choice: &Choice,
+        key: CacheKey,
+        epoch: u64,
+        now_s: u64,
+    ) -> Result<Outcome> {
+        match choice {
+            Choice::Single(plan) => self.serve_single(query, plan, key, epoch, now_s),
+            Choice::Scatter(plan) => self.serve_scatter(query, plan, key, epoch, now_s),
+        }
+    }
+
+    /// Records an answered query, scoring its latency estimate against
+    /// the class's deadline budget for SLO attainment.
+    fn record_answered(&mut self, class: ServiceClass, est_latency: Duration) {
+        self.stats.answered += 1;
+        let cs = &mut self.stats.per_class[class.index()];
+        cs.answered += 1;
+        if est_latency <= self.cfg.qos.deadline(class) {
+            cs.slo_met += 1;
         }
     }
 
@@ -408,13 +605,13 @@ impl QueryEngine {
         epoch: u64,
         now_s: u64,
     ) -> Result<Outcome> {
+        let class = query.class;
         // 3. Source cache at the planned node: pays the route, skips the scan.
         if let Some(answer) = self
             .source_cache(plan.source, query.origin)
             .get(&key, now_s, epoch)
         {
             self.stats.source_hits += 1;
-            self.stats.answered += 1;
             let bytes = answer.response_bytes();
             self.city.meter_query(
                 query.origin,
@@ -426,8 +623,10 @@ impl QueryEngine {
             if self.cacheable(query, now_s, bytes) {
                 self.edge[query.origin].put(key, answer.clone(), now_s, epoch);
             }
+            let est_latency = self.city.cost_model().cost(plan.option, bytes);
+            self.record_answered(class, est_latency);
             return Ok(Outcome::Answered(QueryResponse {
-                est_latency: self.city.cost_model().cost(plan.option, bytes),
+                est_latency,
                 layer: plan.layer,
                 via: ServedVia::SourceCache(plan.source),
                 response_bytes: bytes,
@@ -436,11 +635,15 @@ impl QueryEngine {
             }));
         }
 
-        // 4. Admission control.
-        let held = HeldSlots::single(plan.layer);
-        if let Some(layer) = self.admission_overflow(held) {
-            self.stats.shed[layer.index()] += 1;
-            return Ok(Outcome::Shed { layer });
+        // 4. Admission control: one class-tagged slot at the source's
+        // layer.
+        let held = HeldSlots::single(plan.layer, class);
+        if let Err(layer) = self.ledger.try_acquire(class, held.slots()) {
+            return Ok(Outcome::Shed {
+                layer,
+                class,
+                cause: ShedCause::Capacity,
+            });
         }
 
         // 5. Execute against the source store.
@@ -449,21 +652,25 @@ impl QueryEngine {
         let bytes = answer.response_bytes();
         let est_latency = self.city.cost_model().cost(plan.option, bytes)
             + Duration::from_micros(self.cfg.scan_cost_per_record_us * visited);
-        self.city.meter_query(
+        if let Err(e) = self.city.meter_query(
             query.origin,
             plan.source,
             self.cfg.request_bytes,
             bytes,
             now_s,
-        )?;
+        ) {
+            // A metering failure aborts the response: give the slot back
+            // before surfacing the error.
+            self.ledger.release(class, held.slots());
+            return Err(e.into());
+        }
         if self.cacheable(query, now_s, bytes) {
             self.source_cache(plan.source, query.origin)
                 .put(key, answer.clone(), now_s, epoch);
             self.edge[query.origin].put(key, answer.clone(), now_s, epoch);
         }
-        self.occupy(held);
         self.stats.store_served += 1;
-        self.stats.answered += 1;
+        self.record_answered(class, est_latency);
         Ok(Outcome::Answered(QueryResponse {
             answer,
             via: ServedVia::Store(plan.source),
@@ -482,12 +689,12 @@ impl QueryEngine {
         epoch: u64,
         now_s: u64,
     ) -> Result<Outcome> {
+        let class = query.class;
         // 3. Result cache at the gather node (the requester's fog-2):
         // pays the parent hop, skips the whole fan-out.
         let gather = plan.gather_district;
         if let Some(answer) = self.src_fog2[gather].get(&key, now_s, epoch) {
             self.stats.source_hits += 1;
-            self.stats.answered += 1;
             let bytes = answer.response_bytes();
             self.city.meter_query(
                 query.origin,
@@ -499,8 +706,10 @@ impl QueryEngine {
             if self.cacheable(query, now_s, bytes) {
                 self.edge[query.origin].put(key, answer.clone(), now_s, epoch);
             }
+            let est_latency = self.city.cost_model().cost(AccessOption::Parent, bytes);
+            self.record_answered(class, est_latency);
             return Ok(Outcome::Answered(QueryResponse {
-                est_latency: self.city.cost_model().cost(AccessOption::Parent, bytes),
+                est_latency,
                 layer: Layer::Fog2,
                 via: ServedVia::SourceCache(DataSource::Parent),
                 response_bytes: bytes,
@@ -509,14 +718,20 @@ impl QueryEngine {
             }));
         }
 
-        // 4. Admission control: one slot per leg at each leg's layer.
-        let mut held = HeldSlots::none();
+        // 4. Admission control: one class-tagged slot per leg at each
+        // leg's layer, acquired atomically — a refusal at any layer
+        // rolls back the slots already taken at the layers below, so a
+        // shed fan-out never leaks in-flight accounting.
+        let mut held = HeldSlots::empty(class);
         for leg in &plan.legs {
             held.add(leg.layer, 1);
         }
-        if let Some(layer) = self.admission_overflow(held) {
-            self.stats.shed[layer.index()] += 1;
-            return Ok(Outcome::Shed { layer });
+        if let Err(layer) = self.ledger.try_acquire(class, held.slots()) {
+            return Ok(Outcome::Shed {
+                layer,
+                class,
+                cause: ShedCause::Capacity,
+            });
         }
 
         // 5. Execute every leg and merge at the gather node.
@@ -531,17 +746,21 @@ impl QueryEngine {
             .iter()
             .map(|&(node, leg_bytes, _)| (node, leg_bytes))
             .collect();
-        self.city
-            .meter_fanout(query.origin, &metered, self.cfg.request_bytes, bytes, now_s)?;
+        if let Err(e) =
+            self.city
+                .meter_fanout(query.origin, &metered, self.cfg.request_bytes, bytes, now_s)
+        {
+            self.ledger.release(class, held.slots());
+            return Err(e.into());
+        }
         if self.cacheable(query, now_s, bytes) {
             self.src_fog2[gather].put(key, answer.clone(), now_s, epoch);
             self.edge[query.origin].put(key, answer.clone(), now_s, epoch);
         }
-        self.occupy(held);
         self.stats.store_served += 1;
         self.stats.scatter_served += 1;
         self.stats.scatter_legs += plan.legs.len() as u64;
-        self.stats.answered += 1;
+        self.record_answered(class, est_latency);
         Ok(Outcome::Answered(QueryResponse {
             answer,
             via: ServedVia::Scatter {
@@ -552,22 +771,6 @@ impl QueryEngine {
             response_bytes: bytes,
             held,
         }))
-    }
-
-    /// The first layer whose cap would overflow if `held` were admitted,
-    /// or `None` when every layer has room.
-    fn admission_overflow(&self, held: HeldSlots) -> Option<Layer> {
-        let caps = [self.cfg.caps.fog1, self.cfg.caps.fog2, self.cfg.caps.cloud];
-        Layer::ALL.into_iter().find(|&layer| {
-            let i = layer.index();
-            held.at(layer) > 0 && self.in_flight[i] + held.at(layer) > caps[i]
-        })
-    }
-
-    fn occupy(&mut self, held: HeldSlots) {
-        for layer in Layer::ALL {
-            self.in_flight[layer.index()] += held.at(layer);
-        }
     }
 
     /// [`QueryEngine::serve`] for synchronous callers: any held slots
@@ -879,6 +1082,7 @@ mod tests {
     fn aggregate_query(origin: usize, scope: Scope, from: u64, until: u64) -> Query {
         Query {
             origin,
+            class: ServiceClass::Dashboard,
             selector: Selector::Category(Category::Urban),
             scope,
             window: TimeWindow::new(from, until),
@@ -889,7 +1093,11 @@ mod tests {
     fn answered(outcome: Outcome) -> QueryResponse {
         match outcome {
             Outcome::Answered(r) => r,
-            Outcome::Shed { layer } => panic!("unexpected shed at {layer}"),
+            Outcome::Shed {
+                layer,
+                class,
+                cause,
+            } => panic!("unexpected {class} shed at {layer} ({cause:?})"),
         }
     }
 
@@ -898,6 +1106,7 @@ mod tests {
         let mut e = engine_with_data(5, SensorType::Traffic, 4);
         let q = Query {
             origin: 5,
+            class: ServiceClass::RealTime,
             selector: Selector::Type(SensorType::Traffic),
             scope: Scope::Section(5),
             window: TimeWindow::new(0, 10_000),
@@ -961,13 +1170,25 @@ mod tests {
         let q1 = aggregate_query(5, Scope::Section(5), 0, 1_800);
         let q2 = aggregate_query(5, Scope::Section(5), 0, 2_700);
         let first = answered(e.serve(&q1, 4_000).unwrap());
-        assert_eq!(first.held, HeldSlots::single(Layer::Fog1));
+        assert_eq!(
+            first.held,
+            HeldSlots::single(Layer::Fog1, ServiceClass::Dashboard)
+        );
         match e.serve(&q2, 4_000).unwrap() {
-            Outcome::Shed { layer } => assert_eq!(layer, Layer::Fog1),
+            Outcome::Shed {
+                layer,
+                class,
+                cause,
+            } => {
+                assert_eq!(layer, Layer::Fog1);
+                assert_eq!(class, ServiceClass::Dashboard);
+                assert_eq!(cause, ShedCause::Capacity);
+            }
             other => panic!("expected shed, got {other:?}"),
         }
         assert_eq!(e.stats().shed_total(), 1);
-        e.release(Layer::Fog1);
+        assert_eq!(e.stats().class(ServiceClass::Dashboard).shed, 1);
+        e.release(Layer::Fog1, ServiceClass::Dashboard);
         answered(e.serve(&q2, 4_000).unwrap());
     }
 
@@ -1031,6 +1252,7 @@ mod tests {
         let mut e = QueryEngine::new(city, cfg);
         let q = Query {
             origin: 5,
+            class: ServiceClass::Dashboard,
             selector: Selector::Type(SensorType::Traffic),
             scope: Scope::Section(5),
             window: TimeWindow::new(0, 2_400),
@@ -1127,6 +1349,7 @@ mod tests {
         e.flush_all(4_000).unwrap();
         let q = Query {
             origin: 5,
+            class: ServiceClass::CityWide,
             selector: Selector::Type(SensorType::Traffic),
             scope: Scope::City,
             window: TimeWindow::new(0, 3_600),
@@ -1146,34 +1369,201 @@ mod tests {
         assert!(warm.est_latency < cold.est_latency);
     }
 
-    #[test]
-    fn scatter_admission_requires_a_slot_per_leg() {
+    fn city_with_waves(section: usize, waves: u64) -> F2cCity {
         let mut city = F2cCity::barcelona().unwrap();
         let mut gen = ReadingGenerator::for_population(SensorType::Traffic, 10, 42);
-        for w in 0..4 {
-            city.ingest(5, gen.wave(w * 900), w * 900 + 1).unwrap();
+        for w in 0..waves {
+            city.ingest(section, gen.wave(w * 900), w * 900 + 1)
+                .unwrap();
         }
+        city
+    }
+
+    fn city_query(origin: usize) -> Query {
+        Query {
+            origin,
+            class: ServiceClass::CityWide,
+            selector: Selector::Type(SensorType::Traffic),
+            scope: Scope::City,
+            window: TimeWindow::new(0, 3_600),
+            kind: QueryKind::Aggregate,
+        }
+    }
+
+    #[test]
+    fn scatter_admission_requires_a_slot_per_leg() {
+        let mut city = city_with_waves(5, 4);
         city.flush_all(4_000).unwrap();
         let cfg = EngineConfig {
             caps: LayerCaps {
-                fog2: 9, // a 10-leg city fan-out cannot fit
+                fog2: 9,  // a 10-leg city fan-out cannot fit
+                cloud: 0, // and the cloud fallback is saturated too
                 ..LayerCaps::default()
             },
             ..EngineConfig::default()
         };
         let mut e = QueryEngine::new(city, cfg);
-        let q = Query {
-            origin: 5,
-            selector: Selector::Type(SensorType::Traffic),
-            scope: Scope::City,
-            window: TimeWindow::new(0, 3_600),
-            kind: QueryKind::Aggregate,
-        };
-        match e.serve(&q, 4_100).unwrap() {
-            Outcome::Shed { layer } => assert_eq!(layer, Layer::Fog2),
+        match e.serve(&city_query(5), 4_100).unwrap() {
+            Outcome::Shed {
+                layer,
+                class,
+                cause,
+            } => {
+                assert_eq!(layer, Layer::Fog2);
+                assert_eq!(class, ServiceClass::CityWide);
+                assert_eq!(cause, ShedCause::Capacity);
+            }
             other => panic!("expected a fog-2 shed, got {other:?}"),
         }
         assert_eq!(e.stats().shed[Layer::Fog2.index()], 1);
+        assert_eq!(e.stats().class(ServiceClass::CityWide).shed, 1);
+    }
+
+    #[test]
+    fn saturated_fanout_reroutes_to_the_cloud_within_budget() {
+        let mut city = city_with_waves(5, 4);
+        city.flush_all(4_000).unwrap();
+        // The fan-out wins the contest but its fog-2 quota cannot hold
+        // ten legs; the losing cloud read fits the city-wide deadline
+        // budget, so the query is rerouted instead of shed.
+        let cfg = EngineConfig {
+            caps: LayerCaps {
+                fog2: 9,
+                ..LayerCaps::default()
+            },
+            ..EngineConfig::default()
+        };
+        let mut e = QueryEngine::new(city, cfg);
+        let resp = answered(e.serve(&city_query(5), 4_100).unwrap());
+        assert_eq!(resp.via, ServedVia::Store(DataSource::Cloud));
+        assert_eq!(
+            resp.held,
+            HeldSlots::single(Layer::Cloud, ServiceClass::CityWide)
+        );
+        let cs = e.stats().class(ServiceClass::CityWide);
+        assert_eq!(cs.rerouted, 1);
+        assert_eq!(cs.shed, 0);
+        assert_eq!(e.stats().shed_total(), 0, "a reroute is not a shed");
+        assert_eq!(e.stats().scatter_wins, 1, "the contest still records costs");
+    }
+
+    #[test]
+    fn shed_fanout_releases_partially_acquired_slots() {
+        // No flush: section 5's district needs per-member fog-1 legs
+        // while the other nine districts serve (vacuously) from fog-2 —
+        // a mixed-layer fan-out. Fog 1 admits its legs, fog 2 refuses,
+        // and the rollback must leave *nothing* in flight.
+        let city = city_with_waves(5, 4);
+        let cfg = EngineConfig {
+            caps: LayerCaps {
+                fog2: 2, // nine fog-2 legs cannot fit
+                ..LayerCaps::default()
+            },
+            ..EngineConfig::default()
+        };
+        let mut e = QueryEngine::new(city, cfg);
+        match e.serve(&city_query(5), 4_100).unwrap() {
+            Outcome::Shed { layer, class, .. } => {
+                assert_eq!(layer, Layer::Fog2);
+                assert_eq!(class, ServiceClass::CityWide);
+            }
+            other => panic!("expected a fog-2 shed, got {other:?}"),
+        }
+        for layer in Layer::ALL {
+            assert_eq!(
+                e.in_flight(layer),
+                0,
+                "a shed fan-out must not leak slots at {layer}"
+            );
+        }
+        // The capacity the rollback returned is immediately usable.
+        let probe = aggregate_query(5, Scope::Section(5), 0, 1_800);
+        answered(e.serve_sync(&probe, 4_200).unwrap());
+    }
+
+    #[test]
+    fn analytics_borrowing_never_sheds_a_realtime_read() {
+        // Fog-1 cap 10 under the default policy: analytics holds no
+        // guarantee there and may borrow at most 2 headroom slots. Let
+        // it saturate its borrow budget — the real-time guarantee (4
+        // slots) must stay untouched.
+        let city = city_with_waves(5, 6);
+        let cfg = EngineConfig {
+            caps: LayerCaps {
+                fog1: 10,
+                ..LayerCaps::default()
+            },
+            ..EngineConfig::default()
+        };
+        let mut e = QueryEngine::new(city, cfg);
+        let analytics = |until: u64| Query {
+            class: ServiceClass::Analytics,
+            ..aggregate_query(5, Scope::Section(5), 0, until)
+        };
+        answered(e.serve(&analytics(1_800), 6_000).unwrap());
+        answered(e.serve(&analytics(2_700), 6_000).unwrap());
+        assert_eq!(e.ledger().borrowed(Layer::Fog1, ServiceClass::Analytics), 2);
+        match e.serve(&analytics(3_600), 6_000).unwrap() {
+            Outcome::Shed { layer, class, .. } => {
+                assert_eq!(layer, Layer::Fog1);
+                assert_eq!(class, ServiceClass::Analytics);
+            }
+            other => panic!("analytics must hit its borrow cap, got {other:?}"),
+        }
+        // A real-time read sails through on its guaranteed share.
+        let rt = Query {
+            origin: 5,
+            class: ServiceClass::RealTime,
+            selector: Selector::Type(SensorType::Traffic),
+            scope: Scope::Section(5),
+            window: TimeWindow::new(0, 6_000),
+            kind: QueryKind::Point,
+        };
+        answered(e.serve(&rt, 6_000).unwrap());
+        assert_eq!(e.stats().class(ServiceClass::RealTime).shed, 0);
+        assert_eq!(e.stats().class(ServiceClass::Analytics).shed, 1);
+    }
+
+    #[test]
+    fn over_budget_routes_shed_at_plan_time() {
+        // Age the window out of both fog tiers: only the cloud holds it,
+        // and the ~70 ms WAN round trip busts the 25 ms real-time
+        // budget — the read is shed at plan time, holding nothing.
+        let mut e = engine_with_data(5, SensorType::Traffic, 2);
+        e.flush_all(2_000).unwrap();
+        e.flush_all(10 * 86_400).unwrap();
+        let rt = Query {
+            origin: 5,
+            class: ServiceClass::RealTime,
+            selector: Selector::Type(SensorType::Traffic),
+            scope: Scope::Section(5),
+            window: TimeWindow::new(0, 2_000),
+            kind: QueryKind::Point,
+        };
+        let now = 10 * 86_400 + 100;
+        match e.serve(&rt, now).unwrap() {
+            Outcome::Shed {
+                layer,
+                class,
+                cause,
+            } => {
+                assert_eq!(layer, Layer::Cloud);
+                assert_eq!(class, ServiceClass::RealTime);
+                assert_eq!(cause, ShedCause::Deadline);
+            }
+            other => panic!("expected a deadline shed, got {other:?}"),
+        }
+        assert_eq!(e.stats().class(ServiceClass::RealTime).deadline_shed, 1);
+        assert_eq!(e.stats().shed_total(), 0, "no capacity was charged");
+        assert_eq!(e.in_flight(Layer::Cloud), 0);
+        // The analytics budget tolerates the WAN trip: same window, same
+        // source, answered.
+        let bulk = Query {
+            class: ServiceClass::Analytics,
+            ..rt
+        };
+        answered(e.serve_sync(&bulk, now).unwrap());
+        assert_eq!(e.stats().class(ServiceClass::Analytics).slo_met, 1);
     }
 
     #[test]

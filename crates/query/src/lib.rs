@@ -18,22 +18,25 @@
 //!   [`AggPartial`] folds for aggregates, k-way ordered merge with dedup
 //!   for range reads, canonical-rank races for points,
 //! * [`engine`] — the executor behind tiered result caches (edge +
-//!   source/gather, TTL- and flush-epoch-invalidated) and per-layer
-//!   admission control (a fan-out occupies one slot per leg); aggregates
-//!   are assembled from mergeable bucket partials
+//!   source/gather, TTL- and flush-epoch-invalidated) and **class-aware
+//!   admission control** (the [`f2c_qos`] ledger: per-class guaranteed
+//!   quotas + bounded borrowing per layer, deadline budgets enforced at
+//!   plan time, deadline-bounded rerouting onto a contest's losing
+//!   route, and a fan-out occupying one class-tagged slot per leg);
+//!   aggregates are assembled from mergeable bucket partials
 //!   ([`f2c_aggregate::functions`] moments/extremes plus a HyperLogLog
 //!   distinct-sensor sketch) instead of rescanning archives,
 //! * [`workload`] — deterministic, seeded closed-loop workloads
 //!   (dashboard / analytics / real-time / city-wide mixes) on the
-//!   event-driven clock, for driving millions of simulated requests
-//!   reproducibly.
+//!   event-driven clock, with diurnal day-curves and per-class flash
+//!   crowds, for driving millions of simulated requests reproducibly.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use f2c_core::{F2cCity, runtime::populate_city};
 //! use f2c_query::{EngineConfig, Outcome, Query, QueryEngine, QueryKind};
-//! use f2c_query::{Scope, Selector, TimeWindow};
+//! use f2c_query::{Scope, Selector, ServiceClass, TimeWindow};
 //! use scc_sensors::Category;
 //!
 //! // Warm a city (2 simulated hours at 1/50000 population), then serve.
@@ -45,6 +48,7 @@
 //! let district = engine.city().district_of(21);
 //! let dashboard = Query {
 //!     origin: 21,
+//!     class: ServiceClass::Dashboard,
 //!     selector: Selector::Category(Category::Urban),
 //!     scope: Scope::District(district),
 //!     window: TimeWindow::new(0, 7_200),
@@ -52,7 +56,9 @@
 //! };
 //! match engine.serve_sync(&dashboard, 7_300)? {
 //!     Outcome::Answered(resp) => assert!(resp.est_latency.as_micros() > 0),
-//!     Outcome::Shed { layer } => panic!("shed at {layer}"),
+//!     Outcome::Shed { layer, class, cause } => {
+//!         panic!("{class} shed at {layer} ({cause:?})")
+//!     }
 //! }
 //! # Ok::<(), f2c_query::Error>(())
 //! ```
@@ -66,12 +72,16 @@ pub mod scatter;
 pub mod workload;
 
 pub use engine::{
-    EngineConfig, EngineStats, HeldSlots, LayerCaps, Outcome, QueryEngine, QueryResponse, ServedVia,
+    ClassStats, EngineConfig, EngineStats, HeldSlots, LayerCaps, Outcome, QueryEngine,
+    QueryResponse, ServedVia,
 };
 pub use error::{Error, Result};
+pub use f2c_qos::{ClassLedger, ClassPolicy, QosPolicy, ShedCause};
 pub use model::{
     AggPartial, AggregateResult, PointSample, Query, QueryAnswer, QueryKind, Scope, Selector,
     TimeWindow,
 };
 pub use planner::{plan, Choice, QueryPlan, Route, ScatterLeg, ScatterPlan};
-pub use workload::{Mix, ServiceClass, WorkloadConfig, WorkloadReport};
+pub use workload::{
+    DiurnalCurve, FlashCrowd, Mix, ServiceClass, WorkloadConfig, WorkloadReport, MAX_FLASH_CROWDS,
+};

@@ -9,6 +9,7 @@
 
 use f2c_aggregate::functions::{Decomposable, MinMax, Moments};
 use f2c_aggregate::sketch::HyperLogLog;
+use f2c_qos::ServiceClass;
 use scc_dlc::DataRecord;
 use scc_sensors::{Category, SensorId, SensorType};
 
@@ -94,6 +95,11 @@ pub struct Query {
     /// The requesting consumer's section (0..73) — where the answer must
     /// be delivered, and the origin for access-cost ranking.
     pub origin: usize,
+    /// The issuing service's QoS class: selects the admission quota,
+    /// shed priority and deadline budget the engine applies. It does not
+    /// change what the query *answers* — two classes asking the same
+    /// question share cached results.
+    pub class: ServiceClass,
     /// What data to select.
     pub selector: Selector,
     /// Which slice of the city.
@@ -298,6 +304,7 @@ mod tests {
     fn query(selector: Selector, scope: Scope, from: u64, until: u64) -> Query {
         Query {
             origin: 21,
+            class: ServiceClass::Dashboard,
             selector,
             scope,
             window: TimeWindow::new(from, until),

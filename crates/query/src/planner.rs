@@ -85,11 +85,35 @@ pub enum Choice {
     Scatter(ScatterPlan),
 }
 
+impl Choice {
+    /// This plan's cost estimate at the nominal payload.
+    pub fn est_cost(&self) -> Duration {
+        match self {
+            Choice::Single(p) => p.est_cost,
+            Choice::Scatter(p) => p.est_cost,
+        }
+    }
+
+    /// The layer whose admission quota this plan charges first: the
+    /// single source's layer, or the *gather* fog-2 of a fan-out.
+    pub fn charged_layer(&self) -> Layer {
+        match self {
+            Choice::Single(p) => p.layer,
+            Choice::Scatter(_) => Layer::Fog2,
+        }
+    }
+}
+
 /// The planner's decision for one query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Route {
     /// The winning plan.
     pub choice: Choice,
+    /// The losing shape when both a fan-out and a complete single source
+    /// could serve the query. The engine may *reroute* onto it when the
+    /// winner's admission quota is saturated — but only while its cost
+    /// still fits the requesting class's deadline budget.
+    pub fallback: Option<Choice>,
     /// Set when *both* a fan-out and the single-source cloud read could
     /// serve the query: `(scatter, cloud)` cost estimates. The engine
     /// counts these contests to report fan-out-vs-cloud win rates.
@@ -99,10 +123,7 @@ pub struct Route {
 impl Route {
     /// The winning plan's cost estimate.
     pub fn est_cost(&self) -> Duration {
-        match &self.choice {
-            Choice::Single(p) => p.est_cost,
-            Choice::Scatter(p) => p.est_cost,
-        }
+        self.choice.est_cost()
     }
 }
 
@@ -360,24 +381,25 @@ pub fn plan(city: &F2cCity, query: &Query) -> Result<Route> {
 
     match (scatter, best_single) {
         (Some(s), Some(b)) => {
-            if s.est_cost <= b.est_cost {
-                Ok(Route {
-                    choice: Choice::Scatter(s),
-                    contest,
-                })
+            let (choice, fallback) = if s.est_cost <= b.est_cost {
+                (Choice::Scatter(s), Choice::Single(b))
             } else {
-                Ok(Route {
-                    choice: Choice::Single(b),
-                    contest,
-                })
-            }
+                (Choice::Single(b), Choice::Scatter(s))
+            };
+            Ok(Route {
+                choice,
+                fallback: Some(fallback),
+                contest,
+            })
         }
         (Some(s), None) => Ok(Route {
             choice: Choice::Scatter(s),
+            fallback: None,
             contest,
         }),
         (None, Some(b)) => Ok(Route {
             choice: Choice::Single(b),
+            fallback: None,
             contest,
         }),
         (None, None) => Err(Error::Unanswerable {
@@ -408,6 +430,7 @@ mod tests {
     fn q(origin: usize, scope: Scope, from: u64, until: u64) -> Query {
         Query {
             origin,
+            class: f2c_qos::ServiceClass::Dashboard,
             selector: Selector::Type(SensorType::Weather),
             scope,
             window: TimeWindow::new(from, until),

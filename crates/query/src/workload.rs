@@ -8,6 +8,18 @@
 //! seed, and every request appends to an order-exact transcript hash, so
 //! two replays of the same configuration are byte-identical (the same
 //! guarantee `tests/determinism.rs` enforces for the ingest pipeline).
+//!
+//! Two load shapes stress admission control beyond the steady closed
+//! loop:
+//!
+//! * a [`DiurnalCurve`] scales every think time by a day-shaped
+//!   intensity (the paper's §IV.D off-peak window story) — peaks almost
+//!   double the offered load, troughs model the quiet night hours, and
+//! * [`FlashCrowd`]s inject temporary bursts of extra users of one
+//!   service class (a city-wide incident pulling everyone's dashboards
+//!   up, an analytics batch kicking off at midnight), which is what
+//!   makes per-class quotas earn their keep: the burst class sheds
+//!   while the real-time guarantee stays untouched.
 
 use std::fmt::Write as _;
 
@@ -16,30 +28,16 @@ use citysim::time::{Duration, SimTime};
 use citysim::Histogram;
 use f2c_core::runtime::section_generators;
 use f2c_core::Layer;
+use f2c_qos::{ShedCause, CLASS_COUNT};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use scc_sensors::{Category, SensorType};
 
-use crate::engine::{HeldSlots, Outcome, QueryEngine, ServedVia};
+pub use f2c_qos::ServiceClass;
+
+use crate::engine::{ClassStats, HeldSlots, Outcome, QueryEngine, ServedVia};
 use crate::model::{Query, QueryKind, Scope, Selector, TimeWindow};
 use crate::{Error, Result};
-
-/// The service classes of the paper's consumer taxonomy (§IV.D): live
-/// per-section reads, refreshing district dashboards, long-window
-/// analytics, and city-wide situation panels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ServiceClass {
-    /// District dashboards: aggregate panels over recent settled windows,
-    /// plus an occasional raw feed of the user's own section.
-    Dashboard,
-    /// Long-window district aggregates (history since the epoch start).
-    Analytics,
-    /// Latest-value point reads at the user's own section.
-    RealTime,
-    /// City-wide aggregates (and an occasional city-wide latest-value
-    /// probe) over recent settled windows — the scatter-gather workload.
-    CityWide,
-}
 
 /// Relative weights of the service classes in a workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +82,75 @@ impl Mix {
     }
 }
 
+/// A day-shaped request-intensity curve: a triangle wave ramping from a
+/// trough to a peak and back over each period. Think times divide by
+/// the intensity, so a 1 800‰ peak nearly doubles the offered load and
+/// a 400‰ trough models the §IV.D off-peak window. Integer arithmetic
+/// throughout keeps replays bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiurnalCurve {
+    /// Cycle length in seconds (86 400 for a calendar day).
+    pub period_s: u64,
+    /// Intensity at the trough, per mille of nominal (e.g. 400 = 0.4×).
+    pub trough_milli: u64,
+    /// Intensity at the peak, per mille of nominal (e.g. 1 800 = 1.8×).
+    pub peak_milli: u64,
+    /// Instant of the (first) peak within the cycle.
+    pub peak_at_s: u64,
+}
+
+impl DiurnalCurve {
+    /// A calendar day peaking at 13:00 with a 0.4× night trough and a
+    /// 1.8× afternoon peak.
+    pub fn paper_day() -> Self {
+        Self {
+            period_s: 86_400,
+            trough_milli: 400,
+            peak_milli: 1_800,
+            peak_at_s: 13 * 3_600,
+        }
+    }
+
+    /// Request intensity at `t_s`, per mille of nominal (≥ 1).
+    pub fn intensity_milli(&self, t_s: u64) -> u64 {
+        let period = self.period_s.max(2);
+        let x = (t_s + period - self.peak_at_s % period) % period;
+        // Distance from the nearest peak, 0..=period/2.
+        let d = x.min(period - x);
+        let half = period / 2;
+        let span = self.peak_milli.saturating_sub(self.trough_milli);
+        (self.peak_milli - span * d / half).max(1)
+    }
+}
+
+/// A seeded flash crowd: `users` temporary closed-loop users of one
+/// service class joining at `start_s`, thinking `think_divisor`× faster
+/// than the class nominal, and leaving `duration_s` later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashCrowd {
+    /// The class every burst user issues.
+    pub class: ServiceClass,
+    /// When the crowd arrives (simulated seconds).
+    pub start_s: u64,
+    /// How long it stays.
+    pub duration_s: u64,
+    /// How many extra users join.
+    pub users: u32,
+    /// Burst users think this many times faster than the class nominal
+    /// (≥ 1).
+    pub think_divisor: u32,
+}
+
+impl FlashCrowd {
+    fn active_at(&self, t_s: u64) -> bool {
+        t_s >= self.start_s && t_s < self.start_s.saturating_add(self.duration_s)
+    }
+}
+
+/// Maximum flash crowds per workload (a fixed-size array keeps
+/// [`WorkloadConfig`] `Copy`).
+pub const MAX_FLASH_CROWDS: usize = 4;
+
 /// Workload shape: everything the closed loop needs, seed included.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkloadConfig {
@@ -103,6 +170,11 @@ pub struct WorkloadConfig {
     pub ingest_period_s: u64,
     /// Population divisor for the background ingest generators.
     pub ingest_scale: u64,
+    /// Day-shaped think-time scaling (`None` keeps the flat load of the
+    /// steady closed loop).
+    pub diurnal: Option<DiurnalCurve>,
+    /// Up to [`MAX_FLASH_CROWDS`] seeded per-class bursts.
+    pub flash_crowds: [Option<FlashCrowd>; MAX_FLASH_CROWDS],
     /// Keep the full per-request transcript in the report (the rolling
     /// hash is always computed).
     pub record_transcript: bool,
@@ -119,6 +191,8 @@ impl Default for WorkloadConfig {
             flush_period_s: 900,
             ingest_period_s: 300,
             ingest_scale: 20_000,
+            diurnal: None,
+            flash_crowds: [None; MAX_FLASH_CROWDS],
             record_transcript: false,
         }
     }
@@ -131,7 +205,7 @@ pub struct WorkloadReport {
     pub issued: u64,
     /// Requests answered (cache or store).
     pub answered: u64,
-    /// Requests shed by admission control.
+    /// Requests shed by admission control (either cause).
     pub shed: u64,
     /// Requests no layer could answer completely.
     pub unanswerable: u64,
@@ -152,6 +226,18 @@ pub struct WorkloadReport {
     /// Estimated-latency histograms per serving layer (fog 1, fog 2,
     /// cloud).
     pub latency_by_layer: [Histogram; 3],
+    /// Estimated-latency histograms per service class, indexed by
+    /// [`ServiceClass::index`].
+    pub latency_by_class: [Histogram; CLASS_COUNT],
+    /// Per-class engine-counter deltas for this run (requests issued,
+    /// answered, sheds by cause, reroutes, SLO attainment), indexed by
+    /// [`ServiceClass::index`].
+    pub per_class: [ClassStats; CLASS_COUNT],
+    /// Capacity sheds per class that occurred while any flash crowd was
+    /// active — the "same instant" evidence that a burst sheds its own
+    /// class, not the guaranteed ones. Indexed by
+    /// [`ServiceClass::index`].
+    pub shed_during_flash: [u64; CLASS_COUNT],
     /// Estimated-latency histogram of scatter-gather-served requests.
     pub scatter_latency: Histogram,
     /// Simulated instant of the last processed request.
@@ -166,6 +252,21 @@ impl WorkloadReport {
     /// The latency histogram of one serving layer.
     pub fn layer_hist(&self, layer: Layer) -> &Histogram {
         &self.latency_by_layer[layer.index()]
+    }
+
+    /// The latency histogram of one service class.
+    pub fn class_hist(&self, class: ServiceClass) -> &Histogram {
+        &self.latency_by_class[class.index()]
+    }
+
+    /// The counters of one service class during this run.
+    pub fn class_stats(&self, class: ServiceClass) -> &ClassStats {
+        &self.per_class[class.index()]
+    }
+
+    /// This run's in-flash capacity sheds of one service class.
+    pub fn flash_shed(&self, class: ServiceClass) -> u64 {
+        self.shed_during_flash[class.index()]
     }
 
     /// Fraction of answered requests served from a result cache.
@@ -208,12 +309,22 @@ fn think(class: ServiceClass, rng: &mut SmallRng) -> Duration {
     Duration::from_millis(base_ms + rng.gen_range(0..jitter_ms))
 }
 
+/// One closed-loop user: class, think-time divisor (flash-crowd members
+/// tick faster) and an optional retirement instant.
+#[derive(Debug, Clone, Copy)]
+struct User {
+    class: ServiceClass,
+    think_divisor: u32,
+    retires_at_s: Option<u64>,
+}
+
 fn gen_query(class: ServiceClass, now_s: u64, engine: &QueryEngine, rng: &mut SmallRng) -> Query {
     let origin = rng.gen_range(0..73usize);
     let settled = engine.last_flush_s();
     match class {
         ServiceClass::RealTime => Query {
             origin,
+            class,
             selector: Selector::Type(SensorType::ALL[rng.gen_range(0..SensorType::ALL.len())]),
             scope: Scope::Section(origin),
             window: TimeWindow::new(now_s.saturating_sub(1_800), now_s + 1),
@@ -225,6 +336,7 @@ fn gen_query(class: ServiceClass, now_s: u64, engine: &QueryEngine, rng: &mut Sm
                 // local-complete).
                 Query {
                     origin,
+                    class,
                     selector: Selector::Type(
                         SensorType::ALL[rng.gen_range(0..SensorType::ALL.len())],
                     ),
@@ -237,6 +349,7 @@ fn gen_query(class: ServiceClass, now_s: u64, engine: &QueryEngine, rng: &mut Sm
                 let district = engine.city().district_of(origin);
                 Query {
                     origin,
+                    class,
                     selector: Selector::Category(
                         Category::ALL[rng.gen_range(0..Category::ALL.len())],
                     ),
@@ -248,9 +361,13 @@ fn gen_query(class: ServiceClass, now_s: u64, engine: &QueryEngine, rng: &mut Sm
         }
         ServiceClass::Analytics => Query {
             origin,
+            class,
             selector: Selector::Category(Category::ALL[rng.gen_range(0..Category::ALL.len())]),
             scope: Scope::District(rng.gen_range(0..10usize)),
-            window: TimeWindow::new(0, settled),
+            // A randomized lookback keeps long-window analytics mostly
+            // distinct (real batch jobs rarely repeat a window exactly),
+            // so bursts stress admission instead of the result caches.
+            window: TimeWindow::new(rng.gen_range(0..settled / 2 + 1), settled),
             kind: QueryKind::Aggregate,
         },
         ServiceClass::CityWide => {
@@ -259,6 +376,7 @@ fn gen_query(class: ServiceClass, now_s: u64, engine: &QueryEngine, rng: &mut Sm
                 // probe racing every shard's winner).
                 Query {
                     origin,
+                    class,
                     selector: Selector::Type(
                         SensorType::ALL[rng.gen_range(0..SensorType::ALL.len())],
                     ),
@@ -270,6 +388,7 @@ fn gen_query(class: ServiceClass, now_s: u64, engine: &QueryEngine, rng: &mut Sm
                 // City-wide aggregate panel over the last settled hour.
                 Query {
                     origin,
+                    class,
                     selector: Selector::Category(
                         Category::ALL[rng.gen_range(0..Category::ALL.len())],
                     ),
@@ -287,7 +406,9 @@ fn gen_query(class: ServiceClass, now_s: u64, engine: &QueryEngine, rng: &mut Sm
 /// The run opens with a settling flush at `start_s` (stamping the
 /// engine's settled frontier), then interleaves user requests, background
 /// ingest and periodic flushes on one deterministic event clock until
-/// `requests` have been issued and the in-flight tail has drained.
+/// `requests` have been issued and the in-flight tail has drained. Flash
+/// crowds join (and leave) as scheduled, and the diurnal curve scales
+/// every think time.
 ///
 /// # Errors
 ///
@@ -298,6 +419,24 @@ pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<Workload
         return Err(Error::BadQuery {
             field: "workload",
             reason: "users, requests and the mix total must be positive".to_owned(),
+        });
+    }
+    if let Some(curve) = &config.diurnal {
+        if curve.peak_milli < curve.trough_milli || curve.trough_milli == 0 || curve.period_s < 2 {
+            return Err(Error::BadQuery {
+                field: "diurnal",
+                reason: format!("need period ≥ 2 and peak ≥ trough ≥ 1‰, got {curve:?}"),
+            });
+        }
+    }
+    let crowds: Vec<FlashCrowd> = config.flash_crowds.iter().flatten().copied().collect();
+    if crowds
+        .iter()
+        .any(|c| c.users == 0 || c.duration_s == 0 || c.think_divisor == 0)
+    {
+        return Err(Error::BadQuery {
+            field: "flash_crowds",
+            reason: "every flash crowd needs users, a duration and a divisor ≥ 1".to_owned(),
         });
     }
     let mut rng = SmallRng::seed_from_u64(config.seed);
@@ -314,8 +453,13 @@ pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<Workload
         )
     });
 
-    let classes: Vec<ServiceClass> = (0..config.users)
-        .map(|_| config.mix.sample(&mut rng))
+    // The steady population, then the flash crowds' temporary members.
+    let mut users: Vec<User> = (0..config.users)
+        .map(|_| User {
+            class: config.mix.sample(&mut rng),
+            think_divisor: 1,
+            retires_at_s: None,
+        })
         .collect();
 
     let start = SimTime::from_secs(config.start_s);
@@ -326,6 +470,22 @@ pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<Workload
             start + Duration::from_millis(u64::from(u) * 31),
             Ev::Tick(u),
         );
+    }
+    for crowd in &crowds {
+        let arrive = SimTime::from_secs(crowd.start_s.max(config.start_s));
+        let leaves = crowd.start_s.saturating_add(crowd.duration_s);
+        for i in 0..crowd.users {
+            let u = users.len() as u32;
+            users.push(User {
+                class: crowd.class,
+                think_divisor: crowd.think_divisor,
+                retires_at_s: Some(leaves),
+            });
+            queue.schedule_at(
+                arrive + Duration::from_millis(u64::from(i) * 17),
+                Ev::Tick(u),
+            );
+        }
     }
     if config.flush_period_s > 0 {
         queue.schedule_at(
@@ -340,11 +500,24 @@ pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<Workload
         );
     }
 
+    // A user's next think time: class nominal, scaled by the diurnal
+    // intensity, then by the flash-crowd divisor.
+    let next_think = |user: &User, now_s: u64, rng: &mut SmallRng| -> Duration {
+        let base = think(user.class, rng);
+        let milli = config
+            .diurnal
+            .map_or(1_000, |curve| curve.intensity_milli(now_s));
+        let scaled = base.as_micros() * 1_000 / milli;
+        Duration::from_micros((scaled / u64::from(user.think_divisor)).max(1))
+    };
+
     let mut issued = 0u64;
     let mut answered = 0u64;
     let mut shed = 0u64;
     let mut unanswerable = 0u64;
+    let mut shed_during_flash = [0u64; CLASS_COUNT];
     let mut hists = [Histogram::new(), Histogram::new(), Histogram::new()];
+    let mut class_hists: [Histogram; CLASS_COUNT] = Default::default();
     let mut scatter_latency = Histogram::new();
     let mut sim_end_s = config.start_s;
     let mut transcript = Vec::new();
@@ -380,15 +553,22 @@ pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<Workload
                 if issued >= config.requests {
                     continue;
                 }
+                let user = users[u as usize];
+                if user.retires_at_s.is_some_and(|end| now_s >= end) {
+                    // The flash crowd left: this user stops ticking.
+                    continue;
+                }
                 issued += 1;
                 sim_end_s = now_s;
-                let class = classes[u as usize];
+                let class = user.class;
+                let in_flash = crowds.iter().any(|c| c.active_at(now_s));
                 let query = gen_query(class, now_s, engine, &mut rng);
                 line.clear();
                 let next_at = match engine.serve(&query, now_s) {
                     Ok(Outcome::Answered(resp)) => {
                         answered += 1;
                         hists[resp.layer.index()].record(resp.est_latency);
+                        class_hists[class.index()].record(resp.est_latency);
                         if matches!(resp.via, ServedVia::Scatter { .. }) {
                             scatter_latency.record(resp.est_latency);
                         }
@@ -403,20 +583,46 @@ pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<Workload
                             resp.est_latency.as_micros()
                         )
                         .expect("writing to a String cannot fail");
-                        done + think(class, &mut rng)
+                        done + next_think(&user, now_s, &mut rng)
                     }
-                    Ok(Outcome::Shed { layer }) => {
+                    Ok(Outcome::Shed {
+                        layer,
+                        class: shed_class,
+                        cause,
+                    }) => {
+                        // The outcome carries the requester's context, so
+                        // accounting and retry policy need not re-derive
+                        // it from the query (per-class shed counts come
+                        // from the engine's own ledger stats).
                         shed += 1;
-                        write!(line, "{issued};{class:?};S;{layer};0")
-                            .expect("writing to a String cannot fail");
-                        // Back off half a think time before retrying.
-                        at + Duration::from_micros(think(class, &mut rng).as_micros() / 2)
+                        if in_flash && cause == ShedCause::Capacity {
+                            shed_during_flash[shed_class.index()] += 1;
+                        }
+                        write!(
+                            line,
+                            "{issued};{shed_class:?};S;{layer};{};0",
+                            cause.label()
+                        )
+                        .expect("writing to a String cannot fail");
+                        match cause {
+                            // Quota pressure drains as in-flight work
+                            // completes: retry after half a think.
+                            ShedCause::Capacity => {
+                                at + Duration::from_micros(
+                                    next_think(&user, now_s, &mut rng).as_micros() / 2,
+                                )
+                            }
+                            // A deadline shed cannot succeed until the
+                            // hierarchy state changes (a flush, an
+                            // eviction): abandon and come back later.
+                            ShedCause::Deadline => at + next_think(&user, now_s, &mut rng),
+                        }
                     }
                     Err(Error::Unanswerable { .. }) => {
                         unanswerable += 1;
                         write!(line, "{issued};{class:?};U;;0")
                             .expect("writing to a String cannot fail");
-                        at + think(class, &mut rng)
+                        at + next_think(&user, now_s, &mut rng)
                     }
                     Err(e) => return Err(e),
                 };
@@ -433,6 +639,14 @@ pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<Workload
     }
 
     let stats = engine.stats();
+    // Per-class counters are the engine's own ledger accounting, scoped
+    // to this run by delta — one source of truth for sheds, reroutes
+    // and SLO attainment.
+    let mut per_class = [ClassStats::default(); CLASS_COUNT];
+    for class in ServiceClass::ALL {
+        let i = class.index();
+        per_class[i] = stats.per_class[i].delta_since(&stats0.per_class[i]);
+    }
     Ok(WorkloadReport {
         issued,
         answered,
@@ -446,6 +660,9 @@ pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<Workload
         scatter_wins: stats.scatter_wins - stats0.scatter_wins,
         cloud_wins: stats.cloud_wins - stats0.cloud_wins,
         latency_by_layer: hists,
+        latency_by_class: class_hists,
+        per_class,
+        shed_during_flash,
         scatter_latency,
         sim_end_s,
         transcript_hash,
@@ -456,7 +673,7 @@ pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<Workload
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::EngineConfig;
+    use crate::engine::{EngineConfig, LayerCaps};
     use f2c_core::runtime::populate_city;
     use f2c_core::F2cCity;
 
@@ -496,6 +713,12 @@ mod tests {
             report.issued,
             "one transcript line per request"
         );
+        let by_class: u64 = report.per_class.iter().map(|c| c.requests).sum();
+        assert_eq!(by_class, report.issued, "per-class request counts add up");
+        let answered_by_class: u64 = report.per_class.iter().map(|c| c.answered).sum();
+        assert_eq!(answered_by_class, report.answered);
+        let recorded: u64 = report.latency_by_class.iter().map(Histogram::count).sum();
+        assert_eq!(recorded, report.answered, "per-class latencies recorded");
     }
 
     #[test]
@@ -580,6 +803,110 @@ mod tests {
     }
 
     #[test]
+    fn diurnal_and_burst_replays_are_transcript_identical() {
+        // The diurnal scaling and flash-crowd machinery run off the same
+        // seed and clock as everything else: replays must stay
+        // byte-identical, and the knobs must actually change the run.
+        let run_once = |seed: u64, diurnal: bool| {
+            let mut engine = warm_engine();
+            let mut config = small_config();
+            config.seed = seed;
+            if diurnal {
+                config.diurnal = Some(DiurnalCurve::paper_day());
+            }
+            config.flash_crowds[0] = Some(FlashCrowd {
+                class: ServiceClass::Analytics,
+                start_s: 3_620,
+                duration_s: 60,
+                users: 12,
+                think_divisor: 8,
+            });
+            run(&mut engine, &config).unwrap()
+        };
+        let a = run_once(2017, true);
+        let b = run_once(2017, true);
+        assert_eq!(a.transcript, b.transcript, "diurnal/burst replay diverged");
+        assert_eq!(a.transcript_hash, b.transcript_hash);
+        assert!(
+            a.class_stats(ServiceClass::Analytics).requests > 0,
+            "the burst issues analytics traffic"
+        );
+        let flat = run_once(2017, false);
+        assert_ne!(
+            a.transcript_hash, flat.transcript_hash,
+            "the diurnal curve must reshape the run"
+        );
+    }
+
+    #[test]
+    fn diurnal_intensity_peaks_and_troughs_where_configured() {
+        let curve = DiurnalCurve::paper_day();
+        assert_eq!(curve.intensity_milli(13 * 3_600), 1_800, "peak at 13:00");
+        assert_eq!(curve.intensity_milli(on_the_far_side(&curve)), 400);
+        // Periodicity.
+        assert_eq!(
+            curve.intensity_milli(13 * 3_600),
+            curve.intensity_milli(13 * 3_600 + 86_400)
+        );
+        // Monotone ramp between trough and peak.
+        let morning: Vec<u64> = (1..13)
+            .map(|h| curve.intensity_milli(3_600 + h * 3_600))
+            .collect();
+        assert!(morning.windows(2).all(|w| w[0] <= w[1]), "{morning:?}");
+    }
+
+    fn on_the_far_side(curve: &DiurnalCurve) -> u64 {
+        curve.peak_at_s + curve.period_s / 2
+    }
+
+    #[test]
+    fn an_analytics_flash_crowd_sheds_analytics_not_realtime() {
+        // Tight caps plus a hard analytics burst: the burst must shed
+        // *its own* class while real-time reads ride their guaranteed
+        // share untouched — the core QoS promise, asserted at workload
+        // scale. The result caches are disabled (TTL 0) so the burst's
+        // repetitive settled-window aggregates cannot hide behind cache
+        // hits, which bypass admission entirely.
+        let mut city = F2cCity::barcelona().unwrap();
+        populate_city(&mut city, 50_000, 7, 3_600, 900).unwrap();
+        let cfg = EngineConfig {
+            result_ttl_s: 0,
+            caps: LayerCaps {
+                fog1: 64,
+                fog2: 8,
+                cloud: 4,
+            },
+            ..EngineConfig::default()
+        };
+        let mut engine = QueryEngine::new(city, cfg);
+        let mut config = WorkloadConfig {
+            requests: 3_000,
+            users: 32,
+            start_s: 3_600,
+            ..WorkloadConfig::default()
+        };
+        config.flash_crowds[0] = Some(FlashCrowd {
+            class: ServiceClass::Analytics,
+            start_s: 3_610,
+            duration_s: 120,
+            users: 48,
+            think_divisor: 32,
+        });
+        let report = run(&mut engine, &config).unwrap();
+        let realtime = report.class_stats(ServiceClass::RealTime);
+        assert!(
+            report.flash_shed(ServiceClass::Analytics) > 0,
+            "the burst must overrun the analytics quota: {report:?}"
+        );
+        assert_eq!(
+            realtime.shed, 0,
+            "real-time reads must never shed while analytics bursts: {report:?}"
+        );
+        assert_eq!(report.flash_shed(ServiceClass::RealTime), 0);
+        assert!(realtime.requests > 0, "the steady mix keeps issuing reads");
+    }
+
+    #[test]
     fn degenerate_configs_are_rejected() {
         let mut engine = warm_engine();
         let mut config = small_config();
@@ -592,6 +919,23 @@ mod tests {
             realtime: 0,
             city: 0,
         };
+        assert!(run(&mut engine, &config).is_err());
+        let mut config = small_config();
+        config.diurnal = Some(DiurnalCurve {
+            period_s: 86_400,
+            trough_milli: 2_000,
+            peak_milli: 1_000, // inverted
+            peak_at_s: 0,
+        });
+        assert!(run(&mut engine, &config).is_err());
+        let mut config = small_config();
+        config.flash_crowds[0] = Some(FlashCrowd {
+            class: ServiceClass::Dashboard,
+            start_s: 3_600,
+            duration_s: 0, // degenerate
+            users: 4,
+            think_divisor: 1,
+        });
         assert!(run(&mut engine, &config).is_err());
     }
 }

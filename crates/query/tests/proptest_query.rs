@@ -216,7 +216,12 @@ proptest! {
         let window = TimeWindow::new(from_s, from_s + len_s);
         for scope in scopes {
             for kind in [QueryKind::Point, QueryKind::Range, QueryKind::Aggregate] {
-                let query = Query { origin, selector, scope, window, kind };
+                // Analytics has the widest deadline budget, so the oracle
+                // exercises every route (aged-out cloud fallbacks
+                // included) without tripping plan-time deadline sheds —
+                // QoS behavior has its own tests.
+                let class = f2c_query::ServiceClass::Analytics;
+                let query = Query { origin, class, selector, scope, window, kind };
                 match engine.serve_sync(&query, now) {
                     Ok(Outcome::Answered(resp)) => {
                         assert_answers_match(&resp.answer, &oracle(&records, &query), &query)?;
@@ -269,6 +274,7 @@ proptest! {
         ] {
             let query = Query {
                 origin,
+                class: f2c_query::ServiceClass::Analytics,
                 selector: Selector::Type(SensorType::ALL[(seed as usize + 25) % 21]),
                 scope,
                 window: TimeWindow::new(0, now),

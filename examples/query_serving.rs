@@ -9,7 +9,7 @@
 
 use f2c_smartcity::core::runtime::populate_city;
 use f2c_smartcity::core::{F2cCity, Layer};
-use f2c_smartcity::query::workload::{self, WorkloadConfig};
+use f2c_smartcity::query::workload::{self, ServiceClass, WorkloadConfig};
 use f2c_smartcity::query::{
     EngineConfig, Outcome, Query, QueryAnswer, QueryEngine, QueryKind, Scope, Selector, TimeWindow,
 };
@@ -36,7 +36,11 @@ fn show(label: &str, outcome: &Outcome) {
                 resp.via, resp.est_latency
             );
         }
-        Outcome::Shed { layer } => println!("{label:<28} shed at {layer}"),
+        Outcome::Shed {
+            layer,
+            class,
+            cause,
+        } => println!("{label:<28} {class} shed at {layer} ({cause:?})"),
     }
 }
 
@@ -62,6 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A live read served by the consumer's own fog-1 node.
     let live = Query {
         origin,
+        class: ServiceClass::RealTime,
         selector: Selector::Type(SensorType::ElectricityMeter),
         scope: Scope::Section(origin),
         window: TimeWindow::new(0, now),
@@ -73,6 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // source; repeating it hits the edge cache.
     let dashboard = Query {
         origin,
+        class: ServiceClass::Dashboard,
         selector: Selector::Category(Category::Energy),
         scope: Scope::District(district),
         window: TimeWindow::new(0, 3_600),
@@ -91,6 +97,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // holds the window serves it over the metro ring — not the cloud.
     let analytics = Query {
         origin,
+        class: ServiceClass::Analytics,
         selector: Selector::Category(Category::Energy),
         scope: Scope::District(district + 2),
         window: TimeWindow::new(0, 3_600),
@@ -106,6 +113,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the requester's fog-2, and beats the single-source cloud read.
     let citywide = Query {
         origin,
+        class: ServiceClass::CityWide,
         selector: Selector::Category(Category::Urban),
         scope: Scope::City,
         window: TimeWindow::new(0, 3_600),
@@ -141,6 +149,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 h.count(),
                 h.quantile(0.5),
                 h.quantile(0.99)
+            );
+        }
+    }
+    // Per-class QoS: shed rates and deadline-budget attainment.
+    for class in ServiceClass::ALL {
+        let stats = report.class_stats(class);
+        if stats.requests > 0 {
+            println!(
+                "  {class:<12} {:>6} issued, shed rate {:.1}%, SLO attainment {:.1}%",
+                stats.requests,
+                stats.shed_rate() * 100.0,
+                stats.slo_attainment() * 100.0
             );
         }
     }

@@ -9,6 +9,7 @@
 //! * [`aggregate`] — aggregation filters, sketches and protocols,
 //! * [`dlc`] — the SCC-DLC life-cycle model,
 //! * [`core`] — the F2C data-management architecture itself,
+//! * [`qos`] — per-service QoS classes, quotas and deadline budgets,
 //! * [`query`] — consumer-facing query serving over the hierarchy.
 //!
 //! See the repository README for the quickstart and DESIGN.md /
@@ -35,6 +36,7 @@ pub use citysim;
 pub use f2c_aggregate as aggregate;
 pub use f2c_compress as compress;
 pub use f2c_core as core;
+pub use f2c_qos as qos;
 pub use f2c_query as query;
 pub use scc_dlc as dlc;
 pub use scc_sensors as sensors;
