@@ -14,6 +14,11 @@ pub enum Error {
         /// Which parameter was zero.
         parameter: &'static str,
     },
+    /// A shipped aggregate partial failed its integrity checks.
+    CorruptPartial {
+        /// Which check refused it (magic, layout, or CRC).
+        reason: &'static str,
+    },
     /// A protocol was run over an empty node set.
     NoParticipants,
     /// A gossip/flood round count of zero was requested.
@@ -26,6 +31,9 @@ impl fmt::Display for Error {
             Error::EmptyWindow => write!(f, "window length must be positive"),
             Error::DegenerateSketch { parameter } => {
                 write!(f, "sketch parameter {parameter} must be positive")
+            }
+            Error::CorruptPartial { reason } => {
+                write!(f, "shipped partial failed integrity check: {reason}")
             }
             Error::NoParticipants => write!(f, "protocol needs at least one participant"),
             Error::ZeroRounds => write!(f, "round count must be positive"),

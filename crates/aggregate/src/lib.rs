@@ -14,7 +14,10 @@
 //! * [`functions`] — decomposable aggregate functions with mergeable
 //!   partial states (the "hierarchic/averaging" computation class),
 //! * [`sketch`] — count-min and HyperLogLog (the "sketches" and
-//!   "randomized counting" classes),
+//!   "randomized counting" classes), plus the sketch plane's mergeable
+//!   [`sketch::AggPartial`] (CRC-checked wire form) and per-node
+//!   [`sketch::SketchLedger`] of bucketed, compaction-surviving
+//!   partials,
 //! * [`protocol`] — tree (structured/hierarchical), gossip push-sum
 //!   (unstructured), and flooding (unstructured) protocols,
 //! * [`plan`] — composable per-fog-node aggregation pipelines.

@@ -46,9 +46,40 @@ impl HyperLogLog {
         })
     }
 
+    /// Rebuilds an estimator from raw register values (the wire form of
+    /// a shipped partial). `registers` must be exactly `2^precision`
+    /// long.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DegenerateSketch`] if `precision` is outside `4..=16` or
+    /// the register block has the wrong length.
+    pub fn from_registers(precision: u32, registers: Vec<u8>) -> Result<Self> {
+        if !(4..=16).contains(&precision) || registers.len() != 1 << precision {
+            return Err(Error::DegenerateSketch {
+                parameter: "registers",
+            });
+        }
+        Ok(Self {
+            precision,
+            registers,
+        })
+    }
+
     /// Number of registers.
     pub fn register_count(&self) -> usize {
         self.registers.len()
+    }
+
+    /// The sketch's precision.
+    pub fn precision(&self) -> u32 {
+        self.precision
+    }
+
+    /// The raw register values (for wire encoding; merging two sketches
+    /// is a register-wise max over these).
+    pub fn registers(&self) -> &[u8] {
+        &self.registers
     }
 
     /// Adds one element.

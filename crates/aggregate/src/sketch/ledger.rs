@@ -1,0 +1,453 @@
+//! The per-node sketch ledger: epoch-keyed, CRC-checked bucket partials
+//! that survive raw-record compaction.
+//!
+//! Every F2C node keeps one [`SketchLedger`]. A fog-1 node folds each
+//! flush batch into per-`(section, type, bucket)` [`AggPartial`]s and
+//! ships the encoded partials upward alongside the raw records; fog-2
+//! and the cloud fold the incoming shipments into their own ledgers (a
+//! CRC failure is counted, never silently merged) instead of ever
+//! re-scanning raw records for aggregate state.
+//!
+//! Two watermarks make ledger answers *provable*:
+//!
+//! * a per-section **seal frontier** ([`SketchLedger::sealed_through`]):
+//!   every record of that section created before the frontier that the
+//!   owning node has shipped/received is folded in — so an *absent*
+//!   bucket below the frontier is provably empty, not merely unsealed;
+//! * an **eviction watermark** ([`SketchLedger::evicted_before_s`]):
+//!   ledger compaction ([`SketchLedger::evict_older_than`]) never
+//!   removes buckets at or after it, mirroring the tiered store's raw
+//!   watermark — but with a much longer horizon, because bucket
+//!   partials are constant-size where raw records are not.
+//!
+//! Entries also remember the owner-local flush epoch that last touched
+//! them — observability only (which flush a bucket last absorbed).
+//! Staleness *proofs* never read it: a warm-sketch answer is offered
+//! exactly when the window end lies at or before the seal frontier
+//! *and* the owner has nothing pending below it (the planner's check).
+
+use std::collections::{HashMap, HashSet};
+
+use scc_sensors::SensorType;
+
+use super::AggPartial;
+use crate::{Error, Result};
+
+/// Identity of one folded bucket partial: which section produced the
+/// records, which sensor type they are, and the bucket's start instant
+/// (a multiple of the ledger's bucket width).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SketchKey {
+    /// Producing section (fog-1 catchment), from the record descriptors.
+    pub section: u16,
+    /// Sensor type of the folded records.
+    pub ty: SensorType,
+    /// Bucket start in seconds (multiple of the bucket width).
+    pub bucket_start_s: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    partial: AggPartial,
+    /// Owner-local flush epoch that last folded into this bucket.
+    epoch: u64,
+}
+
+/// Epoch-keyed store of bucket partials with seal and eviction
+/// watermarks.
+///
+/// Two watermarks make ledger answers *provable*: a per-section **seal
+/// frontier** ([`SketchLedger::sealed_through`] — every record of the
+/// section created before it that the owner has shipped/received is
+/// folded in, so an absent sealed bucket is provably empty) and an
+/// **eviction watermark** ([`SketchLedger::evicted_before_s`] —
+/// compaction never removes buckets at or after it). Entries remember
+/// the owner-local flush epoch that last touched them.
+///
+/// # Examples
+///
+/// ```
+/// use f2c_aggregate::sketch::{AggPartial, SketchKey, SketchLedger};
+/// use scc_sensors::SensorType;
+///
+/// let mut ledger = SketchLedger::new(900)?;
+/// let key = SketchKey { section: 21, ty: SensorType::Traffic, bucket_start_s: 0 };
+/// let mut partial = AggPartial::empty();
+/// partial.absorb(4.2, 7);
+/// ledger.fold(key, &partial, 1);
+/// ledger.seal(21, 900);
+/// assert!(ledger.covers(21, 0, 900));
+/// let mut acc = AggPartial::empty();
+/// ledger.merge_range(21, SensorType::Traffic, 0, 900, &mut acc);
+/// assert_eq!(acc.count(), 1);
+/// # Ok::<(), f2c_aggregate::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SketchLedger {
+    bucket_s: u64,
+    entries: HashMap<SketchKey, Entry>,
+    sealed: HashMap<u16, u64>,
+    /// Buckets whose shipped partial was refused (corrupt) — the folded
+    /// increments are lost, so these buckets can never again be proved
+    /// complete here, no matter what the seal frontier says. Holes
+    /// propagate upward with the relay and only leave via compaction.
+    holes: HashSet<SketchKey>,
+    evicted_before_s: u64,
+    folds: u64,
+    crc_failures: u64,
+}
+
+impl SketchLedger {
+    /// An empty ledger bucketing at `bucket_s`-second boundaries.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyWindow`] on a zero bucket width.
+    pub fn new(bucket_s: u64) -> Result<Self> {
+        if bucket_s == 0 {
+            return Err(Error::EmptyWindow);
+        }
+        Ok(Self {
+            bucket_s,
+            entries: HashMap::new(),
+            sealed: HashMap::new(),
+            holes: HashSet::new(),
+            evicted_before_s: 0,
+            folds: 0,
+            crc_failures: 0,
+        })
+    }
+
+    /// The bucket width in seconds.
+    pub fn bucket_s(&self) -> u64 {
+        self.bucket_s
+    }
+
+    /// Start of the bucket containing `t_s`.
+    pub fn bucket_start(&self, t_s: u64) -> u64 {
+        t_s - t_s % self.bucket_s
+    }
+
+    /// Number of resident bucket partials.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ledger holds no partials.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total partials folded in (local folds + decoded shipments).
+    pub fn folds(&self) -> u64 {
+        self.folds
+    }
+
+    /// Shipped partials refused for failing their CRC or layout checks.
+    pub fn crc_failures(&self) -> u64 {
+        self.crc_failures
+    }
+
+    /// Merges `partial` into the bucket at `key`, stamping it with the
+    /// owner's flush `epoch`.
+    pub fn fold(&mut self, key: SketchKey, partial: &AggPartial, epoch: u64) {
+        debug_assert_eq!(key.bucket_start_s % self.bucket_s, 0, "unaligned key");
+        self.folds += 1;
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.partial.merge(partial);
+                entry.epoch = entry.epoch.max(epoch);
+            }
+            None => {
+                self.entries.insert(
+                    key,
+                    Entry {
+                        partial: partial.clone(),
+                        epoch,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Decodes one shipped partial (verifying its CRC) and folds it in.
+    /// Returns the decoded partial so receivers can relay it upward
+    /// without a second decode.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::CorruptPartial`] — the shipment is refused: nothing is
+    /// merged, the failure is counted in
+    /// [`SketchLedger::crc_failures`], and a coverage hole is punched
+    /// at `key` so the bucket can never be falsely proved complete.
+    pub fn fold_encoded(&mut self, key: SketchKey, bytes: &[u8], epoch: u64) -> Result<AggPartial> {
+        match AggPartial::decode(bytes) {
+            Ok(partial) => {
+                self.fold(key, &partial, epoch);
+                Ok(partial)
+            }
+            Err(e) => {
+                self.crc_failures += 1;
+                // The folded increments are lost for good: the bucket is
+                // a permanent coverage hole, whatever the seal says.
+                self.mark_hole(key);
+                Err(e)
+            }
+        }
+    }
+
+    /// Punches a coverage hole at `key`: the bucket can never again be
+    /// proved complete here ([`SketchLedger::covers`] refuses windows
+    /// containing it), because a shipment for it was lost. Receivers
+    /// call this for holes relayed from below, so a hole propagates to
+    /// every tier whose ledger misses the data.
+    pub fn mark_hole(&mut self, key: SketchKey) {
+        self.holes.insert(key);
+    }
+
+    /// The current coverage holes (arbitrary order).
+    pub fn holes(&self) -> impl Iterator<Item = &SketchKey> {
+        self.holes.iter()
+    }
+
+    /// Advances `section`'s seal frontier to at least `through_s`:
+    /// every record of the section created before it that the owner has
+    /// shipped/received is folded in.
+    pub fn seal(&mut self, section: u16, through_s: u64) {
+        let slot = self.sealed.entry(section).or_insert(0);
+        *slot = (*slot).max(through_s);
+    }
+
+    /// The seal frontier of `section` (0 when never sealed).
+    pub fn sealed_through(&self, section: u16) -> u64 {
+        self.sealed.get(&section).copied().unwrap_or(0)
+    }
+
+    /// Whether the ledger *provably* covers `[from_s, until_s)` for
+    /// `section`: the window is bucket-aligned, nothing in it was
+    /// compacted away, the seal frontier reaches the window end, and no
+    /// bucket inside it is a coverage hole (a refused corrupt
+    /// shipment). (The owner's pending frontier is the caller's check —
+    /// the ledger cannot see unflushed arrivals.)
+    pub fn covers(&self, section: u16, from_s: u64, until_s: u64) -> bool {
+        from_s.is_multiple_of(self.bucket_s)
+            && until_s.is_multiple_of(self.bucket_s)
+            && from_s >= self.evicted_before_s
+            && until_s <= self.sealed_through(section)
+            && !self.has_hole(section, from_s, until_s)
+    }
+
+    /// Whether any bucket of `section` inside `[from_s, until_s)` is a
+    /// coverage hole.
+    fn has_hole(&self, section: u16, from_s: u64, until_s: u64) -> bool {
+        if self.holes.is_empty() {
+            return false;
+        }
+        self.holes.iter().any(|h| {
+            h.section == section && h.bucket_start_s >= from_s && h.bucket_start_s < until_s
+        })
+    }
+
+    /// The bucket partial at `key`, with the epoch that last folded it.
+    pub fn entry(&self, key: &SketchKey) -> Option<(&AggPartial, u64)> {
+        self.entries.get(key).map(|e| (&e.partial, e.epoch))
+    }
+
+    /// Merges every resident bucket of `(section, ty)` inside the
+    /// **bucket-aligned** `[from_s, until_s)` into `acc`; returns how
+    /// many partials were merged. Absent buckets are provably empty when
+    /// [`SketchLedger::covers`] holds — callers must check it first
+    /// (bucket partials cannot be sliced, so an unaligned window would
+    /// over-include; debug builds assert the alignment).
+    pub fn merge_range(
+        &self,
+        section: u16,
+        ty: SensorType,
+        from_s: u64,
+        until_s: u64,
+        acc: &mut AggPartial,
+    ) -> u64 {
+        debug_assert!(
+            from_s.is_multiple_of(self.bucket_s) && until_s.is_multiple_of(self.bucket_s),
+            "merge_range needs a bucket-aligned window, got [{from_s}, {until_s})"
+        );
+        let mut merged = 0;
+        let mut bucket = self.bucket_start(from_s);
+        while bucket < until_s {
+            let key = SketchKey {
+                section,
+                ty,
+                bucket_start_s: bucket,
+            };
+            if let Some(entry) = self.entries.get(&key) {
+                acc.merge(&entry.partial);
+                merged += 1;
+            }
+            bucket += self.bucket_s;
+        }
+        merged
+    }
+
+    /// Compaction: drops every bucket that ends at or before
+    /// `deadline_s` and advances the eviction watermark to the last
+    /// complete bucket boundary, so [`SketchLedger::covers`] stays
+    /// honest. Returns the number of dropped partials.
+    pub fn evict_older_than(&mut self, deadline_s: u64) -> usize {
+        let boundary = self.bucket_start(deadline_s);
+        if boundary == 0 {
+            return 0;
+        }
+        self.evicted_before_s = self.evicted_before_s.max(boundary);
+        // A hole behind the watermark stops mattering: covers() already
+        // refuses everything there.
+        self.holes
+            .retain(|k| k.bucket_start_s + self.bucket_s > boundary);
+        let before = self.entries.len();
+        self.entries
+            .retain(|k, _| k.bucket_start_s + self.bucket_s > boundary);
+        before - self.entries.len()
+    }
+
+    /// The compaction watermark: every bucket starting at or after this
+    /// instant is still resident.
+    pub fn evicted_before_s(&self) -> u64 {
+        self.evicted_before_s
+    }
+
+    /// Iterates the resident keys (arbitrary order).
+    pub fn keys(&self) -> impl Iterator<Item = &SketchKey> {
+        self.entries.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(section: u16, bucket: u64) -> SketchKey {
+        SketchKey {
+            section,
+            ty: SensorType::Traffic,
+            bucket_start_s: bucket,
+        }
+    }
+
+    fn partial(values: &[(f64, u64)]) -> AggPartial {
+        let mut p = AggPartial::empty();
+        for &(v, k) in values {
+            p.absorb(v, k);
+        }
+        p
+    }
+
+    #[test]
+    fn zero_bucket_width_is_refused() {
+        assert!(matches!(SketchLedger::new(0), Err(Error::EmptyWindow)));
+    }
+
+    #[test]
+    fn folds_merge_and_stamp_the_latest_epoch() {
+        let mut ledger = SketchLedger::new(900).unwrap();
+        ledger.fold(key(3, 900), &partial(&[(1.0, 1)]), 1);
+        ledger.fold(key(3, 900), &partial(&[(5.0, 2)]), 4);
+        let (p, epoch) = ledger.entry(&key(3, 900)).unwrap();
+        assert_eq!(p.count(), 2);
+        assert_eq!(p.minmax().max, Some(5.0));
+        assert_eq!(epoch, 4);
+        assert_eq!(ledger.folds(), 2);
+    }
+
+    #[test]
+    fn encoded_folds_verify_their_crc() {
+        let mut ledger = SketchLedger::new(900).unwrap();
+        let wire = partial(&[(2.0, 9)]).encode();
+        ledger.fold_encoded(key(0, 0), &wire, 1).unwrap();
+        let mut bad = wire.clone();
+        bad[8] ^= 1;
+        assert!(ledger.fold_encoded(key(0, 900), &bad, 1).is_err());
+        assert_eq!(ledger.crc_failures(), 1);
+        assert_eq!(ledger.len(), 1, "the corrupt shipment was not merged");
+    }
+
+    #[test]
+    fn coverage_requires_alignment_seal_and_residency() {
+        let mut ledger = SketchLedger::new(900).unwrap();
+        ledger.seal(7, 2_700);
+        assert!(ledger.covers(7, 0, 2_700));
+        assert!(ledger.covers(7, 900, 1_800));
+        assert!(!ledger.covers(7, 0, 3_600), "past the seal frontier");
+        assert!(!ledger.covers(7, 0, 1_000), "unaligned end");
+        assert!(!ledger.covers(7, 10, 910), "unaligned start");
+        assert!(!ledger.covers(8, 0, 900), "other sections are unsealed");
+    }
+
+    #[test]
+    fn merge_range_folds_only_the_window() {
+        let mut ledger = SketchLedger::new(900).unwrap();
+        for bucket in [0u64, 900, 1_800, 2_700] {
+            ledger.fold(
+                key(1, bucket),
+                &partial(&[(bucket as f64, bucket / 900)]),
+                1,
+            );
+        }
+        let mut acc = AggPartial::empty();
+        let merged = ledger.merge_range(1, SensorType::Traffic, 900, 2_700, &mut acc);
+        assert_eq!(merged, 2);
+        assert_eq!(acc.count(), 2);
+        assert_eq!(acc.minmax().min, Some(900.0));
+        assert_eq!(acc.minmax().max, Some(1_800.0));
+        // Other types and sections stay out.
+        let mut other = AggPartial::empty();
+        assert_eq!(
+            ledger.merge_range(1, SensorType::Weather, 0, 3_600, &mut other),
+            0
+        );
+    }
+
+    #[test]
+    fn compaction_drops_old_buckets_and_moves_the_watermark() {
+        let mut ledger = SketchLedger::new(900).unwrap();
+        for bucket in [0u64, 900, 1_800] {
+            ledger.fold(key(2, bucket), &partial(&[(1.0, 1)]), 1);
+        }
+        ledger.seal(2, 2_700);
+        let dropped = ledger.evict_older_than(1_000);
+        assert_eq!(dropped, 1, "only the bucket fully before 900 goes");
+        assert_eq!(ledger.evicted_before_s(), 900);
+        assert!(!ledger.covers(2, 0, 900), "evicted windows stop proving");
+        assert!(ledger.covers(2, 900, 2_700), "surviving windows still do");
+        // The watermark never moves backwards.
+        ledger.evict_older_than(500);
+        assert_eq!(ledger.evicted_before_s(), 900);
+    }
+
+    #[test]
+    fn holes_block_coverage_and_compact_away() {
+        let mut ledger = SketchLedger::new(900).unwrap();
+        ledger.seal(4, 2_700);
+        assert!(ledger.covers(4, 0, 2_700));
+        ledger.mark_hole(key(4, 900));
+        assert!(!ledger.covers(4, 0, 2_700), "the hole breaks the window");
+        assert!(!ledger.covers(4, 900, 1_800), "the holed bucket itself");
+        assert!(
+            ledger.covers(4, 0, 900),
+            "windows before the hole still prove"
+        );
+        assert!(ledger.covers(4, 1_800, 2_700), "and after it");
+        assert!(ledger.covers(5, 0, 0), "other sections are unaffected");
+        // Compaction past the hole retires it with the watermark.
+        ledger.evict_older_than(1_800);
+        assert_eq!(ledger.holes().count(), 0);
+        assert!(ledger.covers(4, 1_800, 2_700));
+    }
+
+    #[test]
+    fn seals_are_monotone() {
+        let mut ledger = SketchLedger::new(60).unwrap();
+        ledger.seal(0, 600);
+        ledger.seal(0, 120);
+        assert_eq!(ledger.sealed_through(0), 600);
+        assert_eq!(ledger.sealed_through(1), 0);
+    }
+}

@@ -1,17 +1,55 @@
 //! Sublinear-memory sketches — the "sketches" and "randomized counting"
-//! classes of the paper's computation taxonomy (§V.A, \[20\]).
+//! classes of the paper's computation taxonomy (§V.A, \[20\]) — and the
+//! **sketch plane** built on them.
 //!
 //! Fog nodes have bounded memory; sketches let them answer frequency and
 //! cardinality questions about city-scale streams (how many distinct
 //! vehicles passed, how often each parking zone toggles) in constant space
 //! and merge those answers up the F2C hierarchy.
+//!
+//! The sketch plane is that merge made systemic: [`AggPartial`] bundles
+//! the mergeable states one aggregate answer needs (moments, extremes,
+//! a HyperLogLog distinct sketch) behind a CRC-checked wire encoding,
+//! and [`SketchLedger`] keeps a node's bucketed partials — epoch-keyed,
+//! seal-fronted, surviving raw-record compaction — so flush shipments
+//! arrive pre-folded and evicted windows stay answerable.
+//!
+//! # Example: fold at fog 1, ship, merge at fog 2
+//!
+//! ```
+//! use f2c_aggregate::sketch::{AggPartial, SketchKey, SketchLedger};
+//! use scc_sensors::SensorType;
+//!
+//! // Fog 1 folds its flush batch into one bucket partial...
+//! let mut partial = AggPartial::empty();
+//! for i in 0..50u64 {
+//!     partial.absorb(20.0 + (i % 5) as f64, i % 12);
+//! }
+//! let key = SketchKey { section: 3, ty: SensorType::Temperature, bucket_start_s: 0 };
+//! let shipped = partial.encode(); // CRC-protected wire form
+//!
+//! // ...and fog 2 folds the shipment instead of re-scanning records.
+//! let mut fog2 = SketchLedger::new(900)?;
+//! fog2.fold_encoded(key, &shipped, 1)?;
+//! fog2.seal(3, 900);
+//! let mut answer = AggPartial::empty();
+//! assert!(fog2.covers(3, 0, 900));
+//! fog2.merge_range(3, SensorType::Temperature, 0, 900, &mut answer);
+//! assert_eq!(answer.count(), 50);
+//! assert_eq!(answer.distinct_estimate(), 12);
+//! # Ok::<(), f2c_aggregate::Error>(())
+//! ```
 
 mod countmin;
 mod hyperloglog;
+mod ledger;
+mod partial;
 mod qdigest;
 
 pub use countmin::CountMinSketch;
 pub use hyperloglog::HyperLogLog;
+pub use ledger::{SketchKey, SketchLedger};
+pub use partial::{AggPartial, PARTIAL_HLL_PRECISION};
 pub use qdigest::QDigest;
 
 /// 64-bit FNV-1a hash used by the sketches (dependency-free, well mixed

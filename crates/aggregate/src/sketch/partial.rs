@@ -1,0 +1,327 @@
+//! The mergeable aggregate partial and its CRC-checked wire encoding —
+//! the unit the sketch plane ships up the F2C hierarchy.
+//!
+//! An [`AggPartial`] bundles the three §V.A-mergeable states one
+//! aggregate answer needs: [`Moments`] (count/sum/sum-of-squares),
+//! [`MinMax`] extremes, and a [`HyperLogLog`] distinct-sensor sketch.
+//! Folding records into partials and merging partials commutes with a
+//! flat fold (exactly for count/min/max/distinct, within float rounding
+//! for sums), which is what lets fog-1 nodes pre-fold their flush
+//! batches and every tier above merge instead of re-scanning.
+//!
+//! The wire form ([`AggPartial::encode`] / [`AggPartial::decode`]) is a
+//! fixed little-endian layout with a sparse-or-dense register encoding
+//! for the HyperLogLog and a trailing CRC-32 over everything before it,
+//! so a corrupted shipment is detected at the receiving tier instead of
+//! silently skewing a city-wide aggregate.
+
+use crate::functions::{Decomposable, MinMax, Moments};
+use crate::sketch::HyperLogLog;
+use crate::{Error, Result};
+
+/// HyperLogLog precision used by every [`AggPartial`] (1024 registers,
+/// ~3% standard error — plenty for per-district sensor populations).
+/// One fixed precision keeps every partial in the system mergeable.
+pub const PARTIAL_HLL_PRECISION: u32 = 10;
+
+/// Wire magic of an encoded partial (`b"AGP1"`).
+const MAGIC: [u8; 4] = *b"AGP1";
+
+/// A mergeable partial aggregation state over a slice of observations —
+/// moments + extremes + a distinct-sensor sketch, all of which merge
+/// exactly (the §V.A decomposable/counting computation classes).
+///
+/// # Examples
+///
+/// A fold split across two nodes merges to the flat fold, and the wire
+/// roundtrip is lossless:
+///
+/// ```
+/// use f2c_aggregate::sketch::AggPartial;
+///
+/// let mut flat = AggPartial::empty();
+/// let (mut a, mut b) = (AggPartial::empty(), AggPartial::empty());
+/// for i in 0..100u64 {
+///     flat.absorb(i as f64, i % 7);
+///     if i % 2 == 0 { a.absorb(i as f64, i % 7) } else { b.absorb(i as f64, i % 7) }
+/// }
+/// let shipped = AggPartial::decode(&a.encode())?; // CRC-checked hop
+/// let mut merged = shipped;
+/// merged.merge(&b);
+/// assert_eq!(merged.count(), flat.count());
+/// assert_eq!(merged.distinct_estimate(), flat.distinct_estimate());
+/// assert_eq!(merged.minmax().min, flat.minmax().min);
+/// # Ok::<(), f2c_aggregate::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggPartial {
+    moments: Moments,
+    minmax: MinMax,
+    distinct: HyperLogLog,
+}
+
+impl AggPartial {
+    /// The identity partial.
+    pub fn empty() -> Self {
+        Self {
+            moments: Moments::empty(),
+            minmax: MinMax::empty(),
+            distinct: HyperLogLog::new(PARTIAL_HLL_PRECISION).expect("precision 10 is valid"),
+        }
+    }
+
+    /// Absorbs one observation: its magnitude into the moments and
+    /// extremes, its producing sensor's identity into the distinct
+    /// sketch.
+    pub fn absorb(&mut self, magnitude: f64, sensor_key: u64) {
+        self.moments.absorb(magnitude);
+        self.minmax.absorb(magnitude);
+        self.distinct.add(&sensor_key.to_le_bytes());
+    }
+
+    /// Merges another partial into this one. Order-insensitive for
+    /// count/min/max/distinct; floating sums may differ from a flat fold
+    /// by rounding only.
+    pub fn merge(&mut self, other: &Self) {
+        self.moments.merge(&other.moments);
+        self.minmax.merge(&other.minmax);
+        self.distinct.merge(&other.distinct);
+    }
+
+    /// Number of absorbed observations.
+    pub fn count(&self) -> u64 {
+        self.moments.count
+    }
+
+    /// The moments state (count, sum, sum of squares).
+    pub fn moments(&self) -> &Moments {
+        &self.moments
+    }
+
+    /// The extremes state.
+    pub fn minmax(&self) -> &MinMax {
+        &self.minmax
+    }
+
+    /// HyperLogLog estimate of distinct absorbed sensor keys (0 when
+    /// nothing was absorbed).
+    pub fn distinct_estimate(&self) -> u64 {
+        if self.moments.count == 0 {
+            0
+        } else {
+            self.distinct.estimate()
+        }
+    }
+
+    /// Encodes the partial for shipping: magic, moments, extremes, the
+    /// HyperLogLog registers (sparse when mostly empty, dense
+    /// otherwise), and a trailing CRC-32 over everything before it.
+    pub fn encode(&self) -> Vec<u8> {
+        let registers = self.distinct.registers();
+        let occupied: Vec<(u16, u8)> = registers
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r != 0)
+            .map(|(i, &r)| (i as u16, r))
+            .collect();
+        let mut out = Vec::with_capacity(64 + occupied.len() * 3);
+        out.extend_from_slice(&MAGIC);
+        out.push(PARTIAL_HLL_PRECISION as u8);
+        out.push(u8::from(self.minmax.min.is_some()));
+        out.extend_from_slice(&self.moments.count.to_le_bytes());
+        out.extend_from_slice(&self.moments.sum.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.moments.sum_sq.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.minmax.min.unwrap_or(0.0).to_bits().to_le_bytes());
+        out.extend_from_slice(&self.minmax.max.unwrap_or(0.0).to_bits().to_le_bytes());
+        // Sparse beats dense while fewer than a third of the registers
+        // are occupied (3 bytes per entry vs 1 byte per register).
+        if occupied.len() * 3 < registers.len() {
+            out.push(1);
+            out.extend_from_slice(&(occupied.len() as u16).to_le_bytes());
+            for (idx, rank) in occupied {
+                out.extend_from_slice(&idx.to_le_bytes());
+                out.push(rank);
+            }
+        } else {
+            out.push(0);
+            out.extend_from_slice(registers);
+        }
+        let crc = f2c_compress::crc32::checksum(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes a shipped partial, verifying the layout and the CRC.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::CorruptPartial`] on a short buffer, bad magic, precision
+    /// mismatch, malformed register block, or checksum failure.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let corrupt = |reason: &'static str| Error::CorruptPartial { reason };
+        if bytes.len() < 4 + 2 + 5 * 8 + 1 + 4 {
+            return Err(corrupt("short buffer"));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let want = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte split"));
+        if f2c_compress::crc32::checksum(body) != want {
+            return Err(corrupt("checksum mismatch"));
+        }
+        if body[0..4] != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        if u32::from(body[4]) != PARTIAL_HLL_PRECISION {
+            return Err(corrupt("precision mismatch"));
+        }
+        let has_minmax = match body[5] {
+            0 => false,
+            1 => true,
+            _ => return Err(corrupt("bad extremes flag")),
+        };
+        let u64_at = |off: usize| u64::from_le_bytes(body[off..off + 8].try_into().expect("8"));
+        let count = u64_at(6);
+        let sum = f64::from_bits(u64_at(14));
+        let sum_sq = f64::from_bits(u64_at(22));
+        let min = f64::from_bits(u64_at(30));
+        let max = f64::from_bits(u64_at(38));
+        let mut registers = vec![0u8; 1 << PARTIAL_HLL_PRECISION];
+        let regs = &body[47..];
+        match body[46] {
+            0 => {
+                if regs.len() != registers.len() {
+                    return Err(corrupt("dense register block length"));
+                }
+                registers.copy_from_slice(regs);
+            }
+            1 => {
+                if regs.len() < 2 {
+                    return Err(corrupt("sparse register header"));
+                }
+                let n = usize::from(u16::from_le_bytes([regs[0], regs[1]]));
+                if regs.len() != 2 + n * 3 {
+                    return Err(corrupt("sparse register block length"));
+                }
+                for entry in regs[2..].chunks_exact(3) {
+                    let idx = usize::from(u16::from_le_bytes([entry[0], entry[1]]));
+                    if idx >= registers.len() {
+                        return Err(corrupt("sparse register index out of range"));
+                    }
+                    registers[idx] = entry[2];
+                }
+            }
+            _ => return Err(corrupt("bad register mode")),
+        }
+        Ok(Self {
+            moments: Moments { sum, sum_sq, count },
+            minmax: if has_minmax {
+                MinMax {
+                    min: Some(min),
+                    max: Some(max),
+                }
+            } else {
+                MinMax::empty()
+            },
+            distinct: HyperLogLog::from_registers(PARTIAL_HLL_PRECISION, registers)?,
+        })
+    }
+}
+
+impl Default for AggPartial {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(n: u64, distinct: u64) -> AggPartial {
+        let mut p = AggPartial::empty();
+        for i in 0..n {
+            p.absorb((i % 13) as f64 - 3.0, i % distinct.max(1));
+        }
+        p
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        for p in [AggPartial::empty(), filled(1, 1), filled(500, 40)] {
+            let wire = p.encode();
+            assert_eq!(AggPartial::decode(&wire).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn sparse_encoding_shrinks_small_partials() {
+        let empty = AggPartial::empty().encode();
+        let small = filled(8, 8).encode();
+        let big = filled(100_000, 100_000).encode();
+        assert!(empty.len() < 64, "empty partial is {}B", empty.len());
+        assert!(small.len() < 128, "small partial is {}B", small.len());
+        // A saturated sketch falls back to the dense register block.
+        assert!(big.len() > 1_024 && big.len() < 1_200);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut wire = filled(64, 9).encode();
+        let mid = wire.len() / 2;
+        wire[mid] ^= 0x40;
+        assert!(matches!(
+            AggPartial::decode(&wire),
+            Err(Error::CorruptPartial { .. })
+        ));
+        assert!(matches!(
+            AggPartial::decode(&wire[..10]),
+            Err(Error::CorruptPartial { .. })
+        ));
+        assert!(matches!(
+            AggPartial::decode(&[]),
+            Err(Error::CorruptPartial { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_and_magic_are_detected() {
+        let wire = filled(64, 9).encode();
+        // Recompute a valid CRC over a truncated body: the layout checks
+        // must still refuse it.
+        let mut cut = wire[..wire.len() - 10].to_vec();
+        let crc = f2c_compress::crc32::checksum(&cut);
+        cut.extend_from_slice(&crc.to_le_bytes());
+        assert!(AggPartial::decode(&cut).is_err());
+
+        let mut relabeled = wire.clone();
+        relabeled[0] = b'X';
+        let body_len = relabeled.len() - 4;
+        let crc = f2c_compress::crc32::checksum(&relabeled[..body_len]);
+        relabeled[body_len..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            AggPartial::decode(&relabeled),
+            Err(Error::CorruptPartial {
+                reason: "bad magic"
+            })
+        ));
+    }
+
+    #[test]
+    fn merge_of_decoded_equals_merge_of_originals() {
+        let a = filled(300, 25);
+        let b = filled(77, 11);
+        let mut direct = a.clone();
+        direct.merge(&b);
+        let mut wired = AggPartial::decode(&a.encode()).unwrap();
+        wired.merge(&AggPartial::decode(&b.encode()).unwrap());
+        assert_eq!(direct, wired);
+    }
+
+    #[test]
+    fn empty_partial_finalizes_to_zeroes() {
+        let p = AggPartial::empty();
+        assert_eq!(p.count(), 0);
+        assert_eq!(p.distinct_estimate(), 0);
+        assert_eq!(p.minmax().min, None);
+        assert_eq!(p.moments().mean(), None);
+    }
+}

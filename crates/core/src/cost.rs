@@ -12,6 +12,12 @@ use citysim::time::Duration;
 pub enum AccessOption {
     /// The requesting fog-1 node itself.
     Local,
+    /// The requesting fog-1 node's *sketch ledger*: a merge of
+    /// pre-folded bucket partials, no archive scan and no network.
+    /// Priced like a local read — the transport is identical; the
+    /// savings (no per-record scan) show up in the engine's scan-cost
+    /// term instead.
+    LocalSketch,
     /// A neighbor fog-1 node `hops` ring-hops away in the same district.
     Neighbor {
         /// Ring distance (≥ 1).
@@ -78,7 +84,9 @@ impl AccessCostModel {
     /// Estimated completion time for fetching `bytes` via `option`.
     pub fn cost(&self, option: AccessOption, bytes: u64) -> Duration {
         let (one_way, bandwidth) = match option {
-            AccessOption::Local => (self.profile.sensor_to_fog1, 1_000_000_000),
+            AccessOption::Local | AccessOption::LocalSketch => {
+                (self.profile.sensor_to_fog1, 1_000_000_000)
+            }
             AccessOption::Neighbor { hops } => {
                 let (lat, bw) = self.profile.fog1_neighbor;
                 (

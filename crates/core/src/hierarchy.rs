@@ -28,6 +28,11 @@ pub enum DataSource {
     RemoteFog2(usize),
     /// The cloud archive.
     Cloud,
+    /// The *sketch ledger* of a fog-1 node (section index): pre-folded
+    /// bucket partials answering an aggregate window whose raw records
+    /// the node has already evicted. Proved by the ledger's seal
+    /// frontier instead of the raw eviction watermark.
+    WarmSketch(usize),
 }
 
 /// One node of a scatter-gather fan-out: the member fog nodes that each
@@ -62,6 +67,12 @@ pub struct F2cCity {
     cloud: F2cNode,
     cost: AccessCostModel,
     flush_epoch: u64,
+    /// Cumulative Table-I accounting bytes flushed upward per hop
+    /// (fog-1 → fog-2, fog-2 → cloud).
+    raw_flush_bytes: [u64; 2],
+    /// Cumulative wire bytes of the pre-folded partials shipped per hop
+    /// alongside the raw batches (the sketch channel's cost).
+    sketch_flush_bytes: [u64; 2],
 }
 
 impl F2cCity {
@@ -101,6 +112,8 @@ impl F2cCity {
             fog2,
             cloud: F2cNode::cloud(),
             flush_epoch: 0,
+            raw_flush_bytes: [0; 2],
+            sketch_flush_bytes: [0; 2],
         })
     }
 
@@ -176,6 +189,21 @@ impl F2cCity {
         self.flush_epoch
     }
 
+    /// Cumulative Table-I accounting bytes flushed upward so far, per
+    /// hop: `(fog-1 → fog-2, fog-2 → cloud)`.
+    pub fn raw_flush_bytes(&self) -> (u64, u64) {
+        (self.raw_flush_bytes[0], self.raw_flush_bytes[1])
+    }
+
+    /// Cumulative wire bytes of the pre-folded bucket partials shipped
+    /// upward so far, per hop: `(fog-1 → fog-2, fog-2 → cloud)`. The
+    /// benches report these next to [`F2cCity::raw_flush_bytes`] — the
+    /// sketch channel summarizes the whole raw stream for aggregate
+    /// readers at a small fraction of its size.
+    pub fn sketch_flush_bytes(&self) -> (u64, u64) {
+        (self.sketch_flush_bytes[0], self.sketch_flush_bytes[1])
+    }
+
     /// Meters one consumer request/response on the simulated network:
     /// `request_bytes` from `section`'s fog-1 node to the `source`, and
     /// `response_bytes` back. Local serves never touch the network.
@@ -194,7 +222,11 @@ impl F2cCity {
         let requester = self.city.fog1_nodes()[section];
         let source_node = match source {
             DataSource::Local => return Ok(()),
-            DataSource::Neighbor(n) => self.city.fog1_nodes()[n],
+            // A warm-sketch merge at the requester's own node is free;
+            // a neighbor's ledger pays the same ring hop a raw neighbor
+            // read would.
+            DataSource::WarmSketch(s) if s == section => return Ok(()),
+            DataSource::Neighbor(n) | DataSource::WarmSketch(n) => self.city.fog1_nodes()[n],
             DataSource::Parent => self.city.fog2_nodes()[self.city.district_of(section)],
             DataSource::RemoteFog2(d) => self.city.fog2_nodes()[d],
             DataSource::Cloud => self.city.cloud(),
@@ -278,6 +310,15 @@ impl F2cCity {
         let mut fog1_bytes = 0;
         for i in 0..self.fog1.len() {
             let batch = self.fog1[i].flush(now_s, &self.catalog)?;
+            let district = self.city.district_of(i);
+            // The sketch shipment (pre-folded partials + seal frontiers)
+            // always reaches the parent — an idle section still seals.
+            // Its bytes ride the flush envelope and are accounted on the
+            // sketch channel, not against the Table-I ground truth the
+            // traffic cross-validation reproduces.
+            self.sketch_flush_bytes[0] += batch.sketch_bytes;
+            self.raw_flush_bytes[0] += batch.acct_bytes;
+            self.fog2[district].receive_sketches(&batch.sketches, &batch.seals, &batch.holes);
             if batch.records.is_empty() {
                 continue;
             }
@@ -290,12 +331,15 @@ impl F2cCity {
                 batch.uplink_bytes(),
                 SimTime::from_secs(now_s),
             )?;
-            let district = self.city.district_of(i);
             self.fog2[district].receive(batch.records, now_s);
         }
         let mut fog2_bytes = 0;
         for d in 0..self.fog2.len() {
             let batch = self.fog2[d].flush(now_s, &self.catalog)?;
+            self.sketch_flush_bytes[1] += batch.sketch_bytes;
+            self.raw_flush_bytes[1] += batch.acct_bytes;
+            self.cloud
+                .receive_sketches(&batch.sketches, &batch.seals, &batch.holes);
             if batch.records.is_empty() {
                 continue;
             }
@@ -403,6 +447,9 @@ impl F2cCity {
         let requester = self.city.fog1_nodes()[section];
         let source_node = match source {
             DataSource::Local => unreachable!("local handled above"),
+            DataSource::WarmSketch(_) => {
+                unreachable!("record fetches never read the sketch plane")
+            }
             DataSource::Neighbor(n) => self.city.fog1_nodes()[n],
             DataSource::Parent => self.city.fog2_nodes()[district],
             DataSource::RemoteFog2(d) => self.city.fog2_nodes()[d],
@@ -577,6 +624,40 @@ mod tests {
         city.meter_query(0, DataSource::Parent, 200, 10_000, 2_000)
             .unwrap();
         assert!(city.network_bytes() > before, "parent serves are metered");
+    }
+
+    #[test]
+    fn flush_all_delivers_sketches_and_seals_to_every_tier() {
+        let mut city = F2cCity::barcelona().unwrap();
+        waves_into(&mut city, 5, SensorType::Weather, 3);
+        city.flush_all(2_700).unwrap();
+        // Every section sealed at its fog-2 parent (idle ones included).
+        for s in 0..city.section_count() {
+            let d = city.district_of(s);
+            assert_eq!(city.fog2(d).sketches().sealed_through(s as u16), 2_700);
+        }
+        // The producing section's partials were folded at fog-2.
+        let d5 = city.district_of(5);
+        assert!(!city.fog2(d5).sketches().is_empty());
+        let (raw1, _) = city.raw_flush_bytes();
+        let (sk1, sk2) = city.sketch_flush_bytes();
+        assert!(sk1 > 0, "fog-1 shipped partials");
+        assert!(
+            sk2 > 0,
+            "fog-2 relays within the same flush wave, like the records"
+        );
+        assert!(sk1 < raw1, "the sketch channel stays cheaper than raw");
+        assert_eq!(city.cloud().sketches().sealed_through(5), 2_700);
+        let mut cloud_count = 0;
+        for key in city.cloud().sketches().keys() {
+            let (p, _) = city.cloud().sketches().entry(key).unwrap();
+            cloud_count += p.count();
+        }
+        assert_eq!(
+            cloud_count,
+            city.cloud().store().len() as u64,
+            "cloud ledger pre-folds exactly what the cloud archived"
+        );
     }
 
     #[test]

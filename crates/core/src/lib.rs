@@ -58,7 +58,7 @@ pub mod traffic;
 pub use error::{Error, Result};
 pub use hierarchy::{DataSource, F2cCity, FanoutLeg, FetchOutcome};
 pub use layer::Layer;
-pub use node::{F2cNode, FlushBatch, IngestOutcome};
+pub use node::{F2cNode, FlushBatch, IngestOutcome, SKETCH_BUCKET_S, SKETCH_RETENTION_S};
 pub use policy::{FlushPolicy, RetentionPolicy};
 pub use service::CityService;
 pub use store::TieredStore;

@@ -3,7 +3,19 @@
 //! sensors and keep a short-retention tier; fog-2 nodes combine their
 //! children's flushes in a medium tier; the cloud runs preservation
 //! (classification + permanent archive + dissemination).
+//!
+//! Every node also rides the **sketch plane**: a fog-1 flush folds its
+//! batch into per-`(section, type, bucket)` [`AggPartial`]s and ships the
+//! CRC-protected encodings upward *alongside* the raw records; fog-2 and
+//! the cloud fold the incoming shipments into their own
+//! [`SketchLedger`]s (and fog-2 relays them on its next flush) instead
+//! of ever re-scanning raw records for aggregate state. The ledgers
+//! outlive raw retention by design — that is what lets the query planner
+//! answer aggregate windows fog 1 has already evicted.
 
+use std::collections::{BTreeMap, BTreeSet};
+
+use f2c_aggregate::sketch::{AggPartial, SketchKey, SketchLedger};
 use scc_dlc::acquisition::AcquisitionBlock;
 use scc_dlc::phase::{Phase, PhaseContext};
 use scc_dlc::preservation::ClassificationPhase;
@@ -28,6 +40,17 @@ pub struct IngestOutcome {
     pub kept_bytes: u64,
 }
 
+/// Aggregation bucket width of every node's sketch ledger (matches the
+/// query engine's default bucket so flush-shipped partials line up with
+/// serving-time bucket keys).
+pub const SKETCH_BUCKET_S: u64 = 900;
+
+/// How long fog-tier ledgers keep bucket partials after the records they
+/// summarize were created. Far past raw retention (1 day at fog 1, 7 at
+/// fog 2): partials are constant-size, so warm sketches stay answerable
+/// for a month while the raw archives stay small.
+pub const SKETCH_RETENTION_S: u64 = 30 * 86_400;
+
 /// One upward shipment.
 #[derive(Debug, Clone)]
 pub struct FlushBatch {
@@ -39,6 +62,21 @@ pub struct FlushBatch {
     pub wire_bytes: u64,
     /// Compressed size of the wire batch, when the policy compresses.
     pub compressed_bytes: Option<u64>,
+    /// Pre-folded bucket partials shipped alongside the records (wire
+    /// encoded, CRC-protected), sorted by key for determinism.
+    pub sketches: Vec<(SketchKey, Vec<u8>)>,
+    /// Per-section seal frontiers this shipment advances at the parent:
+    /// everything of that section created before the frontier has been
+    /// shipped (and folded) by now. Carried even when no records are due
+    /// so idle sections still seal.
+    pub seals: Vec<(u16, u64)>,
+    /// Coverage holes relayed upward: buckets whose partial was refused
+    /// as corrupt somewhere below, so no tier above may ever prove them
+    /// complete from its ledger.
+    pub holes: Vec<SketchKey>,
+    /// Total wire bytes of the encoded partials (the sketch channel's
+    /// cost, reported next to `acct_bytes` by the benches).
+    pub sketch_bytes: u64,
 }
 
 impl FlushBatch {
@@ -56,6 +94,10 @@ impl FlushBatch {
             acct_bytes: 0,
             wire_bytes: 0,
             compressed_bytes: None,
+            sketches: Vec::new(),
+            seals: Vec::new(),
+            holes: Vec::new(),
+            sketch_bytes: 0,
         }
     }
 }
@@ -71,6 +113,23 @@ pub struct F2cNode {
     classification: Option<ClassificationPhase>,
     store: TieredStore,
     flush_policy: FlushPolicy,
+    /// The node's slice of the sketch plane: bucketed aggregate partials
+    /// that survive raw-record eviction.
+    sketches: SketchLedger,
+    /// Fog-2 only: decoded partials received since the last flush,
+    /// merged per key, awaiting upward relay (BTreeMap so the relayed
+    /// order is deterministic).
+    sketch_relay: BTreeMap<SketchKey, AggPartial>,
+    /// Fog-2 only: seal frontiers received since the last flush,
+    /// awaiting upward relay.
+    seal_relay: BTreeMap<u16, u64>,
+    /// Fog-2 only: coverage holes (local refusals + relayed ones)
+    /// awaiting upward relay (BTreeSet for deterministic order).
+    hole_relay: BTreeSet<SketchKey>,
+    /// Node-local flush sequence number, stamped on ledger folds for
+    /// observability (which flush last touched a bucket). Staleness
+    /// *proofs* never read it — they use the seal and pending frontiers.
+    flush_seq: u64,
 }
 
 impl F2cNode {
@@ -100,6 +159,11 @@ impl F2cNode {
             classification: None,
             store: TieredStore::new(retention),
             flush_policy,
+            sketches: SketchLedger::new(SKETCH_BUCKET_S).expect("constant bucket width"),
+            sketch_relay: BTreeMap::new(),
+            seal_relay: BTreeMap::new(),
+            hole_relay: BTreeSet::new(),
+            flush_seq: 0,
         })
     }
 
@@ -122,6 +186,11 @@ impl F2cNode {
             classification: None,
             store: TieredStore::new(retention),
             flush_policy: flush_policy.validated()?,
+            sketches: SketchLedger::new(SKETCH_BUCKET_S).expect("constant bucket width"),
+            sketch_relay: BTreeMap::new(),
+            seal_relay: BTreeMap::new(),
+            hole_relay: BTreeSet::new(),
+            flush_seq: 0,
         })
     }
 
@@ -136,6 +205,11 @@ impl F2cNode {
             classification: Some(ClassificationPhase::new()),
             store: TieredStore::permanent(),
             flush_policy: FlushPolicy::plain(86_400),
+            sketches: SketchLedger::new(SKETCH_BUCKET_S).expect("constant bucket width"),
+            sketch_relay: BTreeMap::new(),
+            seal_relay: BTreeMap::new(),
+            hole_relay: BTreeSet::new(),
+            flush_seq: 0,
         }
     }
 
@@ -167,6 +241,66 @@ impl F2cNode {
     /// The local store.
     pub fn store(&self) -> &TieredStore {
         &self.store
+    }
+
+    /// The node's sketch ledger: bucketed aggregate partials (and their
+    /// seal/eviction watermarks) that survive raw-record eviction.
+    pub fn sketches(&self) -> &SketchLedger {
+        &self.sketches
+    }
+
+    /// Folds a shipment of encoded bucket partials (CRC-verified — a
+    /// corrupt one is counted in the ledger, punches a permanent
+    /// coverage hole at its bucket, and is never merged) and applies
+    /// the accompanying seal frontiers and relayed holes. The seal may
+    /// still advance past a refused bucket: the hole is what keeps
+    /// [`SketchLedger::covers`] honest there, so a lost shipment
+    /// degrades availability for exactly the damaged bucket — never
+    /// correctness. Fog-2 nodes queue partials, seals *and* holes for
+    /// upward relay on their next flush. Returns how many partials were
+    /// refused as corrupt.
+    pub fn receive_sketches(
+        &mut self,
+        sketches: &[(SketchKey, Vec<u8>)],
+        seals: &[(u16, u64)],
+        holes: &[SketchKey],
+    ) -> u64 {
+        let mut refused = 0;
+        for (key, bytes) in sketches {
+            // One decode: the ledger verifies the CRC, folds, and hands
+            // the partial back for the relay; a corrupt shipment is
+            // counted (and holed) there and merged nowhere.
+            match self.sketches.fold_encoded(*key, bytes, self.flush_seq) {
+                Ok(partial) => {
+                    if self.layer == Layer::Fog2 {
+                        self.sketch_relay
+                            .entry(*key)
+                            .or_insert_with(AggPartial::empty)
+                            .merge(&partial);
+                    }
+                }
+                Err(_) => {
+                    refused += 1;
+                    if self.layer == Layer::Fog2 {
+                        self.hole_relay.insert(*key);
+                    }
+                }
+            }
+        }
+        for &hole in holes {
+            self.sketches.mark_hole(hole);
+            if self.layer == Layer::Fog2 {
+                self.hole_relay.insert(hole);
+            }
+        }
+        for &(section, through_s) in seals {
+            self.sketches.seal(section, through_s);
+            if self.layer == Layer::Fog2 {
+                let slot = self.seal_relay.entry(section).or_insert(0);
+                *slot = (*slot).max(through_s);
+            }
+        }
+        refused
     }
 
     /// Ingests one wave of raw sensor readings (fog-1 only): runs the
@@ -221,7 +355,16 @@ impl F2cNode {
 
     /// Takes the records due for upward shipping at `now_s` and packages
     /// them as a [`FlushBatch`] (compressing if the policy says so), then
-    /// applies retention eviction.
+    /// applies retention eviction — to the raw archive *and*, on the
+    /// much longer sketch horizon, to the ledger.
+    ///
+    /// The batch also carries the sketch plane's shipment: a fog-1 node
+    /// folds the batch into per-`(section, type, bucket)` partials
+    /// (merged into its own ledger, then wire-encoded for the parent)
+    /// and seals its section through `now_s`; a fog-2 node relays the
+    /// partials and seals received from its children since the previous
+    /// flush. An empty batch still ships its seals, so idle sections
+    /// keep their parents' frontiers moving.
     ///
     /// # Errors
     ///
@@ -229,8 +372,56 @@ impl F2cNode {
     pub fn flush(&mut self, now_s: u64, catalog: &Catalog) -> Result<FlushBatch> {
         let records = self.store.take_flush_batch(now_s);
         self.store.evict_expired(now_s);
+        self.flush_seq += 1;
+        let (folded, seals, holes) = match self.layer {
+            Layer::Fog1 => {
+                let own = self.section.unwrap_or(0);
+                let mut folded: BTreeMap<SketchKey, AggPartial> = BTreeMap::new();
+                for rec in &records {
+                    let created = rec.descriptor().created_s();
+                    let key = SketchKey {
+                        section: rec.descriptor().section().unwrap_or(own),
+                        ty: rec.sensor_type(),
+                        bucket_start_s: self.sketches.bucket_start(created),
+                    };
+                    folded.entry(key).or_default().absorb(
+                        rec.reading().value().magnitude(),
+                        rec.reading().sensor().seed_material(),
+                    );
+                }
+                for (key, partial) in &folded {
+                    self.sketches.fold(*key, partial, self.flush_seq);
+                }
+                self.sketches.seal(own, now_s);
+                // Fog 1 folds locally: its own shipments cannot have
+                // been refused, so it never originates holes.
+                (folded, vec![(own, now_s)], Vec::new())
+            }
+            Layer::Fog2 => (
+                std::mem::take(&mut self.sketch_relay),
+                std::mem::take(&mut self.seal_relay).into_iter().collect(),
+                std::mem::take(&mut self.hole_relay).into_iter().collect(),
+            ),
+            // The cloud has no parent; nothing to ship.
+            Layer::Cloud => (BTreeMap::new(), Vec::new(), Vec::new()),
+        };
+        if self.layer != Layer::Cloud {
+            self.sketches
+                .evict_older_than(now_s.saturating_sub(SKETCH_RETENTION_S));
+        }
+        let sketches: Vec<(SketchKey, Vec<u8>)> = folded
+            .into_iter()
+            .map(|(key, partial)| (key, partial.encode()))
+            .collect();
+        let sketch_bytes = sketches.iter().map(|(_, b)| b.len() as u64).sum();
         if records.is_empty() {
-            return Ok(FlushBatch::empty());
+            return Ok(FlushBatch {
+                sketches,
+                seals,
+                holes,
+                sketch_bytes,
+                ..FlushBatch::empty()
+            });
         }
         let acct_bytes: u64 = records
             .iter()
@@ -249,6 +440,10 @@ impl F2cNode {
             acct_bytes,
             wire_bytes,
             compressed_bytes,
+            sketches,
+            seals,
+            holes,
+            sketch_bytes,
         })
     }
 }
@@ -367,6 +562,136 @@ mod tests {
         let mut cloud2 = F2cNode::cloud();
         cloud2.receive(Vec::new(), 0);
         assert!(cloud2.store().is_empty());
+    }
+
+    #[test]
+    fn flush_ships_prefolded_partials_and_seals() {
+        let catalog = Catalog::barcelona();
+        let mut node = fog1();
+        let mut gen = ReadingGenerator::for_population(SensorType::Temperature, 40, 9);
+        for w in 0..3u64 {
+            node.ingest_wave(gen.wave(w * 900), w * 900 + 1, &catalog)
+                .unwrap();
+        }
+        let batch = node.flush(2_700, &catalog).unwrap();
+        assert!(!batch.sketches.is_empty(), "partials ride the batch");
+        assert!(batch.sketch_bytes > 0);
+        assert_eq!(batch.seals, vec![(0, 2_700)], "own section seals");
+        // The shipped partials and the node's own ledger agree: the sum
+        // of shipped counts is the record count of the batch.
+        let shipped: u64 = batch
+            .sketches
+            .iter()
+            .map(|(_, bytes)| AggPartial::decode(bytes).unwrap().count())
+            .sum();
+        assert_eq!(shipped, batch.records.len() as u64);
+        assert!(node.sketches().covers(0, 0, 2_700));
+        // An idle follow-up flush still advances the seal frontier.
+        let idle = node.flush(3_600, &catalog).unwrap();
+        assert!(idle.records.is_empty() && idle.sketches.is_empty());
+        assert_eq!(idle.seals, vec![(0, 3_600)]);
+        assert_eq!(node.sketches().sealed_through(0), 3_600);
+    }
+
+    #[test]
+    fn fog2_folds_received_partials_and_relays_them_upward() {
+        let catalog = Catalog::barcelona();
+        let mut f1 = fog1();
+        let mut f2 = F2cNode::fog2(
+            0,
+            FlushPolicy::plain(3600),
+            RetentionPolicy::keep(7 * 86_400),
+        )
+        .unwrap();
+        let mut gen = ReadingGenerator::for_population(SensorType::ParkingSpot, 30, 5);
+        for w in 0..2u64 {
+            f1.ingest_wave(gen.wave(w * 900), w * 900 + 1, &catalog)
+                .unwrap();
+        }
+        let batch = f1.flush(1_800, &catalog).unwrap();
+        let shipped = batch.sketches.len();
+        assert_eq!(f2.receive_sketches(&batch.sketches, &batch.seals, &[]), 0);
+        f2.receive(batch.records.clone(), 1_800);
+        assert_eq!(f2.sketches().sealed_through(0), 1_800);
+        // Fog-2's ledger now answers without scanning: its folded count
+        // equals the raw records it received.
+        let mut acc = AggPartial::empty();
+        let mut folded = 0;
+        for key in f2.sketches().keys() {
+            let (p, _) = f2.sketches().entry(key).unwrap();
+            folded += p.count();
+            acc.merge(p);
+        }
+        assert_eq!(folded, batch.records.len() as u64);
+        // The next fog-2 flush relays the same partials (and seals) to
+        // the cloud.
+        let relay = f2.flush(3_600, &catalog).unwrap();
+        assert_eq!(relay.sketches.len(), shipped);
+        assert_eq!(relay.seals, vec![(0, 1_800)]);
+        let mut cloud = F2cNode::cloud();
+        assert_eq!(
+            cloud.receive_sketches(&relay.sketches, &relay.seals, &[]),
+            0
+        );
+        assert_eq!(cloud.sketches().sealed_through(0), 1_800);
+    }
+
+    #[test]
+    fn corrupt_shipments_are_refused_and_counted() {
+        let catalog = Catalog::barcelona();
+        let mut f1 = fog1();
+        let mut gen = ReadingGenerator::for_population(SensorType::Temperature, 10, 3);
+        f1.ingest_wave(gen.wave(0), 1, &catalog).unwrap();
+        let mut batch = f1.flush(900, &catalog).unwrap();
+        let mid = batch.sketches[0].1.len() / 2;
+        batch.sketches[0].1[mid] ^= 0xFF;
+        let mut f2 = F2cNode::fog2(
+            0,
+            FlushPolicy::plain(3600),
+            RetentionPolicy::keep(7 * 86_400),
+        )
+        .unwrap();
+        let refused = f2.receive_sketches(&batch.sketches, &batch.seals, &[]);
+        assert_eq!(refused, 1, "exactly the corrupted shipment is refused");
+        assert_eq!(f2.sketches().len(), batch.sketches.len() - 1);
+        assert_eq!(f2.sketches().crc_failures(), 1);
+        // The seal still advanced, but the refused bucket is a coverage
+        // hole: the ledger must never "prove" the damaged window, and
+        // the hole relays to the cloud so no tier above proves it
+        // either.
+        let damaged = batch.sketches[0].0;
+        assert_eq!(f2.sketches().sealed_through(0), 900);
+        assert!(!f2.sketches().covers(
+            damaged.section,
+            damaged.bucket_start_s,
+            damaged.bucket_start_s + 900
+        ));
+        let relay = f2.flush(3_600, &catalog).unwrap();
+        assert_eq!(relay.holes, vec![damaged]);
+        let mut cloud = F2cNode::cloud();
+        cloud.receive_sketches(&relay.sketches, &relay.seals, &relay.holes);
+        assert!(!cloud.sketches().covers(
+            damaged.section,
+            damaged.bucket_start_s,
+            damaged.bucket_start_s + 900
+        ));
+    }
+
+    #[test]
+    fn sketch_ledger_outlives_raw_retention() {
+        let catalog = Catalog::barcelona();
+        let mut node = fog1();
+        let mut gen = ReadingGenerator::for_population(SensorType::Temperature, 30, 11);
+        node.ingest_wave(gen.wave(0), 1, &catalog).unwrap();
+        node.flush(900, &catalog).unwrap();
+        // Two days on: raw retention (1 day) has evicted the records,
+        // the ledger still covers the window.
+        node.flush(2 * 86_400, &catalog).unwrap();
+        assert!(node.store().evicted_before_s() > 900, "raw is gone");
+        assert!(node.sketches().covers(0, 0, 900), "the sketch survives");
+        // Far past the sketch horizon the ledger compacts too.
+        node.flush(40 * 86_400, &catalog).unwrap();
+        assert!(!node.sketches().covers(0, 0, 900));
     }
 
     #[test]

@@ -138,6 +138,15 @@ impl TieredStore {
         self.pending_earliest_s
     }
 
+    /// Whether everything created before `until_s` has left the pending
+    /// queue (i.e. has been flushed to the tier above — and, on the
+    /// sketch plane, folded into the node's ledger). The planner's
+    /// propagation proof and the warm-sketch staleness check both read
+    /// this frontier.
+    pub fn settled_through(&self, until_s: u64) -> bool {
+        self.pending_earliest_s.is_none_or(|e| e >= until_s)
+    }
+
     /// Takes everything received since the previous flush for upward
     /// shipping. Local copies remain until retention evicts them — that is
     /// what keeps real-time access fast while the data also climbs the

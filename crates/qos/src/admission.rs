@@ -54,6 +54,10 @@ pub struct ClassLedger {
     guarantee: [[u32; CLASS_COUNT]; 3],
     borrow_cap: [[u32; CLASS_COUNT]; 3],
     in_flight: [[u32; CLASS_COUNT]; 3],
+    /// Warm-sketch reads per (layer, class) since the last charged slot;
+    /// every `sketch_divisor`-th read pays.
+    sketch_credit: [[u32; CLASS_COUNT]; 3],
+    sketch_divisor: u32,
 }
 
 impl ClassLedger {
@@ -92,6 +96,8 @@ impl ClassLedger {
             guarantee,
             borrow_cap,
             in_flight: [[0; CLASS_COUNT]; 3],
+            sketch_credit: [[0; CLASS_COUNT]; 3],
+            sketch_divisor: policy.sketch_divisor(),
         }
     }
 
@@ -171,6 +177,49 @@ impl ClassLedger {
             }
         }
         Ok(())
+    }
+
+    /// Admits one **warm-sketch** read of `class` at `layer` at the
+    /// policy's reduced cost: a sketch answer merges a handful of
+    /// constant-size pre-folded partials instead of scanning an archive,
+    /// so only every `sketch_divisor`-th read charges a real slot (a
+    /// divisor of 0 makes them admission-exempt, like cache hits).
+    /// Returns the slots actually charged — pass them to
+    /// [`ClassLedger::release`] when the response completes.
+    ///
+    /// # Errors
+    ///
+    /// The refusing layer, when the read falls on a paying turn and the
+    /// class's quota is exhausted. The paying turn is *retained*: the
+    /// next sketch read of the class must pay before any more ride free,
+    /// so sustained sketch load can never exceed `1/divisor` of the
+    /// slots an equal raw load would hold.
+    pub fn try_acquire_sketch(
+        &mut self,
+        class: ServiceClass,
+        layer: Layer,
+    ) -> Result<[u32; 3], Layer> {
+        if self.sketch_divisor == 0 {
+            return Ok([0; 3]);
+        }
+        let credit = &mut self.sketch_credit[layer.index()][class.index()];
+        *credit += 1;
+        if *credit < self.sketch_divisor {
+            return Ok([0; 3]);
+        }
+        let mut want = [0; 3];
+        want[layer.index()] = 1;
+        match self.try_acquire(class, want) {
+            Ok(()) => {
+                self.sketch_credit[layer.index()][class.index()] = 0;
+                Ok(want)
+            }
+            Err(refused) => {
+                // Keep the turn due: the class pays on its next attempt.
+                self.sketch_credit[layer.index()][class.index()] = self.sketch_divisor;
+                Err(refused)
+            }
+        }
     }
 
     /// Releases previously acquired slots.
@@ -299,6 +348,68 @@ mod tests {
         assert_eq!(l.guarantee(Layer::Fog1, ServiceClass::Dashboard), 4);
         assert_eq!(l.guarantee(Layer::Fog1, ServiceClass::CityWide), 0);
         assert_eq!(l.guarantee(Layer::Fog1, ServiceClass::Analytics), 0);
+    }
+
+    #[test]
+    fn sketch_reads_charge_one_slot_per_divisor() {
+        // Default divisor 4: three reads ride free, the fourth pays.
+        let mut l = ClassLedger::new([10, 10, 10], &QosPolicy::default());
+        for _ in 0..3 {
+            assert_eq!(
+                l.try_acquire_sketch(ServiceClass::RealTime, Layer::Fog1),
+                Ok([0; 3])
+            );
+        }
+        assert_eq!(
+            l.try_acquire_sketch(ServiceClass::RealTime, Layer::Fog1),
+            Ok([1, 0, 0])
+        );
+        assert_eq!(l.class_in_flight(Layer::Fog1, ServiceClass::RealTime), 1);
+        // Sustained sketch load holds 1/divisor of the equivalent raw
+        // load's slots.
+        for _ in 0..16 {
+            if let Ok(held) = l.try_acquire_sketch(ServiceClass::RealTime, Layer::Fog1) {
+                l.release(ServiceClass::RealTime, held);
+            }
+        }
+        l.release(ServiceClass::RealTime, [1, 0, 0]);
+        assert_eq!(l.layer_total(Layer::Fog1), 0);
+    }
+
+    #[test]
+    fn refused_sketch_charge_stays_due() {
+        // Divisor 1: every sketch read pays. Saturate analytics' quota;
+        // the refused paying turn must not convert into a free ride.
+        let policy = small_policy().with_sketch_divisor(1);
+        let mut l = ClassLedger::new([10, 10, 10], &policy);
+        assert!(l.try_acquire(ServiceClass::Analytics, fog1(2)).is_ok());
+        assert_eq!(
+            l.try_acquire_sketch(ServiceClass::Analytics, Layer::Fog1),
+            Err(Layer::Fog1)
+        );
+        assert_eq!(
+            l.try_acquire_sketch(ServiceClass::Analytics, Layer::Fog1),
+            Err(Layer::Fog1),
+            "the due charge persists across refusals"
+        );
+        l.release(ServiceClass::Analytics, fog1(1));
+        assert_eq!(
+            l.try_acquire_sketch(ServiceClass::Analytics, Layer::Fog1),
+            Ok([1, 0, 0])
+        );
+    }
+
+    #[test]
+    fn exempt_sketch_policy_never_charges() {
+        let policy = small_policy().with_sketch_divisor(0);
+        let mut l = ClassLedger::new([1, 1, 1], &policy);
+        for _ in 0..50 {
+            assert_eq!(
+                l.try_acquire_sketch(ServiceClass::Analytics, Layer::Cloud),
+                Ok([0; 3])
+            );
+        }
+        assert_eq!(l.layer_total(Layer::Cloud), 0);
     }
 
     #[test]

@@ -15,7 +15,12 @@
 //! * [`ClassLedger`] — the admission ledger enforcing the quota algebra:
 //!   layer totals never exceed the cap, a class inside its guarantee is
 //!   never starved by another class's borrowing, and borrow caps shrink
-//!   with priority so the lowest-priority class sheds first,
+//!   with priority so the lowest-priority class sheds first;
+//!   single-source warm-sketch reads (merges of pre-folded partials, no
+//!   archive scan) admit at a policy-reduced cost — one charged slot
+//!   per [`QosPolicy::sketch_divisor`] reads
+//!   ([`ClassLedger::try_acquire_sketch`]; fan-out legs always hold one
+//!   slot each so multi-slot acquisitions stay atomic),
 //! * [`ShedCause`] — why a rejected query was rejected: quota pressure
 //!   ([`ShedCause::Capacity`]) or a route that cannot meet the class
 //!   deadline ([`ShedCause::Deadline`]).
@@ -46,4 +51,4 @@ mod policy;
 
 pub use admission::{ClassLedger, ShedCause};
 pub use class::{ServiceClass, CLASS_COUNT};
-pub use policy::{ClassPolicy, QosPolicy};
+pub use policy::{ClassPolicy, QosPolicy, DEFAULT_SKETCH_DIVISOR};

@@ -39,17 +39,44 @@ pub struct ClassPolicy {
     pub deadline: Duration,
 }
 
+/// How many warm-sketch reads charge one archive-scan slot.
+///
+/// A warm-sketch answer merges a handful of constant-size pre-folded
+/// partials — roughly a quarter of the work of the archive scan a raw
+/// slot models — so by default four sketch reads cost one slot.
+pub const DEFAULT_SKETCH_DIVISOR: u32 = 4;
+
 /// The full per-class policy table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QosPolicy {
     per_class: [ClassPolicy; CLASS_COUNT],
+    sketch_divisor: u32,
 }
 
 impl QosPolicy {
     /// A policy from one entry per class, indexed by
-    /// [`ServiceClass::index`].
+    /// [`ServiceClass::index`], admitting warm-sketch reads at the
+    /// default reduced cost ([`DEFAULT_SKETCH_DIVISOR`]).
     pub fn new(per_class: [ClassPolicy; CLASS_COUNT]) -> Self {
-        Self { per_class }
+        Self {
+            per_class,
+            sketch_divisor: DEFAULT_SKETCH_DIVISOR,
+        }
+    }
+
+    /// Sets the warm-sketch admission divisor: every `divisor`-th
+    /// sketch read of a class charges one slot at the serving layer
+    /// (`1` = sketch reads cost as much as raw scans, `0` = sketch
+    /// reads are admission-exempt like cache hits).
+    pub fn with_sketch_divisor(mut self, divisor: u32) -> Self {
+        self.sketch_divisor = divisor;
+        self
+    }
+
+    /// The warm-sketch admission divisor (see
+    /// [`QosPolicy::with_sketch_divisor`]).
+    pub fn sketch_divisor(&self) -> u32 {
+        self.sketch_divisor
     }
 
     /// The policy of one class.
@@ -111,7 +138,10 @@ impl Default for QosPolicy {
             borrow_pct: 40,
             deadline: Duration::from_secs(30),
         };
-        Self { per_class }
+        Self {
+            per_class,
+            sketch_divisor: DEFAULT_SKETCH_DIVISOR,
+        }
     }
 }
 

@@ -36,8 +36,13 @@ use f2c_qos::{ClassLedger, QosPolicy, ServiceClass, ShedCause, CLASS_COUNT};
 use scc_dlc::DataRecord;
 use scc_sensors::Reading;
 
+use f2c_aggregate::sketch::SketchLedger;
+use scc_sensors::SensorType;
+
 use crate::cache::{CacheKey, NodeKey, PartialCache, PartialKey, ResultCache};
-use crate::model::{AggPartial, PointSample, Query, QueryAnswer, QueryKind, Scope};
+use crate::model::{
+    absorb_record, finalize, AggPartial, PointSample, Query, QueryAnswer, QueryKind, Scope,
+};
 use crate::planner::{self, Choice, QueryPlan, ScatterPlan};
 use crate::{Error, Result};
 
@@ -143,6 +148,13 @@ impl HeldSlots {
     pub fn single(layer: Layer, class: ServiceClass) -> Self {
         let mut slots = [0; 3];
         slots[layer.index()] = 1;
+        Self { class, slots }
+    }
+
+    /// Exactly the given per-layer slots for `class` — what a
+    /// reduced-cost warm-sketch admission actually charged (often
+    /// nothing; see [`f2c_qos::ClassLedger::try_acquire_sketch`]).
+    pub fn from_slots(class: ServiceClass, slots: [u32; 3]) -> Self {
         Self { class, slots }
     }
 
@@ -304,6 +316,19 @@ pub struct EngineStats {
     pub partial_hits: u64,
     /// Bucket partials folded and cached.
     pub partial_fills: u64,
+    /// Buckets assembled from the node's **sketch ledger** (flush-shipped
+    /// pre-folded partials) instead of scanning the archive — the write
+    /// path's decomposability payoff showing up at serving time.
+    pub prefold_hits: u64,
+    /// Queries answered from a fog-1 node's warm sketches after the raw
+    /// window was evicted ([`f2c_core::DataSource::WarmSketch`]).
+    pub sketch_served: u64,
+    /// Ledger partials merged by warm-sketch serving (single-source and
+    /// scatter legs).
+    pub sketch_hits: u64,
+    /// Scatter-gather legs executed from warm sketches instead of raw
+    /// shards.
+    pub sketch_legs: u64,
     /// Queries served by scatter-gather fan-out.
     pub scatter_served: u64,
     /// Fan-out legs executed across all scatter-gather queries.
@@ -636,15 +661,32 @@ impl QueryEngine {
         }
 
         // 4. Admission control: one class-tagged slot at the source's
-        // layer.
-        let held = HeldSlots::single(plan.layer, class);
-        if let Err(layer) = self.ledger.try_acquire(class, held.slots()) {
-            return Ok(Outcome::Shed {
-                layer,
-                class,
-                cause: ShedCause::Capacity,
-            });
-        }
+        // layer — except warm-sketch reads, which merge a handful of
+        // pre-folded partials instead of scanning an archive and so
+        // admit at the QoS policy's reduced cost (one charged slot per
+        // `sketch_divisor` reads).
+        let held = if matches!(plan.source, DataSource::WarmSketch(_)) {
+            match self.ledger.try_acquire_sketch(class, plan.layer) {
+                Ok(slots) => HeldSlots::from_slots(class, slots),
+                Err(layer) => {
+                    return Ok(Outcome::Shed {
+                        layer,
+                        class,
+                        cause: ShedCause::Capacity,
+                    })
+                }
+            }
+        } else {
+            let held = HeldSlots::single(plan.layer, class);
+            if let Err(layer) = self.ledger.try_acquire(class, held.slots()) {
+                return Ok(Outcome::Shed {
+                    layer,
+                    class,
+                    cause: ShedCause::Capacity,
+                });
+            }
+            held
+        };
 
         // 5. Execute against the source store.
         let (answer, visited) = self.execute(query, plan, now_s, epoch);
@@ -790,7 +832,7 @@ impl QueryEngine {
     fn source_cache(&mut self, source: DataSource, origin: usize) -> &mut ResultCache {
         match source {
             DataSource::Local => &mut self.src_fog1[origin],
-            DataSource::Neighbor(n) => &mut self.src_fog1[n],
+            DataSource::Neighbor(n) | DataSource::WarmSketch(n) => &mut self.src_fog1[n],
             DataSource::Parent => {
                 let d = self.city.district_of(origin);
                 &mut self.src_fog2[d]
@@ -808,6 +850,15 @@ impl QueryEngine {
         epoch: u64,
     ) -> (QueryAnswer, u64) {
         let (store, node): (&TieredStore, NodeKey) = match plan.source {
+            DataSource::WarmSketch(s) => {
+                // The raw window is evicted; the answer is a pure merge
+                // of the node's pre-folded ledger partials — no store
+                // scan, no partial-cache traffic.
+                let (answer, merged) = warm_sketch_answer(self.city.fog1(s).sketches(), s, query);
+                self.stats.sketch_served += 1;
+                self.stats.sketch_hits += merged;
+                return (answer, 0);
+            }
             DataSource::Local => (
                 self.city.fog1(query.origin).store(),
                 NodeKey::Fog1(query.origin as u16),
@@ -829,16 +880,20 @@ impl QueryEngine {
         match query.kind {
             QueryKind::Point => execute_point(store, query),
             QueryKind::Range => execute_range(store, query),
-            QueryKind::Aggregate => execute_aggregate(
-                store,
-                node,
-                query,
-                &mut self.partials,
-                &mut self.stats,
-                epoch,
-                now_s,
-                self.cfg.bucket_s,
-            ),
+            QueryKind::Aggregate => {
+                let (acc, visited) = fold_aggregate(
+                    &self.city,
+                    store,
+                    node,
+                    query,
+                    &mut self.partials,
+                    &mut self.stats,
+                    epoch,
+                    now_s,
+                    self.cfg.bucket_s,
+                );
+                (QueryAnswer::Aggregate(finalize(&acc)), visited)
+            }
         }
     }
 
@@ -880,16 +935,38 @@ impl QueryEngine {
                     (bytes, visited)
                 }
                 QueryKind::Aggregate => {
-                    let (partial, visited) = fold_aggregate(
-                        store,
-                        node,
-                        &shard,
-                        &mut self.partials,
-                        &mut self.stats,
-                        epoch,
-                        now_s,
-                        self.cfg.bucket_s,
-                    );
+                    let (partial, visited) = if leg.via_sketch {
+                        // The shard's raw records are evicted; the leg
+                        // ships its ledger's pre-folded partials.
+                        let section = match leg.node {
+                            FanoutLeg::Fog1(s) => s,
+                            FanoutLeg::Fog2(_) => {
+                                unreachable!("sketch legs are always fog-1 members")
+                            }
+                        };
+                        let mut acc = AggPartial::empty();
+                        let merged = merge_warm_sketch(
+                            self.city.fog1(section).sketches(),
+                            section,
+                            &shard,
+                            &mut acc,
+                        );
+                        self.stats.sketch_legs += 1;
+                        self.stats.sketch_hits += merged;
+                        (acc, 0)
+                    } else {
+                        fold_aggregate(
+                            &self.city,
+                            store,
+                            node,
+                            &shard,
+                            &mut self.partials,
+                            &mut self.stats,
+                            epoch,
+                            now_s,
+                            self.cfg.bucket_s,
+                        )
+                    };
                     partial_legs.push(partial);
                     (AGG_PARTIAL_WIRE_BYTES, visited)
                 }
@@ -969,27 +1046,155 @@ fn execute_range(store: &TieredStore, query: &Query) -> (QueryAnswer, u64) {
     (QueryAnswer::Records(out), visited)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn execute_aggregate(
-    store: &TieredStore,
-    node: NodeKey,
+/// The sections of `query`'s scope whose records `node` can hold — the
+/// decomposition the sketch plane keys its ledgers by.
+fn scope_sections(city: &F2cCity, query: &Query, node: NodeKey) -> Vec<u16> {
+    match query.scope {
+        Scope::Section(s) => vec![s as u16],
+        Scope::District(d) => city
+            .sections_in_district(d)
+            .into_iter()
+            .map(|s| s as u16)
+            .collect(),
+        Scope::City => match node {
+            // Only the cloud is ever a single source for a city window.
+            NodeKey::Cloud => (0..city.section_count() as u16).collect(),
+            NodeKey::Fog1(s) => vec![s],
+            NodeKey::Fog2(d) => city
+                .sections_in_district(d as usize)
+                .into_iter()
+                .map(|s| s as u16)
+                .collect(),
+        },
+    }
+}
+
+/// Per-window prefold context, computed once per [`fold_aggregate`]
+/// call instead of once per bucket: the node's ledger, the scoped
+/// sections, and the frontier up to which the ledger provably matches
+/// the archive.
+struct PrefoldCtx<'a> {
+    ledger: &'a SketchLedger,
+    sections: Vec<u16>,
+    /// Buckets ending past this cannot prefold. Fog-1 ledgers lag their
+    /// pending queue (folds happen at flush), so there it is the pending
+    /// frontier; fog-2/cloud ledgers fold at receive time and never lag
+    /// their stores.
+    settled_until_s: u64,
+}
+
+impl<'a> PrefoldCtx<'a> {
+    /// The context for `query` at `node`, or `None` when the ledger's
+    /// bucketing differs from the engine's and prefolding is off.
+    fn new(
+        city: &'a F2cCity,
+        store: &TieredStore,
+        node: NodeKey,
+        query: &Query,
+        bucket_s: u64,
+    ) -> Option<Self> {
+        let ledger = match node {
+            NodeKey::Fog1(s) => city.fog1(s as usize).sketches(),
+            NodeKey::Fog2(d) => city.fog2(d as usize).sketches(),
+            NodeKey::Cloud => city.cloud().sketches(),
+        };
+        if ledger.bucket_s() != bucket_s {
+            return None;
+        }
+        let settled_until_s = if matches!(node, NodeKey::Fog1(_)) {
+            store.pending_earliest_s().unwrap_or(u64::MAX)
+        } else {
+            u64::MAX
+        };
+        Some(Self {
+            ledger,
+            sections: scope_sections(city, query, node),
+            settled_until_s,
+        })
+    }
+
+    /// Assembles one closed bucket from the ledger — the flush-shipped
+    /// pre-folded partials — when the ledger provably matches the
+    /// archive for it: every scoped section's seal frontier reaches past
+    /// the bucket, nothing in it was compacted away, and nothing created
+    /// inside it is still pending. Returns `None` when any check fails
+    /// and the caller must scan.
+    fn bucket(&self, query: &Query, bucket_start_s: u64, bucket_end_s: u64) -> Option<AggPartial> {
+        if bucket_end_s > self.settled_until_s {
+            return None;
+        }
+        if !self
+            .sections
+            .iter()
+            .all(|&s| self.ledger.covers(s, bucket_start_s, bucket_end_s))
+        {
+            return None;
+        }
+        let mut part = AggPartial::empty();
+        for &section in &self.sections {
+            merge_selected(
+                self.ledger,
+                section,
+                query,
+                bucket_start_s,
+                bucket_end_s,
+                &mut part,
+            );
+        }
+        Some(part)
+    }
+}
+
+/// Answers an aggregate query from a fog-1 node's warm sketches alone
+/// (the `DataSource::WarmSketch` path — the planner proved coverage, so
+/// absent buckets are provably empty). Returns the answer and how many
+/// ledger partials were merged.
+fn warm_sketch_answer(ledger: &SketchLedger, section: usize, query: &Query) -> (QueryAnswer, u64) {
+    let mut acc = AggPartial::empty();
+    let merged = merge_warm_sketch(ledger, section, query, &mut acc);
+    (QueryAnswer::Aggregate(finalize(&acc)), merged)
+}
+
+/// Merges every ledger partial matching `query`'s selector over its
+/// whole window for `section` into `acc`; returns the number merged.
+fn merge_warm_sketch(
+    ledger: &SketchLedger,
+    section: usize,
     query: &Query,
-    partials: &mut PartialCache,
-    stats: &mut EngineStats,
-    epoch: u64,
-    now_s: u64,
-    bucket_s: u64,
-) -> (QueryAnswer, u64) {
-    let (acc, visited) =
-        fold_aggregate(store, node, query, partials, stats, epoch, now_s, bucket_s);
-    (QueryAnswer::Aggregate(acc.result()), visited)
+    acc: &mut AggPartial,
+) -> u64 {
+    let w = query.window;
+    merge_selected(ledger, section as u16, query, w.from_s, w.until_s, acc)
+}
+
+/// Merges the ledger partials of every sensor type `query`'s selector
+/// matches over `[from_s, until_s)` for `section`; returns the number
+/// merged.
+fn merge_selected(
+    ledger: &SketchLedger,
+    section: u16,
+    query: &Query,
+    from_s: u64,
+    until_s: u64,
+    acc: &mut AggPartial,
+) -> u64 {
+    let mut merged = 0;
+    for ty in SensorType::ALL {
+        if query.selector.matches(ty) {
+            merged += ledger.merge_range(section, ty, from_s, until_s, acc);
+        }
+    }
+    merged
 }
 
 /// Folds the window into one mergeable [`AggPartial`] — the shape a
 /// scatter-gather leg ships to the gather node — reusing cached closed
-/// buckets where the epoch allows.
+/// buckets where the epoch allows, and assembling closed buckets from
+/// the node's sketch ledger (the flush-shipped pre-folded partials)
+/// before falling back to an archive scan.
 #[allow(clippy::too_many_arguments)]
 fn fold_aggregate(
+    city: &F2cCity,
     store: &TieredStore,
     node: NodeKey,
     query: &Query,
@@ -1009,6 +1214,7 @@ fn fold_aggregate(
         // No full bucket inside the window: one direct fold.
         visited += fold_segment(store, query, w.from_s, w.until_s, &mut acc);
     } else {
+        let prefold = PrefoldCtx::new(city, store, node, query, bucket_s);
         visited += fold_segment(store, query, w.from_s, first_full, &mut acc);
         let mut bucket = first_full;
         while bucket < last_full {
@@ -1029,6 +1235,16 @@ fn fold_aggregate(
                 // an empty one).
                 if partials.merge_into(&key, epoch, &mut acc) {
                     stats.partial_hits += 1;
+                } else if let Some(part) = prefold
+                    .as_ref()
+                    .and_then(|ctx| ctx.bucket(query, bucket, bucket_end))
+                {
+                    // The flush already folded this bucket: merge the
+                    // shipped partials instead of re-scanning, and cache
+                    // the assembly for the next query.
+                    acc.merge(&part);
+                    partials.put(key, part, epoch);
+                    stats.prefold_hits += 1;
                 } else {
                     let mut part = AggPartial::empty();
                     visited += fold_segment(store, query, bucket, bucket_end, &mut part);
@@ -1057,7 +1273,7 @@ fn fold_segment(
     for rec in store.range(from_s, until_s) {
         visited += 1;
         if query.matches(rec) {
-            acc.absorb(rec);
+            absorb_record(acc, rec);
         }
     }
     visited
@@ -1564,6 +1780,161 @@ mod tests {
         };
         answered(e.serve_sync(&bulk, now).unwrap());
         assert_eq!(e.stats().class(ServiceClass::Analytics).slo_met, 1);
+    }
+
+    #[test]
+    fn evicted_windows_answer_from_warm_sketches_and_match_the_raw_answer() {
+        let mut e = engine_with_data(5, SensorType::Traffic, 4);
+        // Aligned window, fully settled, then aged past *both* fog
+        // tiers' raw retention (1 day / 7 days).
+        let q = aggregate_query(5, Scope::Section(5), 0, 3_600);
+        e.flush_all(3_600).unwrap();
+        let before = answered(e.serve_sync(&q, 3_700).unwrap());
+        e.flush_all(10 * 86_400).unwrap();
+        let now = 10 * 86_400 + 10;
+        let after = answered(e.serve_sync(&q, now).unwrap());
+        assert_eq!(after.via, ServedVia::Store(DataSource::WarmSketch(5)));
+        assert_eq!(after.layer, Layer::Fog1);
+        assert!(e.stats().sketch_served == 1 && e.stats().sketch_hits > 0);
+        match (&before.answer, &after.answer) {
+            (QueryAnswer::Aggregate(a), QueryAnswer::Aggregate(b)) => {
+                assert_eq!(a.count, b.count, "warm sketch matches the raw answer");
+                assert_eq!(a.min, b.min);
+                assert_eq!(a.max, b.max);
+                assert_eq!(a.distinct_sensors, b.distinct_sensors);
+            }
+            other => panic!("expected aggregates, got {other:?}"),
+        }
+        // The local sketch merge undercuts every surviving raw source.
+        assert!(after.est_latency < e.city().cost_model().cost(AccessOption::Cloud, 96));
+    }
+
+    #[test]
+    fn stale_sketches_are_refused_until_the_flush_folds_the_straggler() {
+        use scc_sensors::{Reading, SensorId, Value};
+        let mut e = engine_with_data(5, SensorType::Traffic, 4);
+        let q = aggregate_query(5, Scope::Section(5), 0, 3_600);
+        e.flush_all(3_600).unwrap();
+        let cold = answered(e.serve_sync(&q, 3_700).unwrap());
+        e.flush_all(10 * 86_400).unwrap();
+        // A backdated straggler created inside the evicted window: the
+        // sketch no longer proves the window (pending frontier below the
+        // window end) and nothing else can either — refused, not served
+        // stale.
+        let late = Reading::new(
+            SensorId::new(SensorType::Traffic, 901),
+            1_000,
+            Value::from_f64(2.0),
+        );
+        let now = 10 * 86_400 + 100;
+        e.ingest(5, vec![late], now).unwrap();
+        assert!(matches!(
+            e.serve_sync(&q, now + 1),
+            Err(Error::Unanswerable { .. })
+        ));
+        // The next flush folds the straggler into the ledger; the warm
+        // sketch proves again and the answer includes it.
+        e.flush_all(now + 900).unwrap();
+        let warm = answered(e.serve_sync(&q, now + 1_000).unwrap());
+        assert_eq!(warm.via, ServedVia::Store(DataSource::WarmSketch(5)));
+        match (&cold.answer, &warm.answer) {
+            (QueryAnswer::Aggregate(a), QueryAnswer::Aggregate(b)) => {
+                assert_eq!(b.count, a.count + 1, "the straggler is folded in");
+            }
+            other => panic!("expected aggregates, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_sketch_reads_admit_at_reduced_cost() {
+        // Cap fog 1 at 1 and keep it occupied by a raw read: with the
+        // default divisor (4), the first warm-sketch reads charge no
+        // slot and sail through where a raw read would shed.
+        let mut city = city_with_waves(5, 4);
+        city.flush_all(3_600).unwrap();
+        city.flush_all(10 * 86_400).unwrap();
+        let cfg = EngineConfig {
+            caps: LayerCaps {
+                fog1: 1,
+                ..LayerCaps::default()
+            },
+            result_ttl_s: 0, // no result caching: every serve executes
+            ..EngineConfig::default()
+        };
+        let mut e = QueryEngine::new(city, cfg);
+        let now = 10 * 86_400 + 10;
+        // Occupy the only fog-1 slot with a live (un-evicted) raw read.
+        let mut gen = ReadingGenerator::for_population(SensorType::Traffic, 10, 7);
+        e.ingest(5, gen.wave(now), now).unwrap();
+        let live = aggregate_query(5, Scope::Section(5), now - 10, now + 10);
+        let held = answered(e.serve(&live, now).unwrap()).held;
+        assert_eq!(e.in_flight(Layer::Fog1), 1, "the slot is taken");
+        // Three sketch reads ride free (divisor 4)...
+        let evicted = aggregate_query(5, Scope::Section(5), 0, 3_600);
+        for i in 0..3 {
+            let resp = answered(e.serve(&evicted, now + i).unwrap());
+            assert_eq!(resp.via, ServedVia::Store(DataSource::WarmSketch(5)));
+            assert!(resp.held.is_empty(), "reduced-cost admission: no slot");
+        }
+        // ...the fourth owes a slot, and the layer is full: it sheds.
+        match e.serve(&evicted, now + 3).unwrap() {
+            Outcome::Shed { layer, cause, .. } => {
+                assert_eq!(layer, Layer::Fog1);
+                assert_eq!(cause, ShedCause::Capacity);
+            }
+            other => panic!("expected the paying sketch read to shed, got {other:?}"),
+        }
+        e.release_held(held);
+        let paying = answered(e.serve(&evicted, now + 4).unwrap());
+        assert!(!paying.held.is_empty(), "the due charge is collected");
+    }
+
+    #[test]
+    fn sketch_legs_cover_district_shards_after_full_raw_eviction() {
+        let mut e = engine_with_data(5, SensorType::Traffic, 4);
+        let district = e.city().district_of(5);
+        let members = e.city().sections_in_district(district).len() as u32;
+        e.flush_all(3_600).unwrap();
+        e.flush_all(10 * 86_400).unwrap();
+        // District aggregate over the evicted window: both fog tiers'
+        // raw shards are gone; the warm-sketch member legs fan out and
+        // beat the cloud read.
+        let q = aggregate_query(5, Scope::District(district), 0, 3_600);
+        let resp = answered(e.serve_sync(&q, 10 * 86_400 + 10).unwrap());
+        assert_eq!(resp.via, ServedVia::Scatter { legs: members });
+        assert_eq!(e.stats().sketch_legs, u64::from(members));
+        assert_eq!(e.stats().scatter_wins, 1, "sketch fan-out beats the WAN");
+        match &resp.answer {
+            QueryAnswer::Aggregate(a) => assert!(a.count > 0),
+            other => panic!("expected an aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn settled_buckets_prefold_from_the_flush_shipped_ledger() {
+        let mut e = engine_with_data(5, SensorType::Traffic, 8);
+        e.flush_all(7_200).unwrap();
+        // A parent-served district aggregate over settled buckets: every
+        // full bucket assembles from the fog-2 ledger the flush shipped
+        // into — no archive scan, no partial fills.
+        let district = e.city().district_of(5);
+        let q = aggregate_query(5, Scope::District(district), 0, 7_200);
+        let resp = answered(e.serve_sync(&q, 7_300).unwrap());
+        assert_eq!(resp.via, ServedVia::Store(DataSource::Parent));
+        assert_eq!(e.stats().prefold_hits, 8, "one per settled bucket");
+        assert_eq!(e.stats().partial_fills, 0, "nothing was scanned");
+        assert_eq!(e.stats().records_scanned, 0);
+        // The answer still matches a fresh engine's scan-based answer.
+        let mut scan = engine_with_data(5, SensorType::Traffic, 8);
+        let raw = answered(scan.serve_sync(&q, 7_300).unwrap());
+        match (&resp.answer, &raw.answer) {
+            (QueryAnswer::Aggregate(a), QueryAnswer::Aggregate(b)) => {
+                assert_eq!(a.count, b.count);
+                assert_eq!(a.min, b.min);
+                assert_eq!(a.distinct_sensors, b.distinct_sensors);
+            }
+            other => panic!("expected aggregates, got {other:?}"),
+        }
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!   (eviction watermarks + flush-propagation frontiers, falling back
 //!   upward when data has aged out of a fog tier), or a scatter-gather
 //!   fan-out over the member fog-1/fog-2 nodes that each hold one shard,
-//!   priced against the single-source cloud read,
+//!   priced against the single-source cloud read; aggregate windows
+//!   fog 1 has *evicted* stay answerable from the sketch plane
+//!   ([`f2c_core::DataSource::WarmSketch`] single sources and warm-sketch
+//!   scatter legs, staleness-bounded by the flush seal frontier),
 //! * [`scatter`] — merging fan-out partials at the requester's fog-2:
 //!   [`AggPartial`] folds for aggregates, k-way ordered merge with dedup
 //!   for range reads, canonical-rank races for points,
@@ -22,10 +25,13 @@
 //!   admission control** (the [`f2c_qos`] ledger: per-class guaranteed
 //!   quotas + bounded borrowing per layer, deadline budgets enforced at
 //!   plan time, deadline-bounded rerouting onto a contest's losing
-//!   route, and a fan-out occupying one class-tagged slot per leg);
+//!   route, and a fan-out occupying one class-tagged slot per leg;
+//!   warm-sketch reads admit at the QoS policy's *reduced* cost);
 //!   aggregates are assembled from mergeable bucket partials
-//!   ([`f2c_aggregate::functions`] moments/extremes plus a HyperLogLog
-//!   distinct-sensor sketch) instead of rescanning archives,
+//!   ([`f2c_aggregate::sketch::AggPartial`] moments/extremes plus a
+//!   HyperLogLog distinct-sensor sketch) — served from the partial
+//!   cache, assembled from the flush-shipped sketch ledger
+//!   (`prefold`), or scanned, in that order,
 //! * [`workload`] — deterministic, seeded closed-loop workloads
 //!   (dashboard / analytics / real-time / city-wide mixes) on the
 //!   event-driven clock, with diurnal day-curves and per-class flash
@@ -78,8 +84,8 @@ pub use engine::{
 pub use error::{Error, Result};
 pub use f2c_qos::{ClassLedger, ClassPolicy, QosPolicy, ShedCause};
 pub use model::{
-    AggPartial, AggregateResult, PointSample, Query, QueryAnswer, QueryKind, Scope, Selector,
-    TimeWindow,
+    absorb_record, finalize, AggPartial, AggregateResult, PointSample, Query, QueryAnswer,
+    QueryKind, Scope, Selector, TimeWindow,
 };
 pub use planner::{plan, Choice, QueryPlan, Route, ScatterLeg, ScatterPlan};
 pub use workload::{

@@ -7,17 +7,13 @@
 //! matching records themselves), and **aggregate** (count / extremes /
 //! moments / distinct-sensor estimate, computed from mergeable partials).
 
-use f2c_aggregate::functions::{Decomposable, MinMax, Moments};
-use f2c_aggregate::sketch::HyperLogLog;
 use f2c_qos::ServiceClass;
 use scc_dlc::DataRecord;
 use scc_sensors::{Category, SensorId, SensorType};
 
-use crate::{Error, Result};
+pub use f2c_aggregate::sketch::AggPartial;
 
-/// HyperLogLog precision for distinct-sensor estimates (1024 registers,
-/// ~3% standard error — plenty for per-district sensor populations).
-const HLL_PRECISION: u32 = 10;
+use crate::{Error, Result};
 
 /// What data a query selects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -199,70 +195,31 @@ pub struct AggregateResult {
     pub distinct_sensors: u64,
 }
 
-/// A mergeable partial aggregation state over a slice of records —
-/// moments + extremes + a distinct-sensor sketch, all of which merge
-/// exactly (the §V.A decomposable/counting computation classes).
-#[derive(Debug, Clone, PartialEq)]
-pub struct AggPartial {
-    moments: Moments,
-    minmax: MinMax,
-    distinct: HyperLogLog,
+/// Absorbs one stored record into a partial: its magnitude into the
+/// moments/extremes, its sensor identity into the distinct sketch. (The
+/// [`AggPartial`] itself lives in `f2c_aggregate::sketch`, shared with
+/// the write path's flush shipping — this is the record-shaped door the
+/// serving side uses.)
+pub fn absorb_record(acc: &mut AggPartial, record: &DataRecord) {
+    acc.absorb(
+        record.reading().value().magnitude(),
+        record.reading().sensor().seed_material(),
+    );
 }
 
-impl AggPartial {
-    /// The identity partial.
-    pub fn empty() -> Self {
-        Self {
-            moments: Moments::empty(),
-            minmax: MinMax::empty(),
-            distinct: HyperLogLog::new(HLL_PRECISION).expect("precision 10 is valid"),
-        }
-    }
-
-    /// Absorbs one record.
-    pub fn absorb(&mut self, record: &DataRecord) {
-        let magnitude = record.reading().value().magnitude();
-        self.moments.absorb(magnitude);
-        self.minmax.absorb(magnitude);
-        self.distinct
-            .add(&record.reading().sensor().seed_material().to_le_bytes());
-    }
-
-    /// Merges another partial into this one. Order-insensitive for
-    /// count/min/max/distinct; floating sums may differ from a flat fold
-    /// by rounding only.
-    pub fn merge(&mut self, other: &Self) {
-        self.moments.merge(&other.moments);
-        self.minmax.merge(&other.minmax);
-        self.distinct.merge(&other.distinct);
-    }
-
-    /// Number of absorbed records.
-    pub fn count(&self) -> u64 {
-        self.moments.count
-    }
-
-    /// Finalizes the bundle.
-    pub fn result(&self) -> AggregateResult {
-        AggregateResult {
-            count: self.moments.count,
-            sum: self.moments.sum,
-            mean: self.moments.mean(),
-            min: self.minmax.min,
-            max: self.minmax.max,
-            variance: self.moments.variance(),
-            distinct_sensors: if self.moments.count == 0 {
-                0
-            } else {
-                self.distinct.estimate()
-            },
-        }
-    }
-}
-
-impl Default for AggPartial {
-    fn default() -> Self {
-        Self::empty()
+/// Finalizes a partial into the answer bundle every aggregate query
+/// returns.
+pub fn finalize(partial: &AggPartial) -> AggregateResult {
+    let moments = partial.moments();
+    let minmax = partial.minmax();
+    AggregateResult {
+        count: moments.count,
+        sum: moments.sum,
+        mean: moments.mean(),
+        min: minmax.min,
+        max: minmax.max,
+        variance: moments.variance(),
+        distinct_sensors: partial.distinct_estimate(),
     }
 }
 
@@ -380,17 +337,17 @@ mod tests {
             .collect();
         let mut flat = AggPartial::empty();
         for r in &records {
-            flat.absorb(r);
+            absorb_record(&mut flat, r);
         }
         let mut merged = AggPartial::empty();
         for chunk in records.chunks(11) {
             let mut part = AggPartial::empty();
             for r in chunk {
-                part.absorb(r);
+                absorb_record(&mut part, r);
             }
             merged.merge(&part);
         }
-        let (a, b) = (flat.result(), merged.result());
+        let (a, b) = (finalize(&flat), finalize(&merged));
         assert_eq!(a.count, b.count);
         assert_eq!(a.min, b.min);
         assert_eq!(a.max, b.max);
@@ -401,7 +358,7 @@ mod tests {
 
     #[test]
     fn empty_partial_finalizes_to_zeroes() {
-        let r = AggPartial::empty().result();
+        let r = finalize(&AggPartial::empty());
         assert_eq!(r.count, 0);
         assert_eq!(r.mean, None);
         assert_eq!(r.min, None);

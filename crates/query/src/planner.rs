@@ -22,13 +22,53 @@
 //! last-hop delivery, vs. one WAN round trip) decides per query.
 //!
 //! When recent data has aged out of fog 1 the plan falls back upward
-//! (fog 2, then the cloud), mirroring the residency ladder of §IV.B.
+//! (fog 2, then the cloud), mirroring the residency ladder of §IV.B —
+//! unless the **sketch plane** can answer first: an *aggregate* query
+//! over a bucket-aligned window that fog 1 has evicted is still provable
+//! from the node's [`f2c_aggregate::sketch::SketchLedger`] of pre-folded
+//! bucket partials ([`DataSource::WarmSketch`]), whose seal frontier —
+//! the flush-epoch frontier of the write path — bounds the staleness:
+//! the window must end at or before the last seal *and* nothing created
+//! inside it may still sit in the node's pending queue (a backdated
+//! ingest makes the sketch stale, and stale sketches are refused).
+//! Warm sketches also join scatter-gather as per-member legs, so a
+//! district shard whose raw shards are gone everywhere in the fog can
+//! still contest the cloud read.
+//!
+//! # Example: answering an evicted window from warm sketches
+//!
+//! ```
+//! use f2c_core::{DataSource, F2cCity};
+//! use f2c_query::model::{Query, QueryKind, Scope, Selector, TimeWindow};
+//! use f2c_query::planner::{plan, Choice};
+//! use scc_sensors::{ReadingGenerator, SensorType};
+//!
+//! let mut city = F2cCity::barcelona()?;
+//! let mut gen = ReadingGenerator::for_population(SensorType::Traffic, 10, 7);
+//! city.ingest(5, gen.wave(0), 1)?;
+//! city.flush_all(900)?;
+//! city.flush_all(10 * 86_400)?; // both fog tiers evict the raw window
+//! let query = Query {
+//!     origin: 5,
+//!     class: f2c_qos::ServiceClass::RealTime,
+//!     selector: Selector::Type(SensorType::Traffic),
+//!     scope: Scope::Section(5),
+//!     window: TimeWindow::new(0, 900), // bucket-aligned
+//!     kind: QueryKind::Aggregate,
+//! };
+//! let route = plan(&city, &query)?;
+//! match route.choice {
+//!     Choice::Single(p) => assert_eq!(p.source, DataSource::WarmSketch(5)),
+//!     Choice::Scatter(_) => unreachable!(),
+//! }
+//! # Ok::<(), f2c_query::Error>(())
+//! ```
 
 use citysim::time::Duration;
 use f2c_core::cost::{AccessOption, FanoutPath};
 use f2c_core::{DataSource, F2cCity, FanoutLeg, Layer, TieredStore};
 
-use crate::model::{Query, Scope, TimeWindow};
+use crate::model::{Query, QueryKind, Scope, TimeWindow};
 use crate::{Error, Result};
 
 /// Payload size used to rank candidate sources before the answer size is
@@ -61,6 +101,11 @@ pub struct ScatterLeg {
     pub path: FanoutPath,
     /// The layer whose admission slot this leg occupies.
     pub layer: Layer,
+    /// Whether the leg answers from the node's warm sketch ledger
+    /// (pre-folded bucket partials; the raw shard may be evicted)
+    /// instead of scanning its archive. Only aggregate shards are ever
+    /// planned this way.
+    pub via_sketch: bool,
 }
 
 /// A scatter-gather serving plan: fan out over `legs`, merge at the
@@ -133,10 +178,19 @@ fn holds_window(store: &TieredStore, w: TimeWindow) -> bool {
     w.from_s >= store.evicted_before_s()
 }
 
-/// Whether everything created before `until_s` has left `store`'s
-/// pending queue (i.e. has been flushed to the tier above).
-fn pending_settled(store: &TieredStore, until_s: u64) -> bool {
-    store.pending_earliest_s().is_none_or(|e| e >= until_s)
+/// Whether `section`'s fog-1 **sketch ledger** provably covers `w`:
+/// the window is bucket-aligned, every bucket survives ledger
+/// compaction, the seal frontier (the write path's flush-epoch
+/// frontier — the explicit staleness bound) reaches the window end,
+/// and nothing created inside the window still sits in the node's
+/// pending queue. The last check is what refuses a *stale* sketch: a
+/// backdated ingest lands in pending, drops the frontier below the
+/// window end, and the sketch stops proving until the next flush folds
+/// the straggler in.
+fn warm_sketch_covers(city: &F2cCity, section: usize, w: TimeWindow) -> bool {
+    let node = city.fog1(section);
+    node.sketches().covers(section as u16, w.from_s, w.until_s)
+        && node.store().settled_through(w.until_s)
 }
 
 /// Whether district `d`'s fog-2 node provably holds the district's whole
@@ -146,7 +200,7 @@ fn fog2_complete(city: &F2cCity, d: usize, w: TimeWindow) -> bool {
         && city
             .sections_in_district(d)
             .iter()
-            .all(|&s| pending_settled(city.fog1(s).store(), w.until_s))
+            .all(|&s| city.fog1(s).store().settled_through(w.until_s))
 }
 
 /// Whether every member fog-1 node of district `d` still holds its own
@@ -167,23 +221,26 @@ fn cloud_complete<'a>(
     w: TimeWindow,
 ) -> bool {
     districts.into_iter().all(|&d| {
-        pending_settled(city.fog2(d).store(), w.until_s)
+        city.fog2(d).store().settled_through(w.until_s)
             && city
                 .sections_in_district(d)
                 .iter()
-                .all(|&s| pending_settled(city.fog1(s).store(), w.until_s))
+                .all(|&s| city.fog1(s).store().settled_through(w.until_s))
     })
 }
 
 /// The fan-out legs covering district `d`'s shard, gathered at
 /// `gather`'s fog-2: the district fog-2 when it is provably complete
-/// (one leg), else one leg per member fog-1 node, else `None` — the
+/// (one leg), else one leg per member fog-1 node, else — for aggregate
+/// queries — one *warm-sketch* leg per member whose ledger still covers
+/// the window (the raw shards may all be evicted), else `None` — the
 /// shard is not provably held at the fog tiers.
 fn district_legs(
     city: &F2cCity,
     d: usize,
     gather: usize,
     w: TimeWindow,
+    kind: QueryKind,
 ) -> Option<Vec<ScatterLeg>> {
     let hops = city.fog2_ring_hops(d, gather);
     if fog2_complete(city, d, w) {
@@ -197,20 +254,34 @@ fn district_legs(
             scope: Scope::District(d),
             path,
             layer: Layer::Fog2,
+            via_sketch: false,
         }]);
     }
+    let member_legs = |via_sketch: bool| {
+        city.sections_in_district(d)
+            .into_iter()
+            .map(|s| ScatterLeg {
+                node: FanoutLeg::Fog1(s),
+                scope: Scope::Section(s),
+                path: FanoutPath::MemberFog1 { hops },
+                layer: Layer::Fog1,
+                via_sketch,
+            })
+            .collect()
+    };
     if fog1_shards_complete(city, d, w) {
-        return Some(
-            city.sections_in_district(d)
-                .into_iter()
-                .map(|s| ScatterLeg {
-                    node: FanoutLeg::Fog1(s),
-                    scope: Scope::Section(s),
-                    path: FanoutPath::MemberFog1 { hops },
-                    layer: Layer::Fog1,
-                })
-                .collect(),
-        );
+        return Some(member_legs(false));
+    }
+    if kind == QueryKind::Aggregate
+        && city
+            .sections_in_district(d)
+            .iter()
+            .all(|&s| warm_sketch_covers(city, s, w))
+    {
+        // Every member's raw shard is gone, but their warm sketches all
+        // still cover the window: a sketch-leg fan-out contests the
+        // cloud read instead of conceding it.
+        return Some(member_legs(true));
     }
     None
 }
@@ -250,7 +321,7 @@ pub fn plan(city: &F2cCity, query: &Query) -> Result<Route> {
             // section's unflushed pendings cannot change this answer, so
             // the fog-2/cloud proofs check the target's frontier alone
             // (not the whole district's).
-            let target_settled = pending_settled(city.fog1(target).store(), w.until_s);
+            let target_settled = city.fog1(target).store().settled_through(w.until_s);
             let fog2_ok = holds_window(city.fog2(td).store(), w) && target_settled;
             // The section's own fog-1 node holds everything the section
             // produced (pending copies included) until retention evicts.
@@ -280,8 +351,26 @@ pub fn plan(city: &F2cCity, query: &Query) -> Result<Route> {
                     ));
                 }
             }
-            if target_settled && pending_settled(city.fog2(td).store(), w.until_s) {
+            if target_settled && city.fog2(td).store().settled_through(w.until_s) {
                 singles.push((AccessOption::Cloud, DataSource::Cloud, Layer::Cloud));
+            }
+            if query.kind == QueryKind::Aggregate
+                && !target_holds
+                && td == origin_district
+                && warm_sketch_covers(city, target, w)
+            {
+                // The raw window has aged out of the target's fog-1, but
+                // its warm sketch still covers: merge pre-folded bucket
+                // partials locally (or over the district ring) instead
+                // of climbing to fog 2 / the cloud.
+                let option = if target == query.origin {
+                    AccessOption::LocalSketch
+                } else {
+                    AccessOption::Neighbor {
+                        hops: city.ring_hops(query.origin, target),
+                    }
+                };
+                singles.push((option, DataSource::WarmSketch(target), Layer::Fog1));
             }
             if td != origin_district && !fog2_ok && target_holds {
                 // A remote section whose window has not flushed upward
@@ -296,6 +385,7 @@ pub fn plan(city: &F2cCity, query: &Query) -> Result<Route> {
                         scope: Scope::Section(target),
                         path: FanoutPath::MemberFog1 { hops },
                         layer: Layer::Fog1,
+                        via_sketch: false,
                     }],
                     origin_district,
                 ));
@@ -307,7 +397,7 @@ pub fn plan(city: &F2cCity, query: &Query) -> Result<Route> {
             // single source — parent or metro-ring sibling); fog-1 legs
             // mean the window lives only at the members (scatter-gather,
             // merged at the requester's fog-2).
-            match district_legs(city, d, origin_district, w) {
+            match district_legs(city, d, origin_district, w, query.kind) {
                 Some(legs)
                     if matches!(
                         legs[..],
@@ -343,7 +433,7 @@ pub fn plan(city: &F2cCity, query: &Query) -> Result<Route> {
             let mut legs = Vec::new();
             let mut coverable = true;
             for &d in &districts {
-                match district_legs(city, d, origin_district, w) {
+                match district_legs(city, d, origin_district, w, query.kind) {
                     Some(mut shard) => legs.append(&mut shard),
                     None => {
                         coverable = false;
@@ -582,6 +672,65 @@ mod tests {
         assert!(local.est_cost < parent.est_cost);
         assert!(parent.est_cost < sibling.est_cost);
         assert!(sibling.est_cost < city.cost_model().cost(AccessOption::Cloud, 1_024));
+    }
+
+    #[test]
+    fn aged_out_aligned_aggregates_prefer_the_warm_sketch_over_the_parent() {
+        let mut city = city_with_data(5, SensorType::Weather, 4);
+        city.flush_all(3_600).unwrap();
+        // Two days in: fog-1 raw evicts, fog-2 still holds — but the
+        // local warm sketch beats the parent hop for aligned aggregates.
+        city.flush_all(2 * 86_400).unwrap();
+        let aligned = q(5, Scope::Section(5), 0, 3_600);
+        let p = single(plan(&city, &aligned).unwrap());
+        assert_eq!(p.source, DataSource::WarmSketch(5));
+        assert_eq!(p.option, AccessOption::LocalSketch);
+        assert_eq!(p.layer, Layer::Fog1);
+        assert!(p.est_cost < city.cost_model().cost(AccessOption::Parent, 1_024));
+        // Unaligned windows cannot slice bucket partials: raw fallback.
+        let unaligned = q(5, Scope::Section(5), 0, 2_000);
+        assert_eq!(
+            single(plan(&city, &unaligned).unwrap()).source,
+            DataSource::Parent
+        );
+        // Non-aggregate kinds never ride the sketch plane.
+        let range = Query {
+            kind: QueryKind::Range,
+            ..aligned
+        };
+        assert_eq!(
+            single(plan(&city, &range).unwrap()).source,
+            DataSource::Parent
+        );
+    }
+
+    #[test]
+    fn fully_evicted_district_windows_scatter_over_warm_sketch_legs() {
+        let mut city = city_with_data(5, SensorType::Weather, 4);
+        city.flush_all(3_600).unwrap();
+        // Ten days: both fog tiers' raw windows are gone; only warm
+        // sketches and the cloud remain.
+        city.flush_all(10 * 86_400).unwrap();
+        let district = city.district_of(5);
+        let route = plan(&city, &q(5, Scope::District(district), 0, 3_600)).unwrap();
+        let (s_cost, c_cost) = route.contest.expect("sketch fan-out contests the cloud");
+        assert!(s_cost < c_cost, "warm-sketch legs beat the WAN read");
+        let s = scatter(route);
+        assert!(s
+            .legs
+            .iter()
+            .all(|l| l.via_sketch && l.layer == Layer::Fog1));
+        assert_eq!(s.legs.len(), city.sections_in_district(district).len());
+        // The same window as a *range* read has no sketch rescue: only
+        // the cloud can serve it.
+        let range = Query {
+            kind: QueryKind::Range,
+            ..q(5, Scope::District(district), 0, 3_600)
+        };
+        assert_eq!(
+            single(plan(&city, &range).unwrap()).source,
+            DataSource::Cloud
+        );
     }
 
     #[test]

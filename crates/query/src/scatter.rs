@@ -21,7 +21,7 @@ use std::collections::BinaryHeap;
 
 use scc_dlc::DataRecord;
 
-use crate::model::{AggPartial, PointSample, QueryAnswer};
+use crate::model::{finalize, AggPartial, PointSample, QueryAnswer};
 
 /// `(identity, leg index, position in leg)` — one k-way merge cursor.
 type MergeCursor = ((u64, u64), usize, usize);
@@ -41,7 +41,7 @@ pub fn merge_aggregates(legs: Vec<AggPartial>) -> QueryAnswer {
     for leg in &legs {
         acc.merge(leg);
     }
-    QueryAnswer::Aggregate(acc.result())
+    QueryAnswer::Aggregate(finalize(&acc))
 }
 
 /// Merges the per-leg latest observations: the city-wide latest is the
@@ -114,21 +114,21 @@ mod tests {
             .collect();
         let mut flat = AggPartial::empty();
         for r in &records {
-            flat.absorb(r);
+            crate::model::absorb_record(&mut flat, r);
         }
         let legs: Vec<AggPartial> = records
             .chunks(7)
             .map(|chunk| {
                 let mut p = AggPartial::empty();
                 for r in chunk {
-                    p.absorb(r);
+                    crate::model::absorb_record(&mut p, r);
                 }
                 p
             })
             .collect();
         match merge_aggregates(legs) {
             QueryAnswer::Aggregate(a) => {
-                let f = flat.result();
+                let f = finalize(&flat);
                 assert_eq!(a.count, f.count);
                 assert_eq!(a.min, f.min);
                 assert_eq!(a.max, f.max);

@@ -223,6 +223,17 @@ pub struct WorkloadReport {
     pub scatter_wins: u64,
     /// Contested fan-out-vs-cloud routes the cloud won during the run.
     pub cloud_wins: u64,
+    /// Closed buckets assembled from flush-shipped pre-folded partials
+    /// (the sketch ledger) instead of archive scans during the run.
+    pub prefold_hits: u64,
+    /// Closed buckets that had to be scanned and cached during the run
+    /// (no cached partial, no ledger coverage).
+    pub partial_fills: u64,
+    /// Queries answered from warm sketches after raw eviction during
+    /// the run.
+    pub sketch_served: u64,
+    /// Scatter legs executed from warm sketches during the run.
+    pub sketch_legs: u64,
     /// Estimated-latency histograms per serving layer (fog 1, fog 2,
     /// cloud).
     pub latency_by_layer: [Histogram; 3],
@@ -659,6 +670,10 @@ pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<Workload
         scatter_legs: stats.scatter_legs - stats0.scatter_legs,
         scatter_wins: stats.scatter_wins - stats0.scatter_wins,
         cloud_wins: stats.cloud_wins - stats0.cloud_wins,
+        prefold_hits: stats.prefold_hits - stats0.prefold_hits,
+        partial_fills: stats.partial_fills - stats0.partial_fills,
+        sketch_served: stats.sketch_served - stats0.sketch_served,
+        sketch_legs: stats.sketch_legs - stats0.sketch_legs,
         latency_by_layer: hists,
         latency_by_class: class_hists,
         per_class,

@@ -76,9 +76,9 @@ fn oracle(records: &[DataRecord], query: &Query) -> QueryAnswer {
         QueryKind::Aggregate => {
             let mut acc = AggPartial::empty();
             for r in matching {
-                acc.absorb(r);
+                f2c_query::model::absorb_record(&mut acc, r);
             }
-            QueryAnswer::Aggregate(acc.result())
+            QueryAnswer::Aggregate(f2c_query::model::finalize(&acc))
         }
     }
 }
@@ -188,7 +188,17 @@ proptest! {
         origin in 0usize..73,
         from_s in 0u64..3_000,
         len_s in 1u64..4_000,
+        align in 0u8..2,
     ) {
+        // Bucket-aligned windows are the warm-sketch-eligible ones: when
+        // an aged shape routes them to `DataSource::WarmSketch` or to
+        // warm-sketch scatter legs, the answer must still equal the
+        // brute-force scan like every other route.
+        let (from_s, len_s) = if align == 1 {
+            (from_s - from_s % 900, (len_s / 900 + 1) * 900)
+        } else {
+            (from_s, len_s)
+        };
         let flush_mid = shape & 1 != 0;
         // 0 or 3 days: 3 days outlives fog-1 retention (1 day) so the
         // aged-out fallback to fog 2 is exercised, but not fog 2's (7 d).
