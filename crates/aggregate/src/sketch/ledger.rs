@@ -196,18 +196,67 @@ impl SketchLedger {
         }
     }
 
-    /// Punches a coverage hole at `key`: the bucket can never again be
-    /// proved complete here ([`SketchLedger::covers`] refuses windows
+    /// Punches a coverage hole at `key`: the bucket cannot be proved
+    /// complete here ([`SketchLedger::covers`] refuses windows
     /// containing it), because a shipment for it was lost. Receivers
     /// call this for holes relayed from below, so a hole propagates to
-    /// every tier whose ledger misses the data.
+    /// every tier whose ledger misses the data. Idempotent — repeated
+    /// corrupt relays of the same bucket punch the same single hole —
+    /// and a no-op behind the compaction watermark, where `covers`
+    /// already refuses everything (so a stale relay cannot regrow the
+    /// set past compaction). A hole leaves via compaction or via a
+    /// successful [`SketchLedger::heal_encoded`].
     pub fn mark_hole(&mut self, key: SketchKey) {
-        self.holes.insert(key);
+        if key.bucket_start_s + self.bucket_s > self.evicted_before_s {
+            self.holes.insert(key);
+        }
     }
 
     /// The current coverage holes (arbitrary order).
     pub fn holes(&self) -> impl Iterator<Item = &SketchKey> {
         self.holes.iter()
+    }
+
+    /// The current coverage holes in key order — the deterministic
+    /// iteration anti-entropy walks.
+    pub fn holes_sorted(&self) -> Vec<SketchKey> {
+        let mut out: Vec<SketchKey> = self.holes.iter().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether `key` is currently a coverage hole.
+    pub fn is_hole(&self, key: &SketchKey) -> bool {
+        self.holes.contains(key)
+    }
+
+    /// Anti-entropy heal: installs an **authoritative** re-shipped
+    /// partial at `key` — replacing whatever fragment survived, because
+    /// the shipper's ledger holds the bucket's full fold and a merge
+    /// would double-count the part that did arrive — and removes the
+    /// hole, restoring [`SketchLedger::covers`] for the bucket. Returns
+    /// `true` when the bucket was a hole and is now healed. Behind the
+    /// compaction watermark the heal is refused (coverage cannot be
+    /// resurrected past compaction).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::CorruptPartial`] when the re-shipped encoding fails its
+    /// CRC — counted like any refused shipment, and the hole stays.
+    pub fn heal_encoded(&mut self, key: SketchKey, bytes: &[u8], epoch: u64) -> Result<bool> {
+        if key.bucket_start_s + self.bucket_s <= self.evicted_before_s {
+            return Ok(false);
+        }
+        let partial = match AggPartial::decode(bytes) {
+            Ok(p) => p,
+            Err(e) => {
+                self.crc_failures += 1;
+                return Err(e);
+            }
+        };
+        self.folds += 1;
+        self.entries.insert(key, Entry { partial, epoch });
+        Ok(self.holes.remove(&key))
     }
 
     /// Advances `section`'s seal frontier to at least `through_s`:
@@ -440,6 +489,74 @@ mod tests {
         ledger.evict_older_than(1_800);
         assert_eq!(ledger.holes().count(), 0);
         assert!(ledger.covers(4, 1_800, 2_700));
+    }
+
+    #[test]
+    fn mark_hole_is_idempotent_under_repeated_corrupt_relays() {
+        let mut ledger = SketchLedger::new(900).unwrap();
+        ledger.seal(3, 3_600);
+        let wire = partial(&[(1.0, 4)]).encode();
+        let mut bad = wire.clone();
+        bad[6] ^= 0xFF;
+        // The same corrupt shipment relayed over and over: one hole.
+        for _ in 0..5 {
+            assert!(ledger.fold_encoded(key(3, 900), &bad, 1).is_err());
+            ledger.mark_hole(key(3, 900));
+        }
+        assert_eq!(ledger.holes().count(), 1);
+        assert_eq!(ledger.crc_failures(), 5, "every refusal is counted");
+        assert!(!ledger.covers(3, 900, 1_800));
+        assert!(ledger.covers(3, 0, 900), "neighbors still prove");
+        // A hole behind the compaction watermark is refused outright:
+        // compaction already blocks coverage there, so stale relays
+        // cannot regrow the set.
+        ledger.evict_older_than(1_800);
+        assert_eq!(ledger.holes().count(), 0);
+        ledger.mark_hole(key(3, 0));
+        ledger.mark_hole(key(3, 900));
+        assert_eq!(ledger.holes().count(), 0, "below-watermark relays drop");
+        ledger.mark_hole(key(3, 1_800));
+        assert_eq!(ledger.holes().count(), 1, "resident buckets still hole");
+    }
+
+    #[test]
+    fn heal_restores_coverage_with_the_authoritative_partial() {
+        let mut ledger = SketchLedger::new(900).unwrap();
+        ledger.seal(7, 1_800);
+        // A fragment of the bucket arrived before the corrupt shipment.
+        ledger.fold(key(7, 900), &partial(&[(1.0, 1)]), 1);
+        ledger.mark_hole(key(7, 900));
+        assert!(!ledger.covers(7, 900, 1_800));
+        // The shipper re-ships its full fold: 3 observations.
+        let full = partial(&[(1.0, 1), (2.0, 2), (3.0, 3)]);
+        let healed = ledger.heal_encoded(key(7, 900), &full.encode(), 2).unwrap();
+        assert!(healed);
+        assert!(ledger.covers(7, 900, 1_800), "coverage is restored");
+        let (p, epoch) = ledger.entry(&key(7, 900)).unwrap();
+        assert_eq!(p.count(), 3, "replaced, not merged — no double count");
+        assert_eq!(epoch, 2);
+        // Healing an intact bucket is a no-op on the hole set.
+        assert!(!ledger.heal_encoded(key(7, 900), &full.encode(), 3).unwrap());
+        // A corrupt re-ship is refused and the hole stays.
+        ledger.mark_hole(key(7, 0));
+        let mut bad = full.encode();
+        bad[4] ^= 1;
+        assert!(ledger.heal_encoded(key(7, 0), &bad, 3).is_err());
+        assert!(ledger.is_hole(&key(7, 0)));
+        // Behind the watermark the heal is refused without decoding.
+        ledger.evict_older_than(900);
+        assert!(!ledger.heal_encoded(key(7, 0), &full.encode(), 4).unwrap());
+        assert!(ledger.covers(7, 900, 1_800));
+    }
+
+    #[test]
+    fn holes_sorted_is_key_ordered() {
+        let mut ledger = SketchLedger::new(900).unwrap();
+        ledger.mark_hole(key(9, 1_800));
+        ledger.mark_hole(key(2, 900));
+        ledger.mark_hole(key(9, 0));
+        let sorted = ledger.holes_sorted();
+        assert_eq!(sorted, vec![key(2, 900), key(9, 0), key(9, 1_800)]);
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! scatter-gather percentiles and fan-out-vs-cloud win rates, cache hit
 //! rates and admission sheds; then a flash-crowd scenario proving the
 //! QoS promise (an analytics burst sheds analytics, never a real-time
-//! read); and a warm-vs-cold serving microbenchmark.
+//! read); a warm-vs-cold serving microbenchmark; and a chaos scenario
+//! (seeded crash windows + flush-shipment loss/corruption under live
+//! load) proving faults degrade availability, never correctness, and
+//! that sketch anti-entropy heals every punched hole after the storm.
 //!
 //! Run with `cargo run --release -p f2c-bench --bin queries`.
 //! Set `E7_REQUESTS` (e.g. `E7_REQUESTS=50000`) to shrink the main run
@@ -14,8 +17,9 @@
 
 use std::time::Instant;
 
+use citysim::net::FailurePlan;
 use f2c_core::runtime::populate_city;
-use f2c_core::{F2cCity, Layer};
+use f2c_core::{ChaosSite, F2cCity, Layer};
 use f2c_query::workload::{self, DiurnalCurve, FlashCrowd, Mix, ServiceClass, WorkloadConfig};
 use f2c_query::{
     EngineConfig, LayerCaps, Outcome, Query, QueryEngine, QueryKind, Scope, Selector, TimeWindow,
@@ -505,5 +509,191 @@ fn main() {
     println!(
         "-> evicted windows answer from warm sketches, within the real-time \
          budget, exactly matching the cloud's archive. SHAPE OK"
+    );
+
+    // --- chaos: faults degrade availability, never correctness ----------
+    // A seeded fault schedule — a fog-1 crash, a whole-district fog-2
+    // crash, a short cloud blackout, plus per-epoch flush-shipment loss
+    // and sketch-corruption coins — runs under live closed-loop load.
+    // Every fault must surface as an availability effect (fault sheds,
+    // shed fan-out legs, partial answers, deferred flush waves, punched
+    // sketch holes) in the incident timeline; none may leak into an
+    // answered result. After the storm, healthy flush waves plus sketch
+    // anti-entropy must leave every ledger hole-free, and settled
+    // aggregates must equal the raw archive's record counts exactly.
+    println!("\n== chaos: fault injection, degraded serving, anti-entropy healing ==");
+    let mut chaos_city = F2cCity::barcelona().expect("city builds");
+    populate_city(&mut chaos_city, 20_000, 2017, 3_600, 900).expect("warm-up runs");
+    let mut plan = FailurePlan::with_seed(2017);
+    plan.set_shipment_loss(0.10);
+    plan.set_shipment_corruption(0.08);
+    chaos_city.set_failures(plan);
+    // Crash windows sized against the ~15 min simulated storm: each
+    // overlaps a 300 s flush epoch so deferrals, shed legs and punched
+    // holes all occur while consumers are still asking.
+    chaos_city.inject_node_outage(ChaosSite::Fog1(5), 3_650, 3_980);
+    chaos_city.inject_node_outage(ChaosSite::Fog2(2), 4_050, 4_350);
+    chaos_city.inject_node_outage(ChaosSite::Cloud, 4_150, 4_250);
+    let chaos_cfg = EngineConfig {
+        caps: LayerCaps {
+            fog1: 256,
+            fog2: 64,
+            cloud: 8,
+        },
+        ..EngineConfig::default()
+    };
+    let mut chaos_engine = QueryEngine::new(chaos_city, chaos_cfg);
+    // Sized so the storm spans past 4_500 s: the 900 s sketch bucket
+    // opened at the workload's start must *close* inside the storm, or
+    // no flush wave ships partials for the corruption coin to damage.
+    let chaos_config = WorkloadConfig {
+        seed: 2017,
+        requests: 90_000,
+        users: 200,
+        mix: Mix {
+            dashboard: 40,
+            analytics: 10,
+            realtime: 40,
+            city: 10,
+        },
+        start_s: 3_600,
+        flush_period_s: 300,
+        ingest_period_s: 300,
+        ingest_scale: 20_000,
+        ..WorkloadConfig::default()
+    };
+    let t = Instant::now();
+    let chaos_report =
+        workload::run(&mut chaos_engine, &chaos_config).expect("faults degrade, never error");
+    println!(
+        "storm workload: {} requests over {} simulated seconds in {:.2?}",
+        chaos_report.issued,
+        chaos_report.sim_end_s - chaos_config.start_s,
+        t.elapsed()
+    );
+
+    // The storm is over: clear the plan and let two healthy flush waves
+    // (each ending in an anti-entropy round) ship the deferred batches
+    // and re-ship authoritative partials over every punched hole.
+    let storm_end = chaos_report.sim_end_s;
+    chaos_engine.city_mut().set_failures(FailurePlan::none());
+    chaos_engine
+        .flush_all(storm_end + 300)
+        .expect("healing flush");
+    chaos_engine
+        .flush_all(storm_end + 600)
+        .expect("healing flush");
+
+    let summary = chaos_engine.city().timeline().summary();
+    println!("\n{:<18} {:>8}", "incident", "count");
+    println!("{}", "-".repeat(28));
+    for (label, count) in &summary {
+        println!("{:<18} {:>8}", label, count);
+    }
+    println!(
+        "\ndegraded serving: {} fault sheds | {} fan-out legs shed | \
+         {} partial answers | {} answered through the storm",
+        chaos_report.fault_shed,
+        chaos_report.legs_shed,
+        chaos_report.degraded,
+        chaos_report.answered
+    );
+    assert!(
+        chaos_report.fault_shed > 0,
+        "crash windows must surface as fault sheds"
+    );
+    assert!(
+        chaos_report.legs_shed > 0 && chaos_report.degraded > 0,
+        "the district crash must shed fan-out legs into partial answers"
+    );
+    assert!(
+        chaos_report.answered > chaos_report.issued / 2,
+        "the city must keep answering through the storm"
+    );
+    assert!(
+        summary.get("hole-punched").copied().unwrap_or(0) > 0
+            && summary.get("hole-healed").copied().unwrap_or(0) > 0,
+        "corruption coins must punch sketch holes and anti-entropy must heal them"
+    );
+
+    // Hole-free ledgers after healing, at every upper tier, both in the
+    // ledgers themselves and in the timeline's punch/heal pairing.
+    let city = chaos_engine.city();
+    for d in 0..city.district_count() {
+        assert!(
+            city.fog2(d).sketches().holes_sorted().is_empty(),
+            "fog-2 district {d} ledger must be hole-free after anti-entropy"
+        );
+        assert!(
+            city.timeline()
+                .unhealed_holes(ChaosSite::Fog2(d))
+                .is_empty(),
+            "timeline must pair every fog-2 d{d} punch with a heal"
+        );
+    }
+    assert!(
+        city.cloud().sketches().holes_sorted().is_empty(),
+        "cloud ledger must be hole-free after anti-entropy"
+    );
+    assert!(
+        city.timeline().unhealed_holes(ChaosSite::Cloud).is_empty(),
+        "timeline must pair every cloud punch with a heal"
+    );
+
+    // Zero correctness divergence: settled aggregates (which ride the
+    // healed sketch plane when they can) must equal the raw archive's
+    // record count, both at the crashed section and across the crashed
+    // district.
+    let settle = (storm_end / 900) * 900;
+    let heal_now = storm_end + 601;
+    let crashed_district = chaos_engine.city().district_of(5);
+    let probes = [
+        (5usize, Scope::Section(5)),
+        (5, Scope::District(crashed_district)),
+    ];
+    for (origin, scope) in probes {
+        let agg_probe = Query {
+            origin,
+            class: ServiceClass::Dashboard,
+            selector: Selector::Category(Category::Urban),
+            scope,
+            window: TimeWindow::new(3_600, settle),
+            kind: QueryKind::Aggregate,
+        };
+        let raw_probe = Query {
+            class: ServiceClass::Analytics,
+            kind: QueryKind::Range,
+            ..agg_probe
+        };
+        let agg = match chaos_engine
+            .serve_sync(&agg_probe, heal_now)
+            .expect("serves")
+        {
+            Outcome::Answered(resp) => resp,
+            other => panic!("healed aggregate must answer, got {other:?}"),
+        };
+        let raw = match chaos_engine
+            .serve_sync(&raw_probe, heal_now + 1)
+            .expect("serves")
+        {
+            Outcome::Answered(resp) => resp,
+            other => panic!("raw cross-check must answer, got {other:?}"),
+        };
+        let count = match &agg.answer {
+            f2c_query::QueryAnswer::Aggregate(a) => a.count,
+            other => panic!("expected an aggregate, got {other:?}"),
+        };
+        let records = match &raw.answer {
+            f2c_query::QueryAnswer::Records(recs) => recs.len() as u64,
+            other => panic!("expected records, got {other:?}"),
+        };
+        assert_eq!(
+            count, records,
+            "healed aggregate must equal the raw archive count ({scope:?})"
+        );
+    }
+    println!(
+        "-> the storm shed load and punched holes; healing left every ledger \
+         hole-free and every settled aggregate equal to the raw archive. SHAPE OK"
     );
 }

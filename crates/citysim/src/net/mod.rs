@@ -74,6 +74,30 @@ impl Network {
         self.failures = failures;
     }
 
+    /// Read access to the installed failure plan.
+    pub fn failures(&self) -> &FailurePlan {
+        &self.failures
+    }
+
+    /// Mutable access to the installed failure plan, for incremental
+    /// chaos injection (adding outage windows to a live plan).
+    pub fn failures_mut(&mut self) -> &mut FailurePlan {
+        &mut self.failures
+    }
+
+    /// Whether a route from `from` to `to` exists with every hop outside
+    /// its outage window and both endpoints up at `at`. A reachability
+    /// probe: nothing is metered and no loss coin is drawn.
+    pub fn path_is_up(&self, from: NodeId, to: NodeId, at: SimTime) -> bool {
+        if self.failures.node_is_down(from, at) || self.failures.node_is_down(to, at) {
+            return false;
+        }
+        match self.topo.route(from, to) {
+            Ok(path) => path.iter().all(|&l| !self.failures.is_down(l, at)),
+            Err(_) => false,
+        }
+    }
+
     /// The underlying topology.
     pub fn topology(&self) -> &Topology {
         &self.topo

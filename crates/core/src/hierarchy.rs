@@ -5,11 +5,14 @@
 //! is metered on the simulated network.
 
 use citysim::barcelona::{BarcelonaTopology, LatencyProfile, DISTRICTS};
+use citysim::net::FailurePlan;
 use citysim::time::{Duration, SimTime};
+use citysim::NodeId;
 use scc_dlc::DataRecord;
 use scc_sensors::{Catalog, Reading, SensorType};
 
 use crate::cost::{AccessCostModel, AccessOption};
+use crate::incident::{ChaosSite, IncidentKind, IncidentTimeline};
 use crate::node::{F2cNode, IngestOutcome};
 use crate::policy::{FlushPolicy, RetentionPolicy};
 use crate::{Error, Result};
@@ -45,6 +48,28 @@ pub enum FanoutLeg {
     Fog2(usize),
 }
 
+/// Outcome of one anti-entropy round: what happened to every coverage
+/// hole the fog-2 and cloud ledgers carried into it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealReport {
+    /// Holes closed by a targeted re-shipment of the shipper's
+    /// authoritative partial.
+    pub healed: u64,
+    /// Holes carried to the next round: the healing node or its source
+    /// was crashed/unreachable, or the source is itself still holed.
+    pub blocked: u64,
+    /// Holes with no surviving source copy (the shipper compacted the
+    /// bucket away); they retire only with the compaction watermark.
+    pub impossible: u64,
+}
+
+impl HealReport {
+    /// Whether every hole seen this round was healed.
+    pub fn clean(&self) -> bool {
+        self.blocked == 0 && self.impossible == 0
+    }
+}
+
 /// Result of a data fetch.
 #[derive(Debug, Clone)]
 pub struct FetchOutcome {
@@ -73,6 +98,8 @@ pub struct F2cCity {
     /// Cumulative wire bytes of the pre-folded partials shipped per hop
     /// alongside the raw batches (the sketch channel's cost).
     sketch_flush_bytes: [u64; 2],
+    /// Every injected fault and its downstream effects, per node.
+    timeline: IncidentTimeline,
 }
 
 impl F2cCity {
@@ -114,6 +141,7 @@ impl F2cCity {
             flush_epoch: 0,
             raw_flush_bytes: [0; 2],
             sketch_flush_bytes: [0; 2],
+            timeline: IncidentTimeline::new(),
         })
     }
 
@@ -155,6 +183,94 @@ impl F2cCity {
     /// The §IV.C access cost model (shared with the query planner).
     pub fn cost_model(&self) -> &AccessCostModel {
         &self.cost
+    }
+
+    /// Installs a chaos-plane failure plan on the simulated network
+    /// (node crash windows, link outages, flush-shipment loss and
+    /// corruption coins).
+    pub fn set_failures(&mut self, plan: FailurePlan) {
+        self.city.network_mut().set_failures(plan);
+    }
+
+    /// Read access to the installed failure plan.
+    pub fn failures(&self) -> &FailurePlan {
+        self.city.network().failures()
+    }
+
+    /// Adds a crash window for a site's node to the installed failure
+    /// plan, without callers having to know simulated-network node ids.
+    pub fn inject_node_outage(&mut self, site: ChaosSite, from_s: u64, until_s: u64) {
+        let node = self.site_node(site);
+        self.city.network_mut().failures_mut().add_node_outage(
+            node,
+            SimTime::from_secs(from_s),
+            SimTime::from_secs(until_s),
+        );
+    }
+
+    /// The queryable per-node incident timeline: every injected fault
+    /// and its downstream effects, in deterministic replay order.
+    pub fn timeline(&self) -> &IncidentTimeline {
+        &self.timeline
+    }
+
+    /// Records an incident. The query engine reports its fault sheds,
+    /// shed fan-out legs and reroutes here, so one timeline spans the
+    /// flush, sketch *and* query planes.
+    pub fn record_incident(&mut self, at_s: u64, site: ChaosSite, kind: IncidentKind) {
+        self.timeline.record(at_s, site, kind);
+    }
+
+    /// The simulated network node hosting a site.
+    fn site_node(&self, site: ChaosSite) -> NodeId {
+        match site {
+            ChaosSite::Fog1(s) => self.city.fog1_nodes()[s],
+            ChaosSite::Fog2(d) => self.city.fog2_nodes()[d],
+            ChaosSite::Cloud => self.city.cloud(),
+        }
+    }
+
+    /// Whether a site's node sits inside an injected crash window.
+    pub fn site_is_down(&self, site: ChaosSite, now_s: u64) -> bool {
+        self.city
+            .network()
+            .failures()
+            .node_is_down(self.site_node(site), SimTime::from_secs(now_s))
+    }
+
+    /// Whether a planned serve of `source` to a consumer at `section`
+    /// can currently run: both endpoints outside crash windows and every
+    /// link of the route outside its outage window. A pure reachability
+    /// probe — no loss coin is drawn, nothing is metered.
+    pub fn source_available(&self, section: usize, source: DataSource, now_s: u64) -> bool {
+        let at = SimTime::from_secs(now_s);
+        let requester = self.city.fog1_nodes()[section];
+        let net = self.city.network();
+        let source_node = match source {
+            // Local serves (and a warm-sketch merge at the requester's
+            // own ledger) only need the requester itself alive.
+            DataSource::Local => return !net.failures().node_is_down(requester, at),
+            DataSource::WarmSketch(s) if s == section => {
+                return !net.failures().node_is_down(requester, at)
+            }
+            DataSource::Neighbor(n) | DataSource::WarmSketch(n) => self.city.fog1_nodes()[n],
+            DataSource::Parent => self.city.fog2_nodes()[self.city.district_of(section)],
+            DataSource::RemoteFog2(d) => self.city.fog2_nodes()[d],
+            DataSource::Cloud => self.city.cloud(),
+        };
+        net.path_is_up(requester, source_node, at)
+    }
+
+    /// Whether one scatter-gather leg is reachable from the gather node
+    /// (the fog-2 of the requester's district) at `now_s`.
+    pub fn leg_available(&self, section: usize, leg: FanoutLeg, now_s: u64) -> bool {
+        let at = SimTime::from_secs(now_s);
+        let gather = self.city.fog2_nodes()[self.city.district_of(section)];
+        let node = match leg {
+            FanoutLeg::Fog1(s) => self.city.fog1_nodes()[s],
+            FanoutLeg::Fog2(d) => self.city.fog2_nodes()[d],
+        };
+        self.city.network().path_is_up(gather, node, at)
     }
 
     /// District of a section (0..73 → 0..10).
@@ -295,12 +411,56 @@ impl F2cCity {
         readings: Vec<Reading>,
         now_s: u64,
     ) -> Result<IngestOutcome> {
+        // A crashed fog-1 node loses the wave at the edge: neither the
+        // raw store nor the sketch plane ever sees these readings, so
+        // every later answer stays consistent with the surviving stream.
+        if self.site_is_down(ChaosSite::Fog1(section), now_s) {
+            let offered = readings.len() as u64;
+            self.timeline.record(
+                now_s,
+                ChaosSite::Fog1(section),
+                IncidentKind::IngestLost { readings: offered },
+            );
+            return Ok(IngestOutcome {
+                offered,
+                ..IngestOutcome::default()
+            });
+        }
         self.fog1[section].ingest_wave(readings, now_s, &self.catalog)
     }
 
+    /// Gate one flush hop through the chaos plane. `Some(kind)` means the
+    /// wave must not ship this turn: the child's `flush()` is never
+    /// called, so its records stay *pending* in its store and the
+    /// completeness frontiers above it honestly lag — deferral degrades
+    /// availability, never correctness.
+    fn flush_gate(&self, from: NodeId, to: NodeId, now_s: u64) -> Option<IncidentKind> {
+        let at = SimTime::from_secs(now_s);
+        let failures = self.city.network().failures();
+        if failures.node_is_down(from, at) {
+            return Some(IncidentKind::NodeDown);
+        }
+        if !self.city.network().path_is_up(from, to, at) {
+            return Some(IncidentKind::FlushBlocked);
+        }
+        if failures.shipment_lost(from, self.flush_epoch) {
+            return Some(IncidentKind::ShipmentLost);
+        }
+        None
+    }
+
     /// Flushes every fog-1 node to its parent and every fog-2 node to the
-    /// cloud, shipping over the metered network. Returns the accounting
-    /// bytes shipped at each tier.
+    /// cloud, shipping over the metered network, then runs one
+    /// [`F2cCity::anti_entropy`] round so coverage holes punched by this
+    /// wave (or carried from earlier ones) start healing immediately.
+    /// Returns the accounting bytes shipped at each tier.
+    ///
+    /// Every hop first passes the chaos gate: a crashed child skips its
+    /// turn, an unreachable parent or a lost shipment defers the whole
+    /// wave (the batch is never taken, so nothing is lost — it re-ships
+    /// on the next healthy wave), and a corruption coin may damage one
+    /// encoded partial in flight, punching a coverage hole at the
+    /// receiver. Each gate verdict lands on the incident timeline.
     ///
     /// # Errors
     ///
@@ -309,8 +469,15 @@ impl F2cCity {
         self.flush_epoch += 1;
         let mut fog1_bytes = 0;
         for i in 0..self.fog1.len() {
-            let batch = self.fog1[i].flush(now_s, &self.catalog)?;
             let district = self.city.district_of(i);
+            let from = self.city.fog1_nodes()[i];
+            let to = self.city.parent_of(i);
+            if let Some(kind) = self.flush_gate(from, to, now_s) {
+                self.timeline.record(now_s, ChaosSite::Fog1(i), kind);
+                continue;
+            }
+            let mut batch = self.fog1[i].flush(now_s, &self.catalog)?;
+            self.corrupt_in_flight(&mut batch, from, ChaosSite::Fog2(district), now_s);
             // The sketch shipment (pre-folded partials + seal frontiers)
             // always reaches the parent — an idle section still seals.
             // Its bytes ride the flush envelope and are accounted on the
@@ -323,8 +490,6 @@ impl F2cCity {
                 continue;
             }
             fog1_bytes += batch.acct_bytes;
-            let from = self.city.fog1_nodes()[i];
-            let to = self.city.parent_of(i);
             self.city.network_mut().send(
                 from,
                 to,
@@ -335,17 +500,27 @@ impl F2cCity {
         }
         let mut fog2_bytes = 0;
         for d in 0..self.fog2.len() {
-            let batch = self.fog2[d].flush(now_s, &self.catalog)?;
+            let from = self.city.fog2_nodes()[d];
+            let to = self.city.cloud();
+            if let Some(kind) = self.flush_gate(from, to, now_s) {
+                self.timeline.record(now_s, ChaosSite::Fog2(d), kind);
+                continue;
+            }
+            let mut batch = self.fog2[d].flush(now_s, &self.catalog)?;
+            self.corrupt_in_flight(&mut batch, from, ChaosSite::Cloud, now_s);
             self.sketch_flush_bytes[1] += batch.sketch_bytes;
             self.raw_flush_bytes[1] += batch.acct_bytes;
+            // Holes relayed from below punch again at the cloud.
+            for &key in &batch.holes {
+                self.timeline
+                    .record(now_s, ChaosSite::Cloud, IncidentKind::HolePunched { key });
+            }
             self.cloud
                 .receive_sketches(&batch.sketches, &batch.seals, &batch.holes);
             if batch.records.is_empty() {
                 continue;
             }
             fog2_bytes += batch.acct_bytes;
-            let from = self.city.fog2_nodes()[d];
-            let to = self.city.cloud();
             self.city.network_mut().send(
                 from,
                 to,
@@ -354,7 +529,155 @@ impl F2cCity {
             )?;
             self.cloud.receive(batch.records, now_s);
         }
+        // The cloud never flushes (no parent), so the wave runs its
+        // sketch-horizon compaction here — otherwise its ledger and hole
+        // set would grow for the lifetime of the deployment.
+        self.cloud.compact_sketches(now_s);
+        self.anti_entropy(now_s);
         Ok((fog1_bytes, fog2_bytes))
+    }
+
+    /// Draws the in-flight corruption coin for one shipped batch and, on
+    /// a hit, flips a byte in one encoded partial. The receiver's CRC
+    /// check will refuse it and punch a coverage hole; both effects are
+    /// recorded at the *receiving* site.
+    fn corrupt_in_flight(
+        &mut self,
+        batch: &mut crate::node::FlushBatch,
+        sender: NodeId,
+        receiver: ChaosSite,
+        now_s: u64,
+    ) {
+        let failures = self.city.network().failures();
+        let Some(idx) = failures.corrupted_sketch(sender, self.flush_epoch, batch.sketches.len())
+        else {
+            return;
+        };
+        let (key, bytes) = &mut batch.sketches[idx];
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let key = *key;
+        self.timeline
+            .record(now_s, receiver, IncidentKind::SketchCorrupted { key });
+        self.timeline
+            .record(now_s, receiver, IncidentKind::HolePunched { key });
+    }
+
+    /// One anti-entropy round: every coverage hole in the fog-2 and
+    /// cloud ledgers — the seal-frontier diff made concrete: buckets the
+    /// seal advanced past without a surviving fold — is healed by a
+    /// targeted re-shipment of the shipper's authoritative ledger entry.
+    ///
+    /// Phase 1 heals each fog-2 from the fog-1 shippers below it; phase
+    /// 2 heals the cloud from the fog-2 tier, so a district healed in
+    /// phase 1 can serve as a source in the same round. A heal
+    /// *replaces* the receiver's entry (the shipper's ledger is the full
+    /// fold for its section, merging a fragment would double-count) and
+    /// drops any relay still queued for the key (the full fold subsumes
+    /// it). Holes whose source is crashed, unreachable, or itself still
+    /// holed carry to the next round; holes whose source has compacted
+    /// the bucket away can only retire with the watermark. Re-shipments
+    /// are metered on the network and on the sketch channel.
+    ///
+    /// [`F2cCity::flush_all`] runs a round after every wave; with no
+    /// holes it is a no-op.
+    pub fn anti_entropy(&mut self, now_s: u64) -> HealReport {
+        let at = SimTime::from_secs(now_s);
+        let mut report = HealReport::default();
+        for d in 0..self.fog2.len() {
+            let holes = self.fog2[d].sketches().holes_sorted();
+            if holes.is_empty() {
+                continue;
+            }
+            let to = self.city.fog2_nodes()[d];
+            if self.city.network().failures().node_is_down(to, at) {
+                // A crashed node runs no heal round; its holes carry.
+                report.blocked += holes.len() as u64;
+                continue;
+            }
+            for key in holes {
+                let section = key.section as usize;
+                let from = self.city.fog1_nodes()[section];
+                let site = ChaosSite::Fog2(d);
+                let Some((partial, _)) = self.fog1[section].sketches().entry(&key) else {
+                    report.impossible += 1;
+                    self.timeline
+                        .record(now_s, site, IncidentKind::HealImpossible { key });
+                    continue;
+                };
+                let encoded = partial.encode();
+                if !self.city.network().path_is_up(from, to, at)
+                    || self
+                        .city
+                        .network_mut()
+                        .send(from, to, encoded.len() as u64, at)
+                        .is_err()
+                {
+                    report.blocked += 1;
+                    self.timeline
+                        .record(now_s, site, IncidentKind::HealBlocked { key });
+                    continue;
+                }
+                self.sketch_flush_bytes[0] += encoded.len() as u64;
+                if self.fog2[d].heal_sketch(key, &encoded) {
+                    report.healed += 1;
+                    self.timeline
+                        .record(now_s, site, IncidentKind::HoleHealed { key });
+                }
+            }
+        }
+        let cloud_holes = self.cloud.sketches().holes_sorted();
+        if cloud_holes.is_empty() {
+            return report;
+        }
+        let to = self.city.cloud();
+        if self.city.network().failures().node_is_down(to, at) {
+            report.blocked += cloud_holes.len() as u64;
+            return report;
+        }
+        for key in cloud_holes {
+            let d = self.city.district_of(key.section as usize);
+            let from = self.city.fog2_nodes()[d];
+            let site = ChaosSite::Cloud;
+            if self.fog2[d].sketches().is_hole(&key) {
+                // Healing from a still-holed source would launder the
+                // hole into silently wrong data; wait for phase 1.
+                report.blocked += 1;
+                self.timeline
+                    .record(now_s, site, IncidentKind::HealBlocked { key });
+                continue;
+            }
+            let Some((partial, _)) = self.fog2[d].sketches().entry(&key) else {
+                report.impossible += 1;
+                self.timeline
+                    .record(now_s, site, IncidentKind::HealImpossible { key });
+                continue;
+            };
+            let encoded = partial.encode();
+            if !self.city.network().path_is_up(from, to, at)
+                || self
+                    .city
+                    .network_mut()
+                    .send(from, to, encoded.len() as u64, at)
+                    .is_err()
+            {
+                report.blocked += 1;
+                self.timeline
+                    .record(now_s, site, IncidentKind::HealBlocked { key });
+                continue;
+            }
+            self.sketch_flush_bytes[1] += encoded.len() as u64;
+            if self.cloud.heal_sketch(key, &encoded) {
+                // The heal shipped the district's full current fold, which
+                // subsumes any increment still queued for upward relay —
+                // relaying it afterwards would double-count.
+                self.fog2[d].drop_queued_relay(&key);
+                report.healed += 1;
+                self.timeline
+                    .record(now_s, site, IncidentKind::HoleHealed { key });
+            }
+        }
+        report
     }
 
     /// Ring distance between two sections of the same district.

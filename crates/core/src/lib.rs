@@ -23,6 +23,8 @@
 //!   single sources, plus scatter-gather pricing (max over concurrent
 //!   fan-out legs + per-leg merge/admission overhead + last-hop
 //!   delivery),
+//! * [`incident`] — the chaos plane's queryable per-node incident
+//!   timeline (injected faults and their downstream effects),
 //! * [`request`] — data-access latency: fog-local vs cloud round trips,
 //!   including the centralized "two transfers through the same path" effect
 //!   (§IV.D),
@@ -44,6 +46,7 @@ pub mod baseline;
 pub mod cost;
 mod error;
 pub mod hierarchy;
+pub mod incident;
 pub mod layer;
 pub mod node;
 pub mod placement;
@@ -56,7 +59,8 @@ pub mod store;
 pub mod traffic;
 
 pub use error::{Error, Result};
-pub use hierarchy::{DataSource, F2cCity, FanoutLeg, FetchOutcome};
+pub use hierarchy::{DataSource, F2cCity, FanoutLeg, FetchOutcome, HealReport};
+pub use incident::{ChaosSite, Incident, IncidentKind, IncidentTimeline};
 pub use layer::Layer;
 pub use node::{F2cNode, FlushBatch, IngestOutcome, SKETCH_BUCKET_S, SKETCH_RETENTION_S};
 pub use policy::{FlushPolicy, RetentionPolicy};

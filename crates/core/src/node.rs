@@ -303,6 +303,40 @@ impl F2cNode {
         refused
     }
 
+    /// Installs an authoritative re-shipped partial over a coverage hole
+    /// (the anti-entropy heal path): CRC-verified, *replaces* whatever
+    /// fragment the ledger holds for the bucket — the shipper's own
+    /// ledger entry is the full fold for its section, so merging would
+    /// double-count — and clears the hole. Returns whether a hole was
+    /// actually cleared; a heal below the compaction watermark or a
+    /// corrupt re-shipment leaves the ledger untouched and returns
+    /// `false`.
+    pub fn heal_sketch(&mut self, key: SketchKey, bytes: &[u8]) -> bool {
+        self.sketches
+            .heal_encoded(key, bytes, self.flush_seq)
+            .unwrap_or(false)
+    }
+
+    /// Drops any partial queued for upward relay at `key` (fog-2 only;
+    /// a no-op elsewhere). Called after an anti-entropy heal shipped
+    /// this node's full current fold upward: the queued increment is
+    /// subsumed by it, and relaying it afterwards would double-count at
+    /// the parent.
+    pub fn drop_queued_relay(&mut self, key: &SketchKey) {
+        self.sketch_relay.remove(key);
+    }
+
+    /// Applies the sketch-horizon compaction that [`F2cNode::flush`]
+    /// runs for fog nodes. The cloud never flushes (it has no parent),
+    /// so without this its ledger — and its coverage-hole set — would
+    /// grow without bound; [`crate::F2cCity::flush_all`] calls it on
+    /// the cloud every wave. Returns how many bucket entries were
+    /// dropped; holes below the watermark retire with them.
+    pub fn compact_sketches(&mut self, now_s: u64) -> usize {
+        self.sketches
+            .evict_older_than(now_s.saturating_sub(SKETCH_RETENTION_S))
+    }
+
     /// Ingests one wave of raw sensor readings (fog-1 only): runs the
     /// acquisition block and stores the surviving records locally.
     ///

@@ -34,6 +34,12 @@ pub enum ShedCause {
     /// exceeds the class's deadline budget; executing it would waste
     /// capacity on an answer that misses its SLO.
     Deadline,
+    /// An injected fault made the planned route unserveable: the source
+    /// node is inside a crash window, its path crosses a link outage, or
+    /// the transfer was lost in transit. Degradation by availability —
+    /// the query is rerouted when a fallback fits the deadline budget,
+    /// shed otherwise, never answered incompletely without saying so.
+    Fault,
 }
 
 impl ShedCause {
@@ -42,6 +48,7 @@ impl ShedCause {
         match self {
             ShedCause::Capacity => "capacity",
             ShedCause::Deadline => "deadline",
+            ShedCause::Fault => "fault",
         }
     }
 }
@@ -222,10 +229,18 @@ impl ClassLedger {
         }
     }
 
-    /// Releases previously acquired slots.
+    /// Releases previously acquired slots. Saturating: releasing more
+    /// than is in flight clamps at zero rather than wrapping capacity
+    /// open — and debug builds assert, so a double-release surfaces in
+    /// tests instead of silently corrupting the accounting.
     pub fn release(&mut self, class: ServiceClass, held: [u32; 3]) {
         for (i, &count) in held.iter().enumerate() {
             let c = &mut self.in_flight[i][class.index()];
+            debug_assert!(
+                *c >= count,
+                "double release: {count} {class} slots given back at layer {i} \
+                 with only {c} in flight"
+            );
             *c = c.saturating_sub(count);
         }
     }

@@ -31,7 +31,7 @@
 use citysim::time::Duration;
 use f2c_core::cost::AccessOption;
 use f2c_core::node::IngestOutcome;
-use f2c_core::{DataSource, F2cCity, FanoutLeg, Layer, TieredStore};
+use f2c_core::{ChaosSite, DataSource, F2cCity, FanoutLeg, IncidentKind, Layer, TieredStore};
 use f2c_qos::{ClassLedger, QosPolicy, ServiceClass, ShedCause, CLASS_COUNT};
 use scc_dlc::DataRecord;
 use scc_sensors::Reading;
@@ -125,6 +125,34 @@ pub enum ServedVia {
     },
 }
 
+/// How much of the planned coverage an answer actually represents.
+///
+/// The chaos plane's degradation invariant: injected faults remove
+/// *sources*, never records from surviving sources — so a degraded
+/// scatter-gather returns the exact answer over its surviving legs,
+/// annotated `Partial`, instead of erroring or silently passing off a
+/// subset as the whole. Partial answers are never cached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completeness {
+    /// Every planned source contributed.
+    Complete,
+    /// Injected faults removed part of the fan-out; the answer covers
+    /// exactly the surviving legs.
+    Partial {
+        /// Legs shed because their node was crashed or unreachable.
+        legs_shed: u32,
+        /// Legs the plan wanted.
+        legs_total: u32,
+    },
+}
+
+impl Completeness {
+    /// Whether every planned source contributed.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Completeness::Complete)
+    }
+}
+
 /// Per-layer admission slots an in-flight response occupies until
 /// [`QueryEngine::release_held`], tagged with the service class whose
 /// quota they charge. Single-source store executions hold one slot;
@@ -215,6 +243,9 @@ pub struct QueryResponse {
     /// [`QueryEngine::release_held`] (store executions only; cache hits
     /// hold nothing).
     pub held: HeldSlots,
+    /// Whether every planned source contributed, or faults degraded the
+    /// answer to its surviving legs.
+    pub completeness: Completeness,
 }
 
 /// What happened to one served query.
@@ -253,6 +284,9 @@ pub struct ClassStats {
     /// Queries whose planned route was saturated but which were served
     /// by the in-budget fallback route instead of shedding.
     pub rerouted: u64,
+    /// Queries shed because an injected fault made every viable route
+    /// unserveable ([`ShedCause::Fault`]).
+    pub fault_shed: u64,
     /// Answered queries whose estimated latency met the class deadline.
     pub slo_met: u64,
 }
@@ -285,6 +319,7 @@ impl ClassStats {
             shed: self.shed - earlier.shed,
             deadline_shed: self.deadline_shed - earlier.deadline_shed,
             rerouted: self.rerouted - earlier.rerouted,
+            fault_shed: self.fault_shed - earlier.fault_shed,
             slo_met: self.slo_met - earlier.slo_met,
         }
     }
@@ -338,6 +373,14 @@ pub struct EngineStats {
     pub scatter_wins: u64,
     /// Contested routes the single-source cloud read won.
     pub cloud_wins: u64,
+    /// Queries shed because an injected fault left no viable route
+    /// (origin crashed, every source unreachable, or a transfer lost).
+    pub fault_shed: u64,
+    /// Scatter-gather legs dropped from fan-outs because their node was
+    /// crashed or unreachable.
+    pub legs_shed: u64,
+    /// Answered queries degraded to [`Completeness::Partial`].
+    pub degraded: u64,
 }
 
 impl EngineStats {
@@ -411,6 +454,12 @@ impl QueryEngine {
     /// The wrapped city.
     pub fn city(&self) -> &F2cCity {
         &self.city
+    }
+
+    /// Mutable access to the wrapped city, for chaos-plane fault
+    /// injection between serving phases.
+    pub fn city_mut(&mut self) -> &mut F2cCity {
+        &mut self.city
     }
 
     /// Serving counters so far.
@@ -507,6 +556,14 @@ impl QueryEngine {
         self.stats.requests += 1;
         self.stats.per_class[class.index()].requests += 1;
         self.served_frontier_s = self.served_frontier_s.max(now_s);
+
+        // 0. Chaos gate at the origin: a crashed fog-1 node serves
+        // nothing — not even its edge cache. The query degrades to an
+        // attributable fault shed, never to a wrong answer.
+        if self.city.site_is_down(ChaosSite::Fog1(query.origin), now_s) {
+            return Ok(self.fault_shed(query, Layer::Fog1, now_s));
+        }
+
         let key = CacheKey::from(query);
         // Flush epoch plus local invalidations: both only grow, so any
         // bump strictly outdates every previously stamped entry.
@@ -524,6 +581,7 @@ impl QueryEngine {
                 via: ServedVia::EdgeCache,
                 response_bytes: bytes,
                 held: HeldSlots::none(),
+                completeness: Completeness::Complete,
                 answer,
             }));
         }
@@ -577,12 +635,25 @@ impl QueryEngine {
                             self.serve_choice(query, fb, key, epoch, now_s)?
                         {
                             self.stats.per_class[class.index()].rerouted += 1;
+                            if cause == ShedCause::Fault {
+                                // A fault rescue, not a capacity one:
+                                // the timeline attributes the detour.
+                                self.city.record_incident(
+                                    now_s,
+                                    ChaosSite::Fog1(query.origin),
+                                    IncidentKind::Reroute,
+                                );
+                            }
                             return Ok(Outcome::Answered(resp));
                         }
                     }
                 }
                 // Terminal shed (the fallback, if any, was over budget
-                // or saturated too): account it at the planned layer.
+                // or saturated too): account it at the planned layer,
+                // under the cause the planned route refused for.
+                if cause == ShedCause::Fault {
+                    return Ok(self.fault_shed(query, layer, now_s));
+                }
                 self.stats.shed[layer.index()] += 1;
                 self.stats.per_class[class.index()].shed += 1;
                 Ok(Outcome::Shed {
@@ -591,6 +662,24 @@ impl QueryEngine {
                     cause,
                 })
             }
+        }
+    }
+
+    /// Accounts a terminal [`ShedCause::Fault`] shed and lands it on the
+    /// incident timeline, so every refused query under chaos is
+    /// attributable to an injected fault.
+    fn fault_shed(&mut self, query: &Query, layer: Layer, now_s: u64) -> Outcome {
+        self.stats.fault_shed += 1;
+        self.stats.per_class[query.class.index()].fault_shed += 1;
+        self.city.record_incident(
+            now_s,
+            ChaosSite::Fog1(query.origin),
+            IncidentKind::RouteFault,
+        );
+        Outcome::Shed {
+            layer,
+            class: query.class,
+            cause: ShedCause::Fault,
         }
     }
 
@@ -631,6 +720,16 @@ impl QueryEngine {
         now_s: u64,
     ) -> Result<Outcome> {
         let class = query.class;
+        // Chaos gate: a crashed or unreachable source can serve nothing
+        // — not even its result cache. Shed as a fault; the caller may
+        // still rescue the query onto the fallback route.
+        if !self.city.source_available(query.origin, plan.source, now_s) {
+            return Ok(Outcome::Shed {
+                layer: plan.layer,
+                class,
+                cause: ShedCause::Fault,
+            });
+        }
         // 3. Source cache at the planned node: pays the route, skips the scan.
         if let Some(answer) = self
             .source_cache(plan.source, query.origin)
@@ -638,13 +737,25 @@ impl QueryEngine {
         {
             self.stats.source_hits += 1;
             let bytes = answer.response_bytes();
-            self.city.meter_query(
-                query.origin,
-                plan.source,
-                self.cfg.request_bytes,
-                bytes,
-                now_s,
-            )?;
+            if self
+                .city
+                .meter_query(
+                    query.origin,
+                    plan.source,
+                    self.cfg.request_bytes,
+                    bytes,
+                    now_s,
+                )
+                .is_err()
+            {
+                // The transfer was lost in flight (loss coin): degrade
+                // to a fault shed instead of surfacing an error.
+                return Ok(Outcome::Shed {
+                    layer: plan.layer,
+                    class,
+                    cause: ShedCause::Fault,
+                });
+            }
             if self.cacheable(query, now_s, bytes) {
                 self.edge[query.origin].put(key, answer.clone(), now_s, epoch);
             }
@@ -656,6 +767,7 @@ impl QueryEngine {
                 via: ServedVia::SourceCache(plan.source),
                 response_bytes: bytes,
                 held: HeldSlots::none(),
+                completeness: Completeness::Complete,
                 answer,
             }));
         }
@@ -694,17 +806,25 @@ impl QueryEngine {
         let bytes = answer.response_bytes();
         let est_latency = self.city.cost_model().cost(plan.option, bytes)
             + Duration::from_micros(self.cfg.scan_cost_per_record_us * visited);
-        if let Err(e) = self.city.meter_query(
-            query.origin,
-            plan.source,
-            self.cfg.request_bytes,
-            bytes,
-            now_s,
-        ) {
-            // A metering failure aborts the response: give the slot back
-            // before surfacing the error.
+        if self
+            .city
+            .meter_query(
+                query.origin,
+                plan.source,
+                self.cfg.request_bytes,
+                bytes,
+                now_s,
+            )
+            .is_err()
+        {
+            // The response was lost in flight (loss coin): give the slot
+            // back and degrade to a fault shed instead of an error.
             self.ledger.release(class, held.slots());
-            return Err(e.into());
+            return Ok(Outcome::Shed {
+                layer: plan.layer,
+                class,
+                cause: ShedCause::Fault,
+            });
         }
         if self.cacheable(query, now_s, bytes) {
             self.source_cache(plan.source, query.origin)
@@ -720,6 +840,7 @@ impl QueryEngine {
             est_latency,
             response_bytes: bytes,
             held,
+            completeness: Completeness::Complete,
         }))
     }
 
@@ -732,19 +853,42 @@ impl QueryEngine {
         now_s: u64,
     ) -> Result<Outcome> {
         let class = query.class;
+        // Chaos gate at the gather node (the requester's fog-2): every
+        // leg and the final delivery route through it, so a crashed or
+        // unreachable gather sheds the whole fan-out as a fault.
+        if !self
+            .city
+            .source_available(query.origin, DataSource::Parent, now_s)
+        {
+            return Ok(Outcome::Shed {
+                layer: Layer::Fog2,
+                class,
+                cause: ShedCause::Fault,
+            });
+        }
         // 3. Result cache at the gather node (the requester's fog-2):
         // pays the parent hop, skips the whole fan-out.
         let gather = plan.gather_district;
         if let Some(answer) = self.src_fog2[gather].get(&key, now_s, epoch) {
             self.stats.source_hits += 1;
             let bytes = answer.response_bytes();
-            self.city.meter_query(
-                query.origin,
-                DataSource::Parent,
-                self.cfg.request_bytes,
-                bytes,
-                now_s,
-            )?;
+            if self
+                .city
+                .meter_query(
+                    query.origin,
+                    DataSource::Parent,
+                    self.cfg.request_bytes,
+                    bytes,
+                    now_s,
+                )
+                .is_err()
+            {
+                return Ok(Outcome::Shed {
+                    layer: Layer::Fog2,
+                    class,
+                    cause: ShedCause::Fault,
+                });
+            }
             if self.cacheable(query, now_s, bytes) {
                 self.edge[query.origin].put(key, answer.clone(), now_s, epoch);
             }
@@ -756,16 +900,53 @@ impl QueryEngine {
                 via: ServedVia::SourceCache(DataSource::Parent),
                 response_bytes: bytes,
                 held: HeldSlots::none(),
+                completeness: Completeness::Complete,
                 answer,
             }));
         }
 
-        // 4. Admission control: one class-tagged slot per leg at each
-        // leg's layer, acquired atomically — a refusal at any layer
-        // rolls back the slots already taken at the layers below, so a
-        // shed fan-out never leaks in-flight accounting.
+        // Chaos gate per leg: legs whose node is crashed or unreachable
+        // from the gather node are shed from the fan-out *before*
+        // admission — degraded answers never hold slots for work that
+        // cannot run. Surviving legs still produce an exact answer over
+        // their shards; the response is annotated `Partial` so the
+        // consumer knows which fraction of the plan it covers.
+        let legs_total = plan.legs.len() as u32;
+        let live: Vec<crate::planner::ScatterLeg> = plan
+            .legs
+            .iter()
+            .filter(|leg| self.city.leg_available(query.origin, leg.node, now_s))
+            .copied()
+            .collect();
+        let legs_shed = legs_total - live.len() as u32;
+        if legs_shed > 0 {
+            self.stats.legs_shed += u64::from(legs_shed);
+            for leg in plan.legs.iter() {
+                if !self.city.leg_available(query.origin, leg.node, now_s) {
+                    let site = match leg.node {
+                        FanoutLeg::Fog1(s) => ChaosSite::Fog1(s),
+                        FanoutLeg::Fog2(d) => ChaosSite::Fog2(d),
+                    };
+                    self.city
+                        .record_incident(now_s, site, IncidentKind::LegShed);
+                }
+            }
+        }
+        if live.is_empty() {
+            // Every leg is down: nothing survives to answer from.
+            return Ok(Outcome::Shed {
+                layer: Layer::Fog2,
+                class,
+                cause: ShedCause::Fault,
+            });
+        }
+
+        // 4. Admission control: one class-tagged slot per surviving leg
+        // at each leg's layer, acquired atomically — a refusal at any
+        // layer rolls back the slots already taken at the layers below,
+        // so a shed fan-out never leaks in-flight accounting.
         let mut held = HeldSlots::empty(class);
-        for leg in &plan.legs {
+        for leg in &live {
             held.add(leg.layer, 1);
         }
         if let Err(layer) = self.ledger.try_acquire(class, held.slots()) {
@@ -776,42 +957,59 @@ impl QueryEngine {
             });
         }
 
-        // 5. Execute every leg and merge at the gather node.
-        let (answer, leg_reports, slowest) = self.execute_scatter(query, plan, now_s, epoch);
+        // 5. Execute every surviving leg and merge at the gather node.
+        let (answer, leg_reports, slowest) = self.execute_scatter(query, &live, now_s, epoch);
         let visited: u64 = leg_reports.iter().map(|&(_, _, v)| v).sum();
         self.stats.records_scanned += visited;
         let bytes = answer.response_bytes();
         let est_latency = slowest
-            + self.city.cost_model().fanout_overhead(plan.legs.len())
+            + self.city.cost_model().fanout_overhead(live.len())
             + self.city.cost_model().cost(AccessOption::Parent, bytes);
         let metered: Vec<(FanoutLeg, u64)> = leg_reports
             .iter()
             .map(|&(node, leg_bytes, _)| (node, leg_bytes))
             .collect();
-        if let Err(e) =
-            self.city
-                .meter_fanout(query.origin, &metered, self.cfg.request_bytes, bytes, now_s)
+        if self
+            .city
+            .meter_fanout(query.origin, &metered, self.cfg.request_bytes, bytes, now_s)
+            .is_err()
         {
             self.ledger.release(class, held.slots());
-            return Err(e.into());
+            return Ok(Outcome::Shed {
+                layer: Layer::Fog2,
+                class,
+                cause: ShedCause::Fault,
+            });
         }
-        if self.cacheable(query, now_s, bytes) {
+        let completeness = if legs_shed == 0 {
+            Completeness::Complete
+        } else {
+            self.stats.degraded += 1;
+            Completeness::Partial {
+                legs_shed,
+                legs_total,
+            }
+        };
+        // Partial answers never enter a cache: a later healthy serve of
+        // the same window must not inherit a degraded one.
+        if completeness.is_complete() && self.cacheable(query, now_s, bytes) {
             self.src_fog2[gather].put(key, answer.clone(), now_s, epoch);
             self.edge[query.origin].put(key, answer.clone(), now_s, epoch);
         }
         self.stats.store_served += 1;
         self.stats.scatter_served += 1;
-        self.stats.scatter_legs += plan.legs.len() as u64;
+        self.stats.scatter_legs += live.len() as u64;
         self.record_answered(class, est_latency);
         Ok(Outcome::Answered(QueryResponse {
             answer,
             via: ServedVia::Scatter {
-                legs: plan.legs.len() as u32,
+                legs: live.len() as u32,
             },
             layer: Layer::Fog2,
             est_latency,
             response_bytes: bytes,
             held,
+            completeness,
         }))
     }
 
@@ -897,23 +1095,24 @@ impl QueryEngine {
         }
     }
 
-    /// Executes every fan-out leg against its shard and merges the
-    /// partial results ([`crate::scatter`]). Returns the merged answer,
-    /// a per-leg `(node, partial bytes, records visited)` report for
-    /// metering, and the slowest leg's transport + scan estimate.
+    /// Executes every given fan-out leg (the plan's legs, minus any the
+    /// chaos gate shed) against its shard and merges the partial results
+    /// ([`crate::scatter`]). Returns the merged answer, a per-leg
+    /// `(node, partial bytes, records visited)` report for metering, and
+    /// the slowest leg's transport + scan estimate.
     fn execute_scatter(
         &mut self,
         query: &Query,
-        plan: &ScatterPlan,
+        legs: &[crate::planner::ScatterLeg],
         now_s: u64,
         epoch: u64,
     ) -> (QueryAnswer, Vec<(FanoutLeg, u64, u64)>, Duration) {
-        let mut reports = Vec::with_capacity(plan.legs.len());
+        let mut reports = Vec::with_capacity(legs.len());
         let mut slowest = Duration::ZERO;
         let mut points = Vec::new();
         let mut ranges = Vec::new();
         let mut partial_legs = Vec::new();
-        for leg in &plan.legs {
+        for leg in legs {
             let shard = Query {
                 scope: leg.scope,
                 ..*query

@@ -78,8 +78,8 @@ pub mod scatter;
 pub mod workload;
 
 pub use engine::{
-    ClassStats, EngineConfig, EngineStats, HeldSlots, LayerCaps, Outcome, QueryEngine,
-    QueryResponse, ServedVia,
+    ClassStats, Completeness, EngineConfig, EngineStats, HeldSlots, LayerCaps, Outcome,
+    QueryEngine, QueryResponse, ServedVia,
 };
 pub use error::{Error, Result};
 pub use f2c_qos::{ClassLedger, ClassPolicy, QosPolicy, ShedCause};

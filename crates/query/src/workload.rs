@@ -234,6 +234,14 @@ pub struct WorkloadReport {
     pub sketch_served: u64,
     /// Scatter legs executed from warm sketches during the run.
     pub sketch_legs: u64,
+    /// Requests shed because an injected fault left no viable route
+    /// during the run.
+    pub fault_shed: u64,
+    /// Fan-out legs shed by injected faults during the run.
+    pub legs_shed: u64,
+    /// Answered requests degraded to partial completeness (surviving
+    /// legs only) during the run.
+    pub degraded: u64,
     /// Estimated-latency histograms per serving layer (fog 1, fog 2,
     /// cloud).
     pub latency_by_layer: [Histogram; 3],
@@ -627,6 +635,10 @@ pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<Workload
                             // hierarchy state changes (a flush, an
                             // eviction): abandon and come back later.
                             ShedCause::Deadline => at + next_think(&user, now_s, &mut rng),
+                            // A fault shed clears when the injected
+                            // outage window ends: abandon and retry
+                            // after a full think, like a deadline shed.
+                            ShedCause::Fault => at + next_think(&user, now_s, &mut rng),
                         }
                     }
                     Err(Error::Unanswerable { .. }) => {
@@ -674,6 +686,9 @@ pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<Workload
         partial_fills: stats.partial_fills - stats0.partial_fills,
         sketch_served: stats.sketch_served - stats0.sketch_served,
         sketch_legs: stats.sketch_legs - stats0.sketch_legs,
+        fault_shed: stats.fault_shed - stats0.fault_shed,
+        legs_shed: stats.legs_shed - stats0.legs_shed,
+        degraded: stats.degraded - stats0.degraded,
         latency_by_layer: hists,
         latency_by_class: class_hists,
         per_class,

@@ -1,0 +1,342 @@
+//! Chaos-plane integration: injected faults (node crash windows,
+//! flush-shipment loss, sketch corruption) degrade the hierarchy by
+//! *availability only* — deferred flush waves, lost edge ingest, punched
+//! coverage holes — and sketch anti-entropy heals every hole once the
+//! fault clears. The oracle throughout: a chaos city fed the surviving
+//! stream converges to byte-equal state with a fault-free control city
+//! fed the same stream, and every degradation is attributable to an
+//! injected fault through the incident timeline.
+
+use f2c_smartcity::citysim::net::FailurePlan;
+use f2c_smartcity::core::{ChaosSite, F2cCity, IncidentKind};
+use f2c_smartcity::sensors::{Reading, ReadingGenerator, SensorType};
+
+/// One deterministic sensor wave for a section at an instant.
+fn wave(section: usize, t: u64) -> Vec<Reading> {
+    let seed = (section as u64) * 1_000 + t;
+    ReadingGenerator::for_population(SensorType::Traffic, 30, seed).wave(t)
+}
+
+/// Ingest the same pre-generated waves into a city, skipping the waves a
+/// chaos run lost at a crashed edge node (`lost` holds `(section, t)`).
+fn ingest_waves(city: &mut F2cCity, waves: &[(usize, u64)], lost: &[(usize, u64)]) {
+    for &(section, t) in waves {
+        if lost.contains(&(section, t)) {
+            continue;
+        }
+        city.ingest(section, wave(section, t), t).expect("ingests");
+    }
+}
+
+#[test]
+fn crashed_edge_node_loses_ingest_and_records_it() {
+    let mut city = F2cCity::barcelona().unwrap();
+    city.set_failures(FailurePlan::with_seed(7));
+    city.inject_node_outage(ChaosSite::Fog1(3), 100, 200);
+
+    let out = city.ingest(3, wave(3, 150), 150).unwrap();
+    assert_eq!(out.offered, 30, "the wave was offered");
+    assert_eq!(out.stored, 0, "a crashed node stores nothing");
+    let lost: Vec<_> = city
+        .timeline()
+        .iter()
+        .filter(|i| matches!(i.kind, IncidentKind::IngestLost { .. }))
+        .collect();
+    assert_eq!(lost.len(), 1);
+    assert_eq!(lost[0].site, ChaosSite::Fog1(3));
+
+    // Outside the window the same node ingests normally.
+    let out = city.ingest(3, wave(3, 250), 250).unwrap();
+    assert!(out.stored > 0, "recovered node stores again");
+}
+
+#[test]
+fn crash_window_defers_the_flush_wave_then_catches_up_exactly() {
+    let waves: Vec<(usize, u64)> = vec![(0, 100), (0, 500), (5, 100), (5, 500)];
+
+    let mut chaos = F2cCity::barcelona().unwrap();
+    chaos.set_failures(FailurePlan::with_seed(7));
+    // Section 0's node is down across the first flush epoch only.
+    chaos.inject_node_outage(ChaosSite::Fog1(0), 800, 1_000);
+    ingest_waves(&mut chaos, &waves, &[]);
+
+    chaos.flush_all(900).unwrap();
+    let after_storm = chaos.cloud().store().len();
+    let deferred: Vec<_> = chaos
+        .timeline()
+        .at_site(ChaosSite::Fog1(0))
+        .into_iter()
+        .filter(|i| i.kind == IncidentKind::NodeDown)
+        .collect();
+    assert_eq!(deferred.len(), 1, "the crashed hop skipped its turn");
+
+    // Recovery: the next wave ships the deferred records; nothing lost.
+    chaos.flush_all(1_800).unwrap();
+    let mut control = F2cCity::barcelona().unwrap();
+    ingest_waves(&mut control, &waves, &[]);
+    control.flush_all(900).unwrap();
+    control.flush_all(1_800).unwrap();
+
+    assert!(after_storm < control.cloud().store().len());
+    assert_eq!(
+        chaos.cloud().store().len(),
+        control.cloud().store().len(),
+        "a deferred wave must catch up with zero record loss"
+    );
+    assert_eq!(
+        chaos.cloud().sketches().len(),
+        control.cloud().sketches().len()
+    );
+}
+
+#[test]
+fn corruption_punches_holes_and_anti_entropy_heals_them_in_the_same_wave() {
+    let waves: Vec<(usize, u64)> = vec![(0, 100), (0, 500), (12, 300)];
+
+    let mut chaos = F2cCity::barcelona().unwrap();
+    let mut plan = FailurePlan::with_seed(7);
+    plan.set_shipment_corruption(1.0);
+    chaos.set_failures(plan);
+    ingest_waves(&mut chaos, &waves, &[]);
+    chaos.flush_all(900).unwrap();
+
+    let summary = chaos.timeline().summary();
+    assert!(
+        summary.get("sketch-corrupted").copied().unwrap_or(0) > 0,
+        "a certain corruption coin must fire on shipped sketches"
+    );
+    assert!(
+        summary.get("hole-punched").copied().unwrap_or(0) > 0
+            && summary.get("hole-healed").copied().unwrap_or(0) > 0,
+        "punched holes must heal in the same wave's anti-entropy round"
+    );
+    for d in 0..chaos.district_count() {
+        assert!(chaos.fog2(d).sketches().holes_sorted().is_empty());
+        assert!(chaos
+            .timeline()
+            .unhealed_holes(ChaosSite::Fog2(d))
+            .is_empty());
+    }
+    assert!(chaos.cloud().sketches().holes_sorted().is_empty());
+    assert!(chaos.timeline().unhealed_holes(ChaosSite::Cloud).is_empty());
+
+    // The healed ledgers are *byte-identical* to a fault-free control's:
+    // healing replaces the damaged partial with the shipper's
+    // authoritative fold, never a lossy reconstruction.
+    let mut control = F2cCity::barcelona().unwrap();
+    ingest_waves(&mut control, &waves, &[]);
+    control.flush_all(900).unwrap();
+    assert_eq!(
+        chaos.cloud().sketches().len(),
+        control.cloud().sketches().len()
+    );
+    for key in control.cloud().sketches().keys() {
+        let (want, _) = control.cloud().sketches().entry(key).unwrap();
+        let (got, _) = chaos
+            .cloud()
+            .sketches()
+            .entry(key)
+            .expect("healed ledger holds every control key");
+        assert_eq!(
+            got, want,
+            "healed partial must equal the authoritative fold"
+        );
+    }
+}
+
+#[test]
+fn district_crash_blocks_children_and_recovery_converges() {
+    // Every section in district 2 keeps ingesting while its fog-2 is
+    // down over two flush epochs; children's waves are FlushBlocked
+    // (their uplink dead-ends at the crashed parent), then catch up.
+    let sections = {
+        let city = F2cCity::barcelona().unwrap();
+        city.sections_in_district(2)
+    };
+    let waves: Vec<(usize, u64)> = sections
+        .iter()
+        .flat_map(|&s| [(s, 200), (s, 1_100)])
+        .collect();
+
+    let mut chaos = F2cCity::barcelona().unwrap();
+    chaos.set_failures(FailurePlan::with_seed(7));
+    chaos.inject_node_outage(ChaosSite::Fog2(2), 800, 2_000);
+    ingest_waves(&mut chaos, &waves, &[]);
+    chaos.flush_all(900).unwrap();
+    chaos.flush_all(1_800).unwrap();
+
+    let blocked = chaos
+        .timeline()
+        .summary()
+        .get("flush-blocked")
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        blocked >= 2 * sections.len() as u64,
+        "every child hop must report FlushBlocked per crashed epoch"
+    );
+    let down = chaos
+        .timeline()
+        .at_site(ChaosSite::Fog2(2))
+        .into_iter()
+        .filter(|i| i.kind == IncidentKind::NodeDown)
+        .count();
+    assert_eq!(down, 2, "the crashed fog-2's own uplink skipped both turns");
+
+    chaos.flush_all(2_700).unwrap();
+    let mut control = F2cCity::barcelona().unwrap();
+    ingest_waves(&mut control, &waves, &[]);
+    for t in [900, 1_800, 2_700] {
+        control.flush_all(t).unwrap();
+    }
+    assert_eq!(chaos.cloud().store().len(), control.cloud().store().len());
+    assert_eq!(
+        chaos.cloud().sketches().len(),
+        control.cloud().sketches().len()
+    );
+    assert!(chaos.cloud().sketches().holes_sorted().is_empty());
+}
+
+#[test]
+fn fault_schedules_replay_deterministically() {
+    let run = || {
+        let mut city = F2cCity::barcelona().unwrap();
+        let mut plan = FailurePlan::with_seed(2_017);
+        plan.set_shipment_loss(0.3);
+        plan.set_shipment_corruption(0.3);
+        city.set_failures(plan);
+        city.inject_node_outage(ChaosSite::Fog1(9), 700, 1_000);
+        city.inject_node_outage(ChaosSite::Cloud, 1_700, 1_900);
+        let waves: Vec<(usize, u64)> =
+            vec![(9, 100), (9, 800), (30, 400), (30, 1_300), (60, 1_600)];
+        ingest_waves(&mut city, &waves, &[(9, 800)]);
+        for t in [900, 1_800, 2_700, 3_600] {
+            city.flush_all(t).unwrap();
+        }
+        city
+    };
+    let (a, b, c) = (run(), run(), run());
+    assert_eq!(
+        a.timeline(),
+        b.timeline(),
+        "replica timelines must be identical"
+    );
+    assert_eq!(
+        b.timeline(),
+        c.timeline(),
+        "replica timelines must be identical"
+    );
+    assert_eq!(a.cloud().store().len(), b.cloud().store().len());
+    assert_eq!(a.cloud().sketches().len(), c.cloud().sketches().len());
+}
+
+mod oracle {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Maps a generated code onto one of the 84 chaos sites.
+    fn site_of(code: u8) -> ChaosSite {
+        match code % 84 {
+            c if c < 73 => ChaosSite::Fog1(c as usize),
+            c if c < 83 => ChaosSite::Fog2((c - 73) as usize),
+            _ => ChaosSite::Cloud,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The tentpole oracle: under any seeded fault schedule the
+        /// hierarchy degrades by availability only. After the storm
+        /// clears and healthy waves run, (a) every upper-tier ledger is
+        /// hole-free, (b) stores and ledgers are byte-equal to a
+        /// fault-free control fed the surviving stream, and (c) every
+        /// deferred hop on the timeline is attributable to a fault that
+        /// was actually active at that instant.
+        #[test]
+        fn chaos_degrades_availability_never_correctness(
+            // A fault schedule: a seed for the shipment coins, loss and
+            // corruption probabilities in milli-units, and up to three
+            // crash windows inside the 3-epoch storm `[0, 2_700)`.
+            seed in any::<u64>(),
+            loss_milli in 0u32..=300,
+            corrupt_milli in 0u32..=300,
+            outages in proptest::collection::vec(
+                (any::<u8>(), 0u64..2_400, 100u64..1_200),
+                0..3,
+            ),
+        ) {
+            let waves: Vec<(usize, u64)> = vec![
+                (0, 100), (0, 1_000), (7, 400), (21, 700),
+                (21, 1_600), (40, 1_300), (72, 2_200),
+            ];
+
+            let mut chaos = F2cCity::barcelona().unwrap();
+            let mut plan = FailurePlan::with_seed(seed);
+            plan.set_shipment_loss(f64::from(loss_milli) / 1_000.0);
+            plan.set_shipment_corruption(f64::from(corrupt_milli) / 1_000.0);
+            chaos.set_failures(plan);
+            for &(code, from, len) in &outages {
+                chaos.inject_node_outage(site_of(code), from, from + len);
+            }
+
+            // Ingest the storm-time waves, tracking which ones a crashed
+            // edge node lost — the control must see the surviving stream.
+            let mut lost = Vec::new();
+            for &(section, t) in &waves {
+                let out = chaos.ingest(section, wave(section, t), t).unwrap();
+                if out.stored == 0 && chaos.site_is_down(ChaosSite::Fog1(section), t) {
+                    lost.push((section, t));
+                }
+            }
+            for t in [900, 1_800, 2_700] {
+                chaos.flush_all(t).unwrap();
+            }
+
+            // (c) Attribution, checked while the plan is still installed:
+            // every deferral names a fault that was live at that instant.
+            for incident in chaos.timeline().iter() {
+                match incident.kind {
+                    IncidentKind::NodeDown | IncidentKind::IngestLost { .. } => {
+                        prop_assert!(chaos.site_is_down(incident.site, incident.at_s));
+                    }
+                    IncidentKind::ShipmentLost => {
+                        prop_assert!(loss_milli > 0);
+                    }
+                    IncidentKind::SketchCorrupted { .. } => {
+                        prop_assert!(corrupt_milli > 0);
+                    }
+                    _ => {}
+                }
+            }
+
+            // The storm clears; two healthy waves ship what was deferred
+            // and anti-entropy re-ships over every hole.
+            chaos.set_failures(FailurePlan::none());
+            chaos.flush_all(3_600).unwrap();
+            chaos.flush_all(4_500).unwrap();
+
+            // (a) hole-free everywhere above fog 1.
+            for d in 0..chaos.district_count() {
+                prop_assert!(chaos.fog2(d).sketches().holes_sorted().is_empty());
+            }
+            prop_assert!(chaos.cloud().sketches().holes_sorted().is_empty());
+
+            // (b) byte-equality with the fault-free control on the
+            // surviving stream: same archive, same folds.
+            let mut control = F2cCity::barcelona().unwrap();
+            ingest_waves(&mut control, &waves, &lost);
+            for t in [900, 1_800, 2_700, 3_600, 4_500] {
+                control.flush_all(t).unwrap();
+            }
+            prop_assert_eq!(chaos.cloud().store().len(), control.cloud().store().len());
+            prop_assert_eq!(chaos.cloud().sketches().len(), control.cloud().sketches().len());
+            for key in control.cloud().sketches().keys() {
+                let (want, _) = control.cloud().sketches().entry(key).unwrap();
+                let got = chaos.cloud().sketches().entry(key);
+                prop_assert!(got.is_some());
+                prop_assert_eq!(got.unwrap().0, want);
+            }
+        }
+    }
+}
