@@ -1,0 +1,69 @@
+//! The CI perf-budget gate.
+//!
+//! Usage: `perf_gate <baseline.json> <current.json>`
+//!
+//! Parses both documents, diffs every gated metric under the shared
+//! [`export::budget_rules`] tolerance set, prints an attributable line per
+//! violation and exits nonzero if any bound broke. The simulation is
+//! deterministic, so an unchanged tree reproduces the baseline exactly; a
+//! failure here means the change regressed a budgeted metric and must
+//! either be fixed or ship with a regenerated `bench/baseline.json`.
+//!
+//! Regenerate the baseline with:
+//! `E7_REQUESTS=50000 BENCH_OUT=bench/baseline.json \
+//!  cargo run --release -p f2c-bench --bin queries`
+
+use std::process::ExitCode;
+
+use f2c_bench::export;
+use f2c_obs::{check_budget, Json};
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))
+}
+
+fn run() -> Result<Vec<String>, String> {
+    let mut args = std::env::args().skip(1);
+    let (Some(baseline_path), Some(current_path)) = (args.next(), args.next()) else {
+        return Err("usage: perf_gate <baseline.json> <current.json>".to_string());
+    };
+    let baseline = load(&baseline_path)?;
+    let current = load(&current_path)?;
+    let rules = export::budget_rules();
+    let violations = check_budget(&baseline, &current, rules);
+    println!(
+        "perf gate: {} metrics gated ({} vs {})",
+        rules.len(),
+        baseline_path,
+        current_path
+    );
+    Ok(violations.iter().map(|v| v.to_string()).collect())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(violations) if violations.is_empty() => {
+            println!("perf gate: PASS — every gated metric within budget");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            eprintln!(
+                "perf gate: FAIL — {} budget violation(s):",
+                violations.len()
+            );
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            eprintln!(
+                "either fix the regression or regenerate bench/baseline.json \
+                 (see crates/bench/src/bin/perf_gate.rs)"
+            );
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("perf gate: ERROR — {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

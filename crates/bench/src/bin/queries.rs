@@ -18,8 +18,10 @@
 use std::time::Instant;
 
 use citysim::net::FailurePlan;
+use f2c_bench::export;
 use f2c_core::runtime::populate_city;
 use f2c_core::{ChaosSite, F2cCity, Layer};
+use f2c_obs::Json;
 use f2c_query::workload::{self, DiurnalCurve, FlashCrowd, Mix, ServiceClass, WorkloadConfig};
 use f2c_query::{
     EngineConfig, LayerCaps, Outcome, Query, QueryEngine, QueryKind, Scope, Selector, TimeWindow,
@@ -420,7 +422,7 @@ fn main() {
     engine.flush_all(day10).expect("aging flush runs");
     let from = WARMUP_HORIZON_S;
     let until = ((report.sim_end_s / 900) * 900).max(from + 900);
-    let before = *engine.stats();
+    let before = engine.stats();
     let mut checked = 0u64;
     for section in (0..73).step_by(7) {
         let warm_probe = Query {
@@ -584,11 +586,14 @@ fn main() {
         .flush_all(storm_end + 600)
         .expect("healing flush");
 
+    // The incident table renders from the same export object the perf
+    // gate consumes — what CI gates is exactly what the operator reads.
     let summary = chaos_engine.city().timeline().summary();
+    let incidents_json = export::counts_json(summary.iter().map(|(k, v)| (*k, *v)));
     println!("\n{:<18} {:>8}", "incident", "count");
     println!("{}", "-".repeat(28));
-    for (label, count) in &summary {
-        println!("{:<18} {:>8}", label, count);
+    for (label, count) in incidents_json.members() {
+        println!("{:<18} {:>8}", label, count.as_u64().unwrap_or(0));
     }
     println!(
         "\ndegraded serving: {} fault sheds | {} fan-out legs shed | \
@@ -695,5 +700,86 @@ fn main() {
     println!(
         "-> the storm shed load and punched holes; healing left every ledger \
          hole-free and every settled aggregate equal to the raw archive. SHAPE OK"
+    );
+
+    // --- export: the observability snapshot feeding the CI perf gate ----
+    // One schema-versioned document: the main run's workload shape, flush
+    // shipping costs, per-phase trace summaries and the full registry
+    // snapshot, plus the chaos scenario's incident table and heal
+    // outcomes. CI smoke-runs this bench (E7_REQUESTS=50000) and
+    // `perf_gate` diffs the document against `bench/baseline.json`.
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_queries.json".to_string());
+    let mut doc = Json::obj();
+    doc.set("schema_version", export::num(export::SCHEMA_VERSION));
+    doc.set("bench", Json::Str("queries".to_string()));
+    doc.set("requests", export::num(requests));
+
+    let mut workload_j = Json::obj();
+    workload_j.set("issued", export::num(report.issued));
+    workload_j.set("answered", export::num(report.answered));
+    workload_j.set(
+        "answer_rate",
+        Json::Num(report.answered as f64 / report.issued.max(1) as f64),
+    );
+    workload_j.set("cache_hit_rate", Json::Num(report.cache_hit_rate()));
+    workload_j.set("unanswerable", export::num(report.unanswerable));
+    workload_j.set("shed_fog1", export::num(stats.shed[0]));
+    workload_j.set("shed_fog2", export::num(stats.shed[1]));
+    workload_j.set("shed_cloud", export::num(stats.shed[2]));
+    workload_j.set("shed_total", export::num(stats.shed_total()));
+    workload_j.set("deadline_shed", export::num(stats.deadline_shed_total()));
+    workload_j.set("scatter_served", export::num(report.scatter_served));
+    workload_j.set("scatter_legs", export::num(report.scatter_legs));
+    workload_j.set("scatter_wins", export::num(report.scatter_wins));
+    workload_j.set("cloud_wins", export::num(report.cloud_wins));
+    workload_j.set("records_scanned", export::num(stats.records_scanned));
+    workload_j.set("prefold_hits", export::num(report.prefold_hits));
+    workload_j.set("partial_fills", export::num(report.partial_fills));
+    doc.set("workload", workload_j);
+
+    let cloud_records = engine.city().cloud().store().len() as u64;
+    let mut flush_j = Json::obj();
+    flush_j.set("raw_bytes", export::num(raw));
+    flush_j.set("sketch_bytes", export::num(sk));
+    flush_j.set("sketch_ratio", Json::Num(sk as f64 / raw.max(1) as f64));
+    flush_j.set("cloud_records", export::num(cloud_records));
+    flush_j.set(
+        "bytes_per_record",
+        Json::Num(raw as f64 / cloud_records.max(1) as f64),
+    );
+    doc.set("flush", flush_j);
+
+    engine.sync_gauges();
+    doc.set("phases", export::phases_json(engine.city().tracer()));
+    doc.set(
+        "registry",
+        export::snapshot_json(&engine.city().metrics().snapshot()),
+    );
+
+    let chaos_snap = chaos_engine.city().metrics().snapshot();
+    let heal = |kind: &str| {
+        chaos_snap
+            .counter(&format!("heal_outcomes{{service=sketch,kind={kind}}}"))
+            .unwrap_or(0)
+    };
+    let mut heal_j = Json::obj();
+    heal_j.set("healed", export::num(heal("healed")));
+    heal_j.set("blocked", export::num(heal("blocked")));
+    heal_j.set("impossible", export::num(heal("impossible")));
+    let mut chaos_j = Json::obj();
+    chaos_j.set("fault_shed", export::num(chaos_report.fault_shed));
+    chaos_j.set("legs_shed", export::num(chaos_report.legs_shed));
+    chaos_j.set("degraded", export::num(chaos_report.degraded));
+    chaos_j.set("answered", export::num(chaos_report.answered));
+    chaos_j.set("incidents", incidents_json);
+    chaos_j.set("heal", heal_j);
+    doc.set("chaos", chaos_j);
+
+    std::fs::write(&out_path, doc.to_pretty()).expect("bench export writes");
+    println!(
+        "\nexported observability snapshot -> {out_path} ({} gated metrics; \
+         diff with `cargo run -p f2c-bench --bin perf_gate -- \
+         bench/baseline.json {out_path}`)",
+        export::budget_rules().len()
     );
 }

@@ -6,6 +6,8 @@
 //! the paper's PKWARE-Zip number with this repo's own codec on the same
 //! data shape.
 
+pub mod export;
+
 use std::collections::BTreeMap;
 
 use scc_sensors::{wire, Catalog, Category, ReadingGenerator, SensorType};

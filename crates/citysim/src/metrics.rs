@@ -168,6 +168,12 @@ impl Histogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
+                // The last bucket saturates: samples beyond its range all
+                // land there, so its upper bound may sit *below* the true
+                // extreme — report the exact max instead of underestimating.
+                if i == NUM_BUCKETS - 1 {
+                    return self.max;
+                }
                 return Duration::from_micros(bucket_upper_micros(i)).min(self.max);
             }
         }
@@ -300,5 +306,93 @@ mod tests {
     #[should_panic(expected = "quantile must be in")]
     fn bad_quantile_panics() {
         Histogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn single_sample_every_quantile_is_exact() {
+        // With one sample, min == max clamps every bucket upper bound to
+        // the sample itself — including a sample beyond the last bucket's
+        // range, where the saturation path must report the true max.
+        for micros in [1u64, 1_023, 1_024, 1_536, 999_999, 7_200_000_000] {
+            let mut h = Histogram::new();
+            h.record(Duration::from_micros(micros));
+            for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+                assert_eq!(
+                    h.quantile(q),
+                    Duration::from_micros(micros),
+                    "quantile({q}) of single {micros}us sample"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_boundary_samples_stay_within_relative_error() {
+        // Samples sitting exactly on bucket edges (powers of two and the
+        // 1.5x half-octave marks) must report quantiles within the
+        // documented band: never below the sample's bucket, never more
+        // than 1.5x above it.
+        for base in [1u64 << 5, 1u64 << 10, 1u64 << 20] {
+            for s in [base, base + base / 2] {
+                let mut h = Histogram::new();
+                h.record(Duration::from_micros(s));
+                h.record(Duration::from_micros(s * 4));
+                let p50 = h.quantile(0.5).as_micros();
+                assert!(
+                    p50 >= s && p50 <= s * 3 / 2,
+                    "p50 {p50} out of band for boundary sample {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_tail_reports_true_max() {
+        // Two samples beyond the last bucket's upper bound: before the
+        // saturation guard, p99 reported the bucket bound (~54 min),
+        // silently shrinking a two-hour extreme.
+        let mut h = Histogram::new();
+        h.record(Duration::from_secs(3_600));
+        h.record(Duration::from_secs(7_200));
+        assert_eq!(h.quantile(0.99), Duration::from_secs(7_200));
+        assert_eq!(h.quantile(1.0), Duration::from_secs(7_200));
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_recording_the_union() {
+        // Bucket counts add, so a merged histogram must agree with one
+        // that saw every sample directly — exactly, at every quantile.
+        let xs = [3u64, 900, 1_024, 1_536, 50_000];
+        let ys = [1u64, 7, 2_048, 10_000_000];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut union = Histogram::new();
+        for &x in &xs {
+            a.record(Duration::from_micros(x));
+            union.record(Duration::from_micros(x));
+        }
+        for &y in &ys {
+            b.record(Duration::from_micros(y));
+            union.record(Duration::from_micros(y));
+        }
+        a.merge(&b);
+        assert_eq!(a, union);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), union.quantile(q), "quantile({q})");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_changes_nothing() {
+        let mut a = Histogram::new();
+        a.record(Duration::from_millis(5));
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+        // And merging *into* an empty histogram adopts min/max intact.
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty.min(), Duration::from_millis(5));
+        assert_eq!(empty.max(), Duration::from_millis(5));
     }
 }

@@ -8,6 +8,7 @@ use citysim::barcelona::{BarcelonaTopology, LatencyProfile, DISTRICTS};
 use citysim::net::FailurePlan;
 use citysim::time::{Duration, SimTime};
 use citysim::NodeId;
+use f2c_obs::{CounterId, Labels, MetricsRegistry, Site, Tracer};
 use scc_dlc::DataRecord;
 use scc_sensors::{Catalog, Reading, SensorType};
 
@@ -82,6 +83,45 @@ pub struct FetchOutcome {
     pub est_latency: Duration,
 }
 
+/// The city's pre-resolved handles into its metrics registry: hot paths
+/// publish through dense ids, never by name.
+#[derive(Debug, Clone, Copy)]
+struct CityMetricIds {
+    /// Table-I accounting bytes flushed upward, per hop (fog-1 → fog-2,
+    /// fog-2 → cloud).
+    raw_flush_bytes: [CounterId; 2],
+    /// Wire bytes of the pre-folded partials shipped per hop alongside
+    /// the raw batches (the sketch channel's cost), heals included.
+    sketch_flush_bytes: [CounterId; 2],
+    /// Flush waves run.
+    flush_waves: CounterId,
+    /// Anti-entropy outcomes: holes healed / carried / unhealable.
+    heal_healed: CounterId,
+    heal_blocked: CounterId,
+    heal_impossible: CounterId,
+}
+
+impl CityMetricIds {
+    fn register(metrics: &mut MetricsRegistry) -> Self {
+        let flush = Labels::new().service("flush");
+        let sketch = Labels::new().service("sketch");
+        Self {
+            raw_flush_bytes: [
+                metrics.counter("flush_raw_bytes", flush.layer("fog1")),
+                metrics.counter("flush_raw_bytes", flush.layer("fog2")),
+            ],
+            sketch_flush_bytes: [
+                metrics.counter("flush_sketch_bytes", sketch.layer("fog1")),
+                metrics.counter("flush_sketch_bytes", sketch.layer("fog2")),
+            ],
+            flush_waves: metrics.counter("flush_waves", flush),
+            heal_healed: metrics.counter("heal_outcomes", sketch.kind("healed")),
+            heal_blocked: metrics.counter("heal_outcomes", sketch.kind("blocked")),
+            heal_impossible: metrics.counter("heal_outcomes", sketch.kind("impossible")),
+        }
+    }
+}
+
 /// The full F2C deployment over Barcelona.
 #[derive(Debug)]
 pub struct F2cCity {
@@ -92,12 +132,13 @@ pub struct F2cCity {
     cloud: F2cNode,
     cost: AccessCostModel,
     flush_epoch: u64,
-    /// Cumulative Table-I accounting bytes flushed upward per hop
-    /// (fog-1 → fog-2, fog-2 → cloud).
-    raw_flush_bytes: [u64; 2],
-    /// Cumulative wire bytes of the pre-folded partials shipped per hop
-    /// alongside the raw batches (the sketch channel's cost).
-    sketch_flush_bytes: [u64; 2],
+    /// The unified observability registry every plane publishes into
+    /// (flush accounting, heals, incidents, and — through the engine —
+    /// query serving).
+    metrics: MetricsRegistry,
+    ids: CityMetricIds,
+    /// Sim-time span logs, one ring per node.
+    tracer: Tracer,
     /// Every injected fault and its downstream effects, per node.
     timeline: IncidentTimeline,
 }
@@ -131,6 +172,8 @@ impl F2cCity {
         let fog2 = (0..DISTRICTS.len())
             .map(|d| F2cNode::fog2(d as u16, fog2_flush, RetentionPolicy::keep(7 * 86_400)))
             .collect::<Result<_>>()?;
+        let mut metrics = MetricsRegistry::new();
+        let ids = CityMetricIds::register(&mut metrics);
         Ok(Self {
             catalog: Catalog::barcelona(),
             cost: AccessCostModel::new(*profile),
@@ -139,8 +182,9 @@ impl F2cCity {
             fog2,
             cloud: F2cNode::cloud(),
             flush_epoch: 0,
-            raw_flush_bytes: [0; 2],
-            sketch_flush_bytes: [0; 2],
+            metrics,
+            ids,
+            tracer: Tracer::new(),
             timeline: IncidentTimeline::new(),
         })
     }
@@ -216,9 +260,36 @@ impl F2cCity {
 
     /// Records an incident. The query engine reports its fault sheds,
     /// shed fan-out legs and reroutes here, so one timeline spans the
-    /// flush, sketch *and* query planes.
+    /// flush, sketch *and* query planes. Every incident also lands on the
+    /// registry as an `incidents{kind=…}` counter, so the exported
+    /// snapshot carries the timeline summary for free.
     pub fn record_incident(&mut self, at_s: u64, site: ChaosSite, kind: IncidentKind) {
+        let id = self
+            .metrics
+            .counter("incidents", Labels::new().kind(kind.label()));
+        self.metrics.inc(id);
         self.timeline.record(at_s, site, kind);
+    }
+
+    /// The unified metrics registry every plane publishes into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access to the registry, for co-located publishers (the
+    /// query engine registers its own series here).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// The sim-time tracer: per-node ring-buffered span logs.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the tracer, for co-located instrumentation.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// The simulated network node hosting a site.
@@ -306,9 +377,13 @@ impl F2cCity {
     }
 
     /// Cumulative Table-I accounting bytes flushed upward so far, per
-    /// hop: `(fog-1 → fog-2, fog-2 → cloud)`.
+    /// hop: `(fog-1 → fog-2, fog-2 → cloud)`. A typed view over the
+    /// registry's `flush_raw_bytes{layer=…}` counters.
     pub fn raw_flush_bytes(&self) -> (u64, u64) {
-        (self.raw_flush_bytes[0], self.raw_flush_bytes[1])
+        (
+            self.metrics.counter_value(self.ids.raw_flush_bytes[0]),
+            self.metrics.counter_value(self.ids.raw_flush_bytes[1]),
+        )
     }
 
     /// Cumulative wire bytes of the pre-folded bucket partials shipped
@@ -317,7 +392,10 @@ impl F2cCity {
     /// sketch channel summarizes the whole raw stream for aggregate
     /// readers at a small fraction of its size.
     pub fn sketch_flush_bytes(&self) -> (u64, u64) {
-        (self.sketch_flush_bytes[0], self.sketch_flush_bytes[1])
+        (
+            self.metrics.counter_value(self.ids.sketch_flush_bytes[0]),
+            self.metrics.counter_value(self.ids.sketch_flush_bytes[1]),
+        )
     }
 
     /// Meters one consumer request/response on the simulated network:
@@ -416,7 +494,7 @@ impl F2cCity {
         // every later answer stays consistent with the surviving stream.
         if self.site_is_down(ChaosSite::Fog1(section), now_s) {
             let offered = readings.len() as u64;
-            self.timeline.record(
+            self.record_incident(
                 now_s,
                 ChaosSite::Fog1(section),
                 IncidentKind::IngestLost { readings: offered },
@@ -467,15 +545,28 @@ impl F2cCity {
     /// Network or compression failures.
     pub fn flush_all(&mut self, now_s: u64) -> Result<(u64, u64)> {
         self.flush_epoch += 1;
+        self.metrics.inc(self.ids.flush_waves);
+        let now_us = now_s * 1_000_000;
+        // One wave span per receiving node; member hops nest under it and
+        // the wave closes at its slowest hop's arrival.
+        let mut wave_end_us = vec![now_us; self.fog2.len()];
+        let wave_spans: Vec<_> = (0..self.fog2.len())
+            .map(|d| {
+                self.tracer
+                    .open(Site::new("fog2", d as u32), "flush-wave", now_us)
+            })
+            .collect();
+        let mut wave_shipped = vec![0u64; self.fog2.len()];
         let mut fog1_bytes = 0;
         for i in 0..self.fog1.len() {
             let district = self.city.district_of(i);
             let from = self.city.fog1_nodes()[i];
             let to = self.city.parent_of(i);
             if let Some(kind) = self.flush_gate(from, to, now_s) {
-                self.timeline.record(now_s, ChaosSite::Fog1(i), kind);
+                self.record_incident(now_s, ChaosSite::Fog1(i), kind);
                 continue;
             }
+            let site = Site::new("fog2", district as u32);
             let mut batch = self.fog1[i].flush(now_s, &self.catalog)?;
             self.corrupt_in_flight(&mut batch, from, ChaosSite::Fog2(district), now_s);
             // The sketch shipment (pre-folded partials + seal frontiers)
@@ -483,56 +574,95 @@ impl F2cCity {
             // Its bytes ride the flush envelope and are accounted on the
             // sketch channel, not against the Table-I ground truth the
             // traffic cross-validation reproduces.
-            self.sketch_flush_bytes[0] += batch.sketch_bytes;
-            self.raw_flush_bytes[0] += batch.acct_bytes;
+            self.metrics
+                .add(self.ids.sketch_flush_bytes[0], batch.sketch_bytes);
+            self.metrics
+                .add(self.ids.raw_flush_bytes[0], batch.acct_bytes);
+            let fold = self.tracer.open(site, "sketch-fold", now_us);
             self.fog2[district].receive_sketches(&batch.sketches, &batch.seals, &batch.holes);
+            self.tracer
+                .close_with(fold, now_us, batch.sketches.len() as u64);
             if batch.records.is_empty() {
                 continue;
             }
             fog1_bytes += batch.acct_bytes;
-            self.city.network_mut().send(
+            let hop = self.tracer.open(site, "flush-hop", now_us);
+            let sent = self.city.network_mut().send(
                 from,
                 to,
                 batch.uplink_bytes(),
                 SimTime::from_secs(now_s),
-            )?;
+            );
+            let arrival_us = match &sent {
+                Ok(delivery) => delivery.arrival.as_micros(),
+                Err(_) => now_us,
+            };
+            self.tracer.close_with(hop, arrival_us, batch.acct_bytes);
+            sent?;
+            wave_end_us[district] = wave_end_us[district].max(arrival_us);
+            wave_shipped[district] += 1;
             self.fog2[district].receive(batch.records, now_s);
         }
+        for (d, span) in wave_spans.into_iter().enumerate() {
+            self.tracer
+                .close_with(span, wave_end_us[d], wave_shipped[d]);
+        }
+        let cloud_site = Site::cloud();
+        let cloud_wave = self.tracer.open(cloud_site, "flush-wave", now_us);
+        let mut cloud_wave_end_us = now_us;
+        let mut cloud_shipped = 0u64;
         let mut fog2_bytes = 0;
         for d in 0..self.fog2.len() {
             let from = self.city.fog2_nodes()[d];
             let to = self.city.cloud();
             if let Some(kind) = self.flush_gate(from, to, now_s) {
-                self.timeline.record(now_s, ChaosSite::Fog2(d), kind);
+                self.record_incident(now_s, ChaosSite::Fog2(d), kind);
                 continue;
             }
             let mut batch = self.fog2[d].flush(now_s, &self.catalog)?;
             self.corrupt_in_flight(&mut batch, from, ChaosSite::Cloud, now_s);
-            self.sketch_flush_bytes[1] += batch.sketch_bytes;
-            self.raw_flush_bytes[1] += batch.acct_bytes;
+            self.metrics
+                .add(self.ids.sketch_flush_bytes[1], batch.sketch_bytes);
+            self.metrics
+                .add(self.ids.raw_flush_bytes[1], batch.acct_bytes);
             // Holes relayed from below punch again at the cloud.
             for &key in &batch.holes {
-                self.timeline
-                    .record(now_s, ChaosSite::Cloud, IncidentKind::HolePunched { key });
+                self.record_incident(now_s, ChaosSite::Cloud, IncidentKind::HolePunched { key });
             }
+            let fold = self.tracer.open(cloud_site, "sketch-fold", now_us);
             self.cloud
                 .receive_sketches(&batch.sketches, &batch.seals, &batch.holes);
+            self.tracer
+                .close_with(fold, now_us, batch.sketches.len() as u64);
             if batch.records.is_empty() {
                 continue;
             }
             fog2_bytes += batch.acct_bytes;
-            self.city.network_mut().send(
+            let hop = self.tracer.open(cloud_site, "flush-hop", now_us);
+            let sent = self.city.network_mut().send(
                 from,
                 to,
                 batch.uplink_bytes(),
                 SimTime::from_secs(now_s),
-            )?;
+            );
+            let arrival_us = match &sent {
+                Ok(delivery) => delivery.arrival.as_micros(),
+                Err(_) => now_us,
+            };
+            self.tracer.close_with(hop, arrival_us, batch.acct_bytes);
+            sent?;
+            cloud_wave_end_us = cloud_wave_end_us.max(arrival_us);
+            cloud_shipped += 1;
             self.cloud.receive(batch.records, now_s);
         }
+        self.tracer
+            .close_with(cloud_wave, cloud_wave_end_us, cloud_shipped);
         // The cloud never flushes (no parent), so the wave runs its
         // sketch-horizon compaction here — otherwise its ledger and hole
         // set would grow for the lifetime of the deployment.
+        let compact = self.tracer.open(cloud_site, "sketch-compact", now_us);
         self.cloud.compact_sketches(now_s);
+        self.tracer.close(compact, now_us);
         self.anti_entropy(now_s);
         Ok((fog1_bytes, fog2_bytes))
     }
@@ -557,10 +687,8 @@ impl F2cCity {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
         let key = *key;
-        self.timeline
-            .record(now_s, receiver, IncidentKind::SketchCorrupted { key });
-        self.timeline
-            .record(now_s, receiver, IncidentKind::HolePunched { key });
+        self.record_incident(now_s, receiver, IncidentKind::SketchCorrupted { key });
+        self.record_incident(now_s, receiver, IncidentKind::HolePunched { key });
     }
 
     /// One anti-entropy round: every coverage hole in the fog-2 and
@@ -583,6 +711,7 @@ impl F2cCity {
     /// holes it is a no-op.
     pub fn anti_entropy(&mut self, now_s: u64) -> HealReport {
         let at = SimTime::from_secs(now_s);
+        let now_us = now_s * 1_000_000;
         let mut report = HealReport::default();
         for d in 0..self.fog2.len() {
             let holes = self.fog2[d].sketches().holes_sorted();
@@ -593,38 +722,54 @@ impl F2cCity {
             if self.city.network().failures().node_is_down(to, at) {
                 // A crashed node runs no heal round; its holes carry.
                 report.blocked += holes.len() as u64;
+                self.metrics.add(self.ids.heal_blocked, holes.len() as u64);
                 continue;
             }
+            let round = self
+                .tracer
+                .open(Site::new("fog2", d as u32), "heal-round", now_us);
+            let healed_before = report.healed;
             for key in holes {
                 let section = key.section as usize;
                 let from = self.city.fog1_nodes()[section];
                 let site = ChaosSite::Fog2(d);
                 let Some((partial, _)) = self.fog1[section].sketches().entry(&key) else {
                     report.impossible += 1;
-                    self.timeline
-                        .record(now_s, site, IncidentKind::HealImpossible { key });
+                    self.metrics.inc(self.ids.heal_impossible);
+                    self.record_incident(now_s, site, IncidentKind::HealImpossible { key });
                     continue;
                 };
                 let encoded = partial.encode();
-                if !self.city.network().path_is_up(from, to, at)
-                    || self
+                let relay = self
+                    .tracer
+                    .open(Site::new("fog2", d as u32), "sketch-relay", now_us);
+                let shipped = self.city.network().path_is_up(from, to, at)
+                    && self
                         .city
                         .network_mut()
                         .send(from, to, encoded.len() as u64, at)
-                        .is_err()
-                {
+                        .is_ok();
+                self.tracer.close_with(
+                    relay,
+                    now_us,
+                    if shipped { encoded.len() as u64 } else { 0 },
+                );
+                if !shipped {
                     report.blocked += 1;
-                    self.timeline
-                        .record(now_s, site, IncidentKind::HealBlocked { key });
+                    self.metrics.inc(self.ids.heal_blocked);
+                    self.record_incident(now_s, site, IncidentKind::HealBlocked { key });
                     continue;
                 }
-                self.sketch_flush_bytes[0] += encoded.len() as u64;
+                self.metrics
+                    .add(self.ids.sketch_flush_bytes[0], encoded.len() as u64);
                 if self.fog2[d].heal_sketch(key, &encoded) {
                     report.healed += 1;
-                    self.timeline
-                        .record(now_s, site, IncidentKind::HoleHealed { key });
+                    self.metrics.inc(self.ids.heal_healed);
+                    self.record_incident(now_s, site, IncidentKind::HoleHealed { key });
                 }
             }
+            let healed_here = report.healed - healed_before;
+            self.tracer.close_with(round, now_us, healed_here);
         }
         let cloud_holes = self.cloud.sketches().holes_sorted();
         if cloud_holes.is_empty() {
@@ -633,8 +778,12 @@ impl F2cCity {
         let to = self.city.cloud();
         if self.city.network().failures().node_is_down(to, at) {
             report.blocked += cloud_holes.len() as u64;
+            self.metrics
+                .add(self.ids.heal_blocked, cloud_holes.len() as u64);
             return report;
         }
+        let round = self.tracer.open(Site::cloud(), "heal-round", now_us);
+        let healed_before = report.healed;
         for key in cloud_holes {
             let d = self.city.district_of(key.section as usize);
             let from = self.city.fog2_nodes()[d];
@@ -643,40 +792,49 @@ impl F2cCity {
                 // Healing from a still-holed source would launder the
                 // hole into silently wrong data; wait for phase 1.
                 report.blocked += 1;
-                self.timeline
-                    .record(now_s, site, IncidentKind::HealBlocked { key });
+                self.metrics.inc(self.ids.heal_blocked);
+                self.record_incident(now_s, site, IncidentKind::HealBlocked { key });
                 continue;
             }
             let Some((partial, _)) = self.fog2[d].sketches().entry(&key) else {
                 report.impossible += 1;
-                self.timeline
-                    .record(now_s, site, IncidentKind::HealImpossible { key });
+                self.metrics.inc(self.ids.heal_impossible);
+                self.record_incident(now_s, site, IncidentKind::HealImpossible { key });
                 continue;
             };
             let encoded = partial.encode();
-            if !self.city.network().path_is_up(from, to, at)
-                || self
+            let relay = self.tracer.open(Site::cloud(), "sketch-relay", now_us);
+            let shipped = self.city.network().path_is_up(from, to, at)
+                && self
                     .city
                     .network_mut()
                     .send(from, to, encoded.len() as u64, at)
-                    .is_err()
-            {
+                    .is_ok();
+            self.tracer.close_with(
+                relay,
+                now_us,
+                if shipped { encoded.len() as u64 } else { 0 },
+            );
+            if !shipped {
                 report.blocked += 1;
-                self.timeline
-                    .record(now_s, site, IncidentKind::HealBlocked { key });
+                self.metrics.inc(self.ids.heal_blocked);
+                self.record_incident(now_s, site, IncidentKind::HealBlocked { key });
                 continue;
             }
-            self.sketch_flush_bytes[1] += encoded.len() as u64;
+            self.metrics
+                .add(self.ids.sketch_flush_bytes[1], encoded.len() as u64);
             if self.cloud.heal_sketch(key, &encoded) {
                 // The heal shipped the district's full current fold, which
                 // subsumes any increment still queued for upward relay —
                 // relaying it afterwards would double-count.
                 self.fog2[d].drop_queued_relay(&key);
                 report.healed += 1;
-                self.timeline
-                    .record(now_s, site, IncidentKind::HoleHealed { key });
+                self.metrics.inc(self.ids.heal_healed);
+                self.record_incident(now_s, site, IncidentKind::HoleHealed { key });
             }
         }
+        self.tracer
+            .close_with(round, now_us, report.healed - healed_before);
         report
     }
 

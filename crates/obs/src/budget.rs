@@ -1,0 +1,235 @@
+//! The perf-budget gate.
+//!
+//! CI runs the `queries` bench, exports a fresh `BENCH_queries.json`, and
+//! diffs it against the committed `bench/baseline.json` with [`check_budget`]:
+//! every [`BudgetRule`] names one numeric path in the document and bounds how
+//! far the current value may drift from the baseline. A regression beyond
+//! tolerance — a p99 that doubled, bytes/record that crept up, an answer
+//! rate that fell — fails the job with an attributable violation instead of
+//! letting the trajectory drift invisibly.
+//!
+//! The simulation is deterministic, so on an unchanged tree current ==
+//! baseline exactly; tolerances exist to absorb *intentional* behavior
+//! changes, and anything beyond them must ship with a regenerated baseline.
+
+use std::fmt;
+
+use crate::json::Json;
+
+/// One gated metric: a `.`-separated path into the bench document plus the
+/// allowed drift, as fractions of the baseline value.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetRule {
+    /// Path into the JSON document (`"phases.query.p99_us"`).
+    pub path: &'static str,
+    /// Largest allowed increase, as a fraction of baseline (0.25 = +25 %).
+    pub max_increase_frac: f64,
+    /// Largest allowed decrease, if a fall is also a regression (answer
+    /// rates, hit rates). `None` means any decrease is fine.
+    pub max_decrease_frac: Option<f64>,
+    /// Absolute slack added on top of the fractional band — keeps a
+    /// near-zero baseline from gating on noise-sized changes.
+    pub abs_slack: f64,
+}
+
+impl BudgetRule {
+    /// A rule that only bounds increases (latencies, bytes, sheds).
+    pub const fn ceiling(path: &'static str, max_increase_frac: f64, abs_slack: f64) -> Self {
+        Self {
+            path,
+            max_increase_frac,
+            max_decrease_frac: None,
+            abs_slack,
+        }
+    }
+
+    /// A rule that bounds drift in both directions (rates that must not
+    /// fall, counts that must not collapse).
+    pub const fn band(path: &'static str, frac: f64, abs_slack: f64) -> Self {
+        Self {
+            path,
+            max_increase_frac: frac,
+            max_decrease_frac: Some(frac),
+            abs_slack,
+        }
+    }
+}
+
+/// One budget violation: the gated path, both values, and the bound broken.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The gated path.
+    pub path: String,
+    /// Baseline value (`None`: the path is missing from the baseline).
+    pub baseline: Option<f64>,
+    /// Current value (`None`: the path is missing from the current run).
+    pub current: Option<f64>,
+    /// Human-readable bound description.
+    pub bound: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let show = |v: Option<f64>| match v {
+            Some(v) => format!("{v}"),
+            None => "missing".to_string(),
+        };
+        write!(
+            f,
+            "{}: baseline {} -> current {} ({})",
+            self.path,
+            show(self.baseline),
+            show(self.current),
+            self.bound
+        )
+    }
+}
+
+/// Diffs `current` against `baseline` under `rules`.
+///
+/// Returns the violations (empty = gate passes). Both documents must carry
+/// the same integral `schema_version` member; a mismatch is itself a
+/// violation, because comparing across schemas silently gates nothing.
+pub fn check_budget(baseline: &Json, current: &Json, rules: &[BudgetRule]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let base_schema = baseline.path("schema_version").and_then(Json::as_u64);
+    let cur_schema = current.path("schema_version").and_then(Json::as_u64);
+    if base_schema.is_none() || base_schema != cur_schema {
+        violations.push(Violation {
+            path: "schema_version".to_string(),
+            baseline: base_schema.map(|v| v as f64),
+            current: cur_schema.map(|v| v as f64),
+            bound: "baseline and current must share a schema version".to_string(),
+        });
+        return violations;
+    }
+    for rule in rules {
+        let base = baseline.path(rule.path).and_then(Json::as_f64);
+        let cur = current.path(rule.path).and_then(Json::as_f64);
+        let (Some(base), Some(cur)) = (base, cur) else {
+            violations.push(Violation {
+                path: rule.path.to_string(),
+                baseline: base,
+                current: cur,
+                bound: "gated metric must exist in both documents".to_string(),
+            });
+            continue;
+        };
+        let ceiling = base + base.abs() * rule.max_increase_frac + rule.abs_slack;
+        if cur > ceiling {
+            violations.push(Violation {
+                path: rule.path.to_string(),
+                baseline: Some(base),
+                current: Some(cur),
+                bound: format!(
+                    "exceeds ceiling {ceiling} (+{:.0}% of baseline + {} slack)",
+                    rule.max_increase_frac * 100.0,
+                    rule.abs_slack
+                ),
+            });
+            continue;
+        }
+        if let Some(frac) = rule.max_decrease_frac {
+            let floor = base - base.abs() * frac - rule.abs_slack;
+            if cur < floor {
+                violations.push(Violation {
+                    path: rule.path.to_string(),
+                    baseline: Some(base),
+                    current: Some(cur),
+                    bound: format!(
+                        "below floor {floor} (-{:.0}% of baseline - {} slack)",
+                        frac * 100.0,
+                        rule.abs_slack
+                    ),
+                });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(p99: f64, answered: f64) -> Json {
+        let mut phases = Json::obj();
+        let mut query = Json::obj();
+        query.set("p99_us", Json::Num(p99));
+        phases.set("query", query);
+        let mut d = Json::obj();
+        d.set("schema_version", Json::Num(1.0));
+        d.set("phases", phases);
+        d.set("answered", Json::Num(answered));
+        d
+    }
+
+    const RULES: &[BudgetRule] = &[
+        BudgetRule::ceiling("phases.query.p99_us", 0.25, 100.0),
+        BudgetRule::band("answered", 0.02, 10.0),
+    ];
+
+    #[test]
+    fn identical_documents_pass() {
+        let base = doc(40_000.0, 9_500.0);
+        assert!(check_budget(&base, &base.clone(), RULES).is_empty());
+    }
+
+    #[test]
+    fn drift_inside_tolerance_passes() {
+        let base = doc(40_000.0, 9_500.0);
+        let cur = doc(48_000.0, 9_400.0);
+        assert!(check_budget(&base, &cur, RULES).is_empty());
+    }
+
+    #[test]
+    fn injected_2x_p99_regression_fails() {
+        // The acceptance criterion: doubling p99 must demonstrably fail.
+        let base = doc(40_000.0, 9_500.0);
+        let cur = doc(80_000.0, 9_500.0);
+        let violations = check_budget(&base, &cur, RULES);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].path, "phases.query.p99_us");
+        assert!(violations[0].bound.contains("ceiling"));
+    }
+
+    #[test]
+    fn collapsing_answer_rate_fails_the_floor() {
+        let base = doc(40_000.0, 9_500.0);
+        let cur = doc(40_000.0, 7_000.0);
+        let violations = check_budget(&base, &cur, RULES);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].bound.contains("floor"));
+    }
+
+    #[test]
+    fn missing_gated_metric_is_a_violation() {
+        let base = doc(40_000.0, 9_500.0);
+        let mut cur = doc(40_000.0, 9_500.0);
+        let Json::Obj(members) = &mut cur else {
+            unreachable!()
+        };
+        members.retain(|(k, _)| k != "answered");
+        let violations = check_budget(&base, &cur, RULES);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].current, None);
+    }
+
+    #[test]
+    fn schema_mismatch_fails_closed() {
+        let base = doc(40_000.0, 9_500.0);
+        let mut cur = doc(40_000.0, 9_500.0);
+        cur.set("schema_version", Json::Num(2.0));
+        let violations = check_budget(&base, &cur, RULES);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].path, "schema_version");
+    }
+
+    #[test]
+    fn zero_baseline_allows_slack_only() {
+        let rules = [BudgetRule::ceiling("phases.query.p99_us", 0.25, 100.0)];
+        let base = doc(0.0, 0.0);
+        assert!(check_budget(&base, &doc(99.0, 0.0), &rules).is_empty());
+        assert_eq!(check_budget(&base, &doc(101.0, 0.0), &rules).len(), 1);
+    }
+}

@@ -1,0 +1,399 @@
+//! Deterministic sim-time tracing.
+//!
+//! Spans are plain values opened and closed on the *event clock* — no wall
+//! time, no globals, no thread locals — so a trace is a pure function of the
+//! seeded run and three replicas encode byte-identical transcripts.
+//!
+//! Each traced node ([`Site`]) owns a [`TraceLog`]: a bounded ring of
+//! completed [`Span`]s plus a stack of currently-open ones. Nesting is
+//! structural — a span opened while another is open becomes its child
+//! (depth + 1), and a close must name the *innermost* open span; anything
+//! else is counted as malformed rather than silently reshuffled, so the
+//! well-formedness property is checkable (and property-tested).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+
+use citysim::time::Duration;
+use citysim::Histogram;
+
+/// A traced node: a static tier name plus an index within the tier
+/// (`fog1/17`, `fog2/3`, `cloud/0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Site {
+    /// Tier name (`"fog1"`, `"fog2"`, `"cloud"`, …).
+    pub tier: &'static str,
+    /// Index within the tier.
+    pub index: u32,
+}
+
+impl Site {
+    /// A site.
+    pub const fn new(tier: &'static str, index: u32) -> Self {
+        Self { tier, index }
+    }
+
+    /// The cloud site.
+    pub const fn cloud() -> Self {
+        Self::new("cloud", 0)
+    }
+}
+
+impl std::fmt::Display for Site {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.tier, self.index)
+    }
+}
+
+/// One completed span: a named interval of simulated time at one site,
+/// with its nesting depth and one free attribute (bytes shipped, legs
+/// gathered, holes healed — whatever the phase counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Phase name (static: `"flush-wave"`, `"query"`, `"heal-round"`, …).
+    pub name: &'static str,
+    /// Open instant, simulated microseconds.
+    pub start_us: u64,
+    /// Close instant, simulated microseconds.
+    pub end_us: u64,
+    /// Nesting depth at open time (0 = root).
+    pub depth: u16,
+    /// Free attribute recorded at close.
+    pub attr: u64,
+}
+
+impl Span {
+    /// The span's simulated duration.
+    pub fn duration(&self) -> Duration {
+        Duration::from_micros(self.end_us.saturating_sub(self.start_us))
+    }
+}
+
+/// Token returned by [`Tracer::open`]; closing consumes it. Carries the
+/// site so a close cannot be misdelivered to another node's log.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "an unclosed span is an orphan in the transcript"]
+pub struct SpanToken {
+    site: Site,
+    seq: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenSpan {
+    seq: u64,
+    name: &'static str,
+    start_us: u64,
+    depth: u16,
+}
+
+/// One node's bounded span log. See the module docs.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    capacity: usize,
+    done: VecDeque<Span>,
+    open: Vec<OpenSpan>,
+    next_seq: u64,
+    dropped: u64,
+    malformed: u64,
+}
+
+impl TraceLog {
+    /// An empty log keeping at most `capacity` completed spans (oldest
+    /// evicted first).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            done: VecDeque::new(),
+            open: Vec::new(),
+            next_seq: 0,
+            dropped: 0,
+            malformed: 0,
+        }
+    }
+
+    fn open(&mut self, name: &'static str, at_us: u64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.open.push(OpenSpan {
+            seq,
+            name,
+            start_us: at_us,
+            depth: self.open.len() as u16,
+        });
+        seq
+    }
+
+    fn close(&mut self, seq: u64, at_us: u64, attr: u64) -> bool {
+        match self.open.last() {
+            Some(top) if top.seq == seq => {
+                let top = self.open.pop().expect("just matched");
+                if self.done.len() == self.capacity {
+                    self.done.pop_front();
+                    self.dropped += 1;
+                }
+                self.done.push_back(Span {
+                    name: top.name,
+                    start_us: top.start_us,
+                    end_us: at_us.max(top.start_us),
+                    depth: top.depth,
+                    attr,
+                });
+                true
+            }
+            _ => {
+                // Closing anything but the innermost open span (or a span
+                // never opened here) is a structural bug in the caller;
+                // count it, drop the entry if present, record nothing.
+                self.open.retain(|o| o.seq != seq);
+                self.malformed += 1;
+                false
+            }
+        }
+    }
+
+    /// Completed spans, oldest first.
+    pub fn completed(&self) -> impl Iterator<Item = &Span> {
+        self.done.iter()
+    }
+
+    /// Number of spans currently open (0 in a well-formed quiescent log).
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Completed spans evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Structurally invalid closes observed (0 in a well-formed log).
+    pub fn malformed(&self) -> u64 {
+        self.malformed
+    }
+}
+
+/// The per-run tracer: one [`TraceLog`] per [`Site`], key-ordered so the
+/// encoded transcript is byte-stable across replicas.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    capacity: usize,
+    logs: BTreeMap<Site, TraceLog>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// Default per-site ring capacity. Big enough that a flush wave over
+    /// all 73 sections plus a heal round fits without eviction; small
+    /// enough that a million-query run stays bounded.
+    pub const DEFAULT_CAPACITY: usize = 2_048;
+
+    /// A tracer with the default per-site capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// A tracer keeping at most `capacity` completed spans per site.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity,
+            logs: BTreeMap::new(),
+        }
+    }
+
+    /// Opens a span at `site` at simulated instant `at_us`; it nests under
+    /// any span already open there.
+    pub fn open(&mut self, site: Site, name: &'static str, at_us: u64) -> SpanToken {
+        let cap = self.capacity;
+        let seq = self
+            .logs
+            .entry(site)
+            .or_insert_with(|| TraceLog::new(cap))
+            .open(name, at_us);
+        SpanToken { site, seq }
+    }
+
+    /// Closes a span with attribute 0. Returns `false` (and counts the
+    /// close as malformed) if the token is not the innermost open span.
+    pub fn close(&mut self, token: SpanToken, at_us: u64) -> bool {
+        self.close_with(token, at_us, 0)
+    }
+
+    /// Closes a span recording one free attribute.
+    pub fn close_with(&mut self, token: SpanToken, at_us: u64, attr: u64) -> bool {
+        match self.logs.get_mut(&token.site) {
+            Some(log) => log.close(token.seq, at_us, attr),
+            None => false,
+        }
+    }
+
+    /// The log of one site, if it ever opened a span.
+    pub fn log(&self, site: Site) -> Option<&TraceLog> {
+        self.logs.get(&site)
+    }
+
+    /// All traced sites, key-ordered.
+    pub fn sites(&self) -> impl Iterator<Item = Site> + '_ {
+        self.logs.keys().copied()
+    }
+
+    /// Total completed spans currently retained across all sites.
+    pub fn span_count(&self) -> usize {
+        self.logs.values().map(|l| l.done.len()).sum()
+    }
+
+    /// Total malformed closes across all sites (0 in a well-formed run).
+    pub fn malformed(&self) -> u64 {
+        self.logs.values().map(|l| l.malformed).sum()
+    }
+
+    /// Per-phase duration histograms over every retained span, name-keyed.
+    /// This is where the export's per-phase p50/p99 come from.
+    pub fn phase_histograms(&self) -> BTreeMap<&'static str, Histogram> {
+        let mut out: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+        for log in self.logs.values() {
+            for span in log.completed() {
+                out.entry(span.name)
+                    .or_default()
+                    .record(span.duration());
+            }
+        }
+        out
+    }
+
+    /// The byte-stable transcript: every site in key order, a header line
+    /// with its ring accounting, then its retained spans oldest-first with
+    /// depth rendered as leading dots. Two replicas of a seeded run must
+    /// produce identical bytes — `tests/determinism.rs` holds this to the
+    /// same oracle as the simulation's flush transcripts.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = String::new();
+        for (site, log) in &self.logs {
+            let _ = writeln!(
+                out,
+                "@{site} kept={} dropped={} open={} malformed={}",
+                log.done.len(),
+                log.dropped,
+                log.open.len(),
+                log.malformed,
+            );
+            for span in log.completed() {
+                for _ in 0..span.depth {
+                    out.push('.');
+                }
+                let _ = writeln!(
+                    out,
+                    "{} {}..{} a={}",
+                    span.name, span.start_us, span.end_us, span.attr
+                );
+            }
+        }
+        out.into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: Site = Site::new("fog1", 0);
+
+    #[test]
+    fn spans_nest_and_encode_deterministically() {
+        let mut t = Tracer::new();
+        let wave = t.open(S, "flush-wave", 1_000);
+        let hop = t.open(S, "flush-hop", 1_100);
+        assert!(t.close_with(hop, 1_400, 512));
+        assert!(t.close_with(wave, 2_000, 1));
+        let log = t.log(S).unwrap();
+        assert_eq!(log.open_count(), 0);
+        assert_eq!(log.malformed(), 0);
+        let spans: Vec<_> = log.completed().copied().collect();
+        // Children complete before parents; depth marks the nesting.
+        assert_eq!(spans[0].name, "flush-hop");
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[1].name, "flush-wave");
+        assert_eq!(spans[1].depth, 0);
+        let text = String::from_utf8(t.encode()).unwrap();
+        assert_eq!(
+            text,
+            "@fog1/0 kept=2 dropped=0 open=0 malformed=0\n\
+             .flush-hop 1100..1400 a=512\n\
+             flush-wave 1000..2000 a=1\n"
+        );
+    }
+
+    #[test]
+    fn out_of_order_close_is_malformed_not_reshuffled() {
+        let mut t = Tracer::new();
+        let outer = t.open(S, "outer", 0);
+        let _inner = t.open(S, "inner", 1);
+        assert!(!t.close(outer, 2), "outer is not innermost");
+        let log = t.log(S).unwrap();
+        assert_eq!(log.malformed(), 1);
+        assert_eq!(log.completed().count(), 0);
+        // The inner span survives and can still close cleanly.
+        assert_eq!(log.open_count(), 1);
+    }
+
+    #[test]
+    fn double_close_is_malformed() {
+        let mut t = Tracer::new();
+        let a = t.open(S, "a", 0);
+        assert!(t.close(a, 5));
+        assert!(!t.close(a, 9));
+        assert_eq!(t.malformed(), 1);
+        assert_eq!(t.span_count(), 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut t = Tracer::with_capacity(2);
+        for i in 0..5u64 {
+            let s = t.open(S, "tick", i * 10);
+            t.close(s, i * 10 + 1);
+        }
+        let log = t.log(S).unwrap();
+        assert_eq!(log.dropped(), 3);
+        let kept: Vec<u64> = log.completed().map(|s| s.start_us).collect();
+        assert_eq!(kept, vec![30, 40]);
+    }
+
+    #[test]
+    fn sites_are_isolated_and_key_ordered() {
+        let mut t = Tracer::new();
+        let b = t.open(Site::new("fog2", 3), "x", 0);
+        let a = t.open(Site::new("fog1", 9), "y", 0);
+        t.close(b, 1);
+        t.close(a, 1);
+        let sites: Vec<String> = t.sites().map(|s| s.to_string()).collect();
+        assert_eq!(sites, vec!["fog1/9", "fog2/3"]);
+    }
+
+    #[test]
+    fn clock_going_backwards_clamps_to_zero_length() {
+        let mut t = Tracer::new();
+        let s = t.open(S, "odd", 100);
+        t.close(s, 50);
+        let span = *t.log(S).unwrap().completed().next().unwrap();
+        assert_eq!(span.end_us, 100);
+        assert_eq!(span.duration(), Duration::ZERO);
+    }
+
+    #[test]
+    fn phase_histograms_pool_across_sites() {
+        let mut t = Tracer::new();
+        for (site, us) in [(Site::new("fog1", 0), 100), (Site::new("fog1", 1), 300)] {
+            let s = t.open(site, "flush-hop", 0);
+            t.close(s, us);
+        }
+        let phases = t.phase_histograms();
+        let h = &phases["flush-hop"];
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), Duration::from_micros(200));
+    }
+}

@@ -32,6 +32,7 @@ use citysim::time::Duration;
 use f2c_core::cost::AccessOption;
 use f2c_core::node::IngestOutcome;
 use f2c_core::{ChaosSite, DataSource, F2cCity, FanoutLeg, IncidentKind, Layer, TieredStore};
+use f2c_obs::{CounterId, Labels, MetricsRegistry, Site};
 use f2c_qos::{ClassLedger, QosPolicy, ServiceClass, ShedCause, CLASS_COUNT};
 use scc_dlc::DataRecord;
 use scc_sensors::Reading;
@@ -409,6 +410,112 @@ impl EngineStats {
     }
 }
 
+/// Static layer label for metric label sets (`layer=fog1`, …).
+pub(crate) fn layer_label(layer: Layer) -> &'static str {
+    match layer {
+        Layer::Fog1 => "fog1",
+        Layer::Fog2 => "fog2",
+        Layer::Cloud => "cloud",
+    }
+}
+
+/// Pre-resolved ids of one service class's counter series.
+#[derive(Debug, Clone, Copy)]
+struct ClassIds {
+    requests: CounterId,
+    answered: CounterId,
+    shed: CounterId,
+    deadline_shed: CounterId,
+    rerouted: CounterId,
+    fault_shed: CounterId,
+    slo_met: CounterId,
+}
+
+/// Pre-resolved ids of every engine series in the city's unified
+/// [`MetricsRegistry`]. The engine registers these once at construction
+/// and publishes through them on the hot path (an array index, not a
+/// map lookup); [`QueryEngine::stats`] reads them back as the typed
+/// [`EngineStats`] view.
+#[derive(Debug, Clone, Copy)]
+struct EngineMetricIds {
+    requests: CounterId,
+    answered: CounterId,
+    edge_hits: CounterId,
+    source_hits: CounterId,
+    store_served: CounterId,
+    unanswerable: CounterId,
+    shed: [CounterId; 3],
+    records_scanned: CounterId,
+    partial_hits: CounterId,
+    partial_fills: CounterId,
+    prefold_hits: CounterId,
+    sketch_served: CounterId,
+    sketch_hits: CounterId,
+    sketch_legs: CounterId,
+    scatter_served: CounterId,
+    scatter_legs: CounterId,
+    scatter_wins: CounterId,
+    cloud_wins: CounterId,
+    fault_shed: CounterId,
+    legs_shed: CounterId,
+    degraded: CounterId,
+    per_class: [ClassIds; CLASS_COUNT],
+}
+
+impl EngineMetricIds {
+    fn register(reg: &mut MetricsRegistry) -> Self {
+        let q = Labels::new().service("query");
+        let shed = Layer::ALL
+            .map(|layer| reg.counter("query_shed", q.layer(layer_label(layer)).kind("capacity")));
+        let per_class = ServiceClass::ALL.map(|class| {
+            let lc = q.class(class.label());
+            ClassIds {
+                requests: reg.counter("query_class_requests", lc),
+                answered: reg.counter("query_class_answered", lc),
+                shed: reg.counter("query_class_shed", lc.kind("capacity")),
+                deadline_shed: reg.counter("query_class_shed", lc.kind("deadline")),
+                rerouted: reg.counter("query_class_rerouted", lc),
+                fault_shed: reg.counter("query_class_shed", lc.kind("fault")),
+                slo_met: reg.counter("query_class_slo_met", lc),
+            }
+        });
+        Self {
+            requests: reg.counter("query_requests", q),
+            answered: reg.counter("query_answered", q),
+            edge_hits: reg.counter("query_cache_hits", q.kind("edge")),
+            source_hits: reg.counter("query_cache_hits", q.kind("source")),
+            store_served: reg.counter("query_store_served", q),
+            unanswerable: reg.counter("query_unanswerable", q),
+            shed,
+            records_scanned: reg.counter("query_records_scanned", q),
+            partial_hits: reg.counter("query_partials", q.kind("hit")),
+            partial_fills: reg.counter("query_partials", q.kind("fill")),
+            prefold_hits: reg.counter("query_partials", q.kind("prefold")),
+            sketch_served: reg.counter("query_sketch_served", q),
+            sketch_hits: reg.counter("query_sketch_hits", q),
+            sketch_legs: reg.counter("query_sketch_legs", q),
+            scatter_served: reg.counter("query_scatter_served", q),
+            scatter_legs: reg.counter("query_scatter_legs", q),
+            scatter_wins: reg.counter("query_contest_wins", q.kind("scatter")),
+            cloud_wins: reg.counter("query_contest_wins", q.kind("cloud")),
+            fault_shed: reg.counter("query_fault_shed", q),
+            legs_shed: reg.counter("query_legs_shed", q),
+            degraded: reg.counter("query_degraded", q),
+            per_class,
+        }
+    }
+}
+
+/// What one [`fold_aggregate`] call did with its closed buckets. A local
+/// tally (instead of a registry borrow) keeps the fold free to borrow
+/// the city's stores; the caller publishes it afterwards.
+#[derive(Debug, Clone, Copy, Default)]
+struct FoldTally {
+    partial_hits: u64,
+    prefold_hits: u64,
+    partial_fills: u64,
+}
+
 /// The consumer-facing query engine over an assembled city.
 #[derive(Debug)]
 pub struct QueryEngine {
@@ -428,13 +535,16 @@ pub struct QueryEngine {
     /// Local invalidations (backdated ingests) added on top of the
     /// hierarchy's flush epoch.
     extra_epochs: u64,
-    stats: EngineStats,
+    ids: EngineMetricIds,
 }
 
 impl QueryEngine {
-    /// Wraps `city` with caches and admission control per `cfg`.
-    pub fn new(city: F2cCity, cfg: EngineConfig) -> Self {
+    /// Wraps `city` with caches and admission control per `cfg`. The
+    /// engine's serving counters live in the city's unified
+    /// [`MetricsRegistry`] (registered here, published on the hot path).
+    pub fn new(mut city: F2cCity, cfg: EngineConfig) -> Self {
         let cache = || ResultCache::new(cfg.result_ttl_s, cfg.result_capacity);
+        let ids = EngineMetricIds::register(city.metrics_mut());
         Self {
             edge: (0..city.section_count()).map(|_| cache()).collect(),
             src_fog1: (0..city.section_count()).map(|_| cache()).collect(),
@@ -445,7 +555,7 @@ impl QueryEngine {
             last_flush_s: 0,
             served_frontier_s: 0,
             extra_epochs: 0,
-            stats: EngineStats::default(),
+            ids,
             city,
             cfg,
         }
@@ -462,9 +572,67 @@ impl QueryEngine {
         &mut self.city
     }
 
-    /// Serving counters so far.
-    pub fn stats(&self) -> &EngineStats {
-        &self.stats
+    /// Serving counters so far — the typed view over the engine's series
+    /// in the city's unified metrics registry (one source of truth; this
+    /// just reads it back in [`EngineStats`] shape).
+    pub fn stats(&self) -> EngineStats {
+        let m = self.city.metrics();
+        let v = |id: CounterId| m.counter_value(id);
+        let ids = &self.ids;
+        let mut per_class = [ClassStats::default(); CLASS_COUNT];
+        for (cs, cid) in per_class.iter_mut().zip(ids.per_class.iter()) {
+            *cs = ClassStats {
+                requests: v(cid.requests),
+                answered: v(cid.answered),
+                shed: v(cid.shed),
+                deadline_shed: v(cid.deadline_shed),
+                rerouted: v(cid.rerouted),
+                fault_shed: v(cid.fault_shed),
+                slo_met: v(cid.slo_met),
+            };
+        }
+        EngineStats {
+            requests: v(ids.requests),
+            answered: v(ids.answered),
+            edge_hits: v(ids.edge_hits),
+            source_hits: v(ids.source_hits),
+            store_served: v(ids.store_served),
+            unanswerable: v(ids.unanswerable),
+            shed: ids.shed.map(v),
+            per_class,
+            records_scanned: v(ids.records_scanned),
+            partial_hits: v(ids.partial_hits),
+            partial_fills: v(ids.partial_fills),
+            prefold_hits: v(ids.prefold_hits),
+            sketch_served: v(ids.sketch_served),
+            sketch_hits: v(ids.sketch_hits),
+            sketch_legs: v(ids.sketch_legs),
+            scatter_served: v(ids.scatter_served),
+            scatter_legs: v(ids.scatter_legs),
+            scatter_wins: v(ids.scatter_wins),
+            cloud_wins: v(ids.cloud_wins),
+            fault_shed: v(ids.fault_shed),
+            legs_shed: v(ids.legs_shed),
+            degraded: v(ids.degraded),
+        }
+    }
+
+    /// Publishes point-in-time gauges (per-layer in-flight admissions
+    /// and the cache-invalidation epoch) into the city's registry. Call
+    /// before taking a snapshot — gauges describe an instant, so they
+    /// sync at export time instead of on every acquire/release.
+    pub fn sync_gauges(&mut self) {
+        let q = Labels::new().service("query");
+        for layer in Layer::ALL {
+            let total = i64::from(self.ledger.layer_total(layer));
+            let m = self.city.metrics_mut();
+            let g = m.gauge("qos_in_flight", q.layer(layer_label(layer)));
+            m.set(g, total);
+        }
+        let epoch = (self.city.flush_epoch() + self.extra_epochs) as i64;
+        let m = self.city.metrics_mut();
+        let g = m.gauge("invalidation_epoch", q);
+        m.set(g, epoch);
     }
 
     /// When the hierarchy last flushed through this engine — the settled
@@ -546,15 +714,44 @@ impl QueryEngine {
 
     /// Serves one query at `now_s`.
     ///
+    /// The whole lifecycle is traced as a `"query"` span at the
+    /// requester's fog-1 site — children mark the plan, admission,
+    /// execute and deliver phases — closed at the estimated completion
+    /// instant with the response size as its attribute (sheds close
+    /// zero-length).
+    ///
     /// # Errors
     ///
     /// [`Error::BadQuery`] / [`Error::Unanswerable`] per the planner;
     /// network errors while metering the transfer.
     pub fn serve(&mut self, query: &Query, now_s: u64) -> Result<Outcome> {
         query.validated()?;
+        let site = Site::new("fog1", query.origin as u32);
+        let now_us = now_s.saturating_mul(1_000_000);
+        let span = self.city.tracer_mut().open(site, "query", now_us);
+        let result = self.serve_inner(query, site, now_us, now_s);
+        let (end_us, attr) = match &result {
+            Ok(Outcome::Answered(resp)) => {
+                (now_us + resp.est_latency.as_micros(), resp.response_bytes)
+            }
+            _ => (now_us, 0),
+        };
+        self.city.tracer_mut().close_with(span, end_us, attr);
+        result
+    }
+
+    fn serve_inner(
+        &mut self,
+        query: &Query,
+        site: Site,
+        now_us: u64,
+        now_s: u64,
+    ) -> Result<Outcome> {
         let class = query.class;
-        self.stats.requests += 1;
-        self.stats.per_class[class.index()].requests += 1;
+        let class_ids = self.ids.per_class[class.index()];
+        let m = self.city.metrics_mut();
+        m.inc(self.ids.requests);
+        m.inc(class_ids.requests);
         self.served_frontier_s = self.served_frontier_s.max(now_s);
 
         // 0. Chaos gate at the origin: a crashed fog-1 node serves
@@ -571,7 +768,7 @@ impl QueryEngine {
 
         // 1. Edge cache at the requester's fog-1 node: a free local answer.
         if let Some(answer) = self.edge[query.origin].get(&key, now_s, epoch) {
-            self.stats.edge_hits += 1;
+            self.city.metrics_mut().inc(self.ids.edge_hits);
             let bytes = answer.response_bytes();
             let est_latency = self.city.cost_model().cost(AccessOption::Local, bytes);
             self.record_answered(class, est_latency);
@@ -591,17 +788,25 @@ impl QueryEngine {
         let route = match planner::plan(&self.city, query) {
             Ok(r) => r,
             Err(e @ Error::Unanswerable { .. }) => {
-                self.stats.unanswerable += 1;
+                self.city.metrics_mut().inc(self.ids.unanswerable);
                 return Err(e);
             }
             Err(e) => return Err(e),
         };
+        // A zero-length child marking the plan phase; the attribute says
+        // whether the winning shape is a fan-out.
+        let plan_span = self.city.tracer_mut().open(site, "query-plan", now_us);
+        let fanned_out = matches!(route.choice, Choice::Scatter(_));
+        self.city
+            .tracer_mut()
+            .close_with(plan_span, now_us, u64::from(fanned_out));
         if let Some((scatter_cost, cloud_cost)) = route.contest {
-            if scatter_cost <= cloud_cost {
-                self.stats.scatter_wins += 1;
+            let id = if scatter_cost <= cloud_cost {
+                self.ids.scatter_wins
             } else {
-                self.stats.cloud_wins += 1;
-            }
+                self.ids.cloud_wins
+            };
+            self.city.metrics_mut().inc(id);
         }
 
         // 3. Deadline gate: when even the cheapest provably-complete
@@ -610,7 +815,7 @@ impl QueryEngine {
         // at plan time, before holding anything.
         let budget = self.cfg.qos.deadline(class);
         if route.est_cost() > budget {
-            self.stats.per_class[class.index()].deadline_shed += 1;
+            self.city.metrics_mut().inc(class_ids.deadline_shed);
             return Ok(Outcome::Shed {
                 layer: route.choice.charged_layer(),
                 class,
@@ -634,7 +839,7 @@ impl QueryEngine {
                         if let Outcome::Answered(resp) =
                             self.serve_choice(query, fb, key, epoch, now_s)?
                         {
-                            self.stats.per_class[class.index()].rerouted += 1;
+                            self.city.metrics_mut().inc(class_ids.rerouted);
                             if cause == ShedCause::Fault {
                                 // A fault rescue, not a capacity one:
                                 // the timeline attributes the detour.
@@ -654,8 +859,9 @@ impl QueryEngine {
                 if cause == ShedCause::Fault {
                     return Ok(self.fault_shed(query, layer, now_s));
                 }
-                self.stats.shed[layer.index()] += 1;
-                self.stats.per_class[class.index()].shed += 1;
+                let m = self.city.metrics_mut();
+                m.inc(self.ids.shed[layer.index()]);
+                m.inc(class_ids.shed);
                 Ok(Outcome::Shed {
                     layer,
                     class,
@@ -669,8 +875,10 @@ impl QueryEngine {
     /// incident timeline, so every refused query under chaos is
     /// attributable to an injected fault.
     fn fault_shed(&mut self, query: &Query, layer: Layer, now_s: u64) -> Outcome {
-        self.stats.fault_shed += 1;
-        self.stats.per_class[query.class.index()].fault_shed += 1;
+        let class_fault = self.ids.per_class[query.class.index()].fault_shed;
+        let m = self.city.metrics_mut();
+        m.inc(self.ids.fault_shed);
+        m.inc(class_fault);
         self.city.record_incident(
             now_s,
             ChaosSite::Fog1(query.origin),
@@ -703,11 +911,13 @@ impl QueryEngine {
     /// Records an answered query, scoring its latency estimate against
     /// the class's deadline budget for SLO attainment.
     fn record_answered(&mut self, class: ServiceClass, est_latency: Duration) {
-        self.stats.answered += 1;
-        let cs = &mut self.stats.per_class[class.index()];
-        cs.answered += 1;
-        if est_latency <= self.cfg.qos.deadline(class) {
-            cs.slo_met += 1;
+        let cid = self.ids.per_class[class.index()];
+        let slo_met = est_latency <= self.cfg.qos.deadline(class);
+        let m = self.city.metrics_mut();
+        m.inc(self.ids.answered);
+        m.inc(cid.answered);
+        if slo_met {
+            m.inc(cid.slo_met);
         }
     }
 
@@ -735,7 +945,7 @@ impl QueryEngine {
             .source_cache(plan.source, query.origin)
             .get(&key, now_s, epoch)
         {
-            self.stats.source_hits += 1;
+            self.city.metrics_mut().inc(self.ids.source_hits);
             let bytes = answer.response_bytes();
             if self
                 .city
@@ -799,10 +1009,22 @@ impl QueryEngine {
             }
             held
         };
+        let site = Site::new("fog1", query.origin as u32);
+        let now_us = now_s.saturating_mul(1_000_000);
+        let admit = self.city.tracer_mut().open(site, "query-admit", now_us);
+        let charged = u64::from(held.slots().iter().sum::<u32>());
+        self.city.tracer_mut().close_with(admit, now_us, charged);
 
         // 5. Execute against the source store.
+        let exec = self.city.tracer_mut().open(site, "query-execute", now_us);
         let (answer, visited) = self.execute(query, plan, now_s, epoch);
-        self.stats.records_scanned += visited;
+        let scan_us = self.cfg.scan_cost_per_record_us * visited;
+        self.city
+            .tracer_mut()
+            .close_with(exec, now_us + scan_us, visited);
+        self.city
+            .metrics_mut()
+            .add(self.ids.records_scanned, visited);
         let bytes = answer.response_bytes();
         let est_latency = self.city.cost_model().cost(plan.option, bytes)
             + Duration::from_micros(self.cfg.scan_cost_per_record_us * visited);
@@ -831,7 +1053,11 @@ impl QueryEngine {
                 .put(key, answer.clone(), now_s, epoch);
             self.edge[query.origin].put(key, answer.clone(), now_s, epoch);
         }
-        self.stats.store_served += 1;
+        self.city.metrics_mut().inc(self.ids.store_served);
+        let deliver = self.city.tracer_mut().open(site, "query-deliver", now_us);
+        self.city
+            .tracer_mut()
+            .close_with(deliver, now_us + est_latency.as_micros(), bytes);
         self.record_answered(class, est_latency);
         Ok(Outcome::Answered(QueryResponse {
             answer,
@@ -870,7 +1096,7 @@ impl QueryEngine {
         // pays the parent hop, skips the whole fan-out.
         let gather = plan.gather_district;
         if let Some(answer) = self.src_fog2[gather].get(&key, now_s, epoch) {
-            self.stats.source_hits += 1;
+            self.city.metrics_mut().inc(self.ids.source_hits);
             let bytes = answer.response_bytes();
             if self
                 .city
@@ -920,7 +1146,9 @@ impl QueryEngine {
             .collect();
         let legs_shed = legs_total - live.len() as u32;
         if legs_shed > 0 {
-            self.stats.legs_shed += u64::from(legs_shed);
+            self.city
+                .metrics_mut()
+                .add(self.ids.legs_shed, u64::from(legs_shed));
             for leg in plan.legs.iter() {
                 if !self.city.leg_available(query.origin, leg.node, now_s) {
                     let site = match leg.node {
@@ -956,11 +1184,22 @@ impl QueryEngine {
                 cause: ShedCause::Capacity,
             });
         }
+        let site = Site::new("fog1", query.origin as u32);
+        let now_us = now_s.saturating_mul(1_000_000);
+        let admit = self.city.tracer_mut().open(site, "query-admit", now_us);
+        let charged = u64::from(held.slots().iter().sum::<u32>());
+        self.city.tracer_mut().close_with(admit, now_us, charged);
 
         // 5. Execute every surviving leg and merge at the gather node.
+        let exec = self.city.tracer_mut().open(site, "query-execute", now_us);
         let (answer, leg_reports, slowest) = self.execute_scatter(query, &live, now_s, epoch);
+        self.city
+            .tracer_mut()
+            .close_with(exec, now_us + slowest.as_micros(), live.len() as u64);
         let visited: u64 = leg_reports.iter().map(|&(_, _, v)| v).sum();
-        self.stats.records_scanned += visited;
+        self.city
+            .metrics_mut()
+            .add(self.ids.records_scanned, visited);
         let bytes = answer.response_bytes();
         let est_latency = slowest
             + self.city.cost_model().fanout_overhead(live.len())
@@ -984,7 +1223,7 @@ impl QueryEngine {
         let completeness = if legs_shed == 0 {
             Completeness::Complete
         } else {
-            self.stats.degraded += 1;
+            self.city.metrics_mut().inc(self.ids.degraded);
             Completeness::Partial {
                 legs_shed,
                 legs_total,
@@ -996,9 +1235,14 @@ impl QueryEngine {
             self.src_fog2[gather].put(key, answer.clone(), now_s, epoch);
             self.edge[query.origin].put(key, answer.clone(), now_s, epoch);
         }
-        self.stats.store_served += 1;
-        self.stats.scatter_served += 1;
-        self.stats.scatter_legs += live.len() as u64;
+        let m = self.city.metrics_mut();
+        m.inc(self.ids.store_served);
+        m.inc(self.ids.scatter_served);
+        m.add(self.ids.scatter_legs, live.len() as u64);
+        let deliver = self.city.tracer_mut().open(site, "query-deliver", now_us);
+        self.city
+            .tracer_mut()
+            .close_with(deliver, now_us + est_latency.as_micros(), bytes);
         self.record_answered(class, est_latency);
         Ok(Outcome::Answered(QueryResponse {
             answer,
@@ -1053,8 +1297,9 @@ impl QueryEngine {
                 // of the node's pre-folded ledger partials — no store
                 // scan, no partial-cache traffic.
                 let (answer, merged) = warm_sketch_answer(self.city.fog1(s).sketches(), s, query);
-                self.stats.sketch_served += 1;
-                self.stats.sketch_hits += merged;
+                let m = self.city.metrics_mut();
+                m.inc(self.ids.sketch_served);
+                m.add(self.ids.sketch_hits, merged);
                 return (answer, 0);
             }
             DataSource::Local => (
@@ -1079,20 +1324,31 @@ impl QueryEngine {
             QueryKind::Point => execute_point(store, query),
             QueryKind::Range => execute_range(store, query),
             QueryKind::Aggregate => {
+                let mut tally = FoldTally::default();
                 let (acc, visited) = fold_aggregate(
                     &self.city,
                     store,
                     node,
                     query,
                     &mut self.partials,
-                    &mut self.stats,
+                    &mut tally,
                     epoch,
                     now_s,
                     self.cfg.bucket_s,
                 );
+                self.apply_fold_tally(tally);
                 (QueryAnswer::Aggregate(finalize(&acc)), visited)
             }
         }
+    }
+
+    /// Publishes what a fold did with its closed buckets, once the
+    /// store borrow is released.
+    fn apply_fold_tally(&mut self, tally: FoldTally) {
+        let m = self.city.metrics_mut();
+        m.add(self.ids.partial_hits, tally.partial_hits);
+        m.add(self.ids.prefold_hits, tally.prefold_hits);
+        m.add(self.ids.partial_fills, tally.partial_fills);
     }
 
     /// Executes every given fan-out leg (the plan's legs, minus any the
@@ -1112,6 +1368,10 @@ impl QueryEngine {
         let mut points = Vec::new();
         let mut ranges = Vec::new();
         let mut partial_legs = Vec::new();
+        let mut tally = FoldTally::default();
+        let mut sketch_legs = 0u64;
+        let mut sketch_hits = 0u64;
+        let now_us = now_s.saturating_mul(1_000_000);
         for leg in legs {
             let shard = Query {
                 scope: leg.scope,
@@ -1150,8 +1410,8 @@ impl QueryEngine {
                             &shard,
                             &mut acc,
                         );
-                        self.stats.sketch_legs += 1;
-                        self.stats.sketch_hits += merged;
+                        sketch_legs += 1;
+                        sketch_hits += merged;
                         (acc, 0)
                     } else {
                         fold_aggregate(
@@ -1160,7 +1420,7 @@ impl QueryEngine {
                             node,
                             &shard,
                             &mut self.partials,
-                            &mut self.stats,
+                            &mut tally,
                             epoch,
                             now_s,
                             self.cfg.bucket_s,
@@ -1173,8 +1433,22 @@ impl QueryEngine {
             let leg_time = self.city.cost_model().leg_cost(leg.path, leg_bytes)
                 + Duration::from_micros(self.cfg.scan_cost_per_record_us * visited);
             slowest = slowest.max(leg_time);
+            // One span per executed leg, at the leg's own site, closed at
+            // its modeled completion with the shipped bytes as attribute.
+            let leg_site = match leg.node {
+                FanoutLeg::Fog1(s) => Site::new("fog1", s as u32),
+                FanoutLeg::Fog2(d) => Site::new("fog2", d as u32),
+            };
+            let span = self.city.tracer_mut().open(leg_site, "scatter-leg", now_us);
+            self.city
+                .tracer_mut()
+                .close_with(span, now_us + leg_time.as_micros(), leg_bytes);
             reports.push((leg.node, leg_bytes, visited));
         }
+        self.apply_fold_tally(tally);
+        let m = self.city.metrics_mut();
+        m.add(self.ids.sketch_legs, sketch_legs);
+        m.add(self.ids.sketch_hits, sketch_hits);
         let answer = match query.kind {
             QueryKind::Point => crate::scatter::merge_points(points),
             QueryKind::Range => crate::scatter::merge_ranges(ranges),
@@ -1398,7 +1672,7 @@ fn fold_aggregate(
     node: NodeKey,
     query: &Query,
     partials: &mut PartialCache,
-    stats: &mut EngineStats,
+    tally: &mut FoldTally,
     epoch: u64,
     now_s: u64,
     bucket_s: u64,
@@ -1433,7 +1707,7 @@ fn fold_aggregate(
                 // so it never costs more than folding the bucket (even
                 // an empty one).
                 if partials.merge_into(&key, epoch, &mut acc) {
-                    stats.partial_hits += 1;
+                    tally.partial_hits += 1;
                 } else if let Some(part) = prefold
                     .as_ref()
                     .and_then(|ctx| ctx.bucket(query, bucket, bucket_end))
@@ -1443,13 +1717,13 @@ fn fold_aggregate(
                     // the assembly for the next query.
                     acc.merge(&part);
                     partials.put(key, part, epoch);
-                    stats.prefold_hits += 1;
+                    tally.prefold_hits += 1;
                 } else {
                     let mut part = AggPartial::empty();
                     visited += fold_segment(store, query, bucket, bucket_end, &mut part);
                     acc.merge(&part);
                     partials.put(key, part, epoch);
-                    stats.partial_fills += 1;
+                    tally.partial_fills += 1;
                 }
             } else {
                 visited += fold_segment(store, query, bucket, bucket_end, &mut acc);
@@ -1855,7 +2129,8 @@ mod tests {
             resp.held,
             HeldSlots::single(Layer::Cloud, ServiceClass::CityWide)
         );
-        let cs = e.stats().class(ServiceClass::CityWide);
+        let stats = e.stats();
+        let cs = stats.class(ServiceClass::CityWide);
         assert_eq!(cs.rerouted, 1);
         assert_eq!(cs.shed, 0);
         assert_eq!(e.stats().shed_total(), 0, "a reroute is not a shed");
@@ -2134,6 +2409,48 @@ mod tests {
             }
             other => panic!("expected aggregates, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn serving_publishes_metrics_and_wellformed_spans_into_the_city() {
+        let mut e = engine_with_data(5, SensorType::Traffic, 4);
+        let q = aggregate_query(5, Scope::Section(5), 0, 3_600);
+        answered(e.serve_sync(&q, 4_000).unwrap());
+        e.sync_gauges();
+        let snap = e.city().metrics().snapshot();
+        assert_eq!(snap.counter("query_requests{service=query}"), Some(1));
+        assert_eq!(snap.counter("query_answered{service=query}"), Some(1));
+        assert_eq!(snap.counter("query_store_served{service=query}"), Some(1));
+        assert!(
+            snap.gauges
+                .iter()
+                .any(|(k, _)| k.starts_with("qos_in_flight")),
+            "gauges sync at snapshot time: {:?}",
+            snap.gauges
+        );
+        // The stats() view and the registry are the same numbers.
+        assert_eq!(e.stats().requests, 1);
+        // The query lifecycle traced at the requester's site, well-formed.
+        let log = e.city().tracer().log(Site::new("fog1", 5)).unwrap();
+        assert_eq!(log.open_count(), 0, "no orphan spans after serving");
+        assert_eq!(log.malformed(), 0);
+        let names: Vec<_> = log.completed().map(|s| s.name).collect();
+        for phase in [
+            "query",
+            "query-plan",
+            "query-admit",
+            "query-execute",
+            "query-deliver",
+        ] {
+            assert!(names.contains(&phase), "missing {phase} in {names:?}");
+        }
+        // Children carry depth ≥ 1 under the root query span.
+        let root = log.completed().find(|s| s.name == "query").unwrap();
+        assert_eq!(root.depth, 0);
+        assert!(log
+            .completed()
+            .filter(|s| s.name != "query")
+            .all(|s| s.depth >= 1));
     }
 
     #[test]

@@ -460,7 +460,7 @@ pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<Workload
     }
     let mut rng = SmallRng::seed_from_u64(config.seed);
     engine.flush_all(config.start_s)?;
-    let stats0 = *engine.stats();
+    let stats0 = engine.stats();
 
     let mut ingest_gens = (config.ingest_period_s > 0).then(|| {
         section_generators(
@@ -660,6 +660,29 @@ pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<Workload
             }
         }
     }
+
+    // Publish the run's estimated-latency distributions into the city's
+    // unified registry (merged, not moved — the typed report below keeps
+    // its own copies), and sync the point-in-time gauges, so a bench
+    // export after the run sees the same series the report prints.
+    {
+        let m = engine.city_mut().metrics_mut();
+        let q = f2c_obs::Labels::new().service("query");
+        for layer in Layer::ALL {
+            let id = m.histogram(
+                "query_latency_us",
+                q.layer(crate::engine::layer_label(layer)),
+            );
+            m.merge_histogram(id, &hists[layer.index()]);
+        }
+        for class in ServiceClass::ALL {
+            let id = m.histogram("query_latency_us", q.class(class.label()));
+            m.merge_histogram(id, &class_hists[class.index()]);
+        }
+        let id = m.histogram("query_latency_us", q.kind("scatter"));
+        m.merge_histogram(id, &scatter_latency);
+    }
+    engine.sync_gauges();
 
     let stats = engine.stats();
     // Per-class counters are the engine's own ledger accounting, scoped

@@ -11,7 +11,9 @@
 //! * [`dlc`] — the SCC-DLC life-cycle model,
 //! * [`core`] — the F2C data-management architecture itself,
 //! * [`qos`] — per-service QoS classes, quotas and deadline budgets,
-//! * [`query`] — consumer-facing query serving over the hierarchy.
+//! * [`query`] — consumer-facing query serving over the hierarchy,
+//! * [`obs`] — the observability plane: sim-time tracing, the unified
+//!   metrics registry, the `BENCH_*.json` export and the perf-budget gate.
 //!
 //! See the repository README for the quickstart and DESIGN.md /
 //! EXPERIMENTS.md for the reproduction index.
@@ -37,6 +39,7 @@ pub use citysim;
 pub use f2c_aggregate as aggregate;
 pub use f2c_compress as compress;
 pub use f2c_core as core;
+pub use f2c_obs as obs;
 pub use f2c_qos as qos;
 pub use f2c_query as query;
 pub use scc_dlc as dlc;

@@ -9,9 +9,10 @@
 //! failures by seed, the traffic cross-validation compares runs, and the
 //! ROADMAP's sharding/scale work needs replicas that agree.
 
+use f2c_smartcity::citysim::net::FailurePlan;
 use f2c_smartcity::compress;
 use f2c_smartcity::core::runtime::populate_city;
-use f2c_smartcity::core::{F2cCity, F2cNode, FlushPolicy, RetentionPolicy};
+use f2c_smartcity::core::{ChaosSite, F2cCity, F2cNode, FlushPolicy, RetentionPolicy};
 use f2c_smartcity::query::workload::{self, WorkloadConfig};
 use f2c_smartcity::query::{EngineConfig, QueryEngine};
 use f2c_smartcity::sensors::{wire, Catalog, ReadingGenerator, SensorType};
@@ -149,6 +150,63 @@ fn query_workload_replays_are_transcript_identical() {
     assert_ne!(
         first, other,
         "different seeds must change the serving transcript"
+    );
+}
+
+/// One observability replica: a seeded chaos storm (crash windows plus
+/// shipment loss/corruption coins) under live closed-loop load, returning
+/// the tracer's byte-stable transcript concatenated with the registry
+/// snapshot rendered to text — the whole observability plane held to the
+/// same byte-identical oracle as the flush pipeline.
+fn trace_replica(seed: u64) -> Vec<u8> {
+    let mut city = F2cCity::barcelona().expect("city builds");
+    populate_city(&mut city, 5_000, seed, 3_600, 900).expect("warm-up runs");
+    let mut plan = FailurePlan::with_seed(seed);
+    plan.set_shipment_loss(0.10);
+    plan.set_shipment_corruption(0.08);
+    city.set_failures(plan);
+    city.inject_node_outage(ChaosSite::Fog1(5), 3_650, 3_980);
+    city.inject_node_outage(ChaosSite::Cloud, 4_000, 4_100);
+    let mut engine = QueryEngine::new(city, EngineConfig::default());
+    let config = WorkloadConfig {
+        seed,
+        requests: 2_000,
+        users: 24,
+        start_s: 3_600,
+        flush_period_s: 300,
+        ingest_period_s: 300,
+        ingest_scale: 5_000,
+        ..WorkloadConfig::default()
+    };
+    workload::run(&mut engine, &config).expect("storm workload runs");
+    let mut out = engine.city().tracer().encode();
+    let snapshot = engine.city().metrics().snapshot();
+    for (key, value) in &snapshot.counters {
+        out.extend_from_slice(format!("{key}={value}\n").as_bytes());
+    }
+    for (key, value) in &snapshot.gauges {
+        out.extend_from_slice(format!("{key}={value}\n").as_bytes());
+    }
+    out
+}
+
+#[test]
+fn chaos_storm_trace_transcripts_are_replica_identical() {
+    let first = trace_replica(2017);
+    let second = trace_replica(2017);
+    let third = trace_replica(2017);
+    assert!(
+        first.len() > 10_000,
+        "trace transcript suspiciously small ({} bytes) — storm traced nothing",
+        first.len()
+    );
+    assert_byte_identical(&first, &second, "trace replica 1 vs 2");
+    assert_byte_identical(&first, &third, "trace replica 1 vs 3");
+    // And the seed must matter: a different storm traces differently.
+    let other = trace_replica(2018);
+    assert_ne!(
+        first, other,
+        "different seeds must change the trace transcript"
     );
 }
 
