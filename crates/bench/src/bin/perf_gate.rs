@@ -38,6 +38,22 @@ fn run() -> Result<Vec<String>, String> {
         baseline_path,
         current_path
     );
+    // Ungated info lines: the sharded runtime is byte-identical at any
+    // thread count, so parallelism can never move a gated metric — but
+    // the thread count and wall time explain throughput differences
+    // between runs at a glance.
+    for (label, doc) in [("baseline", &baseline), ("current", &current)] {
+        let field = |path: &str| {
+            doc.path(path)
+                .and_then(Json::as_u64)
+                .map_or_else(|| "-".to_string(), |v| v.to_string())
+        };
+        println!(
+            "perf gate: info — {label} ran on {} worker thread(s) in {} ms (ungated)",
+            field("parallel.threads"),
+            field("parallel.wall_ms"),
+        );
+    }
     Ok(violations.iter().map(|v| v.to_string()).collect())
 }
 

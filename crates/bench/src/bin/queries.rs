@@ -20,8 +20,9 @@ use std::time::Instant;
 use citysim::net::FailurePlan;
 use f2c_bench::export;
 use f2c_core::runtime::populate_city;
-use f2c_core::{ChaosSite, F2cCity, Layer};
+use f2c_core::{ChaosSite, F2cCity, Layer, Parallelism};
 use f2c_obs::Json;
+use f2c_query::parallel;
 use f2c_query::workload::{self, DiurnalCurve, FlashCrowd, Mix, ServiceClass, WorkloadConfig};
 use f2c_query::{
     EngineConfig, LayerCaps, Outcome, Query, QueryEngine, QueryKind, Scope, Selector, TimeWindow,
@@ -109,6 +110,12 @@ fn main() {
         },
         ..EngineConfig::default()
     };
+    // The main run rides the district-sharded runtime at the PARALLELISM
+    // knob (default: available cores). The run is byte-identical at any
+    // thread count — the self-check below proves it on this build — so
+    // every gated metric is the same whether CI has 1 core or 16.
+    let threads = Parallelism::from_env();
+    city.set_parallelism(threads);
     let mut engine = QueryEngine::new(city, cfg);
     let config = WorkloadConfig {
         seed: 2017,
@@ -136,15 +143,16 @@ fn main() {
         record_transcript: false,
     };
     let t = Instant::now();
-    let report = workload::run(&mut engine, &config).expect("workload runs");
+    let report = parallel::run(&mut engine, &config).expect("workload runs");
     let wall = t.elapsed();
 
     println!(
         "\nworkload: {} requests from {} users over {} simulated seconds \
-         in {:.2?} ({:.0} req/s wall)",
+         on {} worker thread(s) in {:.2?} ({:.0} req/s wall)",
         report.issued,
         config.users,
         report.sim_end_s - config.start_s,
+        threads.get(),
         wall,
         report.issued as f64 / wall.as_secs_f64()
     );
@@ -276,6 +284,51 @@ fn main() {
         report.class_stats(ServiceClass::RealTime).shed,
         0,
         "the steady mix must never shed a real-time read"
+    );
+
+    // --- parallel conformance: threads cannot change a single byte ------
+    // Two fresh replicas of a smaller closed loop, one on a single
+    // worker thread and one on four, must produce byte-identical
+    // transcripts (the full-artifact oracle lives in tests/parallel.rs;
+    // this proves it on the release build CI actually benches). The
+    // 1-CPU CI runner cannot observe wall-clock speedup, so the export
+    // below carries threads + wall time as ungated info fields instead
+    // of asserting a ratio.
+    println!("\n== parallel conformance: thread count must not change bytes ==");
+    let self_check = |threads: usize| {
+        let mut sc_city = F2cCity::barcelona().expect("city builds");
+        sc_city.set_parallelism(Parallelism::new(threads));
+        populate_city(&mut sc_city, 20_000, 2017, 3_600, 900).expect("warm-up runs");
+        let mut sc_engine = QueryEngine::new(sc_city, EngineConfig::default());
+        let sc_config = WorkloadConfig {
+            seed: 2017,
+            requests: 10_000,
+            users: 48,
+            start_s: 3_600,
+            flush_period_s: 300,
+            ingest_period_s: 300,
+            ingest_scale: 20_000,
+            record_transcript: true,
+            ..WorkloadConfig::default()
+        };
+        let r = parallel::run(&mut sc_engine, &sc_config).expect("self-check runs");
+        (r.transcript, r.transcript_hash)
+    };
+    let t = Instant::now();
+    let (bytes_seq, selfcheck_hash) = self_check(1);
+    let (bytes_par, hash_par) = self_check(4);
+    assert_eq!(
+        selfcheck_hash, hash_par,
+        "transcript hashes diverge across thread counts"
+    );
+    assert_eq!(
+        bytes_seq, bytes_par,
+        "transcripts diverge across thread counts"
+    );
+    println!(
+        "10k-request self-check: threads=1 and threads=4 agree byte-for-byte \
+         (hash {selfcheck_hash:#018x}) in {:.2?}. SHAPE OK",
+        t.elapsed()
     );
 
     // --- flash crowd: the QoS promise under a deliberate overload -------
@@ -748,6 +801,25 @@ fn main() {
         Json::Num(raw as f64 / cloud_records.max(1) as f64),
     );
     doc.set("flush", flush_j);
+
+    // Parallel-runtime info fields: the thread count the main run rode,
+    // its wall time, and the self-check's agreed transcript hash. These
+    // are deliberately *ungated* — wall time is machine noise and the
+    // thread count is environment policy; byte-identity means neither
+    // can move a gated metric.
+    let mut parallel_j = Json::obj();
+    parallel_j.set("threads", export::num(threads.get() as u64));
+    parallel_j.set("wall_ms", export::num(wall.as_millis() as u64));
+    parallel_j.set(
+        "req_per_s_wall",
+        Json::Num(report.issued as f64 / wall.as_secs_f64()),
+    );
+    parallel_j.set(
+        "selfcheck_hash",
+        Json::Str(format!("{selfcheck_hash:#018x}")),
+    );
+    parallel_j.set("selfcheck_match", export::num(1));
+    doc.set("parallel", parallel_j);
 
     engine.sync_gauges();
     doc.set("phases", export::phases_json(engine.city().tracer()));

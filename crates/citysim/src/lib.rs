@@ -41,5 +41,5 @@ pub use access::AccessTechnology;
 pub use error::{Error, Result};
 pub use event::EventQueue;
 pub use metrics::{Counter, Histogram};
-pub use net::{Delivery, Link, Network, NodeId, Topology};
+pub use net::{Delivery, Link, NetScratch, Network, NodeId, Topology};
 pub use time::{Duration, SimTime};

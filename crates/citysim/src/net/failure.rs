@@ -178,12 +178,33 @@ impl FailurePlan {
         let n = self.seq.entry(link).or_insert(0);
         let seq = *n;
         *n += 1;
+        self.loss_verdict(link, seq)
+    }
+
+    /// The loss verdict for the `seq`-th message ever sent on `link` —
+    /// the pure function behind [`FailurePlan::drops`]. Sharded senders
+    /// draw against an explicit sequence (base + their local count) so a
+    /// read-only phase can toss coins without mutating the plan.
+    pub fn loss_verdict(&self, link: LinkId, seq: u64) -> bool {
         match self.loss.get(&link) {
             Some(&p) => coin(
                 keyed(self.seed, DOMAIN_LINK_LOSS, link.index() as u64, seq),
                 p,
             ),
             None => false,
+        }
+    }
+
+    /// The next unused loss-coin sequence number of `link`.
+    pub fn loss_seq(&self, link: LinkId) -> u64 {
+        self.seq.get(&link).copied().unwrap_or(0)
+    }
+
+    /// Advances `link`'s loss-coin sequence by `n` draws — how a shard's
+    /// buffered sends are folded back into the plan at a barrier.
+    pub fn advance_loss_seq(&mut self, link: LinkId, n: u64) {
+        if n > 0 {
+            *self.seq.entry(link).or_insert(0) += n;
         }
     }
 

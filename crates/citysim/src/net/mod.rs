@@ -19,8 +19,45 @@ pub use link::Link;
 pub use meter::{LinkTraffic, TrafficMeter};
 pub use topology::{LinkId, NodeId, Topology};
 
+use std::collections::HashMap;
+
 use crate::time::{Duration, SimTime};
 use crate::{Error, Result};
+
+/// Buffered network effects of one shard's read-only phase.
+///
+/// A sharded runtime serves queries and ships flush hops against a
+/// shared `&Network`; everything a send would normally mutate — traffic
+/// meters and per-link loss-coin sequences — lands here instead, and
+/// [`Network::absorb_scratch`] replays it at the next barrier in the
+/// coordinator's canonical shard order. Per-link sequences are drawn as
+/// `base + local count`, where `base` is the plan's counter at first use,
+/// so a shard's verdicts are a pure function of the plan plus its own
+/// send order.
+#[derive(Debug, Default)]
+pub struct NetScratch {
+    /// Metering events in send order: `(link, src, dst, bytes, at)`.
+    events: Vec<(LinkId, NodeId, NodeId, u64, SimTime)>,
+    /// Per-link `(base sequence at first use, draws made here)`.
+    seq: HashMap<LinkId, (u64, u64)>,
+}
+
+impl NetScratch {
+    /// An empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether nothing has been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.seq.is_empty()
+    }
+
+    /// Buffered metering events.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+}
 
 /// Outcome of a successful message delivery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,6 +188,89 @@ impl Network {
             hops: path.len(),
             path_latency,
         })
+    }
+
+    /// [`Network::send`] against `&self`: meter records and loss-coin
+    /// draws go to `scratch` instead of mutating the network. A shard
+    /// replaying the same sends through the same scratch gets the same
+    /// verdicts [`Network::send`] would have produced sequentially.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Network::send`].
+    pub fn send_scratch(
+        &self,
+        scratch: &mut NetScratch,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        now: SimTime,
+    ) -> Result<Delivery> {
+        let path = self.topo.route(from, to)?;
+        let mut at = now;
+        let mut path_latency = Duration::ZERO;
+        for &link_id in &path {
+            let link = self.topo.link(link_id);
+            let (a, b) = self.topo.link_endpoints(link_id);
+            if self.failures.is_down(link_id, at) {
+                return Err(Error::LinkDown { a, b, at });
+            }
+            scratch.events.push((link_id, a, b, bytes, at));
+            let entry = scratch
+                .seq
+                .entry(link_id)
+                .or_insert((self.failures.loss_seq(link_id), 0));
+            let seq = entry.0 + entry.1;
+            entry.1 += 1;
+            if self.failures.loss_verdict(link_id, seq) {
+                return Err(Error::MessageLost { a, b });
+            }
+            at += link.latency() + link.transfer_time(bytes);
+            path_latency += link.latency();
+        }
+        Ok(Delivery {
+            arrival: at,
+            hops: path.len(),
+            path_latency,
+        })
+    }
+
+    /// [`Network::request_response`] through a [`NetScratch`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Network::request_response`].
+    pub fn request_response_scratch(
+        &self,
+        scratch: &mut NetScratch,
+        from: NodeId,
+        to: NodeId,
+        request_bytes: u64,
+        response_bytes: u64,
+        now: SimTime,
+    ) -> Result<Delivery> {
+        let there = self.send_scratch(scratch, from, to, request_bytes, now)?;
+        let back = self.send_scratch(scratch, to, from, response_bytes, there.arrival)?;
+        Ok(Delivery {
+            arrival: back.arrival,
+            hops: there.hops + back.hops,
+            path_latency: there.path_latency + back.path_latency,
+        })
+    }
+
+    /// Folds a shard's buffered sends back into the network: meter events
+    /// replay in their send order and each link's loss-coin counter jumps
+    /// by the draws made. Called at barriers in canonical shard order, so
+    /// the merged meter and sequences are schedule-independent.
+    pub fn absorb_scratch(&mut self, scratch: &mut NetScratch) {
+        for (link, a, b, bytes, at) in scratch.events.drain(..) {
+            self.meter.record(link, a, b, bytes, at);
+        }
+        let mut seqs: Vec<(LinkId, (u64, u64))> = scratch.seq.drain().collect();
+        seqs.sort_by_key(|(link, _)| link.index());
+        for (link, (_, drawn)) in seqs {
+            self.failures.advance_loss_seq(link, drawn);
+        }
     }
 
     /// Round-trip: a small `request_bytes` message from `from` to `to`, then

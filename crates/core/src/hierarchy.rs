@@ -7,15 +7,17 @@
 use citysim::barcelona::{BarcelonaTopology, LatencyProfile, DISTRICTS};
 use citysim::net::FailurePlan;
 use citysim::time::{Duration, SimTime};
-use citysim::NodeId;
+use citysim::{NetScratch, Network, NodeId};
+use f2c_aggregate::sketch::SketchKey;
 use f2c_obs::{CounterId, Labels, MetricsRegistry, Site, Tracer};
 use scc_dlc::DataRecord;
 use scc_sensors::{Catalog, Reading, SensorType};
 
 use crate::cost::{AccessCostModel, AccessOption};
 use crate::incident::{ChaosSite, IncidentKind, IncidentTimeline};
-use crate::node::{F2cNode, IngestOutcome};
+use crate::node::{F2cNode, FlushBatch, IngestOutcome};
 use crate::policy::{FlushPolicy, RetentionPolicy};
+use crate::shard::{run_shards, ObsScratch, Parallelism};
 use crate::{Error, Result};
 
 /// Where a fetch was ultimately served from.
@@ -141,6 +143,10 @@ pub struct F2cCity {
     tracer: Tracer,
     /// Every injected fault and its downstream effects, per node.
     timeline: IncidentTimeline,
+    /// Worker threads for the sharded phases (flush waves, anti-entropy
+    /// phase 1, sharded ingest). Every observable is byte-identical at
+    /// any setting; this knob only trades wall-clock.
+    parallelism: Parallelism,
 }
 
 impl F2cCity {
@@ -186,7 +192,21 @@ impl F2cCity {
             ids,
             tracer: Tracer::new(),
             timeline: IncidentTimeline::new(),
+            parallelism: Parallelism::from_env(),
         })
+    }
+
+    /// Sets the worker-thread count for the sharded phases. Snapshots,
+    /// transcripts and traces are byte-identical at any value (the city
+    /// is partitioned into fixed district shards and every merge folds
+    /// in canonical district order); `1` runs everything inline.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// The configured worker-thread count for sharded phases.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// The paper's default deployment.
@@ -478,6 +498,107 @@ impl F2cCity {
         Ok(())
     }
 
+    /// [`F2cCity::meter_query`] against a shard's [`NetScratch`]: same
+    /// routing, metering and loss verdicts, but the traffic and the
+    /// loss-coin draws are buffered in the scratch until the coordinator
+    /// absorbs it at a barrier. Takes `&self`, so shards can meter
+    /// concurrently against the shared network snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Network errors (e.g. injected outages on the chosen path).
+    pub fn meter_query_scratch(
+        &self,
+        net: &mut NetScratch,
+        section: usize,
+        source: DataSource,
+        request_bytes: u64,
+        response_bytes: u64,
+        now_s: u64,
+    ) -> Result<()> {
+        let requester = self.city.fog1_nodes()[section];
+        let source_node = match source {
+            DataSource::Local => return Ok(()),
+            DataSource::WarmSketch(s) if s == section => return Ok(()),
+            DataSource::Neighbor(n) | DataSource::WarmSketch(n) => self.city.fog1_nodes()[n],
+            DataSource::Parent => self.city.fog2_nodes()[self.city.district_of(section)],
+            DataSource::RemoteFog2(d) => self.city.fog2_nodes()[d],
+            DataSource::Cloud => self.city.cloud(),
+        };
+        self.city.network().request_response_scratch(
+            net,
+            requester,
+            source_node,
+            request_bytes,
+            response_bytes,
+            SimTime::from_secs(now_s),
+        )?;
+        Ok(())
+    }
+
+    /// [`F2cCity::meter_fanout`] against a shard's [`NetScratch`] — see
+    /// [`F2cCity::meter_query_scratch`].
+    ///
+    /// # Errors
+    ///
+    /// Network errors (e.g. injected outages on a leg's path).
+    pub fn meter_fanout_scratch(
+        &self,
+        net: &mut NetScratch,
+        section: usize,
+        legs: &[(FanoutLeg, u64)],
+        request_bytes: u64,
+        response_bytes: u64,
+        now_s: u64,
+    ) -> Result<()> {
+        let gather_district = self.city.district_of(section);
+        let gather = self.city.fog2_nodes()[gather_district];
+        let at = SimTime::from_secs(now_s);
+        for &(leg, leg_bytes) in legs {
+            let node = match leg {
+                FanoutLeg::Fog1(s) => self.city.fog1_nodes()[s],
+                FanoutLeg::Fog2(d) => self.city.fog2_nodes()[d],
+            };
+            if node == gather {
+                continue;
+            }
+            self.city.network().request_response_scratch(
+                net,
+                gather,
+                node,
+                request_bytes,
+                leg_bytes,
+                at,
+            )?;
+        }
+        let requester = self.city.fog1_nodes()[section];
+        self.city.network().request_response_scratch(
+            net,
+            requester,
+            gather,
+            request_bytes,
+            response_bytes,
+            at,
+        )?;
+        Ok(())
+    }
+
+    /// Folds one shard's buffered observability into the city: counter
+    /// deltas and histograms merge into the unified registry (by key,
+    /// with the scratch's cached id map), completed spans append to the
+    /// per-site trace logs, incidents append to the timeline, and the
+    /// network scratch replays its metering and commits its loss-coin
+    /// draws. Callers absorb shards in canonical district order, which
+    /// is what makes every merged artifact thread-count-invariant.
+    pub fn absorb_scratch(&mut self, scratch: &mut ObsScratch) {
+        self.metrics
+            .absorb_counters(&mut scratch.reg, &mut scratch.map);
+        self.metrics.absorb_histograms(&mut scratch.reg);
+        self.tracer.absorb(&mut scratch.tracer);
+        self.timeline.absorb(&mut scratch.timeline);
+        self.city.network_mut().absorb_scratch(&mut scratch.net);
+    }
+
     /// Ingests one wave of readings at a section's fog-1 node.
     ///
     /// # Errors
@@ -507,24 +628,102 @@ impl F2cCity {
         self.fog1[section].ingest_wave(readings, now_s, &self.catalog)
     }
 
-    /// Gate one flush hop through the chaos plane. `Some(kind)` means the
-    /// wave must not ship this turn: the child's `flush()` is never
-    /// called, so its records stay *pending* in its store and the
-    /// completeness frontiers above it honestly lag — deferral degrades
-    /// availability, never correctness.
-    fn flush_gate(&self, from: NodeId, to: NodeId, now_s: u64) -> Option<IncidentKind> {
-        let at = SimTime::from_secs(now_s);
-        let failures = self.city.network().failures();
-        if failures.node_is_down(from, at) {
-            return Some(IncidentKind::NodeDown);
+    /// Ingests one wave at *every* section, sharded by district on
+    /// [`F2cCity::parallelism`] workers. `make(section, &mut
+    /// gens[section])` produces the section's readings (generator state
+    /// stays with the caller, one slot per section); a crashed node
+    /// loses its wave exactly as [`F2cCity::ingest`] does. Per-shard
+    /// scratches absorb in district order and sections are
+    /// district-contiguous, so incidents land in section order — the
+    /// sequential loop's byte stream at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first node error in section order.
+    pub fn ingest_all<G, F>(
+        &mut self,
+        gens: &mut [G],
+        make: F,
+        now_s: u64,
+    ) -> Result<Vec<IngestOutcome>>
+    where
+        G: Send,
+        F: Fn(usize, &mut G) -> Vec<Reading> + Sync,
+    {
+        assert_eq!(gens.len(), self.fog1.len(), "one generator per section");
+        struct IngestShard<'a, G> {
+            base: usize,
+            fog1: &'a mut [F2cNode],
+            gens: &'a mut [G],
+            obs: ObsScratch,
+            out: Vec<IngestOutcome>,
+            err: Option<Error>,
         }
-        if !self.city.network().path_is_up(from, to, at) {
-            return Some(IncidentKind::FlushBlocked);
+        let threads = self.parallelism;
+        let city = &self.city;
+        let catalog = &self.catalog;
+        let mut fog1_rest: &mut [F2cNode] = &mut self.fog1;
+        let mut gens_rest: &mut [G] = gens;
+        let mut shards: Vec<IngestShard<'_, G>> = Vec::with_capacity(self.fog2.len());
+        let mut base = 0usize;
+        for &(_, n) in DISTRICTS.iter().take(self.fog2.len()) {
+            let (f_head, f_tail) = fog1_rest.split_at_mut(n);
+            fog1_rest = f_tail;
+            let (g_head, g_tail) = gens_rest.split_at_mut(n);
+            gens_rest = g_tail;
+            shards.push(IngestShard {
+                base,
+                fog1: f_head,
+                gens: g_head,
+                obs: ObsScratch::new(),
+                out: Vec::with_capacity(n),
+                err: None,
+            });
+            base += n;
         }
-        if failures.shipment_lost(from, self.flush_epoch) {
-            return Some(IncidentKind::ShipmentLost);
+        run_shards(threads, &mut shards, |_, shard| {
+            let at = SimTime::from_secs(now_s);
+            for k in 0..shard.fog1.len() {
+                let section = shard.base + k;
+                let readings = make(section, &mut shard.gens[k]);
+                let node = city.fog1_nodes()[section];
+                if city.network().failures().node_is_down(node, at) {
+                    let offered = readings.len() as u64;
+                    shard.obs.record_incident(
+                        now_s,
+                        ChaosSite::Fog1(section),
+                        IncidentKind::IngestLost { readings: offered },
+                    );
+                    shard.out.push(IngestOutcome {
+                        offered,
+                        ..IngestOutcome::default()
+                    });
+                    continue;
+                }
+                match shard.fog1[k].ingest_wave(readings, now_s, catalog) {
+                    Ok(outcome) => shard.out.push(outcome),
+                    Err(e) => {
+                        shard.err = Some(e);
+                        break;
+                    }
+                }
+            }
+        });
+        let results: Vec<(ObsScratch, Vec<IngestOutcome>, Option<Error>)> =
+            shards.into_iter().map(|s| (s.obs, s.out, s.err)).collect();
+        let mut outcomes = Vec::with_capacity(self.fog1.len());
+        let mut first_err = None;
+        for (mut obs, out, err) in results {
+            self.absorb_scratch(&mut obs);
+            outcomes.extend(out);
+            if first_err.is_none() {
+                first_err = err;
+            }
         }
-        None
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(outcomes)
     }
 
     /// Flushes every fog-1 node to its parent and every fog-2 node to the
@@ -540,87 +739,113 @@ impl F2cCity {
     /// encoded partial in flight, punching a coverage hole at the
     /// receiver. Each gate verdict lands on the incident timeline.
     ///
+    /// The wave runs sharded by district on [`F2cCity::parallelism`]
+    /// workers: phase A (fog-1 → fog-2) is fully district-local and each
+    /// shard buffers its metering, spans and incidents in an
+    /// [`ObsScratch`]; phase B gates, flushes and draws the corruption
+    /// coin per district in parallel, then folds into the cloud at the
+    /// coordinator. Both phases merge in canonical district order, and
+    /// sections are district-contiguous, so the byte streams (traces,
+    /// incidents, meter, snapshots) are those of the sequential
+    /// section-order loop at every thread count.
+    ///
     /// # Errors
     ///
-    /// Network or compression failures.
+    /// Network or compression failures (first in district order).
     pub fn flush_all(&mut self, now_s: u64) -> Result<(u64, u64)> {
         self.flush_epoch += 1;
         self.metrics.inc(self.ids.flush_waves);
         let now_us = now_s * 1_000_000;
-        // One wave span per receiving node; member hops nest under it and
-        // the wave closes at its slowest hop's arrival.
-        let mut wave_end_us = vec![now_us; self.fog2.len()];
-        let wave_spans: Vec<_> = (0..self.fog2.len())
-            .map(|d| {
-                self.tracer
-                    .open(Site::new("fog2", d as u32), "flush-wave", now_us)
+        let epoch = self.flush_epoch;
+        let threads = self.parallelism;
+        // Phase A: one shard per district, owning the district's fog-1
+        // slice and its fog-2 node.
+        let city = &self.city;
+        let catalog = &self.catalog;
+        let mut rest: &mut [F2cNode] = &mut self.fog1;
+        let mut shards: Vec<FlushShard<'_>> = Vec::with_capacity(self.fog2.len());
+        let mut base = 0usize;
+        for (d, fog2) in self.fog2.iter_mut().enumerate() {
+            let (head, tail) = rest.split_at_mut(DISTRICTS[d].1);
+            rest = tail;
+            let mut obs = ObsScratch::new();
+            let ids = CityMetricIds::register(&mut obs.reg);
+            shards.push(FlushShard {
+                district: d,
+                base,
+                fog1: head,
+                fog2,
+                obs,
+                ids,
+                bytes: 0,
+                err: None,
+            });
+            base += DISTRICTS[d].1;
+        }
+        run_shards(threads, &mut shards, |_, shard| {
+            shard.run(city, catalog, epoch, now_s);
+        });
+        // Drop the node borrows, then absorb in district order.
+        let results: Vec<(ObsScratch, u64, Option<Error>)> = shards
+            .into_iter()
+            .map(|s| (s.obs, s.bytes, s.err))
+            .collect();
+        let mut fog1_bytes = 0;
+        let mut first_err: Option<Error> = None;
+        for (mut obs, bytes, err) in results {
+            self.absorb_scratch(&mut obs);
+            fog1_bytes += bytes;
+            if first_err.is_none() {
+                first_err = err;
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        // Phase B: gate + flush + corruption coin per district in
+        // parallel; the cloud-side fold runs at the coordinator, in
+        // district order.
+        let city = &self.city;
+        let catalog = &self.catalog;
+        let mut cloud_shards: Vec<CloudShard<'_>> = self
+            .fog2
+            .iter_mut()
+            .enumerate()
+            .map(|(d, fog2)| CloudShard {
+                district: d,
+                fog2,
+                prep: None,
             })
             .collect();
-        let mut wave_shipped = vec![0u64; self.fog2.len()];
-        let mut fog1_bytes = 0;
-        for i in 0..self.fog1.len() {
-            let district = self.city.district_of(i);
-            let from = self.city.fog1_nodes()[i];
-            let to = self.city.parent_of(i);
-            if let Some(kind) = self.flush_gate(from, to, now_s) {
-                self.record_incident(now_s, ChaosSite::Fog1(i), kind);
-                continue;
-            }
-            let site = Site::new("fog2", district as u32);
-            let mut batch = self.fog1[i].flush(now_s, &self.catalog)?;
-            self.corrupt_in_flight(&mut batch, from, ChaosSite::Fog2(district), now_s);
-            // The sketch shipment (pre-folded partials + seal frontiers)
-            // always reaches the parent — an idle section still seals.
-            // Its bytes ride the flush envelope and are accounted on the
-            // sketch channel, not against the Table-I ground truth the
-            // traffic cross-validation reproduces.
-            self.metrics
-                .add(self.ids.sketch_flush_bytes[0], batch.sketch_bytes);
-            self.metrics
-                .add(self.ids.raw_flush_bytes[0], batch.acct_bytes);
-            let fold = self.tracer.open(site, "sketch-fold", now_us);
-            self.fog2[district].receive_sketches(&batch.sketches, &batch.seals, &batch.holes);
-            self.tracer
-                .close_with(fold, now_us, batch.sketches.len() as u64);
-            if batch.records.is_empty() {
-                continue;
-            }
-            fog1_bytes += batch.acct_bytes;
-            let hop = self.tracer.open(site, "flush-hop", now_us);
-            let sent = self.city.network_mut().send(
-                from,
-                to,
-                batch.uplink_bytes(),
-                SimTime::from_secs(now_s),
-            );
-            let arrival_us = match &sent {
-                Ok(delivery) => delivery.arrival.as_micros(),
-                Err(_) => now_us,
-            };
-            self.tracer.close_with(hop, arrival_us, batch.acct_bytes);
-            sent?;
-            wave_end_us[district] = wave_end_us[district].max(arrival_us);
-            wave_shipped[district] += 1;
-            self.fog2[district].receive(batch.records, now_s);
-        }
-        for (d, span) in wave_spans.into_iter().enumerate() {
-            self.tracer
-                .close_with(span, wave_end_us[d], wave_shipped[d]);
-        }
+        run_shards(threads, &mut cloud_shards, |_, shard| {
+            shard.run(city, catalog, epoch, now_s);
+        });
+        let preps: Vec<CloudPrep> = cloud_shards
+            .into_iter()
+            .map(|s| s.prep.expect("cloud shard ran"))
+            .collect();
         let cloud_site = Site::cloud();
         let cloud_wave = self.tracer.open(cloud_site, "flush-wave", now_us);
         let mut cloud_wave_end_us = now_us;
         let mut cloud_shipped = 0u64;
         let mut fog2_bytes = 0;
-        for d in 0..self.fog2.len() {
-            let from = self.city.fog2_nodes()[d];
-            let to = self.city.cloud();
-            if let Some(kind) = self.flush_gate(from, to, now_s) {
-                self.record_incident(now_s, ChaosSite::Fog2(d), kind);
-                continue;
+        for (d, prep) in preps.into_iter().enumerate() {
+            let (batch, corrupted) = match prep {
+                CloudPrep::Skip(kind) => {
+                    self.record_incident(now_s, ChaosSite::Fog2(d), kind);
+                    continue;
+                }
+                CloudPrep::Failed(e) => return Err(e),
+                CloudPrep::Ship { batch, corrupted } => (batch, corrupted),
+            };
+            if let Some(key) = corrupted {
+                self.record_incident(
+                    now_s,
+                    ChaosSite::Cloud,
+                    IncidentKind::SketchCorrupted { key },
+                );
+                self.record_incident(now_s, ChaosSite::Cloud, IncidentKind::HolePunched { key });
             }
-            let mut batch = self.fog2[d].flush(now_s, &self.catalog)?;
-            self.corrupt_in_flight(&mut batch, from, ChaosSite::Cloud, now_s);
             self.metrics
                 .add(self.ids.sketch_flush_bytes[1], batch.sketch_bytes);
             self.metrics
@@ -638,6 +863,8 @@ impl F2cCity {
                 continue;
             }
             fog2_bytes += batch.acct_bytes;
+            let from = self.city.fog2_nodes()[d];
+            let to = self.city.cloud();
             let hop = self.tracer.open(cloud_site, "flush-hop", now_us);
             let sent = self.city.network_mut().send(
                 from,
@@ -667,30 +894,6 @@ impl F2cCity {
         Ok((fog1_bytes, fog2_bytes))
     }
 
-    /// Draws the in-flight corruption coin for one shipped batch and, on
-    /// a hit, flips a byte in one encoded partial. The receiver's CRC
-    /// check will refuse it and punch a coverage hole; both effects are
-    /// recorded at the *receiving* site.
-    fn corrupt_in_flight(
-        &mut self,
-        batch: &mut crate::node::FlushBatch,
-        sender: NodeId,
-        receiver: ChaosSite,
-        now_s: u64,
-    ) {
-        let failures = self.city.network().failures();
-        let Some(idx) = failures.corrupted_sketch(sender, self.flush_epoch, batch.sketches.len())
-        else {
-            return;
-        };
-        let (key, bytes) = &mut batch.sketches[idx];
-        let mid = bytes.len() / 2;
-        bytes[mid] ^= 0xFF;
-        let key = *key;
-        self.record_incident(now_s, receiver, IncidentKind::SketchCorrupted { key });
-        self.record_incident(now_s, receiver, IncidentKind::HolePunched { key });
-    }
-
     /// One anti-entropy round: every coverage hole in the fog-2 and
     /// cloud ledgers — the seal-frontier diff made concrete: buckets the
     /// seal advanced past without a surviving fold — is healed by a
@@ -713,63 +916,40 @@ impl F2cCity {
         let at = SimTime::from_secs(now_s);
         let now_us = now_s * 1_000_000;
         let mut report = HealReport::default();
-        for d in 0..self.fog2.len() {
-            let holes = self.fog2[d].sketches().holes_sorted();
-            if holes.is_empty() {
-                continue;
-            }
-            let to = self.city.fog2_nodes()[d];
-            if self.city.network().failures().node_is_down(to, at) {
-                // A crashed node runs no heal round; its holes carry.
-                report.blocked += holes.len() as u64;
-                self.metrics.add(self.ids.heal_blocked, holes.len() as u64);
-                continue;
-            }
-            let round = self
-                .tracer
-                .open(Site::new("fog2", d as u32), "heal-round", now_us);
-            let healed_before = report.healed;
-            for key in holes {
-                let section = key.section as usize;
-                let from = self.city.fog1_nodes()[section];
-                let site = ChaosSite::Fog2(d);
-                let Some((partial, _)) = self.fog1[section].sketches().entry(&key) else {
-                    report.impossible += 1;
-                    self.metrics.inc(self.ids.heal_impossible);
-                    self.record_incident(now_s, site, IncidentKind::HealImpossible { key });
-                    continue;
-                };
-                let encoded = partial.encode();
-                let relay = self
-                    .tracer
-                    .open(Site::new("fog2", d as u32), "sketch-relay", now_us);
-                let shipped = self.city.network().path_is_up(from, to, at)
-                    && self
-                        .city
-                        .network_mut()
-                        .send(from, to, encoded.len() as u64, at)
-                        .is_ok();
-                self.tracer.close_with(
-                    relay,
-                    now_us,
-                    if shipped { encoded.len() as u64 } else { 0 },
-                );
-                if !shipped {
-                    report.blocked += 1;
-                    self.metrics.inc(self.ids.heal_blocked);
-                    self.record_incident(now_s, site, IncidentKind::HealBlocked { key });
-                    continue;
+        // Phase 1, one shard per district: each fog-2 heals from the
+        // fog-1 shippers below it. The shard only reads the fog-1 tier
+        // (shared snapshot) and mutates its own fog-2 node; relay links
+        // are district-local, so the scratch loss-coin draws are exactly
+        // the sequential ones.
+        let threads = self.parallelism;
+        let city = &self.city;
+        let fog1: &[F2cNode] = &self.fog1;
+        let mut shards: Vec<HealShard<'_>> = self
+            .fog2
+            .iter_mut()
+            .enumerate()
+            .map(|(d, fog2)| {
+                let mut obs = ObsScratch::new();
+                let ids = CityMetricIds::register(&mut obs.reg);
+                HealShard {
+                    district: d,
+                    fog2,
+                    obs,
+                    ids,
+                    report: HealReport::default(),
                 }
-                self.metrics
-                    .add(self.ids.sketch_flush_bytes[0], encoded.len() as u64);
-                if self.fog2[d].heal_sketch(key, &encoded) {
-                    report.healed += 1;
-                    self.metrics.inc(self.ids.heal_healed);
-                    self.record_incident(now_s, site, IncidentKind::HoleHealed { key });
-                }
-            }
-            let healed_here = report.healed - healed_before;
-            self.tracer.close_with(round, now_us, healed_here);
+            })
+            .collect();
+        run_shards(threads, &mut shards, |_, shard| {
+            shard.run(city, fog1, now_s);
+        });
+        let results: Vec<(ObsScratch, HealReport)> =
+            shards.into_iter().map(|s| (s.obs, s.report)).collect();
+        for (mut obs, shard_report) in results {
+            self.absorb_scratch(&mut obs);
+            report.healed += shard_report.healed;
+            report.blocked += shard_report.blocked;
+            report.impossible += shard_report.impossible;
         }
         let cloud_holes = self.cloud.sketches().holes_sorted();
         if cloud_holes.is_empty() {
@@ -953,6 +1133,271 @@ impl F2cCity {
     /// Total bytes metered on the network so far.
     pub fn network_bytes(&self) -> u64 {
         self.city.network().meter().total_bytes()
+    }
+}
+
+/// Gate one flush hop through the chaos plane. `Some(kind)` means the
+/// wave must not ship this turn: the child's `flush()` is never called,
+/// so its records stay *pending* in its store and the completeness
+/// frontiers above it honestly lag — deferral degrades availability,
+/// never correctness. A free function (not a method) so shards can gate
+/// while the city's node vectors are mutably split.
+fn flush_gate(
+    net: &Network,
+    from: NodeId,
+    to: NodeId,
+    epoch: u64,
+    now_s: u64,
+) -> Option<IncidentKind> {
+    let at = SimTime::from_secs(now_s);
+    let failures = net.failures();
+    if failures.node_is_down(from, at) {
+        return Some(IncidentKind::NodeDown);
+    }
+    if !net.path_is_up(from, to, at) {
+        return Some(IncidentKind::FlushBlocked);
+    }
+    if failures.shipment_lost(from, epoch) {
+        return Some(IncidentKind::ShipmentLost);
+    }
+    None
+}
+
+/// Draws the in-flight corruption coin for one shipped batch and, on a
+/// hit, flips a byte in one encoded partial and returns its key. The
+/// receiver's CRC check will refuse it and punch a coverage hole; the
+/// caller records both effects at the *receiving* site.
+fn corrupt_in_flight(
+    net: &Network,
+    batch: &mut FlushBatch,
+    sender: NodeId,
+    epoch: u64,
+) -> Option<SketchKey> {
+    let idx = net
+        .failures()
+        .corrupted_sketch(sender, epoch, batch.sketches.len())?;
+    let (key, bytes) = &mut batch.sketches[idx];
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    Some(*key)
+}
+
+/// One district's phase-A flush shard: the district's fog-1 slice, its
+/// fog-2 node, and the scratch all observability is buffered in.
+struct FlushShard<'a> {
+    district: usize,
+    /// Global section index of `fog1[0]` (sections are
+    /// district-contiguous, so shard-local `k` is section `base + k`).
+    base: usize,
+    fog1: &'a mut [F2cNode],
+    fog2: &'a mut F2cNode,
+    obs: ObsScratch,
+    ids: CityMetricIds,
+    bytes: u64,
+    err: Option<Error>,
+}
+
+impl FlushShard<'_> {
+    fn run(&mut self, city: &BarcelonaTopology, catalog: &Catalog, epoch: u64, now_s: u64) {
+        let now_us = now_s * 1_000_000;
+        let net = city.network();
+        let site = Site::new("fog2", self.district as u32);
+        // One wave span per receiving node; member hops nest under it
+        // and the wave closes at its slowest hop's arrival.
+        let wave = self.obs.tracer.open(site, "flush-wave", now_us);
+        let mut wave_end_us = now_us;
+        let mut shipped = 0u64;
+        for k in 0..self.fog1.len() {
+            let i = self.base + k;
+            let from = city.fog1_nodes()[i];
+            let to = city.parent_of(i);
+            if let Some(kind) = flush_gate(net, from, to, epoch, now_s) {
+                self.obs.record_incident(now_s, ChaosSite::Fog1(i), kind);
+                continue;
+            }
+            let mut batch = match self.fog1[k].flush(now_s, catalog) {
+                Ok(batch) => batch,
+                Err(e) => {
+                    self.err = Some(e);
+                    break;
+                }
+            };
+            if let Some(key) = corrupt_in_flight(net, &mut batch, from, epoch) {
+                let at_site = ChaosSite::Fog2(self.district);
+                self.obs
+                    .record_incident(now_s, at_site, IncidentKind::SketchCorrupted { key });
+                self.obs
+                    .record_incident(now_s, at_site, IncidentKind::HolePunched { key });
+            }
+            // The sketch shipment (pre-folded partials + seal frontiers)
+            // always reaches the parent — an idle section still seals.
+            // Its bytes ride the flush envelope and are accounted on the
+            // sketch channel, not against the Table-I ground truth the
+            // traffic cross-validation reproduces.
+            self.obs
+                .reg
+                .add(self.ids.sketch_flush_bytes[0], batch.sketch_bytes);
+            self.obs
+                .reg
+                .add(self.ids.raw_flush_bytes[0], batch.acct_bytes);
+            let fold = self.obs.tracer.open(site, "sketch-fold", now_us);
+            self.fog2
+                .receive_sketches(&batch.sketches, &batch.seals, &batch.holes);
+            self.obs
+                .tracer
+                .close_with(fold, now_us, batch.sketches.len() as u64);
+            if batch.records.is_empty() {
+                continue;
+            }
+            self.bytes += batch.acct_bytes;
+            let hop = self.obs.tracer.open(site, "flush-hop", now_us);
+            let sent = net.send_scratch(
+                &mut self.obs.net,
+                from,
+                to,
+                batch.uplink_bytes(),
+                SimTime::from_secs(now_s),
+            );
+            let arrival_us = match &sent {
+                Ok(delivery) => delivery.arrival.as_micros(),
+                Err(_) => now_us,
+            };
+            self.obs
+                .tracer
+                .close_with(hop, arrival_us, batch.acct_bytes);
+            if let Err(e) = sent {
+                self.err = Some(e.into());
+                break;
+            }
+            wave_end_us = wave_end_us.max(arrival_us);
+            shipped += 1;
+            self.fog2.receive(batch.records, now_s);
+        }
+        self.obs.tracer.close_with(wave, wave_end_us, shipped);
+    }
+}
+
+/// What one district's phase-B shard prepared for the coordinator.
+enum CloudPrep {
+    /// The chaos gate deferred the district's wave.
+    Skip(IncidentKind),
+    /// The batch to fold and ship at the coordinator, plus the key the
+    /// in-flight corruption coin damaged, if any.
+    Ship {
+        batch: FlushBatch,
+        corrupted: Option<SketchKey>,
+    },
+    /// The flush itself failed.
+    Failed(Error),
+}
+
+/// One district's phase-B shard: gates, flushes and draws the
+/// corruption coin in parallel; everything cloud-side happens at the
+/// coordinator, in district order.
+struct CloudShard<'a> {
+    district: usize,
+    fog2: &'a mut F2cNode,
+    prep: Option<CloudPrep>,
+}
+
+impl CloudShard<'_> {
+    fn run(&mut self, city: &BarcelonaTopology, catalog: &Catalog, epoch: u64, now_s: u64) {
+        let net = city.network();
+        let from = city.fog2_nodes()[self.district];
+        let to = city.cloud();
+        self.prep = Some(
+            if let Some(kind) = flush_gate(net, from, to, epoch, now_s) {
+                CloudPrep::Skip(kind)
+            } else {
+                match self.fog2.flush(now_s, catalog) {
+                    Ok(mut batch) => {
+                        let corrupted = corrupt_in_flight(net, &mut batch, from, epoch);
+                        CloudPrep::Ship { batch, corrupted }
+                    }
+                    Err(e) => CloudPrep::Failed(e),
+                }
+            },
+        );
+    }
+}
+
+/// One district's anti-entropy phase-1 shard: its fog-2 node heals from
+/// the (shared, immutable) fog-1 tier below it.
+struct HealShard<'a> {
+    district: usize,
+    fog2: &'a mut F2cNode,
+    obs: ObsScratch,
+    ids: CityMetricIds,
+    report: HealReport,
+}
+
+impl HealShard<'_> {
+    fn run(&mut self, city: &BarcelonaTopology, fog1: &[F2cNode], now_s: u64) {
+        let at = SimTime::from_secs(now_s);
+        let now_us = now_s * 1_000_000;
+        let d = self.district;
+        let net = city.network();
+        let holes = self.fog2.sketches().holes_sorted();
+        if holes.is_empty() {
+            return;
+        }
+        let to = city.fog2_nodes()[d];
+        if net.failures().node_is_down(to, at) {
+            // A crashed node runs no heal round; its holes carry.
+            self.report.blocked += holes.len() as u64;
+            self.obs.reg.add(self.ids.heal_blocked, holes.len() as u64);
+            return;
+        }
+        let round = self
+            .obs
+            .tracer
+            .open(Site::new("fog2", d as u32), "heal-round", now_us);
+        let healed_before = self.report.healed;
+        for key in holes {
+            let section = key.section as usize;
+            let from = city.fog1_nodes()[section];
+            let site = ChaosSite::Fog2(d);
+            let Some((partial, _)) = fog1[section].sketches().entry(&key) else {
+                self.report.impossible += 1;
+                self.obs.reg.inc(self.ids.heal_impossible);
+                self.obs
+                    .record_incident(now_s, site, IncidentKind::HealImpossible { key });
+                continue;
+            };
+            let encoded = partial.encode();
+            let relay = self
+                .obs
+                .tracer
+                .open(Site::new("fog2", d as u32), "sketch-relay", now_us);
+            let shipped = net.path_is_up(from, to, at)
+                && net
+                    .send_scratch(&mut self.obs.net, from, to, encoded.len() as u64, at)
+                    .is_ok();
+            self.obs.tracer.close_with(
+                relay,
+                now_us,
+                if shipped { encoded.len() as u64 } else { 0 },
+            );
+            if !shipped {
+                self.report.blocked += 1;
+                self.obs.reg.inc(self.ids.heal_blocked);
+                self.obs
+                    .record_incident(now_s, site, IncidentKind::HealBlocked { key });
+                continue;
+            }
+            self.obs
+                .reg
+                .add(self.ids.sketch_flush_bytes[0], encoded.len() as u64);
+            if self.fog2.heal_sketch(key, &encoded) {
+                self.report.healed += 1;
+                self.obs.reg.inc(self.ids.heal_healed);
+                self.obs
+                    .record_incident(now_s, site, IncidentKind::HoleHealed { key });
+            }
+        }
+        self.obs
+            .tracer
+            .close_with(round, now_us, self.report.healed - healed_before);
     }
 }
 

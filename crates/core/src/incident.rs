@@ -159,6 +159,14 @@ impl IncidentTimeline {
         self.events.push(Incident { at_s, site, kind });
     }
 
+    /// Appends (and drains) every incident of `other`, preserving its
+    /// order. Shard scratches absorb in canonical shard order at
+    /// barriers, so the merged timeline is replay-stable at any thread
+    /// count.
+    pub fn absorb(&mut self, other: &mut IncidentTimeline) {
+        self.events.append(&mut other.events);
+    }
+
     /// Number of recorded incidents.
     pub fn len(&self) -> usize {
         self.events.len()

@@ -55,6 +55,7 @@ pub mod report;
 pub mod request;
 pub mod runtime;
 pub mod service;
+pub mod shard;
 pub mod store;
 pub mod traffic;
 
@@ -65,5 +66,6 @@ pub use layer::Layer;
 pub use node::{F2cNode, FlushBatch, IngestOutcome, SKETCH_BUCKET_S, SKETCH_RETENTION_S};
 pub use policy::{FlushPolicy, RetentionPolicy};
 pub use service::CityService;
+pub use shard::{run_shards, ObsScratch, Parallelism};
 pub use store::TieredStore;
 pub use traffic::TrafficModel;

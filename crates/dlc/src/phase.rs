@@ -81,7 +81,11 @@ impl PhaseStats {
 /// Implementations live in [`crate::acquisition`], [`crate::processing`]
 /// and [`crate::preservation`]; [`crate::pipeline::Pipeline`] composes them
 /// and enforces that a pipeline never mixes blocks.
-pub trait Phase {
+///
+/// `Send + Sync` so nodes embedding pipelines can be owned by district
+/// shards on worker threads (phases hold plain configuration and
+/// counters, never shared handles).
+pub trait Phase: Send + Sync {
     /// Stable phase name (e.g. `"data-filtering"`).
     fn name(&self) -> &'static str;
 

@@ -175,6 +175,65 @@ impl MetricsRegistry {
         self.index.is_empty()
     }
 
+    /// Drains every counter of `other` into `self` by `(name, labels)`
+    /// key, adding values. `map` caches the other-id → self-id
+    /// translation (ids are dense per registry, so the cache is a plain
+    /// vector indexed by the other registry's counter slot) and is
+    /// extended as `other` registers new series — with a warm cache the
+    /// drain is one array add per series, cheap enough to run after
+    /// every serve. Series missing here are registered on first drain,
+    /// so key-ordered snapshots see the union.
+    pub fn absorb_counters(&mut self, other: &mut MetricsRegistry, map: &mut Vec<CounterId>) {
+        while map.len() < other.counters.len() {
+            let (name, labels) = other.counters[map.len()].0;
+            map.push(self.counter(name, labels));
+        }
+        for (i, (_, value)) in other.counters.iter_mut().enumerate() {
+            if *value != 0 {
+                self.counters[map[i].0].1 += *value;
+                *value = 0;
+            }
+        }
+    }
+
+    /// Drains every histogram of `other` into `self` by key, merging
+    /// samples. Registration on demand, like counter absorption.
+    pub fn absorb_histograms(&mut self, other: &mut MetricsRegistry) {
+        for i in 0..other.histograms.len() {
+            let (name, labels) = other.histograms[i].0;
+            if other.histograms[i].1.count() == 0 {
+                continue;
+            }
+            let id = self.histogram(name, labels);
+            self.histograms[id.0].1.merge(&other.histograms[i].1);
+            other.histograms[i].1 = Histogram::new();
+        }
+    }
+
+    /// Merges another registry into this one: counters add, histograms
+    /// merge, gauges take the other's value — all by key, registering
+    /// missing series. Order-insensitive for counters and histograms, so
+    /// per-shard registries folded in canonical shard order yield the
+    /// same totals any schedule would.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for &((name, labels), value) in &other.counters {
+            if value != 0 {
+                let id = self.counter(name, labels);
+                self.counters[id.0].1 += value;
+            }
+        }
+        for &((name, labels), value) in &other.gauges {
+            let id = self.gauge(name, labels);
+            self.gauges[id.0].1 = value;
+        }
+        for &((name, labels), ref hist) in &other.histograms {
+            if hist.count() > 0 {
+                let id = self.histogram(name, labels);
+                self.histograms[id.0].1.merge(hist);
+            }
+        }
+    }
+
     /// A point-in-time copy of every series, in canonical key order.
     pub fn snapshot(&self) -> Snapshot {
         let mut counters = Vec::new();

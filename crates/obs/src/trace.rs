@@ -151,6 +151,18 @@ impl TraceLog {
         }
     }
 
+    /// Appends an already-completed span, honoring the ring bound. This
+    /// is the merge path: a shard's scratch log drains into the global
+    /// one span by span, so eviction and drop accounting behave exactly
+    /// as if the span had been closed here.
+    fn push_completed(&mut self, span: Span) {
+        if self.done.len() == self.capacity {
+            self.done.pop_front();
+            self.dropped += 1;
+        }
+        self.done.push_back(span);
+    }
+
     /// Completed spans, oldest first.
     pub fn completed(&self) -> impl Iterator<Item = &Span> {
         self.done.iter()
@@ -251,15 +263,34 @@ impl Tracer {
         self.logs.values().map(|l| l.malformed).sum()
     }
 
+    /// Moves every completed span (and ring/malformed accounting) of
+    /// `other` into `self`, per site in key order, preserving each
+    /// site's span order. Open spans stay behind in `other` — a scratch
+    /// tracer is only absorbed at quiescent points, where a well-formed
+    /// caller has closed everything it opened. Called per shard in
+    /// canonical shard order at barriers, the merged transcript is a
+    /// pure function of the shard schedule, never of thread timing.
+    pub fn absorb(&mut self, other: &mut Tracer) {
+        let cap = self.capacity;
+        for (site, log) in &mut other.logs {
+            let dst = self.logs.entry(*site).or_insert_with(|| TraceLog::new(cap));
+            while let Some(span) = log.done.pop_front() {
+                dst.push_completed(span);
+            }
+            dst.dropped += log.dropped;
+            log.dropped = 0;
+            dst.malformed += log.malformed;
+            log.malformed = 0;
+        }
+    }
+
     /// Per-phase duration histograms over every retained span, name-keyed.
     /// This is where the export's per-phase p50/p99 come from.
     pub fn phase_histograms(&self) -> BTreeMap<&'static str, Histogram> {
         let mut out: BTreeMap<&'static str, Histogram> = BTreeMap::new();
         for log in self.logs.values() {
             for span in log.completed() {
-                out.entry(span.name)
-                    .or_default()
-                    .record(span.duration());
+                out.entry(span.name).or_default().record(span.duration());
             }
         }
         out

@@ -31,7 +31,9 @@
 use citysim::time::Duration;
 use f2c_core::cost::AccessOption;
 use f2c_core::node::IngestOutcome;
-use f2c_core::{ChaosSite, DataSource, F2cCity, FanoutLeg, IncidentKind, Layer, TieredStore};
+use f2c_core::{
+    ChaosSite, DataSource, F2cCity, FanoutLeg, IncidentKind, Layer, ObsScratch, TieredStore,
+};
 use f2c_obs::{CounterId, Labels, MetricsRegistry, Site};
 use f2c_qos::{ClassLedger, QosPolicy, ServiceClass, ShedCause, CLASS_COUNT};
 use scc_dlc::DataRecord;
@@ -516,48 +518,64 @@ struct FoldTally {
     partial_fills: u64,
 }
 
-/// The consumer-facing query engine over an assembled city.
+/// The serving core: everything [`QueryEngine::serve`] mutates *except*
+/// the city itself — caches, the admission ledger, the invalidation
+/// frontier, and an [`ObsScratch`] of buffered observability.
+///
+/// Serving only ever *reads* the city (`&F2cCity`): metrics, spans,
+/// incidents and network metering land in the scratch, which the owner
+/// absorbs into the city at a barrier (the sequential engine drains
+/// after every serve, so its observables are indistinguishable from
+/// direct publication). That split is what lets district shards serve
+/// concurrently against a shared city snapshot and still merge into a
+/// byte-identical global view in canonical shard order.
 #[derive(Debug)]
-pub struct QueryEngine {
-    city: F2cCity,
-    cfg: EngineConfig,
+pub(crate) struct ServeCore {
+    pub(crate) cfg: EngineConfig,
     edge: Vec<ResultCache>,
     src_fog1: Vec<ResultCache>,
     src_fog2: Vec<ResultCache>,
     src_cloud: ResultCache,
     partials: PartialCache,
-    ledger: ClassLedger,
-    last_flush_s: u64,
+    pub(crate) ledger: ClassLedger,
+    pub(crate) last_flush_s: u64,
     /// Latest instant any query was served at — the frontier behind
     /// which cached results and closed-bucket partials assume no new
     /// records will appear.
-    served_frontier_s: u64,
+    pub(crate) served_frontier_s: u64,
     /// Local invalidations (backdated ingests) added on top of the
     /// hierarchy's flush epoch.
-    extra_epochs: u64,
+    pub(crate) extra_epochs: u64,
     ids: EngineMetricIds,
+    /// Buffered observability, absorbed by the owner at barriers.
+    pub(crate) obs: ObsScratch,
+}
+
+/// The consumer-facing query engine over an assembled city: a
+/// `ServeCore` plus the city it serves, drained after every call so
+/// the city's unified registry/tracer/timeline stay the one source of
+/// truth for sequential callers.
+#[derive(Debug)]
+pub struct QueryEngine {
+    city: F2cCity,
+    core: ServeCore,
+    /// The engine's series ids in the *city's* registry (the scratch
+    /// deltas absorb into these); [`QueryEngine::stats`] reads them.
+    city_ids: EngineMetricIds,
 }
 
 impl QueryEngine {
     /// Wraps `city` with caches and admission control per `cfg`. The
     /// engine's serving counters live in the city's unified
-    /// [`MetricsRegistry`] (registered here, published on the hot path).
+    /// [`MetricsRegistry`] (registered here, accumulated from the
+    /// serving core's scratch after every serve).
     pub fn new(mut city: F2cCity, cfg: EngineConfig) -> Self {
-        let cache = || ResultCache::new(cfg.result_ttl_s, cfg.result_capacity);
-        let ids = EngineMetricIds::register(city.metrics_mut());
+        let city_ids = EngineMetricIds::register(city.metrics_mut());
+        let core = ServeCore::new(cfg, city.section_count());
         Self {
-            edge: (0..city.section_count()).map(|_| cache()).collect(),
-            src_fog1: (0..city.section_count()).map(|_| cache()).collect(),
-            src_fog2: (0..10).map(|_| cache()).collect(),
-            src_cloud: cache(),
-            partials: PartialCache::new(cfg.partial_capacity),
-            ledger: ClassLedger::new([cfg.caps.fog1, cfg.caps.fog2, cfg.caps.cloud], &cfg.qos),
-            last_flush_s: 0,
-            served_frontier_s: 0,
-            extra_epochs: 0,
-            ids,
             city,
-            cfg,
+            core,
+            city_ids,
         }
     }
 
@@ -572,13 +590,20 @@ impl QueryEngine {
         &mut self.city
     }
 
+    /// The serving core and the city it serves, borrowed apart — how
+    /// the parallel workload runtime drives shard-owned cores against
+    /// the shared city between barriers.
+    pub(crate) fn core_parts(&mut self) -> (&mut ServeCore, &mut F2cCity) {
+        (&mut self.core, &mut self.city)
+    }
+
     /// Serving counters so far — the typed view over the engine's series
     /// in the city's unified metrics registry (one source of truth; this
     /// just reads it back in [`EngineStats`] shape).
     pub fn stats(&self) -> EngineStats {
         let m = self.city.metrics();
         let v = |id: CounterId| m.counter_value(id);
-        let ids = &self.ids;
+        let ids = &self.city_ids;
         let mut per_class = [ClassStats::default(); CLASS_COUNT];
         for (cs, cid) in per_class.iter_mut().zip(ids.per_class.iter()) {
             *cs = ClassStats {
@@ -624,12 +649,12 @@ impl QueryEngine {
     pub fn sync_gauges(&mut self) {
         let q = Labels::new().service("query");
         for layer in Layer::ALL {
-            let total = i64::from(self.ledger.layer_total(layer));
+            let total = i64::from(self.core.ledger.layer_total(layer));
             let m = self.city.metrics_mut();
             let g = m.gauge("qos_in_flight", q.layer(layer_label(layer)));
             m.set(g, total);
         }
-        let epoch = (self.city.flush_epoch() + self.extra_epochs) as i64;
+        let epoch = (self.city.flush_epoch() + self.core.extra_epochs) as i64;
         let m = self.city.metrics_mut();
         let g = m.gauge("invalidation_epoch", q);
         m.set(g, epoch);
@@ -639,29 +664,18 @@ impl QueryEngine {
     /// frontier workload generators can safely query district windows up
     /// to.
     pub fn last_flush_s(&self) -> u64 {
-        self.last_flush_s
+        self.core.last_flush_s
     }
 
     /// In-flight store executions at `layer`, all classes.
     pub fn in_flight(&self, layer: Layer) -> u32 {
-        self.ledger.layer_total(layer)
+        self.core.ledger.layer_total(layer)
     }
 
     /// The class-aware admission ledger (per-class in-flight counts,
     /// guarantees and borrow caps).
     pub fn ledger(&self) -> &ClassLedger {
-        &self.ledger
-    }
-
-    /// Whether an answer to `query` may enter the result caches: only
-    /// **closed** windows (ending at or before the serve instant)
-    /// qualify, and only modestly sized payloads. Closed windows are
-    /// what makes invalidation airtight: every cached window then lies
-    /// entirely behind the served frontier, so an ordinary
-    /// frontier-appending ingest can never land inside one, and a
-    /// backdated ingest (below the frontier) bumps the epoch.
-    fn cacheable(&self, query: &Query, now_s: u64, response_bytes: u64) -> bool {
-        query.window.until_s <= now_s && response_bytes <= self.cfg.max_cache_entry_bytes
+        &self.core.ledger
     }
 
     /// Ingests a sensor wave at a section's fog-1 node. The write path
@@ -681,9 +695,9 @@ impl QueryEngine {
     ) -> Result<IngestOutcome> {
         if readings
             .iter()
-            .any(|r| r.timestamp_s() < self.served_frontier_s)
+            .any(|r| r.timestamp_s() < self.core.served_frontier_s)
         {
-            self.extra_epochs += 1;
+            self.core.extra_epochs += 1;
         }
         Ok(self.city.ingest(section, readings, now_s)?)
     }
@@ -696,7 +710,7 @@ impl QueryEngine {
     /// Propagates network/compression errors.
     pub fn flush_all(&mut self, now_s: u64) -> Result<(u64, u64)> {
         let shipped = self.city.flush_all(now_s)?;
-        self.last_flush_s = now_s;
+        self.core.last_flush_s = now_s;
         Ok(shipped)
     }
 
@@ -709,10 +723,74 @@ impl QueryEngine {
     /// Releases every slot a response held (call when the simulated
     /// response completes; see [`QueryResponse::held`]).
     pub fn release_held(&mut self, held: HeldSlots) {
-        self.ledger.release(held.class(), held.slots());
+        self.core.ledger.release(held.class(), held.slots());
     }
 
-    /// Serves one query at `now_s`.
+    /// Serves one query at `now_s`, then absorbs the core's buffered
+    /// observability into the city — so sequential callers observe
+    /// exactly what direct publication produced before the core split.
+    ///
+    /// # Errors
+    ///
+    /// As `ServeCore::serve`.
+    pub fn serve(&mut self, query: &Query, now_s: u64) -> Result<Outcome> {
+        let result = self.core.serve(&self.city, query, now_s);
+        self.city.absorb_scratch(&mut self.core.obs);
+        result
+    }
+
+    /// [`QueryEngine::serve`] for synchronous callers: any held slots
+    /// are released immediately (no simulated completion event).
+    ///
+    /// # Errors
+    ///
+    /// As [`QueryEngine::serve`].
+    pub fn serve_sync(&mut self, query: &Query, now_s: u64) -> Result<Outcome> {
+        let outcome = self.serve(query, now_s)?;
+        if let Outcome::Answered(resp) = &outcome {
+            self.release_held(resp.held);
+        }
+        Ok(outcome)
+    }
+}
+
+impl ServeCore {
+    /// A serving core for a `section_count`-section city, with caches
+    /// and admission control per `cfg`. The core's counter ids live in
+    /// its own scratch registry; absorption translates them onto the
+    /// city's by `(name, labels)` key.
+    pub(crate) fn new(cfg: EngineConfig, section_count: usize) -> Self {
+        let cache = || ResultCache::new(cfg.result_ttl_s, cfg.result_capacity);
+        let mut obs = ObsScratch::new();
+        let ids = EngineMetricIds::register(obs.metrics_mut());
+        Self {
+            edge: (0..section_count).map(|_| cache()).collect(),
+            src_fog1: (0..section_count).map(|_| cache()).collect(),
+            src_fog2: (0..10).map(|_| cache()).collect(),
+            src_cloud: cache(),
+            partials: PartialCache::new(cfg.partial_capacity),
+            ledger: ClassLedger::new([cfg.caps.fog1, cfg.caps.fog2, cfg.caps.cloud], &cfg.qos),
+            last_flush_s: 0,
+            served_frontier_s: 0,
+            extra_epochs: 0,
+            ids,
+            obs,
+            cfg,
+        }
+    }
+
+    /// Whether an answer to `query` may enter the result caches: only
+    /// **closed** windows (ending at or before the serve instant)
+    /// qualify, and only modestly sized payloads. Closed windows are
+    /// what makes invalidation airtight: every cached window then lies
+    /// entirely behind the served frontier, so an ordinary
+    /// frontier-appending ingest can never land inside one, and a
+    /// backdated ingest (below the frontier) bumps the epoch.
+    fn cacheable(&self, query: &Query, now_s: u64, response_bytes: u64) -> bool {
+        query.window.until_s <= now_s && response_bytes <= self.cfg.max_cache_entry_bytes
+    }
+
+    /// Serves one query at `now_s` against a shared city snapshot.
     ///
     /// The whole lifecycle is traced as a `"query"` span at the
     /// requester's fog-1 site — children mark the plan, admission,
@@ -724,24 +802,25 @@ impl QueryEngine {
     ///
     /// [`Error::BadQuery`] / [`Error::Unanswerable`] per the planner;
     /// network errors while metering the transfer.
-    pub fn serve(&mut self, query: &Query, now_s: u64) -> Result<Outcome> {
+    pub(crate) fn serve(&mut self, city: &F2cCity, query: &Query, now_s: u64) -> Result<Outcome> {
         query.validated()?;
         let site = Site::new("fog1", query.origin as u32);
         let now_us = now_s.saturating_mul(1_000_000);
-        let span = self.city.tracer_mut().open(site, "query", now_us);
-        let result = self.serve_inner(query, site, now_us, now_s);
+        let span = self.obs.tracer_mut().open(site, "query", now_us);
+        let result = self.serve_inner(city, query, site, now_us, now_s);
         let (end_us, attr) = match &result {
             Ok(Outcome::Answered(resp)) => {
                 (now_us + resp.est_latency.as_micros(), resp.response_bytes)
             }
             _ => (now_us, 0),
         };
-        self.city.tracer_mut().close_with(span, end_us, attr);
+        self.obs.tracer_mut().close_with(span, end_us, attr);
         result
     }
 
     fn serve_inner(
         &mut self,
+        city: &F2cCity,
         query: &Query,
         site: Site,
         now_us: u64,
@@ -749,7 +828,7 @@ impl QueryEngine {
     ) -> Result<Outcome> {
         let class = query.class;
         let class_ids = self.ids.per_class[class.index()];
-        let m = self.city.metrics_mut();
+        let m = self.obs.metrics_mut();
         m.inc(self.ids.requests);
         m.inc(class_ids.requests);
         self.served_frontier_s = self.served_frontier_s.max(now_s);
@@ -757,20 +836,20 @@ impl QueryEngine {
         // 0. Chaos gate at the origin: a crashed fog-1 node serves
         // nothing — not even its edge cache. The query degrades to an
         // attributable fault shed, never to a wrong answer.
-        if self.city.site_is_down(ChaosSite::Fog1(query.origin), now_s) {
+        if city.site_is_down(ChaosSite::Fog1(query.origin), now_s) {
             return Ok(self.fault_shed(query, Layer::Fog1, now_s));
         }
 
         let key = CacheKey::from(query);
         // Flush epoch plus local invalidations: both only grow, so any
         // bump strictly outdates every previously stamped entry.
-        let epoch = self.city.flush_epoch() + self.extra_epochs;
+        let epoch = city.flush_epoch() + self.extra_epochs;
 
         // 1. Edge cache at the requester's fog-1 node: a free local answer.
         if let Some(answer) = self.edge[query.origin].get(&key, now_s, epoch) {
-            self.city.metrics_mut().inc(self.ids.edge_hits);
+            self.obs.metrics_mut().inc(self.ids.edge_hits);
             let bytes = answer.response_bytes();
-            let est_latency = self.city.cost_model().cost(AccessOption::Local, bytes);
+            let est_latency = city.cost_model().cost(AccessOption::Local, bytes);
             self.record_answered(class, est_latency);
             return Ok(Outcome::Answered(QueryResponse {
                 est_latency,
@@ -785,19 +864,19 @@ impl QueryEngine {
 
         // 2. Route: one complete source, or a fan-out over the member
         // fog nodes — whichever the cost model prices cheaper.
-        let route = match planner::plan(&self.city, query) {
+        let route = match planner::plan(city, query) {
             Ok(r) => r,
             Err(e @ Error::Unanswerable { .. }) => {
-                self.city.metrics_mut().inc(self.ids.unanswerable);
+                self.obs.metrics_mut().inc(self.ids.unanswerable);
                 return Err(e);
             }
             Err(e) => return Err(e),
         };
         // A zero-length child marking the plan phase; the attribute says
         // whether the winning shape is a fan-out.
-        let plan_span = self.city.tracer_mut().open(site, "query-plan", now_us);
+        let plan_span = self.obs.tracer_mut().open(site, "query-plan", now_us);
         let fanned_out = matches!(route.choice, Choice::Scatter(_));
-        self.city
+        self.obs
             .tracer_mut()
             .close_with(plan_span, now_us, u64::from(fanned_out));
         if let Some((scatter_cost, cloud_cost)) = route.contest {
@@ -806,7 +885,7 @@ impl QueryEngine {
             } else {
                 self.ids.cloud_wins
             };
-            self.city.metrics_mut().inc(id);
+            self.obs.metrics_mut().inc(id);
         }
 
         // 3. Deadline gate: when even the cheapest provably-complete
@@ -815,7 +894,7 @@ impl QueryEngine {
         // at plan time, before holding anything.
         let budget = self.cfg.qos.deadline(class);
         if route.est_cost() > budget {
-            self.city.metrics_mut().inc(class_ids.deadline_shed);
+            self.obs.metrics_mut().inc(class_ids.deadline_shed);
             return Ok(Outcome::Shed {
                 layer: route.choice.charged_layer(),
                 class,
@@ -823,7 +902,7 @@ impl QueryEngine {
             });
         }
 
-        match self.serve_choice(query, &route.choice, key, epoch, now_s)? {
+        match self.serve_choice(city, query, &route.choice, key, epoch, now_s)? {
             Outcome::Answered(resp) => Ok(Outcome::Answered(resp)),
             Outcome::Shed {
                 layer,
@@ -837,13 +916,13 @@ impl QueryEngine {
                 if let Some(fb) = &route.fallback {
                     if fb.est_cost() <= budget {
                         if let Outcome::Answered(resp) =
-                            self.serve_choice(query, fb, key, epoch, now_s)?
+                            self.serve_choice(city, query, fb, key, epoch, now_s)?
                         {
-                            self.city.metrics_mut().inc(class_ids.rerouted);
+                            self.obs.metrics_mut().inc(class_ids.rerouted);
                             if cause == ShedCause::Fault {
                                 // A fault rescue, not a capacity one:
                                 // the timeline attributes the detour.
-                                self.city.record_incident(
+                                self.obs.record_incident(
                                     now_s,
                                     ChaosSite::Fog1(query.origin),
                                     IncidentKind::Reroute,
@@ -859,7 +938,7 @@ impl QueryEngine {
                 if cause == ShedCause::Fault {
                     return Ok(self.fault_shed(query, layer, now_s));
                 }
-                let m = self.city.metrics_mut();
+                let m = self.obs.metrics_mut();
                 m.inc(self.ids.shed[layer.index()]);
                 m.inc(class_ids.shed);
                 Ok(Outcome::Shed {
@@ -876,10 +955,10 @@ impl QueryEngine {
     /// attributable to an injected fault.
     fn fault_shed(&mut self, query: &Query, layer: Layer, now_s: u64) -> Outcome {
         let class_fault = self.ids.per_class[query.class.index()].fault_shed;
-        let m = self.city.metrics_mut();
+        let m = self.obs.metrics_mut();
         m.inc(self.ids.fault_shed);
         m.inc(class_fault);
-        self.city.record_incident(
+        self.obs.record_incident(
             now_s,
             ChaosSite::Fog1(query.origin),
             IncidentKind::RouteFault,
@@ -896,6 +975,7 @@ impl QueryEngine {
     /// outcome, so a successful reroute is not double-counted.
     fn serve_choice(
         &mut self,
+        city: &F2cCity,
         query: &Query,
         choice: &Choice,
         key: CacheKey,
@@ -903,8 +983,8 @@ impl QueryEngine {
         now_s: u64,
     ) -> Result<Outcome> {
         match choice {
-            Choice::Single(plan) => self.serve_single(query, plan, key, epoch, now_s),
-            Choice::Scatter(plan) => self.serve_scatter(query, plan, key, epoch, now_s),
+            Choice::Single(plan) => self.serve_single(city, query, plan, key, epoch, now_s),
+            Choice::Scatter(plan) => self.serve_scatter(city, query, plan, key, epoch, now_s),
         }
     }
 
@@ -913,7 +993,7 @@ impl QueryEngine {
     fn record_answered(&mut self, class: ServiceClass, est_latency: Duration) {
         let cid = self.ids.per_class[class.index()];
         let slo_met = est_latency <= self.cfg.qos.deadline(class);
-        let m = self.city.metrics_mut();
+        let m = self.obs.metrics_mut();
         m.inc(self.ids.answered);
         m.inc(cid.answered);
         if slo_met {
@@ -923,6 +1003,7 @@ impl QueryEngine {
 
     fn serve_single(
         &mut self,
+        city: &F2cCity,
         query: &Query,
         plan: &QueryPlan,
         key: CacheKey,
@@ -933,7 +1014,7 @@ impl QueryEngine {
         // Chaos gate: a crashed or unreachable source can serve nothing
         // — not even its result cache. Shed as a fault; the caller may
         // still rescue the query onto the fallback route.
-        if !self.city.source_available(query.origin, plan.source, now_s) {
+        if !city.source_available(query.origin, plan.source, now_s) {
             return Ok(Outcome::Shed {
                 layer: plan.layer,
                 class,
@@ -942,14 +1023,14 @@ impl QueryEngine {
         }
         // 3. Source cache at the planned node: pays the route, skips the scan.
         if let Some(answer) = self
-            .source_cache(plan.source, query.origin)
+            .source_cache(city, plan.source, query.origin)
             .get(&key, now_s, epoch)
         {
-            self.city.metrics_mut().inc(self.ids.source_hits);
+            self.obs.metrics_mut().inc(self.ids.source_hits);
             let bytes = answer.response_bytes();
-            if self
-                .city
-                .meter_query(
+            if city
+                .meter_query_scratch(
+                    self.obs.net_mut(),
                     query.origin,
                     plan.source,
                     self.cfg.request_bytes,
@@ -969,7 +1050,7 @@ impl QueryEngine {
             if self.cacheable(query, now_s, bytes) {
                 self.edge[query.origin].put(key, answer.clone(), now_s, epoch);
             }
-            let est_latency = self.city.cost_model().cost(plan.option, bytes);
+            let est_latency = city.cost_model().cost(plan.option, bytes);
             self.record_answered(class, est_latency);
             return Ok(Outcome::Answered(QueryResponse {
                 est_latency,
@@ -1011,26 +1092,26 @@ impl QueryEngine {
         };
         let site = Site::new("fog1", query.origin as u32);
         let now_us = now_s.saturating_mul(1_000_000);
-        let admit = self.city.tracer_mut().open(site, "query-admit", now_us);
+        let admit = self.obs.tracer_mut().open(site, "query-admit", now_us);
         let charged = u64::from(held.slots().iter().sum::<u32>());
-        self.city.tracer_mut().close_with(admit, now_us, charged);
+        self.obs.tracer_mut().close_with(admit, now_us, charged);
 
         // 5. Execute against the source store.
-        let exec = self.city.tracer_mut().open(site, "query-execute", now_us);
-        let (answer, visited) = self.execute(query, plan, now_s, epoch);
+        let exec = self.obs.tracer_mut().open(site, "query-execute", now_us);
+        let (answer, visited) = self.execute(city, query, plan, now_s, epoch);
         let scan_us = self.cfg.scan_cost_per_record_us * visited;
-        self.city
+        self.obs
             .tracer_mut()
             .close_with(exec, now_us + scan_us, visited);
-        self.city
+        self.obs
             .metrics_mut()
             .add(self.ids.records_scanned, visited);
         let bytes = answer.response_bytes();
-        let est_latency = self.city.cost_model().cost(plan.option, bytes)
+        let est_latency = city.cost_model().cost(plan.option, bytes)
             + Duration::from_micros(self.cfg.scan_cost_per_record_us * visited);
-        if self
-            .city
-            .meter_query(
+        if city
+            .meter_query_scratch(
+                self.obs.net_mut(),
                 query.origin,
                 plan.source,
                 self.cfg.request_bytes,
@@ -1049,13 +1130,17 @@ impl QueryEngine {
             });
         }
         if self.cacheable(query, now_s, bytes) {
-            self.source_cache(plan.source, query.origin)
-                .put(key, answer.clone(), now_s, epoch);
+            self.source_cache(city, plan.source, query.origin).put(
+                key,
+                answer.clone(),
+                now_s,
+                epoch,
+            );
             self.edge[query.origin].put(key, answer.clone(), now_s, epoch);
         }
-        self.city.metrics_mut().inc(self.ids.store_served);
-        let deliver = self.city.tracer_mut().open(site, "query-deliver", now_us);
-        self.city
+        self.obs.metrics_mut().inc(self.ids.store_served);
+        let deliver = self.obs.tracer_mut().open(site, "query-deliver", now_us);
+        self.obs
             .tracer_mut()
             .close_with(deliver, now_us + est_latency.as_micros(), bytes);
         self.record_answered(class, est_latency);
@@ -1072,6 +1157,7 @@ impl QueryEngine {
 
     fn serve_scatter(
         &mut self,
+        city: &F2cCity,
         query: &Query,
         plan: &ScatterPlan,
         key: CacheKey,
@@ -1082,10 +1168,7 @@ impl QueryEngine {
         // Chaos gate at the gather node (the requester's fog-2): every
         // leg and the final delivery route through it, so a crashed or
         // unreachable gather sheds the whole fan-out as a fault.
-        if !self
-            .city
-            .source_available(query.origin, DataSource::Parent, now_s)
-        {
+        if !city.source_available(query.origin, DataSource::Parent, now_s) {
             return Ok(Outcome::Shed {
                 layer: Layer::Fog2,
                 class,
@@ -1096,11 +1179,11 @@ impl QueryEngine {
         // pays the parent hop, skips the whole fan-out.
         let gather = plan.gather_district;
         if let Some(answer) = self.src_fog2[gather].get(&key, now_s, epoch) {
-            self.city.metrics_mut().inc(self.ids.source_hits);
+            self.obs.metrics_mut().inc(self.ids.source_hits);
             let bytes = answer.response_bytes();
-            if self
-                .city
-                .meter_query(
+            if city
+                .meter_query_scratch(
+                    self.obs.net_mut(),
                     query.origin,
                     DataSource::Parent,
                     self.cfg.request_bytes,
@@ -1118,7 +1201,7 @@ impl QueryEngine {
             if self.cacheable(query, now_s, bytes) {
                 self.edge[query.origin].put(key, answer.clone(), now_s, epoch);
             }
-            let est_latency = self.city.cost_model().cost(AccessOption::Parent, bytes);
+            let est_latency = city.cost_model().cost(AccessOption::Parent, bytes);
             self.record_answered(class, est_latency);
             return Ok(Outcome::Answered(QueryResponse {
                 est_latency,
@@ -1141,22 +1224,21 @@ impl QueryEngine {
         let live: Vec<crate::planner::ScatterLeg> = plan
             .legs
             .iter()
-            .filter(|leg| self.city.leg_available(query.origin, leg.node, now_s))
+            .filter(|leg| city.leg_available(query.origin, leg.node, now_s))
             .copied()
             .collect();
         let legs_shed = legs_total - live.len() as u32;
         if legs_shed > 0 {
-            self.city
+            self.obs
                 .metrics_mut()
                 .add(self.ids.legs_shed, u64::from(legs_shed));
             for leg in plan.legs.iter() {
-                if !self.city.leg_available(query.origin, leg.node, now_s) {
+                if !city.leg_available(query.origin, leg.node, now_s) {
                     let site = match leg.node {
                         FanoutLeg::Fog1(s) => ChaosSite::Fog1(s),
                         FanoutLeg::Fog2(d) => ChaosSite::Fog2(d),
                     };
-                    self.city
-                        .record_incident(now_s, site, IncidentKind::LegShed);
+                    self.obs.record_incident(now_s, site, IncidentKind::LegShed);
                 }
             }
         }
@@ -1186,31 +1268,37 @@ impl QueryEngine {
         }
         let site = Site::new("fog1", query.origin as u32);
         let now_us = now_s.saturating_mul(1_000_000);
-        let admit = self.city.tracer_mut().open(site, "query-admit", now_us);
+        let admit = self.obs.tracer_mut().open(site, "query-admit", now_us);
         let charged = u64::from(held.slots().iter().sum::<u32>());
-        self.city.tracer_mut().close_with(admit, now_us, charged);
+        self.obs.tracer_mut().close_with(admit, now_us, charged);
 
         // 5. Execute every surviving leg and merge at the gather node.
-        let exec = self.city.tracer_mut().open(site, "query-execute", now_us);
-        let (answer, leg_reports, slowest) = self.execute_scatter(query, &live, now_s, epoch);
-        self.city
+        let exec = self.obs.tracer_mut().open(site, "query-execute", now_us);
+        let (answer, leg_reports, slowest) = self.execute_scatter(city, query, &live, now_s, epoch);
+        self.obs
             .tracer_mut()
             .close_with(exec, now_us + slowest.as_micros(), live.len() as u64);
         let visited: u64 = leg_reports.iter().map(|&(_, _, v)| v).sum();
-        self.city
+        self.obs
             .metrics_mut()
             .add(self.ids.records_scanned, visited);
         let bytes = answer.response_bytes();
         let est_latency = slowest
-            + self.city.cost_model().fanout_overhead(live.len())
-            + self.city.cost_model().cost(AccessOption::Parent, bytes);
+            + city.cost_model().fanout_overhead(live.len())
+            + city.cost_model().cost(AccessOption::Parent, bytes);
         let metered: Vec<(FanoutLeg, u64)> = leg_reports
             .iter()
             .map(|&(node, leg_bytes, _)| (node, leg_bytes))
             .collect();
-        if self
-            .city
-            .meter_fanout(query.origin, &metered, self.cfg.request_bytes, bytes, now_s)
+        if city
+            .meter_fanout_scratch(
+                self.obs.net_mut(),
+                query.origin,
+                &metered,
+                self.cfg.request_bytes,
+                bytes,
+                now_s,
+            )
             .is_err()
         {
             self.ledger.release(class, held.slots());
@@ -1223,7 +1311,7 @@ impl QueryEngine {
         let completeness = if legs_shed == 0 {
             Completeness::Complete
         } else {
-            self.city.metrics_mut().inc(self.ids.degraded);
+            self.obs.metrics_mut().inc(self.ids.degraded);
             Completeness::Partial {
                 legs_shed,
                 legs_total,
@@ -1235,12 +1323,12 @@ impl QueryEngine {
             self.src_fog2[gather].put(key, answer.clone(), now_s, epoch);
             self.edge[query.origin].put(key, answer.clone(), now_s, epoch);
         }
-        let m = self.city.metrics_mut();
+        let m = self.obs.metrics_mut();
         m.inc(self.ids.store_served);
         m.inc(self.ids.scatter_served);
         m.add(self.ids.scatter_legs, live.len() as u64);
-        let deliver = self.city.tracer_mut().open(site, "query-deliver", now_us);
-        self.city
+        let deliver = self.obs.tracer_mut().open(site, "query-deliver", now_us);
+        self.obs
             .tracer_mut()
             .close_with(deliver, now_us + est_latency.as_micros(), bytes);
         self.record_answered(class, est_latency);
@@ -1257,26 +1345,17 @@ impl QueryEngine {
         }))
     }
 
-    /// [`QueryEngine::serve`] for synchronous callers: any held slots
-    /// are released immediately (no simulated completion event).
-    ///
-    /// # Errors
-    ///
-    /// As [`QueryEngine::serve`].
-    pub fn serve_sync(&mut self, query: &Query, now_s: u64) -> Result<Outcome> {
-        let outcome = self.serve(query, now_s)?;
-        if let Outcome::Answered(resp) = &outcome {
-            self.release_held(resp.held);
-        }
-        Ok(outcome)
-    }
-
-    fn source_cache(&mut self, source: DataSource, origin: usize) -> &mut ResultCache {
+    fn source_cache(
+        &mut self,
+        city: &F2cCity,
+        source: DataSource,
+        origin: usize,
+    ) -> &mut ResultCache {
         match source {
             DataSource::Local => &mut self.src_fog1[origin],
             DataSource::Neighbor(n) | DataSource::WarmSketch(n) => &mut self.src_fog1[n],
             DataSource::Parent => {
-                let d = self.city.district_of(origin);
+                let d = city.district_of(origin);
                 &mut self.src_fog2[d]
             }
             DataSource::RemoteFog2(d) => &mut self.src_fog2[d],
@@ -1286,6 +1365,7 @@ impl QueryEngine {
 
     fn execute(
         &mut self,
+        city: &F2cCity,
         query: &Query,
         plan: &QueryPlan,
         now_s: u64,
@@ -1296,29 +1376,29 @@ impl QueryEngine {
                 // The raw window is evicted; the answer is a pure merge
                 // of the node's pre-folded ledger partials — no store
                 // scan, no partial-cache traffic.
-                let (answer, merged) = warm_sketch_answer(self.city.fog1(s).sketches(), s, query);
-                let m = self.city.metrics_mut();
+                let (answer, merged) = warm_sketch_answer(city.fog1(s).sketches(), s, query);
+                let m = self.obs.metrics_mut();
                 m.inc(self.ids.sketch_served);
                 m.add(self.ids.sketch_hits, merged);
                 return (answer, 0);
             }
             DataSource::Local => (
-                self.city.fog1(query.origin).store(),
+                city.fog1(query.origin).store(),
                 NodeKey::Fog1(query.origin as u16),
             ),
-            DataSource::Neighbor(n) => (self.city.fog1(n).store(), NodeKey::Fog1(n as u16)),
+            DataSource::Neighbor(n) => (city.fog1(n).store(), NodeKey::Fog1(n as u16)),
             DataSource::Parent => {
                 let d = match query.scope {
-                    Scope::Section(s) => self.city.district_of(s),
+                    Scope::Section(s) => city.district_of(s),
                     Scope::District(d) => d,
                     // City scopes never plan a Parent single source —
                     // one fog-2 only holds its own district.
                     Scope::City => unreachable!("city scope has no parent single source"),
                 };
-                (self.city.fog2(d).store(), NodeKey::Fog2(d as u16))
+                (city.fog2(d).store(), NodeKey::Fog2(d as u16))
             }
-            DataSource::RemoteFog2(d) => (self.city.fog2(d).store(), NodeKey::Fog2(d as u16)),
-            DataSource::Cloud => (self.city.cloud().store(), NodeKey::Cloud),
+            DataSource::RemoteFog2(d) => (city.fog2(d).store(), NodeKey::Fog2(d as u16)),
+            DataSource::Cloud => (city.cloud().store(), NodeKey::Cloud),
         };
         match query.kind {
             QueryKind::Point => execute_point(store, query),
@@ -1326,7 +1406,7 @@ impl QueryEngine {
             QueryKind::Aggregate => {
                 let mut tally = FoldTally::default();
                 let (acc, visited) = fold_aggregate(
-                    &self.city,
+                    city,
                     store,
                     node,
                     query,
@@ -1345,7 +1425,7 @@ impl QueryEngine {
     /// Publishes what a fold did with its closed buckets, once the
     /// store borrow is released.
     fn apply_fold_tally(&mut self, tally: FoldTally) {
-        let m = self.city.metrics_mut();
+        let m = self.obs.metrics_mut();
         m.add(self.ids.partial_hits, tally.partial_hits);
         m.add(self.ids.prefold_hits, tally.prefold_hits);
         m.add(self.ids.partial_fills, tally.partial_fills);
@@ -1358,6 +1438,7 @@ impl QueryEngine {
     /// the slowest leg's transport + scan estimate.
     fn execute_scatter(
         &mut self,
+        city: &F2cCity,
         query: &Query,
         legs: &[crate::planner::ScatterLeg],
         now_s: u64,
@@ -1378,8 +1459,8 @@ impl QueryEngine {
                 ..*query
             };
             let (store, node): (&TieredStore, NodeKey) = match leg.node {
-                FanoutLeg::Fog1(s) => (self.city.fog1(s).store(), NodeKey::Fog1(s as u16)),
-                FanoutLeg::Fog2(d) => (self.city.fog2(d).store(), NodeKey::Fog2(d as u16)),
+                FanoutLeg::Fog1(s) => (city.fog1(s).store(), NodeKey::Fog1(s as u16)),
+                FanoutLeg::Fog2(d) => (city.fog2(d).store(), NodeKey::Fog2(d as u16)),
             };
             let (leg_bytes, visited) = match query.kind {
                 QueryKind::Point => {
@@ -1405,7 +1486,7 @@ impl QueryEngine {
                         };
                         let mut acc = AggPartial::empty();
                         let merged = merge_warm_sketch(
-                            self.city.fog1(section).sketches(),
+                            city.fog1(section).sketches(),
                             section,
                             &shard,
                             &mut acc,
@@ -1415,7 +1496,7 @@ impl QueryEngine {
                         (acc, 0)
                     } else {
                         fold_aggregate(
-                            &self.city,
+                            city,
                             store,
                             node,
                             &shard,
@@ -1430,7 +1511,7 @@ impl QueryEngine {
                     (AGG_PARTIAL_WIRE_BYTES, visited)
                 }
             };
-            let leg_time = self.city.cost_model().leg_cost(leg.path, leg_bytes)
+            let leg_time = city.cost_model().leg_cost(leg.path, leg_bytes)
                 + Duration::from_micros(self.cfg.scan_cost_per_record_us * visited);
             slowest = slowest.max(leg_time);
             // One span per executed leg, at the leg's own site, closed at
@@ -1439,14 +1520,14 @@ impl QueryEngine {
                 FanoutLeg::Fog1(s) => Site::new("fog1", s as u32),
                 FanoutLeg::Fog2(d) => Site::new("fog2", d as u32),
             };
-            let span = self.city.tracer_mut().open(leg_site, "scatter-leg", now_us);
-            self.city
+            let span = self.obs.tracer_mut().open(leg_site, "scatter-leg", now_us);
+            self.obs
                 .tracer_mut()
                 .close_with(span, now_us + leg_time.as_micros(), leg_bytes);
             reports.push((leg.node, leg_bytes, visited));
         }
         self.apply_fold_tally(tally);
-        let m = self.city.metrics_mut();
+        let m = self.obs.metrics_mut();
         m.add(self.ids.sketch_legs, sketch_legs);
         m.add(self.ids.sketch_hits, sketch_hits);
         let answer = match query.kind {

@@ -35,7 +35,11 @@
 //! * [`workload`] — deterministic, seeded closed-loop workloads
 //!   (dashboard / analytics / real-time / city-wide mixes) on the
 //!   event-driven clock, with diurnal day-curves and per-class flash
-//!   crowds, for driving millions of simulated requests reproducibly.
+//!   crowds, for driving millions of simulated requests reproducibly,
+//! * [`parallel`] — the same closed loop sharded by district onto
+//!   worker threads ([`f2c_core::Parallelism`]), with deterministic
+//!   barriers at flush/ingest waves and canonical-order merges, so
+//!   every run artifact is byte-identical at any thread count.
 //!
 //! # Quickstart
 //!
@@ -73,6 +77,7 @@ pub mod cache;
 pub mod engine;
 mod error;
 pub mod model;
+pub mod parallel;
 pub mod planner;
 pub mod scatter;
 pub mod workload;

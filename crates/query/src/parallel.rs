@@ -1,0 +1,676 @@
+//! The sharded workload runtime: the closed loop of [`crate::workload`]
+//! partitioned by district onto worker threads.
+//!
+//! The city is split into one **logical shard per district** — a fixed
+//! decomposition, independent of the thread count — and each shard owns
+//! its district's users, its own `ServeCore` (result caches, a
+//! *partitioned slice* of the admission ledger, buffered observability)
+//! and its own event queue and RNG. Between synchronization points the
+//! shards advance independently against a shared `&F2cCity` snapshot:
+//! serving only ever *reads* the city, and every observable side effect
+//! (metrics, spans, incidents, network metering) lands in the shard's
+//! [`f2c_core::ObsScratch`].
+//!
+//! Synchronization happens at **barriers** — the global flush-wave and
+//! ingest-wave instants. Every shard runs its queue strictly up to the
+//! barrier time; the coordinator then absorbs each shard's scratch into
+//! the city **in canonical district order**, applies the flush or the
+//! ingest wave, and releases the shards into the next span. Because the
+//! shard decomposition, the per-shard event streams, and the merge order
+//! are all independent of how many worker threads carry the shards,
+//! every run artifact — the transcript, its FNV hash, the metric
+//! snapshot, traces and the incident timeline — is byte-identical at
+//! any [`f2c_core::Parallelism`] (`PARALLELISM=1` reproduces
+//! `PARALLELISM=8` exactly). `tests/parallel.rs` holds that oracle.
+//!
+//! Two latent shared-state hazards are resolved by construction:
+//!
+//! * **Admission slices** — the global [`LayerCaps`] are partitioned
+//!   across shards (`partition_caps`): fog-1 slots proportionally to
+//!   the district's section count (largest-remainder, minimum 1);
+//!   fog-2 and cloud budgets replicate per shard so multi-leg fan-outs
+//!   stay admissible. A shard only ever acquires and releases against
+//!   its own slice, so there is no cross-shard acquire or rollback —
+//!   and no ordering dependence.
+//! * **Histogram merge order** — per-shard latency histograms merge
+//!   into the report (and the city registry) in district order, never
+//!   in completion order.
+
+use std::fmt::Write as _;
+
+use citysim::event::EventQueue;
+use citysim::time::{Duration, SimTime};
+use citysim::Histogram;
+use f2c_core::runtime::section_generators;
+use f2c_core::{run_shards, F2cCity};
+use f2c_qos::{ShedCause, CLASS_COUNT};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::engine::{ClassStats, LayerCaps, Outcome, QueryEngine, ServeCore, ServedVia};
+use crate::workload::{
+    fnv1a, gen_query_at, think, validate, DiurnalCurve, FlashCrowd, ServiceClass, User,
+    WorkloadConfig, WorkloadReport, FNV_OFFSET,
+};
+use crate::{Error, Result};
+
+/// Splits the global admission caps into per-district slices.
+///
+/// Fog-1 slots are apportioned proportionally to each district's
+/// section count by largest remainder (ties to the lower district
+/// index, minimum 1): fog-1 serving is origin-local and every origin
+/// belongs to exactly one shard, so the slices conserve the city-wide
+/// budget without starving anyone. Fog-2 and cloud slots are **not**
+/// divided — each shard keeps the full budget, because those layers
+/// serve district- and city-scoped queries whose fan-outs hold one
+/// slot per *leg* (a 10-district scatter needs 10 fog-2 slots at
+/// once; a tenth-sized slice could never admit it). Each shard thus
+/// runs the exact admission arithmetic the sequential engine would
+/// run if only that shard's users existed; the aggregate in-flight
+/// bound relaxes to per-shard, which is the documented cost of
+/// shard-local admission (no cross-shard slot traffic, no ordering
+/// dependence).
+pub(crate) fn partition_caps(total: LayerCaps, section_counts: &[usize]) -> Vec<LayerCaps> {
+    let total_sections: u64 = section_counts.iter().map(|&c| c as u64).sum::<u64>().max(1);
+    let mut fog1: Vec<u32> = Vec::with_capacity(section_counts.len());
+    let mut rems: Vec<(u64, usize)> = Vec::with_capacity(section_counts.len());
+    let mut assigned = 0u64;
+    for (d, &count) in section_counts.iter().enumerate() {
+        let share = u64::from(total.fog1) * count as u64;
+        fog1.push((share / total_sections) as u32);
+        assigned += share / total_sections;
+        rems.push((share % total_sections, d));
+    }
+    rems.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut leftover = u64::from(total.fog1).saturating_sub(assigned);
+    for &(_, d) in &rems {
+        if leftover == 0 {
+            break;
+        }
+        fog1[d] += 1;
+        leftover -= 1;
+    }
+    (0..section_counts.len())
+        .map(|d| LayerCaps {
+            fog1: fog1[d].max(1),
+            fog2: total.fog2,
+            cloud: total.cloud,
+        })
+        .collect()
+}
+
+/// A shard-local event: user ticks and slot releases. Flush and ingest
+/// are coordinator barriers, never shard events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// Shard-local user `u` issues their next request.
+    Tick(u32),
+    /// A simulated response completed: release its admission slots
+    /// (always against this shard's own ledger slice).
+    Release(crate::engine::HeldSlots),
+}
+
+/// A user's next think time (identical arithmetic to the sequential
+/// loop): class nominal, scaled by the diurnal intensity, then by the
+/// flash-crowd divisor.
+fn next_think(
+    user: &User,
+    now_s: u64,
+    diurnal: Option<DiurnalCurve>,
+    rng: &mut SmallRng,
+) -> Duration {
+    let base = think(user.class, rng);
+    let milli = diurnal.map_or(1_000, |curve| curve.intensity_milli(now_s));
+    let scaled = base.as_micros() * 1_000 / milli;
+    Duration::from_micros((scaled / u64::from(user.think_divisor)).max(1))
+}
+
+/// One district shard: everything it needs to advance between barriers
+/// without touching another shard or mutating the city.
+struct Shard {
+    /// The district's fog-1 sections — the origin pool for its users.
+    sections: Vec<usize>,
+    core: ServeCore,
+    rng: SmallRng,
+    users: Vec<User>,
+    queue: EventQueue<Ev>,
+    /// Requests this shard must issue (the global budget, dealt
+    /// round-robin across shards with steady users).
+    quota: u64,
+    issued: u64,
+    answered: u64,
+    shed: u64,
+    unanswerable: u64,
+    shed_during_flash: [u64; CLASS_COUNT],
+    hists: [Histogram; 3],
+    class_hists: [Histogram; CLASS_COUNT],
+    scatter_latency: Histogram,
+    sim_end_s: u64,
+    transcript: Vec<u8>,
+    transcript_hash: u64,
+    line: String,
+    /// First hard serving error, reported at the next barrier.
+    failed: Option<Error>,
+}
+
+impl Shard {
+    /// Processes every queued event strictly before `deadline`
+    /// (`None` drains the queue). Runs on a worker thread; only reads
+    /// `city`.
+    fn run_until(
+        &mut self,
+        city: &F2cCity,
+        deadline: Option<SimTime>,
+        config: &WorkloadConfig,
+        crowds: &[FlashCrowd],
+    ) {
+        if self.failed.is_some() {
+            return;
+        }
+        while let Some(next) = self.queue.peek_time() {
+            if deadline.is_some_and(|d| next >= d) {
+                return;
+            }
+            let Some((at, ev)) = self.queue.pop() else {
+                return;
+            };
+            let now_s = at.as_secs();
+            match ev {
+                Ev::Release(held) => self.core.ledger.release(held.class(), held.slots()),
+                Ev::Tick(u) => {
+                    if self.issued >= self.quota {
+                        continue;
+                    }
+                    let user = self.users[u as usize];
+                    if user.retires_at_s.is_some_and(|end| now_s >= end) {
+                        continue;
+                    }
+                    self.issued += 1;
+                    self.sim_end_s = now_s;
+                    let class = user.class;
+                    let in_flash = crowds.iter().any(|c| c.active_at(now_s));
+                    let origin = self.sections[self.rng.gen_range(0..self.sections.len())];
+                    let query = gen_query_at(
+                        class,
+                        now_s,
+                        origin,
+                        self.core.last_flush_s,
+                        city,
+                        &mut self.rng,
+                    );
+                    let issued = self.issued;
+                    self.line.clear();
+                    let next_at = match self.core.serve(city, &query, now_s) {
+                        Ok(Outcome::Answered(resp)) => {
+                            self.answered += 1;
+                            self.hists[resp.layer.index()].record(resp.est_latency);
+                            self.class_hists[class.index()].record(resp.est_latency);
+                            if matches!(resp.via, ServedVia::Scatter { .. }) {
+                                self.scatter_latency.record(resp.est_latency);
+                            }
+                            let done = at + resp.est_latency;
+                            if !resp.held.is_empty() {
+                                self.queue.schedule_at(done, Ev::Release(resp.held));
+                            }
+                            write!(
+                                self.line,
+                                "{issued};{class:?};A;{:?};{}",
+                                resp.via,
+                                resp.est_latency.as_micros()
+                            )
+                            .expect("writing to a String cannot fail");
+                            done + next_think(&user, now_s, config.diurnal, &mut self.rng)
+                        }
+                        Ok(Outcome::Shed {
+                            layer,
+                            class: shed_class,
+                            cause,
+                        }) => {
+                            self.shed += 1;
+                            if in_flash && cause == ShedCause::Capacity {
+                                self.shed_during_flash[shed_class.index()] += 1;
+                            }
+                            write!(
+                                self.line,
+                                "{issued};{shed_class:?};S;{layer};{};0",
+                                cause.label()
+                            )
+                            .expect("writing to a String cannot fail");
+                            match cause {
+                                ShedCause::Capacity => {
+                                    at + Duration::from_micros(
+                                        next_think(&user, now_s, config.diurnal, &mut self.rng)
+                                            .as_micros()
+                                            / 2,
+                                    )
+                                }
+                                ShedCause::Deadline | ShedCause::Fault => {
+                                    at + next_think(&user, now_s, config.diurnal, &mut self.rng)
+                                }
+                            }
+                        }
+                        Err(Error::Unanswerable { .. }) => {
+                            self.unanswerable += 1;
+                            write!(self.line, "{issued};{class:?};U;;0")
+                                .expect("writing to a String cannot fail");
+                            at + next_think(&user, now_s, config.diurnal, &mut self.rng)
+                        }
+                        Err(e) => {
+                            self.failed = Some(e);
+                            return;
+                        }
+                    };
+                    self.line.push('\n');
+                    fnv1a(&mut self.transcript_hash, self.line.as_bytes());
+                    if config.record_transcript {
+                        self.transcript.extend_from_slice(self.line.as_bytes());
+                    }
+                    if self.issued < self.quota {
+                        self.queue.schedule_at(next_at, Ev::Tick(u));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs one closed-loop workload against `engine`, sharded by district
+/// onto the city's configured [`f2c_core::Parallelism`] worker threads.
+///
+/// Semantics follow [`crate::workload::run`] — the same per-class think
+/// times, retry policies, diurnal scaling, flash crowds, background
+/// flush/ingest cadence and transcript line format — but the population
+/// is dealt round-robin across the ten district shards, each user's
+/// queries originate from their home district, and every shard draws
+/// from its own seeded RNG and ledger slice. The report (and every city
+/// observable) is therefore a *different* deterministic run than the
+/// sequential loop's, yet byte-identical to itself at **any** thread
+/// count.
+///
+/// The per-request transcript numbers requests *per shard* and the
+/// report concatenates shard transcripts in district order;
+/// `transcript_hash` is the FNV-1a fold of the per-shard rolling hashes
+/// in that same order.
+///
+/// # Errors
+///
+/// [`Error::BadQuery`] on a degenerate configuration (exactly as the
+/// sequential loop); hierarchy/network errors from serving or the
+/// background waves.
+pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<WorkloadReport> {
+    let crowds = validate(config)?;
+    let threads = engine.city().parallelism();
+    engine.flush_all(config.start_s)?;
+    let stats0 = engine.stats();
+
+    let mut ingest_gens = (config.ingest_period_s > 0).then(|| {
+        section_generators(
+            &engine
+                .city()
+                .catalog()
+                .scaled_down(config.ingest_scale.max(1)),
+            config.seed ^ 0x9E37_79B9_7F4A_7C15,
+        )
+    });
+
+    let (engine_core, city) = engine.core_parts();
+    let districts = city.district_count();
+    let section_count = city.section_count();
+    let counts: Vec<usize> = (0..districts)
+        .map(|d| city.sections_in_district(d).len())
+        .collect();
+    let slices = partition_caps(engine_core.cfg.caps, &counts);
+
+    let mut shards: Vec<Shard> = (0..districts)
+        .map(|d| {
+            let mut cfg = engine_core.cfg;
+            cfg.caps = slices[d];
+            let mut core = ServeCore::new(cfg, section_count);
+            core.last_flush_s = config.start_s;
+            Shard {
+                sections: city.sections_in_district(d),
+                core,
+                // Each shard owns an independent stream derived from the
+                // master seed and its district index.
+                rng: SmallRng::seed_from_u64(
+                    config.seed ^ (d as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+                users: Vec::new(),
+                queue: EventQueue::new(),
+                quota: 0,
+                issued: 0,
+                answered: 0,
+                shed: 0,
+                unanswerable: 0,
+                shed_during_flash: [0; CLASS_COUNT],
+                hists: [Histogram::new(), Histogram::new(), Histogram::new()],
+                class_hists: Default::default(),
+                scatter_latency: Histogram::new(),
+                sim_end_s: config.start_s,
+                transcript: Vec::new(),
+                transcript_hash: FNV_OFFSET,
+                line: String::new(),
+                failed: None,
+            }
+        })
+        .collect();
+
+    // Deal the steady population round-robin across districts, with the
+    // same arrival staggering as the sequential loop; then the flash
+    // crowds' temporary members.
+    let start = SimTime::from_secs(config.start_s);
+    for u in 0..config.users {
+        let d = (u as usize) % districts;
+        let class = config.mix.sample(&mut shards[d].rng);
+        let local = shards[d].users.len() as u32;
+        shards[d].users.push(User {
+            class,
+            think_divisor: 1,
+            retires_at_s: None,
+        });
+        shards[d].queue.schedule_at(
+            start + Duration::from_millis(u64::from(u) * 31),
+            Ev::Tick(local),
+        );
+    }
+    for crowd in &crowds {
+        let arrive = SimTime::from_secs(crowd.start_s.max(config.start_s));
+        let leaves = crowd.start_s.saturating_add(crowd.duration_s);
+        for i in 0..crowd.users {
+            let d = (i as usize) % districts;
+            let local = shards[d].users.len() as u32;
+            shards[d].users.push(User {
+                class: crowd.class,
+                think_divisor: crowd.think_divisor,
+                retires_at_s: Some(leaves),
+            });
+            shards[d].queue.schedule_at(
+                arrive + Duration::from_millis(u64::from(i) * 17),
+                Ev::Tick(local),
+            );
+        }
+    }
+
+    // Deal the request budget across shards that have at least one
+    // steady (non-retiring) user — a crowd-only shard could retire
+    // before filling a quota and stall the run.
+    let active: Vec<usize> = (0..districts)
+        .filter(|&d| shards[d].users.iter().any(|u| u.retires_at_s.is_none()))
+        .collect();
+    debug_assert!(!active.is_empty(), "validate() guarantees users ≥ 1");
+    let per = config.requests / active.len() as u64;
+    let rem = (config.requests % active.len() as u64) as usize;
+    for (k, &d) in active.iter().enumerate() {
+        shards[d].quota = per + u64::from(k < rem);
+    }
+
+    let mut next_flush =
+        (config.flush_period_s > 0).then(|| start + Duration::from_secs(config.flush_period_s));
+    let mut next_ingest = ingest_gens
+        .as_ref()
+        .map(|_| start + Duration::from_secs(config.ingest_period_s));
+    let mut last_flush_s = config.start_s;
+    let mut epoch_bumps = 0u64;
+
+    loop {
+        let barrier = match (next_flush, next_ingest) {
+            (Some(f), Some(i)) => Some(f.min(i)),
+            (Some(f), None) => Some(f),
+            (None, Some(i)) => Some(i),
+            (None, None) => None,
+        };
+        // Advance every shard to the barrier on the worker threads; the
+        // city is a shared read-only snapshot for the whole span.
+        {
+            let city_ref: &F2cCity = city;
+            let crowds_ref: &[FlashCrowd] = &crowds;
+            run_shards(threads, &mut shards, |_, shard| {
+                shard.run_until(city_ref, barrier, config, crowds_ref);
+            });
+        }
+        for shard in &mut shards {
+            if let Some(e) = shard.failed.take() {
+                return Err(e);
+            }
+        }
+        // Merge buffered observability in canonical district order —
+        // never completion order — so the global view is independent of
+        // the thread count.
+        for shard in &mut shards {
+            city.absorb_scratch(&mut shard.core.obs);
+        }
+        let Some(at) = barrier else { break };
+        let now_s = at.as_secs();
+        let unfinished = shards.iter().any(|s| s.issued < s.quota);
+        if next_flush == Some(at) {
+            city.flush_all(now_s)?;
+            last_flush_s = now_s;
+            for shard in &mut shards {
+                shard.core.last_flush_s = now_s;
+            }
+            next_flush = unfinished.then(|| at + Duration::from_secs(config.flush_period_s));
+        }
+        if next_ingest == Some(at) {
+            let gens = ingest_gens
+                .as_mut()
+                .expect("ingest barrier implies generators");
+            // The cache-frontier invariant, hierarchy-wide: a wave
+            // backdated behind *any* shard's served frontier bumps
+            // every shard's epoch identically.
+            let frontier = shards
+                .iter()
+                .map(|s| s.core.served_frontier_s)
+                .max()
+                .unwrap_or(0);
+            let mut bumps = 0u64;
+            for (section, per_section) in gens.iter_mut().enumerate() {
+                for gen in per_section.values_mut() {
+                    let wave = gen.wave(now_s);
+                    if wave.iter().any(|r| r.timestamp_s() < frontier) {
+                        bumps += 1;
+                    }
+                    city.ingest(section, wave, now_s)?;
+                }
+            }
+            if bumps > 0 {
+                epoch_bumps += bumps;
+                for shard in &mut shards {
+                    shard.core.extra_epochs += bumps;
+                }
+            }
+            next_ingest = unfinished.then(|| at + Duration::from_secs(config.ingest_period_s));
+        }
+    }
+
+    // Keep the engine's own (sequential) core coherent with what the
+    // run did to the city, so post-run serving and gauge syncs see the
+    // same frontier and epoch the shards saw.
+    engine_core.last_flush_s = last_flush_s;
+    engine_core.extra_epochs += epoch_bumps;
+    engine_core.served_frontier_s = engine_core.served_frontier_s.max(
+        shards
+            .iter()
+            .map(|s| s.core.served_frontier_s)
+            .max()
+            .unwrap_or(0),
+    );
+
+    // Fold the shard reports in district order.
+    let mut issued = 0u64;
+    let mut answered = 0u64;
+    let mut shed = 0u64;
+    let mut unanswerable = 0u64;
+    let mut shed_during_flash = [0u64; CLASS_COUNT];
+    let mut hists = [Histogram::new(), Histogram::new(), Histogram::new()];
+    let mut class_hists: [Histogram; CLASS_COUNT] = Default::default();
+    let mut scatter_latency = Histogram::new();
+    let mut sim_end_s = config.start_s;
+    let mut transcript = Vec::new();
+    let mut transcript_hash = FNV_OFFSET;
+    for shard in &shards {
+        issued += shard.issued;
+        answered += shard.answered;
+        shed += shard.shed;
+        unanswerable += shard.unanswerable;
+        for (hist, shard_hist) in hists.iter_mut().zip(&shard.hists) {
+            hist.merge(shard_hist);
+        }
+        for (hist, shard_hist) in class_hists.iter_mut().zip(&shard.class_hists) {
+            hist.merge(shard_hist);
+        }
+        for (total, &n) in shed_during_flash.iter_mut().zip(&shard.shed_during_flash) {
+            *total += n;
+        }
+        scatter_latency.merge(&shard.scatter_latency);
+        sim_end_s = sim_end_s.max(shard.sim_end_s);
+        fnv1a(&mut transcript_hash, &shard.transcript_hash.to_le_bytes());
+        if config.record_transcript {
+            transcript.extend_from_slice(&shard.transcript);
+        }
+    }
+
+    // Publish the merged latency distributions into the city's unified
+    // registry, exactly as the sequential loop does.
+    {
+        let m = city.metrics_mut();
+        let q = f2c_obs::Labels::new().service("query");
+        for layer in f2c_core::Layer::ALL {
+            let id = m.histogram(
+                "query_latency_us",
+                q.layer(crate::engine::layer_label(layer)),
+            );
+            m.merge_histogram(id, &hists[layer.index()]);
+        }
+        for class in ServiceClass::ALL {
+            let id = m.histogram("query_latency_us", q.class(class.label()));
+            m.merge_histogram(id, &class_hists[class.index()]);
+        }
+        let id = m.histogram("query_latency_us", q.kind("scatter"));
+        m.merge_histogram(id, &scatter_latency);
+    }
+    engine.sync_gauges();
+
+    let stats = engine.stats();
+    let mut per_class = [ClassStats::default(); CLASS_COUNT];
+    for class in ServiceClass::ALL {
+        let i = class.index();
+        per_class[i] = stats.per_class[i].delta_since(&stats0.per_class[i]);
+    }
+    Ok(WorkloadReport {
+        issued,
+        answered,
+        shed,
+        unanswerable,
+        edge_hits: stats.edge_hits - stats0.edge_hits,
+        source_hits: stats.source_hits - stats0.source_hits,
+        store_served: stats.store_served - stats0.store_served,
+        scatter_served: stats.scatter_served - stats0.scatter_served,
+        scatter_legs: stats.scatter_legs - stats0.scatter_legs,
+        scatter_wins: stats.scatter_wins - stats0.scatter_wins,
+        cloud_wins: stats.cloud_wins - stats0.cloud_wins,
+        prefold_hits: stats.prefold_hits - stats0.prefold_hits,
+        partial_fills: stats.partial_fills - stats0.partial_fills,
+        sketch_served: stats.sketch_served - stats0.sketch_served,
+        sketch_legs: stats.sketch_legs - stats0.sketch_legs,
+        fault_shed: stats.fault_shed - stats0.fault_shed,
+        legs_shed: stats.legs_shed - stats0.legs_shed,
+        degraded: stats.degraded - stats0.degraded,
+        latency_by_layer: hists,
+        latency_by_class: class_hists,
+        per_class,
+        shed_during_flash,
+        scatter_latency,
+        sim_end_s,
+        transcript_hash,
+        transcript,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use f2c_core::runtime::populate_city;
+    use f2c_core::{F2cCity, Parallelism};
+
+    #[test]
+    fn cap_partition_conserves_generous_caps_and_floors_tiny_ones() {
+        let counts = [4usize, 6, 8, 3, 6, 5, 11, 13, 7, 10];
+        let generous = partition_caps(LayerCaps::default(), &counts);
+        assert_eq!(generous.len(), 10);
+        // Largest remainder conserves the fog-1 total exactly; fog-2
+        // and cloud budgets replicate per shard so a city-wide scatter
+        // (one slot per district leg) stays admissible from any shard.
+        assert_eq!(
+            generous.iter().map(|c| u64::from(c.fog1)).sum::<u64>(),
+            u64::from(LayerCaps::default().fog1)
+        );
+        assert!(generous
+            .iter()
+            .all(|c| c.fog2 == LayerCaps::default().fog2 && c.cloud == LayerCaps::default().cloud));
+        // Proportionality: the biggest district (13 sections) gets more
+        // fog-1 slots than the smallest (3).
+        assert!(generous[7].fog1 > generous[3].fog1);
+        // Tiny caps floor at one slot per layer per shard (documented
+        // inflation rather than a starved district).
+        let tiny = partition_caps(
+            LayerCaps {
+                fog1: 4,
+                fog2: 2,
+                cloud: 1,
+            },
+            &counts,
+        );
+        assert!(tiny
+            .iter()
+            .all(|c| c.fog1 >= 1 && c.fog2 >= 1 && c.cloud >= 1));
+    }
+
+    #[test]
+    fn sharded_run_issues_the_exact_budget_and_is_replayable() {
+        let run_once = |threads: usize| {
+            let mut city = F2cCity::barcelona().unwrap();
+            city.set_parallelism(Parallelism::new(threads));
+            populate_city(&mut city, 50_000, 11, 3_600, 900).unwrap();
+            let mut engine = QueryEngine::new(city, EngineConfig::default());
+            let config = WorkloadConfig {
+                seed: 11,
+                requests: 400,
+                users: 24,
+                start_s: 3_600,
+                record_transcript: true,
+                ..WorkloadConfig::default()
+            };
+            run(&mut engine, &config).unwrap()
+        };
+        let report = run_once(1);
+        assert_eq!(report.issued, 400);
+        assert_eq!(
+            report.answered + report.shed + report.unanswerable,
+            report.issued
+        );
+        assert!(report.answered > 0, "a warm city must answer something");
+        // Same seed, same thread count → byte-identical replay.
+        let replay = run_once(1);
+        assert_eq!(report.transcript, replay.transcript);
+        assert_eq!(report.transcript_hash, replay.transcript_hash);
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected_like_the_sequential_loop() {
+        let mut city = F2cCity::barcelona().unwrap();
+        populate_city(&mut city, 100_000, 3, 1_800, 900).unwrap();
+        let mut engine = QueryEngine::new(city, EngineConfig::default());
+        let bad = WorkloadConfig {
+            users: 0,
+            ..WorkloadConfig::default()
+        };
+        assert!(matches!(
+            run(&mut engine, &bad),
+            Err(Error::BadQuery {
+                field: "workload",
+                ..
+            })
+        ));
+    }
+}

@@ -27,7 +27,7 @@ use citysim::event::EventQueue;
 use citysim::time::{Duration, SimTime};
 use citysim::Histogram;
 use f2c_core::runtime::section_generators;
-use f2c_core::Layer;
+use f2c_core::{F2cCity, Layer};
 use f2c_qos::{ShedCause, CLASS_COUNT};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -64,11 +64,11 @@ impl Default for Mix {
 }
 
 impl Mix {
-    fn total(&self) -> u32 {
+    pub(crate) fn total(&self) -> u32 {
         self.dashboard + self.analytics + self.realtime + self.city
     }
 
-    fn sample(&self, rng: &mut SmallRng) -> ServiceClass {
+    pub(crate) fn sample(&self, rng: &mut SmallRng) -> ServiceClass {
         let x = rng.gen_range(0..self.total());
         if x < self.dashboard {
             ServiceClass::Dashboard
@@ -142,7 +142,7 @@ pub struct FlashCrowd {
 }
 
 impl FlashCrowd {
-    fn active_at(&self, t_s: u64) -> bool {
+    pub(crate) fn active_at(&self, t_s: u64) -> bool {
         t_s >= self.start_s && t_s < self.start_s.saturating_add(self.duration_s)
     }
 }
@@ -311,14 +311,17 @@ enum Ev {
     Ingest,
 }
 
-fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+pub(crate) fn fnv1a(hash: &mut u64, bytes: &[u8]) {
     for &b in bytes {
         *hash ^= u64::from(b);
         *hash = hash.wrapping_mul(0x100_0000_01b3);
     }
 }
 
-fn think(class: ServiceClass, rng: &mut SmallRng) -> Duration {
+/// FNV-1a offset basis — the initial value of every transcript hash.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+pub(crate) fn think(class: ServiceClass, rng: &mut SmallRng) -> Duration {
     let (base_ms, jitter_ms) = match class {
         ServiceClass::RealTime => (1_000, 1_000),
         ServiceClass::Dashboard => (2_000, 3_000),
@@ -331,15 +334,36 @@ fn think(class: ServiceClass, rng: &mut SmallRng) -> Duration {
 /// One closed-loop user: class, think-time divisor (flash-crowd members
 /// tick faster) and an optional retirement instant.
 #[derive(Debug, Clone, Copy)]
-struct User {
-    class: ServiceClass,
-    think_divisor: u32,
-    retires_at_s: Option<u64>,
+pub(crate) struct User {
+    pub(crate) class: ServiceClass,
+    pub(crate) think_divisor: u32,
+    pub(crate) retires_at_s: Option<u64>,
 }
 
 fn gen_query(class: ServiceClass, now_s: u64, engine: &QueryEngine, rng: &mut SmallRng) -> Query {
     let origin = rng.gen_range(0..73usize);
-    let settled = engine.last_flush_s();
+    gen_query_at(
+        class,
+        now_s,
+        origin,
+        engine.last_flush_s(),
+        engine.city(),
+        rng,
+    )
+}
+
+/// [`gen_query`] with the origin section and settled frontier supplied by
+/// the caller — the form the sharded runtime uses, where each district
+/// shard draws origins from its own sections and serving only ever holds
+/// `&F2cCity`.
+pub(crate) fn gen_query_at(
+    class: ServiceClass,
+    now_s: u64,
+    origin: usize,
+    settled: u64,
+    city: &F2cCity,
+    rng: &mut SmallRng,
+) -> Query {
     match class {
         ServiceClass::RealTime => Query {
             origin,
@@ -365,7 +389,7 @@ fn gen_query(class: ServiceClass, now_s: u64, engine: &QueryEngine, rng: &mut Sm
                 }
             } else {
                 // District aggregate over the last settled hour.
-                let district = engine.city().district_of(origin);
+                let district = city.district_of(origin);
                 Query {
                     origin,
                     class,
@@ -420,20 +444,11 @@ fn gen_query(class: ServiceClass, now_s: u64, engine: &QueryEngine, rng: &mut Sm
     }
 }
 
-/// Runs one closed-loop workload against `engine`.
-///
-/// The run opens with a settling flush at `start_s` (stamping the
-/// engine's settled frontier), then interleaves user requests, background
-/// ingest and periodic flushes on one deterministic event clock until
-/// `requests` have been issued and the in-flight tail has drained. Flash
-/// crowds join (and leave) as scheduled, and the diurnal curve scales
-/// every think time.
-///
-/// # Errors
-///
-/// [`Error::BadQuery`] on a degenerate configuration; hierarchy/network
-/// errors from serving.
-pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<WorkloadReport> {
+/// Rejects degenerate workload shapes; returns the flattened flash-crowd
+/// list on success. Shared by the sequential loop and the sharded
+/// runtime in [`crate::parallel`], so both reject exactly the same
+/// configurations.
+pub(crate) fn validate(config: &WorkloadConfig) -> Result<Vec<FlashCrowd>> {
     if config.users == 0 || config.requests == 0 || config.mix.total() == 0 {
         return Err(Error::BadQuery {
             field: "workload",
@@ -458,6 +473,24 @@ pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<Workload
             reason: "every flash crowd needs users, a duration and a divisor ≥ 1".to_owned(),
         });
     }
+    Ok(crowds)
+}
+
+/// Runs one closed-loop workload against `engine`.
+///
+/// The run opens with a settling flush at `start_s` (stamping the
+/// engine's settled frontier), then interleaves user requests, background
+/// ingest and periodic flushes on one deterministic event clock until
+/// `requests` have been issued and the in-flight tail has drained. Flash
+/// crowds join (and leave) as scheduled, and the diurnal curve scales
+/// every think time.
+///
+/// # Errors
+///
+/// [`Error::BadQuery`] on a degenerate configuration; hierarchy/network
+/// errors from serving.
+pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<WorkloadReport> {
+    let crowds = validate(config)?;
     let mut rng = SmallRng::seed_from_u64(config.seed);
     engine.flush_all(config.start_s)?;
     let stats0 = engine.stats();
@@ -540,7 +573,7 @@ pub fn run(engine: &mut QueryEngine, config: &WorkloadConfig) -> Result<Workload
     let mut scatter_latency = Histogram::new();
     let mut sim_end_s = config.start_s;
     let mut transcript = Vec::new();
-    let mut transcript_hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut transcript_hash = FNV_OFFSET;
     let mut line = String::new();
 
     while let Some((at, ev)) = queue.pop() {

@@ -8,7 +8,7 @@
 //! injected fault through the incident timeline.
 
 use f2c_smartcity::citysim::net::FailurePlan;
-use f2c_smartcity::core::{ChaosSite, F2cCity, IncidentKind};
+use f2c_smartcity::core::{ChaosSite, F2cCity, IncidentKind, Parallelism};
 use f2c_smartcity::sensors::{Reading, ReadingGenerator, SensorType};
 
 /// One deterministic sensor wave for a section at an instant.
@@ -243,6 +243,55 @@ mod oracle {
         }
     }
 
+    /// Runs one storm replica at `threads` worker threads: install the
+    /// fault plan and crash windows, ingest the storm waves (tracking
+    /// which ones a crashed edge lost), and run the three storm-epoch
+    /// flush waves. The plan stays installed so attribution checks can
+    /// still interrogate it.
+    fn storm_city(
+        threads: usize,
+        seed: u64,
+        loss_milli: u32,
+        corrupt_milli: u32,
+        outages: &[(u8, u64, u64)],
+        waves: &[(usize, u64)],
+    ) -> (F2cCity, Vec<(usize, u64)>) {
+        let mut chaos = F2cCity::barcelona().unwrap();
+        chaos.set_parallelism(Parallelism::new(threads));
+        let mut plan = FailurePlan::with_seed(seed);
+        plan.set_shipment_loss(f64::from(loss_milli) / 1_000.0);
+        plan.set_shipment_corruption(f64::from(corrupt_milli) / 1_000.0);
+        chaos.set_failures(plan);
+        for &(code, from, len) in outages {
+            chaos.inject_node_outage(site_of(code), from, from + len);
+        }
+        let mut lost = Vec::new();
+        for &(section, t) in waves {
+            let out = chaos.ingest(section, wave(section, t), t).unwrap();
+            if out.stored == 0 && chaos.site_is_down(ChaosSite::Fog1(section), t) {
+                lost.push((section, t));
+            }
+        }
+        for t in [900, 1_800, 2_700] {
+            chaos.flush_all(t).unwrap();
+        }
+        (chaos, lost)
+    }
+
+    /// A byte-stable rendering of a city's incident timeline.
+    fn timeline_text(city: &F2cCity) -> String {
+        let mut out = String::new();
+        for incident in city.timeline().iter() {
+            out.push_str(&format!(
+                "t={} site={} kind={}\n",
+                incident.at_s,
+                incident.site,
+                incident.kind.label()
+            ));
+        }
+        out
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -271,27 +320,17 @@ mod oracle {
                 (21, 1_600), (40, 1_300), (72, 2_200),
             ];
 
-            let mut chaos = F2cCity::barcelona().unwrap();
-            let mut plan = FailurePlan::with_seed(seed);
-            plan.set_shipment_loss(f64::from(loss_milli) / 1_000.0);
-            plan.set_shipment_corruption(f64::from(corrupt_milli) / 1_000.0);
-            chaos.set_failures(plan);
-            for &(code, from, len) in &outages {
-                chaos.inject_node_outage(site_of(code), from, from + len);
-            }
-
-            // Ingest the storm-time waves, tracking which ones a crashed
-            // edge node lost — the control must see the surviving stream.
-            let mut lost = Vec::new();
-            for &(section, t) in &waves {
-                let out = chaos.ingest(section, wave(section, t), t).unwrap();
-                if out.stored == 0 && chaos.site_is_down(ChaosSite::Fog1(section), t) {
-                    lost.push((section, t));
-                }
-            }
-            for t in [900, 1_800, 2_700] {
-                chaos.flush_all(t).unwrap();
-            }
+            // The storm runs on four worker threads; a single-thread
+            // replica of the same storm must agree on every outcome —
+            // losses, the incident timeline, and (after healing below)
+            // the archive and ledgers. Chaos and the sharded runtime
+            // must compose without perturbing each other.
+            let (mut chaos, lost) =
+                storm_city(4, seed, loss_milli, corrupt_milli, &outages, &waves);
+            let (mut chaos_seq, lost_seq) =
+                storm_city(1, seed, loss_milli, corrupt_milli, &outages, &waves);
+            prop_assert_eq!(&lost, &lost_seq);
+            prop_assert_eq!(timeline_text(&chaos), timeline_text(&chaos_seq));
 
             // (c) Attribution, checked while the plan is still installed:
             // every deferral names a fault that was live at that instant.
@@ -311,10 +350,20 @@ mod oracle {
             }
 
             // The storm clears; two healthy waves ship what was deferred
-            // and anti-entropy re-ships over every hole.
+            // and anti-entropy re-ships over every hole — on both
+            // replicas, which must heal to the same place.
             chaos.set_failures(FailurePlan::none());
             chaos.flush_all(3_600).unwrap();
             chaos.flush_all(4_500).unwrap();
+            chaos_seq.set_failures(FailurePlan::none());
+            chaos_seq.flush_all(3_600).unwrap();
+            chaos_seq.flush_all(4_500).unwrap();
+            prop_assert_eq!(timeline_text(&chaos), timeline_text(&chaos_seq));
+            prop_assert_eq!(chaos.cloud().store().len(), chaos_seq.cloud().store().len());
+            prop_assert_eq!(
+                chaos.cloud().sketches().len(),
+                chaos_seq.cloud().sketches().len()
+            );
 
             // (a) hole-free everywhere above fog 1.
             for d in 0..chaos.district_count() {

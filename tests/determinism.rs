@@ -12,7 +12,8 @@
 use f2c_smartcity::citysim::net::FailurePlan;
 use f2c_smartcity::compress;
 use f2c_smartcity::core::runtime::populate_city;
-use f2c_smartcity::core::{ChaosSite, F2cCity, F2cNode, FlushPolicy, RetentionPolicy};
+use f2c_smartcity::core::{ChaosSite, F2cCity, F2cNode, FlushPolicy, Parallelism, RetentionPolicy};
+use f2c_smartcity::query::parallel;
 use f2c_smartcity::query::workload::{self, WorkloadConfig};
 use f2c_smartcity::query::{EngineConfig, QueryEngine};
 use f2c_smartcity::sensors::{wire, Catalog, ReadingGenerator, SensorType};
@@ -153,13 +154,65 @@ fn query_workload_replays_are_transcript_identical() {
     );
 }
 
+/// One *sharded* serving replica: the same warm city and closed-loop
+/// shape as [`query_replica`], driven through the district-sharded
+/// runtime at `threads` worker threads. Returns the concatenated
+/// per-shard transcript plus the report's rolling hash.
+fn sharded_query_replica(seed: u64, threads: usize) -> Vec<u8> {
+    let mut city = F2cCity::barcelona().expect("city builds");
+    city.set_parallelism(Parallelism::new(threads));
+    populate_city(&mut city, 20_000, seed, 3_600, 900).expect("warm-up runs");
+    let mut engine = QueryEngine::new(city, EngineConfig::default());
+    let config = WorkloadConfig {
+        seed,
+        requests: 2_000,
+        users: 24,
+        start_s: 3_600,
+        record_transcript: true,
+        ..WorkloadConfig::default()
+    };
+    let report = parallel::run(&mut engine, &config).expect("sharded workload runs");
+    let mut out = report.transcript;
+    out.extend_from_slice(format!("hash={:016x}\n", report.transcript_hash).as_bytes());
+    out
+}
+
+#[test]
+fn sharded_query_workload_is_thread_count_invariant() {
+    // The tentpole conformance sweep, serving plane: the sharded
+    // closed loop's transcript and hash must be identical at every
+    // worker-thread count (tests/parallel.rs holds the full-artifact
+    // oracle; this pins the per-request stream itself).
+    let baseline = sharded_query_replica(2017, 1);
+    assert!(
+        baseline.len() > 10_000,
+        "transcript suspiciously small ({} bytes) — sharded workload issued nothing",
+        baseline.len()
+    );
+    for threads in [2usize, 4, 8] {
+        let other = sharded_query_replica(2017, threads);
+        assert_byte_identical(
+            &baseline,
+            &other,
+            &format!("sharded query workload, threads=1 vs threads={threads}"),
+        );
+    }
+    let other_seed = sharded_query_replica(2018, 1);
+    assert_ne!(
+        baseline, other_seed,
+        "different seeds must change the sharded transcript"
+    );
+}
+
 /// One observability replica: a seeded chaos storm (crash windows plus
 /// shipment loss/corruption coins) under live closed-loop load, returning
 /// the tracer's byte-stable transcript concatenated with the registry
-/// snapshot rendered to text — the whole observability plane held to the
-/// same byte-identical oracle as the flush pipeline.
-fn trace_replica(seed: u64) -> Vec<u8> {
+/// snapshot and incident timeline rendered to text — the whole
+/// observability plane held to the same byte-identical oracle as the
+/// flush pipeline. `threads` sets the city's shard worker count.
+fn trace_replica_at(seed: u64, threads: usize) -> Vec<u8> {
     let mut city = F2cCity::barcelona().expect("city builds");
+    city.set_parallelism(Parallelism::new(threads));
     populate_city(&mut city, 5_000, seed, 3_600, 900).expect("warm-up runs");
     let mut plan = FailurePlan::with_seed(seed);
     plan.set_shipment_loss(0.10);
@@ -187,14 +240,25 @@ fn trace_replica(seed: u64) -> Vec<u8> {
     for (key, value) in &snapshot.gauges {
         out.extend_from_slice(format!("{key}={value}\n").as_bytes());
     }
+    for incident in engine.city().timeline().iter() {
+        out.extend_from_slice(
+            format!(
+                "incident t={} site={} kind={}\n",
+                incident.at_s,
+                incident.site,
+                incident.kind.label()
+            )
+            .as_bytes(),
+        );
+    }
     out
 }
 
 #[test]
 fn chaos_storm_trace_transcripts_are_replica_identical() {
-    let first = trace_replica(2017);
-    let second = trace_replica(2017);
-    let third = trace_replica(2017);
+    let first = trace_replica_at(2017, 1);
+    let second = trace_replica_at(2017, 1);
+    let third = trace_replica_at(2017, 1);
     assert!(
         first.len() > 10_000,
         "trace transcript suspiciously small ({} bytes) — storm traced nothing",
@@ -203,11 +267,28 @@ fn chaos_storm_trace_transcripts_are_replica_identical() {
     assert_byte_identical(&first, &second, "trace replica 1 vs 2");
     assert_byte_identical(&first, &third, "trace replica 1 vs 3");
     // And the seed must matter: a different storm traces differently.
-    let other = trace_replica(2018);
+    let other = trace_replica_at(2018, 1);
     assert_ne!(
         first, other,
         "different seeds must change the trace transcript"
     );
+}
+
+#[test]
+fn chaos_storm_traces_are_thread_count_invariant() {
+    // The tentpole conformance sweep, flush/heal/ingest plane: the whole
+    // observability byte stream (traces + snapshot + timeline) of a
+    // chaos storm must be identical at every worker-thread count,
+    // because district shards merge in canonical order at barriers.
+    let baseline = trace_replica_at(2017, 1);
+    for threads in [2usize, 4, 8] {
+        let other = trace_replica_at(2017, threads);
+        assert_byte_identical(
+            &baseline,
+            &other,
+            &format!("chaos storm, threads=1 vs threads={threads}"),
+        );
+    }
 }
 
 #[test]
