@@ -2,16 +2,26 @@
 //!
 //! Usage: `perf_gate <baseline.json> <current.json>`
 //!
-//! Parses both documents, diffs every gated metric under the shared
-//! [`export::budget_rules`] tolerance set, prints an attributable line per
-//! violation and exits nonzero if any bound broke. The simulation is
-//! deterministic, so an unchanged tree reproduces the baseline exactly; a
-//! failure here means the change regressed a budgeted metric and must
-//! either be fixed or ship with a regenerated `bench/baseline.json`.
+//! Parses both documents, picks the rule set named by their `bench`
+//! member (`queries` → [`export::budget_rules`], `table1` →
+//! [`export::table1_budget_rules`]), diffs every gated metric under its
+//! tolerance, prints an attributable line per violation and exits
+//! nonzero if any bound broke. The simulation is deterministic, so an
+//! unchanged tree reproduces the baseline exactly; a failure here means
+//! the change regressed a budgeted metric and must either be fixed or
+//! ship with a regenerated baseline.
 //!
-//! Regenerate the baseline with:
+//! Beyond the baseline diff, one absolute invariant is enforced on the
+//! `queries` document regardless of what the baseline says: the
+//! fault-free main run must fire **zero** SLO burn-rate alerts. A fire
+//! there means either the workload degraded for real or the monitor
+//! broke — neither may be grandfathered in by regenerating the baseline.
+//!
+//! Regenerate baselines with:
 //! `E7_REQUESTS=50000 BENCH_OUT=bench/baseline.json \
 //!  cargo run --release -p f2c-bench --bin queries`
+//! `BENCH_OUT=bench/baseline_table1.json \
+//!  cargo run --release -p f2c-bench --bin table1`
 
 use std::process::ExitCode;
 
@@ -23,6 +33,10 @@ fn load(path: &str) -> Result<Json, String> {
     Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))
 }
 
+fn bench_name(doc: &Json) -> Option<&str> {
+    doc.path("bench").and_then(Json::as_str)
+}
+
 fn run() -> Result<Vec<String>, String> {
     let mut args = std::env::args().skip(1);
     let (Some(baseline_path), Some(current_path)) = (args.next(), args.next()) else {
@@ -30,31 +44,64 @@ fn run() -> Result<Vec<String>, String> {
     };
     let baseline = load(&baseline_path)?;
     let current = load(&current_path)?;
-    let rules = export::budget_rules();
-    let violations = check_budget(&baseline, &current, rules);
+    let bench = bench_name(&current)
+        .ok_or_else(|| format!("{current_path} carries no `bench` member"))?
+        .to_string();
+    if bench_name(&baseline) != Some(bench.as_str()) {
+        return Err(format!(
+            "bench mismatch: {} is `{:?}`, {} is `{bench}` — gating across \
+             different experiments gates nothing",
+            baseline_path,
+            bench_name(&baseline),
+            current_path
+        ));
+    }
+    let rules = export::budget_rules_for(Some(&bench))
+        .ok_or_else(|| format!("no budget rule set for bench `{bench}`"))?;
+    let mut violations: Vec<String> = check_budget(&baseline, &current, rules)
+        .iter()
+        .map(|v| v.to_string())
+        .collect();
     println!(
-        "perf gate: {} metrics gated ({} vs {})",
+        "perf gate: {} metrics gated for bench `{bench}` ({} vs {})",
         rules.len(),
         baseline_path,
         current_path
     );
-    // Ungated info lines: the sharded runtime is byte-identical at any
-    // thread count, so parallelism can never move a gated metric — but
-    // the thread count and wall time explain throughput differences
-    // between runs at a glance.
-    for (label, doc) in [("baseline", &baseline), ("current", &current)] {
-        let field = |path: &str| {
-            doc.path(path)
-                .and_then(Json::as_u64)
-                .map_or_else(|| "-".to_string(), |v| v.to_string())
-        };
-        println!(
-            "perf gate: info — {label} ran on {} worker thread(s) in {} ms (ungated)",
-            field("parallel.threads"),
-            field("parallel.wall_ms"),
-        );
+    if bench == "queries" {
+        // Absolute, baseline-independent: a fault-free smoke run that
+        // burns SLO budget is a defect, not a drift.
+        match current.path("alerts.fired").and_then(Json::as_u64) {
+            Some(0) => {}
+            Some(n) => violations.push(format!(
+                "alerts.fired: {n} alert(s) fired during the fault-free main \
+                 run (must be 0 — a fire here is a real degradation or a \
+                 broken monitor, never baseline drift)"
+            )),
+            None => violations.push(
+                "alerts.fired: missing from the current document (the \
+                 fault-free run must export its alert tally)"
+                    .to_string(),
+            ),
+        }
+        // Ungated info lines: the sharded runtime is byte-identical at any
+        // thread count, so parallelism can never move a gated metric — but
+        // the thread count and wall time explain throughput differences
+        // between runs at a glance.
+        for (label, doc) in [("baseline", &baseline), ("current", &current)] {
+            let field = |path: &str| {
+                doc.path(path)
+                    .and_then(Json::as_u64)
+                    .map_or_else(|| "-".to_string(), |v| v.to_string())
+            };
+            println!(
+                "perf gate: info — {label} ran on {} worker thread(s) in {} ms (ungated)",
+                field("parallel.threads"),
+                field("parallel.wall_ms"),
+            );
+        }
     }
-    Ok(violations.iter().map(|v| v.to_string()).collect())
+    Ok(violations)
 }
 
 fn main() -> ExitCode {
@@ -72,7 +119,7 @@ fn main() -> ExitCode {
                 eprintln!("  {v}");
             }
             eprintln!(
-                "either fix the regression or regenerate bench/baseline.json \
+                "either fix the regression or regenerate the baseline \
                  (see crates/bench/src/bin/perf_gate.rs)"
             );
             ExitCode::FAILURE

@@ -755,6 +755,58 @@ fn main() {
          hole-free and every settled aggregate equal to the raw archive. SHAPE OK"
     );
 
+    // Diagnosis plane, storm side: the injected faults shed real-time
+    // answers, so the availability burn-rate must cross the fast+slow
+    // thresholds *during* the storm (fired), then fall back under once
+    // the outage windows close and healthy serving resumes (resolved).
+    // Every transition is also an incident on the shared timeline, so
+    // the alert is attributed alongside the crash/loss events that
+    // caused it rather than floating in a separate system.
+    let chaos_monitor = chaos_engine.city().burn_monitor();
+    println!("\n== diagnosis: SLO burn-rate alerting through the storm ==");
+    for event in chaos_monitor.events() {
+        println!(
+            "  t={:>6}s {:<14} fast {:>8} milli-burn | slow {:>8} milli-burn{}",
+            event.at_s,
+            if event.fired {
+                "alert-fired"
+            } else {
+                "alert-resolved"
+            },
+            event.fast_burn_milli,
+            event.slow_burn_milli,
+            if event.flight_record.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " | flight recorder: {} span(s)",
+                    event.flight_record.lines().count()
+                )
+            }
+        );
+    }
+    assert!(
+        chaos_monitor.fired_count() >= 1,
+        "the storm must fire the availability alert"
+    );
+    assert!(
+        chaos_monitor.resolved_count() >= 1 && !chaos_monitor.firing(),
+        "healing must resolve every availability alert"
+    );
+    assert!(
+        chaos_report.fault_shed > 0
+            && summary.get("alert-fired").copied().unwrap_or(0) >= 1
+            && summary.get("alert-resolved").copied().unwrap_or(0) >= 1,
+        "alert transitions must land on the incident timeline next to the \
+         faults that caused them"
+    );
+    println!(
+        "-> fired {} time(s) on injected faults, resolved {} time(s) after \
+         healing, zero false positives fault-free. SHAPE OK",
+        chaos_monitor.fired_count(),
+        chaos_monitor.resolved_count()
+    );
+
     // --- export: the observability snapshot feeding the CI perf gate ----
     // One schema-versioned document: the main run's workload shape, flush
     // shipping costs, per-phase trace summaries and the full registry
@@ -828,6 +880,46 @@ fn main() {
         export::snapshot_json(&engine.city().metrics().snapshot()),
     );
 
+    // Diagnosis plane, fault-free side: the explain reservoir and the
+    // per-bucket trace exemplars must have filled, and the burn-rate
+    // monitor must never have fired — there were no faults to burn SLO
+    // budget on, so a fire here is a broken monitor or a real
+    // regression (perf_gate enforces the same invariant absolutely).
+    let explains = engine.city().explains();
+    let exemplars = engine.city().exemplars();
+    let monitor = engine.city().burn_monitor();
+    println!(
+        "\ndiagnosis plane: {} explains kept of {} planned | {} exemplar \
+         bucket(s) holding their slowest trace | {} alert(s) fired \
+         (fault-free: must be 0)",
+        explains.kept(),
+        explains.seen(),
+        exemplars.kept(),
+        monitor.fired_count()
+    );
+    let explains_j = explains.export();
+    if let Some(Json::Arr(records)) = explains_j.path("records") {
+        if let Some(choice) = records
+            .first()
+            .and_then(|rec| rec.path("choice"))
+            .and_then(Json::as_str)
+        {
+            println!("  sample explain choice: {choice} (full transcripts in the export)");
+        }
+    }
+    assert!(
+        explains.kept() > 0 && exemplars.kept() > 0,
+        "the diagnosis stores must capture the main run"
+    );
+    assert_eq!(
+        monitor.fired_count(),
+        0,
+        "the fault-free main run must never fire an SLO alert"
+    );
+    doc.set("explains", explains_j);
+    doc.set("exemplars", exemplars.export());
+    doc.set("alerts", monitor.export());
+
     let chaos_snap = chaos_engine.city().metrics().snapshot();
     let heal = |kind: &str| {
         chaos_snap
@@ -845,6 +937,7 @@ fn main() {
     chaos_j.set("answered", export::num(chaos_report.answered));
     chaos_j.set("incidents", incidents_json);
     chaos_j.set("heal", heal_j);
+    chaos_j.set("alerts", chaos_engine.city().burn_monitor().export());
     doc.set("chaos", chaos_j);
 
     std::fs::write(&out_path, doc.to_pretty()).expect("bench export writes");

@@ -12,10 +12,14 @@
 
 use f2c_obs::{BudgetRule, HistogramSummary, Json, Snapshot, Tracer};
 
-/// Version stamp for `BENCH_queries.json`. Bump on any breaking change to
-/// the document layout; [`f2c_obs::check_budget`] fails closed on a
-/// mismatch rather than gating across incompatible schemas.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version stamp for every `BENCH_*.json` document. Bump on any breaking
+/// change to the document layout; [`f2c_obs::check_budget`] fails closed
+/// on a mismatch rather than gating across incompatible schemas.
+///
+/// v2: per-phase `dropped` counts, the diagnosis-plane sections
+/// (`explains`, `exemplars`, `alerts`, `chaos.alerts`) and the
+/// second gated document `BENCH_table1.json`.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A `u64` as a JSON number (every exporter value fits in 2^53).
 pub fn num(v: u64) -> Json {
@@ -60,11 +64,27 @@ pub fn snapshot_json(snap: &Snapshot) -> Json {
 }
 
 /// Per-phase span-duration summaries pooled across every site the tracer
-/// saw: `{"flush-hop": {count, p50_us, p99_us, …}, "query": …}`.
+/// saw: `{"flush-hop": {count, p50_us, p99_us, …, dropped}, "query": …}`.
+///
+/// `dropped` counts the spans of that phase the ring buffers evicted to
+/// make room — the exact complement of what the summary was computed
+/// over, so a phase whose percentiles look suspiciously calm can be
+/// checked against how much of its history fell off the ring. A phase
+/// that lost *every* span still appears, with only a `dropped` count.
 pub fn phases_json(tracer: &Tracer) -> Json {
     let mut out = Json::obj();
+    let dropped = tracer.dropped_by_phase();
     for (name, hist) in tracer.phase_histograms() {
-        out.set(name, summary_json(&HistogramSummary::of(&hist)));
+        let mut phase = summary_json(&HistogramSummary::of(&hist));
+        phase.set("dropped", num(dropped.get(name).copied().unwrap_or(0)));
+        out.set(name, phase);
+    }
+    for (name, n) in &dropped {
+        if out.path(name).is_none() {
+            let mut phase = Json::obj();
+            phase.set("dropped", num(*n));
+            out.set(name, phase);
+        }
     }
     out
 }
@@ -105,8 +125,47 @@ pub fn budget_rules() -> &'static [BudgetRule] {
         BudgetRule::ceiling("chaos.fault_shed", 0.50, 50.0),
         BudgetRule::band("chaos.incidents.hole-healed", 0.50, 4.0),
         BudgetRule::band("chaos.heal.healed", 0.50, 4.0),
+        // Diagnosis plane: the fault-free main run must never burn SLO
+        // budget (a fire here is a planted fault or a broken monitor —
+        // perf_gate additionally hard-fails on it regardless of
+        // baseline drift), while the storm must both fire and resolve.
+        BudgetRule::band("alerts.fired", 0.0, 0.0),
+        BudgetRule::band("chaos.alerts.fired", 0.0, 2.0),
+        BudgetRule::band("chaos.alerts.resolved", 0.0, 2.0),
+        // The explain reservoir and exemplar slots must keep filling.
+        BudgetRule::band("explains.kept", 0.25, 4.0),
+        BudgetRule::band("exemplars.kept", 0.25, 8.0),
     ];
     RULES
+}
+
+/// The gated metric set for `BENCH_table1.json`.
+///
+/// Table I is closed-form arithmetic over the paper's sensor inventory —
+/// no simulation, no tolerance: every checkpoint must match the committed
+/// baseline (which matches the paper) exactly.
+pub fn table1_budget_rules() -> &'static [BudgetRule] {
+    const RULES: &[BudgetRule] = &[
+        BudgetRule::band("totals.sensors", 0.0, 0.0),
+        BudgetRule::band("totals.wave_cloud_model", 0.0, 0.0),
+        BudgetRule::band("totals.wave_fog2", 0.0, 0.0),
+        BudgetRule::band("totals.daily_fog1", 0.0, 0.0),
+        BudgetRule::band("totals.daily_cloud_f2c", 0.0, 0.0),
+        BudgetRule::band("totals.daily_dedup_savings", 0.0, 0.0),
+    ];
+    RULES
+}
+
+/// The rule set for a document, keyed on its `bench` member
+/// (`"queries"` → [`budget_rules`], `"table1"` →
+/// [`table1_budget_rules`]). Unknown or missing names gate nothing —
+/// the caller should treat that as an error rather than a pass.
+pub fn budget_rules_for(bench: Option<&str>) -> Option<&'static [BudgetRule]> {
+    match bench {
+        Some("queries") => Some(budget_rules()),
+        Some("table1") => Some(table1_budget_rules()),
+        _ => None,
+    }
 }
 
 #[cfg(test)]

@@ -71,9 +71,14 @@ pub struct Histogram {
 }
 
 const BUCKETS_PER_OCTAVE: u32 = 2;
-const NUM_BUCKETS: usize = 64;
 
-fn bucket_index(micros: u64) -> usize {
+/// Number of log-spaced buckets every [`Histogram`] uses. Public so
+/// exemplar stores can mirror the bucket layout slot-for-slot.
+pub const NUM_BUCKETS: usize = 64;
+
+/// The bucket a duration of `micros` lands in (shared with exemplar
+/// stores, which keep one exemplar slot per histogram bucket).
+pub fn bucket_index(micros: u64) -> usize {
     if micros == 0 {
         return 0;
     }
@@ -86,7 +91,8 @@ fn bucket_index(micros: u64) -> usize {
     ((octave * BUCKETS_PER_OCTAVE + half) as usize + 1).min(NUM_BUCKETS - 1)
 }
 
-fn bucket_upper_micros(index: usize) -> u64 {
+/// Upper bound (inclusive reporting edge) of bucket `index`, microseconds.
+pub fn bucket_upper_micros(index: usize) -> u64 {
     if index == 0 {
         return 1;
     }

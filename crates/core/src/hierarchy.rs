@@ -9,7 +9,10 @@ use citysim::net::FailurePlan;
 use citysim::time::{Duration, SimTime};
 use citysim::{NetScratch, Network, NodeId};
 use f2c_aggregate::sketch::SketchKey;
-use f2c_obs::{CounterId, Labels, MetricsRegistry, Site, Tracer};
+use f2c_obs::{
+    AlertTransition, BurnRateMonitor, CounterId, ExemplarStore, ExplainStore, Labels,
+    MetricsRegistry, Site, SloSpec, Tracer,
+};
 use scc_dlc::DataRecord;
 use scc_sensors::{Catalog, Reading, SensorType};
 
@@ -143,6 +146,14 @@ pub struct F2cCity {
     tracer: Tracer,
     /// Every injected fault and its downstream effects, per node.
     timeline: IncidentTimeline,
+    /// Retained planner EXPLAIN transcripts (min-hash reservoir).
+    explains: ExplainStore,
+    /// Per-latency-bucket trace exemplars: the slowest query per bucket
+    /// keeps its span tree.
+    exemplars: ExemplarStore,
+    /// The availability SLO's burn-rate monitor, evaluated at every
+    /// flush instant on the event clock.
+    monitor: BurnRateMonitor,
     /// Worker threads for the sharded phases (flush waves, anti-entropy
     /// phase 1, sharded ingest). Every observable is byte-identical at
     /// any setting; this knob only trades wall-clock.
@@ -192,9 +203,25 @@ impl F2cCity {
             ids,
             tracer: Tracer::new(),
             timeline: IncidentTimeline::new(),
+            explains: ExplainStore::new(),
+            exemplars: ExemplarStore::new(),
+            monitor: BurnRateMonitor::new(Self::AVAILABILITY_SLO),
             parallelism: Parallelism::from_env(),
         })
     }
+
+    /// The availability SLO the city alerts on: 99.9% of answered-or-shed
+    /// query traffic must not be fault-shed, with the SRE two-window
+    /// policy (10-minute detection window, 1-hour confirmation window,
+    /// fire at 10x budget burn). Fault-free runs can never fire — the bad
+    /// series stays at zero.
+    pub const AVAILABILITY_SLO: SloSpec = SloSpec {
+        name: "availability",
+        objective_ppm: 999_000,
+        fast_window_s: 600,
+        slow_window_s: 3_600,
+        fire_burn_milli: 10_000,
+    };
 
     /// Sets the worker-thread count for the sharded phases. Snapshots,
     /// transcripts and traces are byte-identical at any value (the city
@@ -310,6 +337,83 @@ impl F2cCity {
     /// Mutable access to the tracer, for co-located instrumentation.
     pub fn tracer_mut(&mut self) -> &mut Tracer {
         &mut self.tracer
+    }
+
+    /// The retained planner EXPLAIN transcripts.
+    pub fn explains(&self) -> &ExplainStore {
+        &self.explains
+    }
+
+    /// Mutable access to the explain reservoir (the query engine's
+    /// sequential path offers records here directly).
+    pub fn explains_mut(&mut self) -> &mut ExplainStore {
+        &mut self.explains
+    }
+
+    /// The per-latency-bucket trace exemplars.
+    pub fn exemplars(&self) -> &ExemplarStore {
+        &self.exemplars
+    }
+
+    /// Mutable access to the exemplar slots.
+    pub fn exemplars_mut(&mut self) -> &mut ExemplarStore {
+        &mut self.exemplars
+    }
+
+    /// The availability SLO's burn-rate monitor.
+    pub fn burn_monitor(&self) -> &BurnRateMonitor {
+        &self.monitor
+    }
+
+    /// Evaluates the availability burn-rate monitor at event-clock
+    /// instant `now_s` against the merged registry's cumulative
+    /// query-serving counters. A fire lands an
+    /// [`IncidentKind::AlertFired`] on the timeline (with the window
+    /// values that justified it) plus a flight-recorder dump of each
+    /// site's most recent spans; the matching
+    /// [`IncidentKind::AlertResolved`] lands when the fast window
+    /// clears. [`F2cCity::flush_all`] calls this after every wave, so
+    /// both the sequential and the sharded drivers evaluate on the same
+    /// schedule — alerts are byte-identical artifacts at any thread
+    /// count.
+    pub fn evaluate_alerts(&mut self, now_s: u64) {
+        let q = Labels::new().service("query");
+        let good = self.metrics.counter_named("query_answered", q).unwrap_or(0);
+        let bad = self
+            .metrics
+            .counter_named("query_fault_shed", q)
+            .unwrap_or(0);
+        match self.monitor.evaluate(now_s, good, bad) {
+            Some(AlertTransition::Fired {
+                fast_burn_milli,
+                slow_burn_milli,
+            }) => {
+                self.monitor
+                    .attach_flight_record(self.tracer.flight_record(8));
+                self.record_incident(
+                    now_s,
+                    ChaosSite::Cloud,
+                    IncidentKind::AlertFired {
+                        fast_burn_milli,
+                        slow_burn_milli,
+                    },
+                );
+            }
+            Some(AlertTransition::Resolved {
+                fast_burn_milli,
+                slow_burn_milli,
+            }) => {
+                self.record_incident(
+                    now_s,
+                    ChaosSite::Cloud,
+                    IncidentKind::AlertResolved {
+                        fast_burn_milli,
+                        slow_burn_milli,
+                    },
+                );
+            }
+            None => {}
+        }
     }
 
     /// The simulated network node hosting a site.
@@ -596,6 +700,8 @@ impl F2cCity {
         self.metrics.absorb_histograms(&mut scratch.reg);
         self.tracer.absorb(&mut scratch.tracer);
         self.timeline.absorb(&mut scratch.timeline);
+        self.explains.absorb(&mut scratch.explains);
+        self.exemplars.absorb(&mut scratch.exemplars);
         self.city.network_mut().absorb_scratch(&mut scratch.net);
     }
 
@@ -891,6 +997,10 @@ impl F2cCity {
         self.cloud.compact_sketches(now_s);
         self.tracer.close(compact, now_us);
         self.anti_entropy(now_s);
+        // Every flush instant is also an alert evaluation instant: both
+        // the sequential and the sharded drivers flush on the same event
+        // clock, so the burn-rate monitor sees one schedule everywhere.
+        self.evaluate_alerts(now_s);
         Ok((fog1_bytes, fog2_bytes))
     }
 

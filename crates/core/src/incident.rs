@@ -95,6 +95,22 @@ pub enum IncidentKind {
     RouteFault,
     /// A fault-shed query was rescued onto its fallback route.
     Reroute,
+    /// The burn-rate monitor's fast and slow windows both crossed the
+    /// alert threshold: an SLO alert started firing.
+    AlertFired {
+        /// Fast-window burn rate at fire time, parts-per-thousand.
+        fast_burn_milli: u64,
+        /// Slow-window burn rate at fire time, parts-per-thousand.
+        slow_burn_milli: u64,
+    },
+    /// The fast window dropped back under the threshold: the SLO alert
+    /// resolved.
+    AlertResolved {
+        /// Fast-window burn rate at resolve time, parts-per-thousand.
+        fast_burn_milli: u64,
+        /// Slow-window burn rate at resolve time, parts-per-thousand.
+        slow_burn_milli: u64,
+    },
 }
 
 impl IncidentKind {
@@ -113,6 +129,8 @@ impl IncidentKind {
             IncidentKind::LegShed => "leg-shed",
             IncidentKind::RouteFault => "route-fault",
             IncidentKind::Reroute => "reroute",
+            IncidentKind::AlertFired { .. } => "alert-fired",
+            IncidentKind::AlertResolved { .. } => "alert-resolved",
         }
     }
 

@@ -15,7 +15,7 @@
 //! thread count, including 1.
 
 use citysim::NetScratch;
-use f2c_obs::{CounterId, Labels, MetricsRegistry, Tracer};
+use f2c_obs::{CounterId, ExemplarStore, ExplainStore, Labels, MetricsRegistry, Tracer};
 
 use crate::incident::{ChaosSite, IncidentKind, IncidentTimeline};
 
@@ -106,14 +106,30 @@ where
 /// (with a cached dense-id map, so the steady-state cost is one array
 /// add per series), which makes the merge insensitive to registration
 /// order across shards.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ObsScratch {
     pub(crate) reg: MetricsRegistry,
     pub(crate) tracer: Tracer,
     pub(crate) timeline: IncidentTimeline,
     pub(crate) net: NetScratch,
+    pub(crate) explains: ExplainStore,
+    pub(crate) exemplars: ExemplarStore,
     /// Cached scratch-counter-id → city-counter-id translation.
     pub(crate) map: Vec<CounterId>,
+}
+
+impl Default for ObsScratch {
+    fn default() -> Self {
+        Self {
+            reg: MetricsRegistry::default(),
+            tracer: Tracer::default(),
+            timeline: IncidentTimeline::default(),
+            net: NetScratch::default(),
+            explains: ExplainStore::new(),
+            exemplars: ExemplarStore::new(),
+            map: Vec::new(),
+        }
+    }
 }
 
 impl ObsScratch {
@@ -135,6 +151,16 @@ impl ObsScratch {
     /// The shard-local network scratch (metering + loss-coin draws).
     pub fn net_mut(&mut self) -> &mut NetScratch {
         &mut self.net
+    }
+
+    /// The shard-local explain reservoir.
+    pub fn explains_mut(&mut self) -> &mut ExplainStore {
+        &mut self.explains
+    }
+
+    /// The shard-local exemplar slots.
+    pub fn exemplars_mut(&mut self) -> &mut ExemplarStore {
+        &mut self.exemplars
     }
 
     /// Records an incident, mirroring `F2cCity::record_incident`: the

@@ -1,0 +1,187 @@
+//! Trace exemplars: one concrete span tree per latency bucket.
+//!
+//! A histogram's p99 says *how slow*; an exemplar says *what the slow one
+//! did*. [`ExemplarStore`] mirrors the [`citysim::Histogram`] bucket
+//! layout slot-for-slot and keeps, per bucket, the slowest query that
+//! landed there together with its rendered span tree — so the tail
+//! bucket's exemplar is a plan→admit→execute→leg breakdown, not a number.
+//!
+//! The combine rule is keep-max latency (ties broken on trace bytes,
+//! smallest wins), which is associative and commutative: per-shard
+//! stores absorbed at barriers in canonical shard order export the same
+//! bytes at any thread count, same discipline as the rest of the
+//! observability plane.
+
+use citysim::metrics::{bucket_index, bucket_upper_micros, NUM_BUCKETS};
+
+use crate::json::Json;
+
+/// One retained exemplar: the slowest observation in its bucket.
+#[derive(Debug, Clone)]
+pub struct Exemplar {
+    /// The observation's latency, microseconds.
+    pub latency_us: u64,
+    /// Rendered span tree of the exemplar query, byte-stable.
+    pub trace: String,
+}
+
+/// Per-bucket exemplar slots mirroring the histogram layout. See the
+/// module docs.
+#[derive(Debug, Clone)]
+pub struct ExemplarStore {
+    slots: Vec<Option<Exemplar>>,
+    seen: u64,
+}
+
+impl ExemplarStore {
+    /// An empty store, one slot per histogram bucket.
+    pub fn new() -> Self {
+        Self {
+            slots: vec![None; NUM_BUCKETS],
+            seen: 0,
+        }
+    }
+
+    /// Whether an observation at `latency_us` would displace (or fill)
+    /// its bucket's slot. Callers use this to skip rendering the span
+    /// tree for the overwhelming majority of queries that are not their
+    /// bucket's slowest.
+    ///
+    /// Equal latencies answer `true`: the tie breaks on trace bytes,
+    /// which only exist after rendering.
+    pub fn would_admit(&self, latency_us: u64) -> bool {
+        match &self.slots[bucket_index(latency_us)] {
+            None => true,
+            Some(e) => latency_us >= e.latency_us,
+        }
+    }
+
+    /// Counts an observation and retains it if it is its bucket's slowest
+    /// (keep-max latency; on ties, smallest trace bytes). `render` runs
+    /// only when [`Self::would_admit`] holds.
+    pub fn observe(&mut self, latency_us: u64, render: impl FnOnce() -> String) {
+        self.seen += 1;
+        if !self.would_admit(latency_us) {
+            return;
+        }
+        let trace = render();
+        self.observe_rendered(latency_us, trace);
+    }
+
+    fn observe_rendered(&mut self, latency_us: u64, trace: String) {
+        let slot = bucket_index(latency_us);
+        let admit = match &self.slots[slot] {
+            None => true,
+            Some(e) => {
+                latency_us > e.latency_us
+                    || (latency_us == e.latency_us && trace.as_str() < e.trace.as_str())
+            }
+        };
+        if admit {
+            self.slots[slot] = Some(Exemplar { latency_us, trace });
+        }
+    }
+
+    /// Observations offered so far (retained or not).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Buckets currently holding an exemplar.
+    pub fn kept(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// The exemplar of the bucket that `latency_us` falls in, if any.
+    pub fn exemplar_for(&self, latency_us: u64) -> Option<&Exemplar> {
+        self.slots[bucket_index(latency_us)].as_ref()
+    }
+
+    /// Drains `other` into `self` under the keep-max rule; seen counts
+    /// add. Bucket layouts are identical by construction.
+    pub fn absorb(&mut self, other: &mut ExemplarStore) {
+        self.seen += other.seen;
+        other.seen = 0;
+        for slot in &mut other.slots {
+            if let Some(e) = slot.take() {
+                self.observe_rendered(e.latency_us, e.trace);
+            }
+        }
+    }
+
+    /// The retained exemplars as a Json export: bucket-ordered entries of
+    /// `{bucket, upper_us, latency_us, trace}` plus the accounting.
+    pub fn export(&self) -> Json {
+        let mut doc = Json::obj();
+        doc.set("seen", Json::Num(self.seen as f64));
+        doc.set("kept", Json::Num(self.kept() as f64));
+        let mut buckets = Vec::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            let Some(e) = slot else { continue };
+            let mut entry = Json::obj();
+            entry.set("bucket", Json::Num(i as f64));
+            entry.set("upper_us", Json::Num(bucket_upper_micros(i) as f64));
+            entry.set("latency_us", Json::Num(e.latency_us as f64));
+            entry.set("trace", Json::Str(e.trace.clone()));
+            buckets.push(entry);
+        }
+        doc.set("buckets", Json::Arr(buckets));
+        doc
+    }
+}
+
+impl Default for ExemplarStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_slowest_per_bucket() {
+        let mut s = ExemplarStore::new();
+        // 1100 and 1400 share the [1024, 1536) bucket; 100 lives elsewhere.
+        s.observe(1_100, || "fast".to_string());
+        s.observe(1_400, || "slow".to_string());
+        s.observe(100, || "other".to_string());
+        assert_eq!(s.seen(), 3);
+        assert_eq!(s.kept(), 2);
+        assert_eq!(s.exemplar_for(1_100).unwrap().trace, "slow");
+        assert_eq!(s.exemplar_for(100).unwrap().trace, "other");
+    }
+
+    #[test]
+    fn would_admit_gates_rendering() {
+        let mut s = ExemplarStore::new();
+        s.observe(1_400, || "slowest".to_string());
+        assert!(!s.would_admit(1_100));
+        s.observe(1_100, || panic!("observe must not render a losing trace"));
+        assert_eq!(s.seen(), 2);
+        assert_eq!(s.exemplar_for(1_400).unwrap().trace, "slowest");
+    }
+
+    #[test]
+    fn absorb_is_order_insensitive() {
+        let obs: [(u64, &str); 4] = [(900, "a"), (1_400, "b"), (1_400, "c"), (30, "d")];
+        let mut whole = ExemplarStore::new();
+        for (us, t) in obs {
+            whole.observe(us, || t.to_string());
+        }
+        for split_at in 0..obs.len() {
+            let mut left = ExemplarStore::new();
+            let mut right = ExemplarStore::new();
+            for (i, (us, t)) in obs.iter().enumerate() {
+                let dst = if i < split_at { &mut left } else { &mut right };
+                dst.observe(*us, || t.to_string());
+            }
+            let mut merged = ExemplarStore::new();
+            merged.absorb(&mut right);
+            merged.absorb(&mut left);
+            assert_eq!(merged.export().to_pretty(), whole.export().to_pretty());
+            assert_eq!(left.seen(), 0, "absorb drains the source");
+        }
+    }
+}

@@ -20,6 +20,13 @@
 //! * [`budget`] — the perf-budget gate: diff a fresh bench snapshot against
 //!   a committed baseline and fail on regressions beyond per-metric
 //!   tolerances.
+//! * [`explain`] — deterministic min-hash reservoir retention for planner
+//!   EXPLAIN transcripts ([`ExplainStore`]).
+//! * [`exemplar`] — per-latency-bucket trace exemplars: the slowest query
+//!   in each histogram bucket keeps its span tree ([`ExemplarStore`]).
+//! * [`alert`] — multi-window SLO burn-rate alerting on the event clock
+//!   ([`BurnRateMonitor`]), the diagnosis plane's "notice it during the
+//!   run" rung.
 //!
 //! Everything here is a plain single-threaded value: determinism is the
 //! contract, and `tests/determinism.rs` holds the registry and tracer to the
@@ -45,14 +52,20 @@
 //! assert_eq!(tracer.span_count(), 1);
 //! ```
 
+pub mod alert;
 pub mod budget;
+pub mod exemplar;
+pub mod explain;
 pub mod json;
 pub mod labels;
 pub mod registry;
 pub mod trace;
 
+pub use alert::{AlertEvent, AlertTransition, BurnRateMonitor, SloSpec};
 pub use budget::{check_budget, BudgetRule, Violation};
+pub use exemplar::{Exemplar, ExemplarStore};
+pub use explain::ExplainStore;
 pub use json::{Json, JsonError};
 pub use labels::Labels;
 pub use registry::{CounterId, GaugeId, HistogramId, HistogramSummary, MetricsRegistry, Snapshot};
-pub use trace::{Site, Span, SpanToken, TraceLog, Tracer};
+pub use trace::{Site, Span, SpanToken, TraceLog, Tracer, TracerMark};

@@ -304,20 +304,24 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// Looks up a counter by its canonical key.
+    /// Looks up a counter by its canonical key. The counter vector is
+    /// key-ordered (it comes out of the registry's `BTreeMap` index), so
+    /// this is a binary search — cheap enough for the budget gate and the
+    /// burn-rate monitor to call per rule per evaluation.
     pub fn counter(&self, key: &str) -> Option<u64> {
         self.counters
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| *v)
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| self.counters[i].1)
     }
 
-    /// Looks up a histogram summary by its canonical key.
+    /// Looks up a histogram summary by its canonical key (binary search
+    /// over the key-ordered vector, like [`Snapshot::counter`]).
     pub fn histogram(&self, key: &str) -> Option<&HistogramSummary> {
         self.histograms
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v)
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| &self.histograms[i].1)
     }
 }
 

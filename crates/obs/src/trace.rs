@@ -94,6 +94,7 @@ pub struct TraceLog {
     open: Vec<OpenSpan>,
     next_seq: u64,
     dropped: u64,
+    dropped_by_phase: BTreeMap<&'static str, u64>,
     malformed: u64,
 }
 
@@ -107,7 +108,16 @@ impl TraceLog {
             open: Vec::new(),
             next_seq: 0,
             dropped: 0,
+            dropped_by_phase: BTreeMap::new(),
             malformed: 0,
+        }
+    }
+
+    fn evict_for_room(&mut self) {
+        if self.done.len() == self.capacity {
+            let evicted = self.done.pop_front().expect("capacity >= 1");
+            self.dropped += 1;
+            *self.dropped_by_phase.entry(evicted.name).or_default() += 1;
         }
     }
 
@@ -127,10 +137,7 @@ impl TraceLog {
         match self.open.last() {
             Some(top) if top.seq == seq => {
                 let top = self.open.pop().expect("just matched");
-                if self.done.len() == self.capacity {
-                    self.done.pop_front();
-                    self.dropped += 1;
-                }
+                self.evict_for_room();
                 self.done.push_back(Span {
                     name: top.name,
                     start_us: top.start_us,
@@ -156,10 +163,7 @@ impl TraceLog {
     /// one span by span, so eviction and drop accounting behave exactly
     /// as if the span had been closed here.
     fn push_completed(&mut self, span: Span) {
-        if self.done.len() == self.capacity {
-            self.done.pop_front();
-            self.dropped += 1;
-        }
+        self.evict_for_room();
         self.done.push_back(span);
     }
 
@@ -178,10 +182,26 @@ impl TraceLog {
         self.dropped
     }
 
+    /// Ring evictions broken down by the evicted span's phase name.
+    /// `phase_histograms()` only sees retained spans, so a saturated ring
+    /// would silently skew a phase's p99 — this map names who got lost.
+    pub fn dropped_by_phase(&self) -> &BTreeMap<&'static str, u64> {
+        &self.dropped_by_phase
+    }
+
     /// Structurally invalid closes observed (0 in a well-formed log).
     pub fn malformed(&self) -> u64 {
         self.malformed
     }
+}
+
+/// A snapshot of every site's log position at one instant; see
+/// [`Tracer::mark`].
+#[derive(Debug, Clone)]
+pub struct TracerMark {
+    /// Per site: (completed-span count, cumulative drop count) at mark
+    /// time.
+    per_site: BTreeMap<Site, (usize, u64)>,
 }
 
 /// The per-run tracer: one [`TraceLog`] per [`Site`], key-ordered so the
@@ -279,9 +299,75 @@ impl Tracer {
             }
             dst.dropped += log.dropped;
             log.dropped = 0;
+            for (phase, n) in std::mem::take(&mut log.dropped_by_phase) {
+                *dst.dropped_by_phase.entry(phase).or_default() += n;
+            }
             dst.malformed += log.malformed;
             log.malformed = 0;
         }
+    }
+
+    /// Ring evictions across all sites, by the evicted span's phase name.
+    pub fn dropped_by_phase(&self) -> BTreeMap<&'static str, u64> {
+        let mut out: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for log in self.logs.values() {
+            for (&phase, &n) in &log.dropped_by_phase {
+                *out.entry(phase).or_default() += n;
+            }
+        }
+        out
+    }
+
+    /// A position marker into every site's log at one instant, for
+    /// carving out the spans one operation appended ([`Tracer::spans_since`]).
+    pub fn mark(&self) -> TracerMark {
+        TracerMark {
+            per_site: self
+                .logs
+                .iter()
+                .map(|(site, log)| (*site, (log.done.len(), log.dropped)))
+                .collect(),
+        }
+    }
+
+    /// Renders every span completed since `mark`, site-ordered, oldest
+    /// first per site — ring eviction between mark and now is accounted
+    /// for, so the suffix is exact. This is how a query's own span tree
+    /// is carved out of the shared log for an exemplar slot.
+    pub fn spans_since(&self, mark: &TracerMark) -> String {
+        let mut out = String::new();
+        for (site, log) in &self.logs {
+            let (mark_len, mark_dropped) = mark.per_site.get(site).copied().unwrap_or((0, 0));
+            let evicted_since = (log.dropped - mark_dropped) as usize;
+            let start = mark_len.saturating_sub(evicted_since);
+            for span in log.completed().skip(start) {
+                let _ = writeln!(
+                    out,
+                    "{site} {} {}..{} d={} a={}",
+                    span.name, span.start_us, span.end_us, span.depth, span.attr
+                );
+            }
+        }
+        out
+    }
+
+    /// A byte-stable "flight recorder" dump: the most recent `per_site`
+    /// completed spans of every site, key-ordered, oldest-first within a
+    /// site. This is what the burn-rate monitor attaches to a fired alert
+    /// — a bounded look at what the city was doing when the SLO burned.
+    pub fn flight_record(&self, per_site: usize) -> String {
+        let mut out = String::new();
+        for (site, log) in &self.logs {
+            let skip = log.done.len().saturating_sub(per_site);
+            for span in log.completed().skip(skip) {
+                let _ = writeln!(
+                    out,
+                    "{site} {} {}..{} d={} a={}",
+                    span.name, span.start_us, span.end_us, span.depth, span.attr
+                );
+            }
+        }
+        out
     }
 
     /// Per-phase duration histograms over every retained span, name-keyed.
@@ -392,6 +478,75 @@ mod tests {
         assert_eq!(log.dropped(), 3);
         let kept: Vec<u64> = log.completed().map(|s| s.start_us).collect();
         assert_eq!(kept, vec![30, 40]);
+    }
+
+    #[test]
+    fn drops_are_attributed_to_the_evicted_phase() {
+        let mut t = Tracer::with_capacity(2);
+        // Two "old" spans fill the ring; three "new" ones evict them plus
+        // one of their own.
+        for _ in 0..2 {
+            let s = t.open(S, "old", 0);
+            t.close(s, 1);
+        }
+        for _ in 0..3 {
+            let s = t.open(S, "new", 10);
+            t.close(s, 11);
+        }
+        let by_phase = t.dropped_by_phase();
+        assert_eq!(by_phase.get("old"), Some(&2));
+        assert_eq!(by_phase.get("new"), Some(&1));
+        assert_eq!(t.log(S).unwrap().dropped(), 3);
+    }
+
+    #[test]
+    fn absorb_carries_per_phase_drop_accounting() {
+        let mut scratch = Tracer::with_capacity(1);
+        for _ in 0..3 {
+            let s = scratch.open(S, "shard-work", 0);
+            scratch.close(s, 1);
+        }
+        let mut global = Tracer::new();
+        global.absorb(&mut scratch);
+        assert_eq!(global.dropped_by_phase().get("shard-work"), Some(&2));
+        assert!(scratch.log(S).unwrap().dropped_by_phase().is_empty());
+    }
+
+    #[test]
+    fn spans_since_carves_out_one_operation_even_across_eviction() {
+        let mut t = Tracer::with_capacity(2);
+        let a = t.open(S, "before", 0);
+        t.close(a, 1);
+        let mark = t.mark();
+        // Two new spans: the first evicts "before", the second evicts the
+        // first — the suffix since the mark is exactly the survivor plus
+        // what eviction math recovers.
+        for i in 0..3u64 {
+            let s = t.open(S, "after", 100 + i);
+            t.close(s, 200 + i);
+        }
+        let dump = t.spans_since(&mark);
+        assert_eq!(
+            dump,
+            "fog1/0 after 101..201 d=0 a=0\n\
+             fog1/0 after 102..202 d=0 a=0\n"
+        );
+        assert!(!dump.contains("before"));
+    }
+
+    #[test]
+    fn flight_record_keeps_the_most_recent_spans_per_site() {
+        let mut t = Tracer::new();
+        for i in 0..4u64 {
+            let s = t.open(S, "q", i * 10);
+            t.close_with(s, i * 10 + 5, i);
+        }
+        let dump = t.flight_record(2);
+        assert_eq!(
+            dump,
+            "fog1/0 q 20..25 d=0 a=2\n\
+             fog1/0 q 30..35 d=0 a=3\n"
+        );
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Property oracle for [`BurnRateMonitor`]: the incremental monitor —
+//! with its pruned sample ring — must agree transition-for-transition
+//! with a brute-force reference that keeps the *entire* observation
+//! history and rescans it on every evaluation. Any divergence means the
+//! pruning dropped a sample that still anchored a window baseline, or
+//! the integer burn math lost precision somewhere.
+
+use proptest::prelude::*;
+
+use f2c_obs::{AlertTransition, BurnRateMonitor, SloSpec};
+
+/// The reference implementation: no pruning, no incremental state —
+/// burn over a window is recomputed from the full history every time.
+struct BruteForce {
+    spec: SloSpec,
+    history: Vec<(u64, u64, u64)>,
+    firing: bool,
+}
+
+impl BruteForce {
+    fn burn_milli(&self, now_s: u64, window_s: u64, good: u64, bad: u64) -> u64 {
+        let from_s = now_s.saturating_sub(window_s);
+        // Newest sample at or before the window start; the oldest sample
+        // stands in while the history is shorter than the window. Unlike
+        // the monitor, this scans the FULL history — so it catches any
+        // pruning that discarded a still-anchoring baseline.
+        let mut base = self.history.first().map_or((0, 0), |&(_, g, b)| (g, b));
+        for &(t, g, b) in &self.history {
+            if t <= from_s {
+                base = (g, b);
+            } else {
+                break;
+            }
+        }
+        let bad_delta = bad.saturating_sub(base.1);
+        let total_delta = good.saturating_sub(base.0) + bad_delta;
+        if total_delta == 0 {
+            return 0;
+        }
+        let budget_ppm = 1_000_000 - self.spec.objective_ppm.min(999_999);
+        ((bad_delta as u128 * 1_000_000 * 1_000) / (total_delta as u128 * budget_ppm as u128))
+            as u64
+    }
+
+    fn evaluate(&mut self, now_s: u64, good: u64, bad: u64) -> Option<AlertTransition> {
+        let fast = self.burn_milli(now_s, self.spec.fast_window_s, good, bad);
+        let slow = self.burn_milli(now_s, self.spec.slow_window_s, good, bad);
+        self.history.push((now_s, good, bad));
+        let over = fast >= self.spec.fire_burn_milli && slow >= self.spec.fire_burn_milli;
+        if !self.firing && over {
+            self.firing = true;
+            Some(AlertTransition::Fired {
+                fast_burn_milli: fast,
+                slow_burn_milli: slow,
+            })
+        } else if self.firing && fast < self.spec.fire_burn_milli {
+            self.firing = false;
+            Some(AlertTransition::Resolved {
+                fast_burn_milli: fast,
+                slow_burn_milli: slow,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn monitor_matches_the_brute_force_reference(
+        objective_ppm in proptest::sample::select(vec![990_000u64, 999_000, 999_900]),
+        fast_window_s in 60u64..900,
+        slow_factor in 2u64..12,
+        fire_burn_milli in proptest::sample::select(vec![1_000u64, 6_000, 10_000]),
+        steps in proptest::collection::vec(
+            // (time advance, good delta, bad delta): bursty error rates
+            // around the threshold so both fire and resolve paths run.
+            (1u64..600, 0u64..2_000, 0u64..40),
+            1..120,
+        ),
+    ) {
+        let spec = SloSpec {
+            name: "availability",
+            objective_ppm,
+            fast_window_s,
+            slow_window_s: fast_window_s * slow_factor,
+            fire_burn_milli,
+        };
+        let mut monitor = BurnRateMonitor::new(spec);
+        let mut oracle = BruteForce { spec, history: Vec::new(), firing: false };
+        let (mut now_s, mut good, mut bad) = (0u64, 0u64, 0u64);
+        let mut transitions = 0u32;
+        for (dt, dg, db) in steps {
+            now_s += dt;
+            good += dg;
+            bad += db;
+            let got = monitor.evaluate(now_s, good, bad);
+            let want = oracle.evaluate(now_s, good, bad);
+            prop_assert_eq!(
+                got, want,
+                "divergence at t={} good={} bad={}", now_s, good, bad
+            );
+            transitions += u32::from(got.is_some());
+        }
+        prop_assert_eq!(monitor.firing(), oracle.firing);
+        prop_assert_eq!(
+            monitor.fired_count() + monitor.resolved_count(),
+            u64::from(transitions)
+        );
+    }
+}

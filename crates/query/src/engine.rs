@@ -806,6 +806,7 @@ impl ServeCore {
         query.validated()?;
         let site = Site::new("fog1", query.origin as u32);
         let now_us = now_s.saturating_mul(1_000_000);
+        let mark = self.obs.tracer_mut().mark();
         let span = self.obs.tracer_mut().open(site, "query", now_us);
         let result = self.serve_inner(city, query, site, now_us, now_s);
         let (end_us, attr) = match &result {
@@ -815,7 +816,31 @@ impl ServeCore {
             _ => (now_us, 0),
         };
         self.obs.tracer_mut().close_with(span, end_us, attr);
+        if let Ok(Outcome::Answered(resp)) = &result {
+            // Trace exemplar: the span tree of the slowest answered query
+            // per latency bucket. Rendering walks the ring log, so it is
+            // gated on admission — most serves pay only a bucket compare.
+            let latency_us = resp.est_latency.as_micros();
+            let rendered = if self.obs.exemplars_mut().would_admit(latency_us) {
+                Some(self.obs.tracer_mut().spans_since(&mark))
+            } else {
+                None
+            };
+            self.obs
+                .exemplars_mut()
+                .observe(latency_us, || rendered.unwrap_or_default());
+        }
         result
+    }
+
+    /// The deterministic identity of one `(query, instant)` planning
+    /// decision, for explain-reservoir sampling. Hashing the full query
+    /// content plus the serve time means two shards offering the same
+    /// decision produce the same key — absorption stays order-free.
+    fn explain_hash(query: &Query, now_s: u64) -> u64 {
+        let mut h = crate::workload::FNV_OFFSET;
+        crate::workload::fnv1a(&mut h, format!("{query:?}@{now_s}").as_bytes());
+        h
     }
 
     fn serve_inner(
@@ -863,9 +888,28 @@ impl ServeCore {
         }
 
         // 2. Route: one complete source, or a fan-out over the member
-        // fog nodes — whichever the cost model prices cheaper.
-        let route = match planner::plan(city, query) {
-            Ok(r) => r,
+        // fog nodes — whichever the cost model prices cheaper. Queries
+        // whose hash wins a reservoir slot plan through the explaining
+        // path and deposit their decision transcript; everything else
+        // takes the plain planner (identical decisions, no transcript).
+        let qhash = Self::explain_hash(query, now_s);
+        let planned = if self.obs.explains_mut().would_admit(qhash) {
+            planner::plan_explained(city, query).map(|(route, doc)| (route, Some(doc)))
+        } else {
+            planner::plan(city, query).map(|route| (route, None))
+        };
+        let route = match planned {
+            Ok((route, doc)) => {
+                // `seen` counts every *planned* query in both paths, so
+                // the tally is independent of which path the shard-local
+                // reservoir state happened to pick. The build closure
+                // only runs when the hash is admitted — exactly the
+                // queries that planned through the explaining path.
+                self.obs.explains_mut().offer(qhash, move || {
+                    doc.expect("admitted explains carry their transcript")
+                });
+                route
+            }
             Err(e @ Error::Unanswerable { .. }) => {
                 self.obs.metrics_mut().inc(self.ids.unanswerable);
                 return Err(e);

@@ -67,6 +67,7 @@
 use citysim::time::Duration;
 use f2c_core::cost::{AccessOption, FanoutPath};
 use f2c_core::{DataSource, F2cCity, FanoutLeg, Layer, TieredStore};
+use f2c_obs::Json;
 
 use crate::model::{Query, QueryKind, Scope, TimeWindow};
 use crate::{Error, Result};
@@ -172,6 +173,140 @@ impl Route {
     }
 }
 
+/// The planner's decision transcript, collected only when a caller asks
+/// for an EXPLAIN: completeness-proof verdicts in evaluation order, plus
+/// every candidate the ranking saw.
+#[derive(Debug, Default)]
+struct Capture {
+    proofs: Vec<String>,
+    candidates: Vec<Json>,
+}
+
+/// Pushes a proof line, building the string only when capturing.
+fn note(cap: &mut Option<Capture>, build: impl FnOnce() -> String) {
+    if let Some(c) = cap.as_mut() {
+        c.proofs.push(build());
+    }
+}
+
+/// The stable label + ring-hop count of an access option, for transcripts
+/// a replay oracle can re-price.
+fn option_parts(option: AccessOption) -> (&'static str, u64) {
+    match option {
+        AccessOption::Local => ("local", 0),
+        AccessOption::LocalSketch => ("local-sketch", 0),
+        AccessOption::Neighbor { hops } => ("neighbor", u64::from(hops)),
+        AccessOption::Parent => ("parent", 0),
+        AccessOption::SiblingFog2 { hops } => ("sibling-fog2", u64::from(hops)),
+        AccessOption::Cloud => ("cloud", 0),
+    }
+}
+
+/// Rebuilds the [`AccessOption`] a transcript candidate named. This is
+/// the EXPLAIN schema's replay contract: `option` + `hops` round-trip.
+pub fn option_from_parts(label: &str, hops: u64) -> Option<AccessOption> {
+    let hops = hops as u32;
+    match label {
+        "local" => Some(AccessOption::Local),
+        "local-sketch" => Some(AccessOption::LocalSketch),
+        "neighbor" => Some(AccessOption::Neighbor { hops }),
+        "parent" => Some(AccessOption::Parent),
+        "sibling-fog2" => Some(AccessOption::SiblingFog2 { hops }),
+        "cloud" => Some(AccessOption::Cloud),
+        _ => None,
+    }
+}
+
+fn single_candidate_json(option: AccessOption, source: DataSource, cost: Duration) -> Json {
+    let (label, hops) = option_parts(option);
+    let mut j = Json::obj();
+    j.set("shape", Json::Str("single".to_string()));
+    j.set("option", Json::Str(label.to_string()));
+    j.set("hops", Json::Num(hops as f64));
+    j.set("source", Json::Str(format!("{source:?}")));
+    j.set("cost_us", Json::Num(cost.as_micros() as f64));
+    j
+}
+
+fn scatter_candidate_json(plan: &ScatterPlan) -> Json {
+    let mut j = Json::obj();
+    j.set("shape", Json::Str("scatter".to_string()));
+    j.set("legs", Json::Num(plan.legs.len() as f64));
+    j.set(
+        "sketch_legs",
+        Json::Num(plan.legs.iter().filter(|l| l.via_sketch).count() as f64),
+    );
+    j.set("gather_district", Json::Num(plan.gather_district as f64));
+    j.set("cost_us", Json::Num(plan.est_cost.as_micros() as f64));
+    j
+}
+
+/// Plans `query` *and* returns the decision transcript as Json: the
+/// query, every completeness proof the planner evaluated (with its
+/// verdict), every candidate with its nominal-payload cost, the
+/// scatter-vs-cloud contest pricing, and the chosen route. The route is
+/// byte-for-byte the one [`plan`] returns; `tests` hold a replay oracle
+/// to the transcript (re-pricing the candidates reproduces the choice).
+///
+/// # Errors
+///
+/// Exactly [`plan`]'s errors — an unanswerable query has no transcript.
+pub fn plan_explained(city: &F2cCity, query: &Query) -> Result<(Route, Json)> {
+    let mut cap = Some(Capture::default());
+    let route = plan_captured(city, query, &mut cap)?;
+    let cap = cap.expect("capture survives planning");
+    let mut doc = Json::obj();
+    let mut q = Json::obj();
+    q.set("origin", Json::Num(query.origin as f64));
+    q.set("class", Json::Str(format!("{:?}", query.class)));
+    q.set("selector", Json::Str(format!("{:?}", query.selector)));
+    q.set("scope", Json::Str(format!("{:?}", query.scope)));
+    q.set("from_s", Json::Num(query.window.from_s as f64));
+    q.set("until_s", Json::Num(query.window.until_s as f64));
+    q.set("kind", Json::Str(format!("{:?}", query.kind)));
+    doc.set("query", q);
+    doc.set(
+        "proofs",
+        Json::Arr(cap.proofs.into_iter().map(Json::Str).collect()),
+    );
+    doc.set("candidates", Json::Arr(cap.candidates));
+    match route.contest {
+        Some((scatter_us, cloud_us)) => {
+            let mut c = Json::obj();
+            c.set("scatter_us", Json::Num(scatter_us.as_micros() as f64));
+            c.set("cloud_us", Json::Num(cloud_us.as_micros() as f64));
+            doc.set("contest", c);
+        }
+        None => {
+            doc.set("contest", Json::Null);
+        }
+    }
+    let chosen = match &route.choice {
+        Choice::Single(p) => {
+            let (label, _) = option_parts(p.option);
+            format!("single:{label}")
+        }
+        Choice::Scatter(s) => format!("scatter:{}", s.legs.len()),
+    };
+    doc.set("choice", Json::Str(chosen));
+    doc.set(
+        "choice_cost_us",
+        Json::Num(route.est_cost().as_micros() as f64),
+    );
+    doc.set(
+        "fallback",
+        match &route.fallback {
+            Some(Choice::Single(p)) => {
+                let (label, _) = option_parts(p.option);
+                Json::Str(format!("single:{label}"))
+            }
+            Some(Choice::Scatter(s)) => Json::Str(format!("scatter:{}", s.legs.len())),
+            None => Json::Null,
+        },
+    );
+    Ok((route, doc))
+}
+
 /// Whether `store` still holds every record it ever received with a
 /// creation time inside the window.
 fn holds_window(store: &TieredStore, w: TimeWindow) -> bool {
@@ -241,9 +376,18 @@ fn district_legs(
     gather: usize,
     w: TimeWindow,
     kind: QueryKind,
+    cap: &mut Option<Capture>,
 ) -> Option<Vec<ScatterLeg>> {
     let hops = city.fog2_ring_hops(d, gather);
     if fog2_complete(city, d, w) {
+        note(cap, || {
+            format!(
+                "district {d}: fog2 complete (evicted_before={} <= {}, members settled through {}) -> one fog2 leg",
+                city.fog2(d).store().evicted_before_s(),
+                w.from_s,
+                w.until_s
+            )
+        });
         let path = if d == gather {
             FanoutPath::GatherLocal
         } else {
@@ -270,6 +414,12 @@ fn district_legs(
             .collect()
     };
     if fog1_shards_complete(city, d, w) {
+        note(cap, || {
+            format!(
+                "district {d}: fog2 incomplete, every member fog1 holds its shard (watermarks <= {}) -> member legs",
+                w.from_s
+            )
+        });
         return Some(member_legs(false));
     }
     if kind == QueryKind::Aggregate
@@ -281,8 +431,20 @@ fn district_legs(
         // Every member's raw shard is gone, but their warm sketches all
         // still cover the window: a sketch-leg fan-out contests the
         // cloud read instead of conceding it.
+        note(cap, || {
+            format!(
+                "district {d}: raw shards evicted, every member's sketch seal covers [{}, {}) -> warm-sketch legs",
+                w.from_s, w.until_s
+            )
+        });
         return Some(member_legs(true));
     }
+    note(cap, || {
+        format!(
+            "district {d}: no provable cover at the fog tiers for [{}, {}) -> rejected",
+            w.from_s, w.until_s
+        )
+    });
     None
 }
 
@@ -307,6 +469,10 @@ fn scatter_plan(city: &F2cCity, legs: Vec<ScatterLeg>, gather: usize) -> Scatter
 /// reaches past what the hierarchy has flushed upward so far *and* some
 /// fog-1 shard has already aged out).
 pub fn plan(city: &F2cCity, query: &Query) -> Result<Route> {
+    plan_captured(city, query, &mut None)
+}
+
+fn plan_captured(city: &F2cCity, query: &Query, cap: &mut Option<Capture>) -> Result<Route> {
     query.validated()?;
     let w = query.window;
     let origin_district = city.district_of(query.origin);
@@ -323,6 +489,28 @@ pub fn plan(city: &F2cCity, query: &Query) -> Result<Route> {
             // (not the whole district's).
             let target_settled = city.fog1(target).store().settled_through(w.until_s);
             let fog2_ok = holds_window(city.fog2(td).store(), w) && target_settled;
+            note(cap, || {
+                format!(
+                    "fog1[{target}]: eviction watermark {} vs window start {} -> {}",
+                    city.fog1(target).store().evicted_before_s(),
+                    w.from_s,
+                    if target_holds { "holds" } else { "evicted" }
+                )
+            });
+            note(cap, || {
+                format!(
+                    "fog1[{target}]: pending frontier settled through {} -> {}",
+                    w.until_s,
+                    if target_settled { "settled" } else { "pending" }
+                )
+            });
+            note(cap, || {
+                format!(
+                    "fog2[{td}]: watermark {} and target frontier -> {}",
+                    city.fog2(td).store().evicted_before_s(),
+                    if fog2_ok { "complete" } else { "incomplete" }
+                )
+            });
             // The section's own fog-1 node holds everything the section
             // produced (pending copies included) until retention evicts.
             if target_holds {
@@ -351,7 +539,15 @@ pub fn plan(city: &F2cCity, query: &Query) -> Result<Route> {
                     ));
                 }
             }
-            if target_settled && city.fog2(td).store().settled_through(w.until_s) {
+            let cloud_ok = target_settled && city.fog2(td).store().settled_through(w.until_s);
+            note(cap, || {
+                format!(
+                    "cloud: fog1[{target}] and fog2[{td}] frontiers settled through {} -> {}",
+                    w.until_s,
+                    if cloud_ok { "complete" } else { "incomplete" }
+                )
+            });
+            if cloud_ok {
                 singles.push((AccessOption::Cloud, DataSource::Cloud, Layer::Cloud));
             }
             if query.kind == QueryKind::Aggregate
@@ -359,6 +555,12 @@ pub fn plan(city: &F2cCity, query: &Query) -> Result<Route> {
                 && td == origin_district
                 && warm_sketch_covers(city, target, w)
             {
+                note(cap, || {
+                    format!(
+                        "fog1[{target}]: raw evicted but sketch seal covers [{}, {}) and nothing pending -> warm sketch admitted",
+                        w.from_s, w.until_s
+                    )
+                });
                 // The raw window has aged out of the target's fog-1, but
                 // its warm sketch still covers: merge pre-folded bucket
                 // partials locally (or over the district ring) instead
@@ -377,6 +579,11 @@ pub fn plan(city: &F2cCity, query: &Query) -> Result<Route> {
                 // yet: relay the target's fog-1 through the requester's
                 // fog-2 as a one-leg fan-out (neither the sibling fog-2
                 // nor the cloud can prove completeness here).
+                note(cap, || {
+                    format!(
+                        "fog1[{target}]: remote unflushed window -> one-leg relay through fog2[{origin_district}]"
+                    )
+                });
                 let hops = city.fog2_ring_hops(td, origin_district);
                 scatter = Some(scatter_plan(
                     city,
@@ -397,7 +604,7 @@ pub fn plan(city: &F2cCity, query: &Query) -> Result<Route> {
             // single source — parent or metro-ring sibling); fog-1 legs
             // mean the window lives only at the members (scatter-gather,
             // merged at the requester's fog-2).
-            match district_legs(city, d, origin_district, w, query.kind) {
+            match district_legs(city, d, origin_district, w, query.kind, cap) {
                 Some(legs)
                     if matches!(
                         legs[..],
@@ -424,7 +631,15 @@ pub fn plan(city: &F2cCity, query: &Query) -> Result<Route> {
                 Some(legs) => scatter = Some(scatter_plan(city, legs, origin_district)),
                 None => {}
             }
-            if cloud_complete(city, [d].iter(), w) {
+            let cloud_ok = cloud_complete(city, [d].iter(), w);
+            note(cap, || {
+                format!(
+                    "cloud: district {d} frontiers settled through {} -> {}",
+                    w.until_s,
+                    if cloud_ok { "complete" } else { "incomplete" }
+                )
+            });
+            if cloud_ok {
                 singles.push((AccessOption::Cloud, DataSource::Cloud, Layer::Cloud));
             }
         }
@@ -433,7 +648,7 @@ pub fn plan(city: &F2cCity, query: &Query) -> Result<Route> {
             let mut legs = Vec::new();
             let mut coverable = true;
             for &d in &districts {
-                match district_legs(city, d, origin_district, w, query.kind) {
+                match district_legs(city, d, origin_district, w, query.kind, cap) {
                     Some(mut shard) => legs.append(&mut shard),
                     None => {
                         coverable = false;
@@ -444,7 +659,15 @@ pub fn plan(city: &F2cCity, query: &Query) -> Result<Route> {
             if coverable {
                 scatter = Some(scatter_plan(city, legs, origin_district));
             }
-            if cloud_complete(city, districts.iter(), w) {
+            let cloud_ok = cloud_complete(city, districts.iter(), w);
+            note(cap, || {
+                format!(
+                    "cloud: all-district frontiers settled through {} -> {}",
+                    w.until_s,
+                    if cloud_ok { "complete" } else { "incomplete" }
+                )
+            });
+            if cloud_ok {
                 singles.push((AccessOption::Cloud, DataSource::Cloud, Layer::Cloud));
             }
         }
@@ -452,13 +675,23 @@ pub fn plan(city: &F2cCity, query: &Query) -> Result<Route> {
 
     let best_single = singles
         .into_iter()
-        .map(|(option, source, layer)| QueryPlan {
-            source,
-            option,
-            layer,
-            est_cost: cost.cost(option, NOMINAL_PAYLOAD_BYTES),
+        .map(|(option, source, layer)| {
+            let est_cost = cost.cost(option, NOMINAL_PAYLOAD_BYTES);
+            if let Some(c) = cap.as_mut() {
+                c.candidates
+                    .push(single_candidate_json(option, source, est_cost));
+            }
+            QueryPlan {
+                source,
+                option,
+                layer,
+                est_cost,
+            }
         })
         .min_by_key(|p| p.est_cost.as_micros());
+    if let (Some(c), Some(s)) = (cap.as_mut(), &scatter) {
+        c.candidates.push(scatter_candidate_json(s));
+    }
 
     // Fan-out-vs-cloud contest: only recorded when both shapes are
     // viable, which (today) only happens against the cloud — every

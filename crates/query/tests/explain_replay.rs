@@ -1,0 +1,204 @@
+//! Explain-replay oracle: a planner EXPLAIN transcript must be
+//! *truthful* — replaying it reproduces the decision it describes.
+//!
+//! Two rungs:
+//! 1. [`plan_explained`] must return byte-for-byte the route [`plan`]
+//!    returns, for every query shape — explaining may never perturb the
+//!    decision it explains.
+//! 2. The transcript alone must re-derive the choice: every candidate's
+//!    `option`/`hops` round-trips through [`option_from_parts`] to an
+//!    [`AccessOption`] whose nominal re-pricing matches the recorded
+//!    `cost_us`, and applying the planner's published selection rules
+//!    (first cheapest single in candidate order; a scatter beats it on
+//!    `<=`) to the recorded costs reproduces `choice` and
+//!    `choice_cost_us` exactly.
+
+use f2c_core::runtime::populate_city;
+use f2c_core::F2cCity;
+use f2c_obs::Json;
+use f2c_query::planner::{self, option_from_parts, Choice};
+use f2c_query::workload::ServiceClass;
+use f2c_query::{Query, QueryKind, Scope, Selector, TimeWindow};
+use scc_sensors::{Category, SensorType};
+
+/// A warmed deployment with enough history for every route shape: local
+/// reads, neighbor relays, parent/cloud climbs and city-wide scatters.
+fn warmed_city() -> F2cCity {
+    let mut city = F2cCity::barcelona().expect("city builds");
+    populate_city(&mut city, 10_000, 2017, 2 * 3_600, 900).expect("warm-up runs");
+    city
+}
+
+/// A spread of query shapes over the warmed window: every scope, every
+/// kind, settled and live windows, type and category selectors.
+fn probe_queries(city: &F2cCity) -> Vec<Query> {
+    let mut queries = Vec::new();
+    let selectors = [
+        Selector::Type(SensorType::Weather),
+        Selector::Category(Category::Urban),
+        Selector::Category(Category::Energy),
+    ];
+    let windows = [
+        TimeWindow::new(0, 3_600),
+        TimeWindow::new(900, 7_200),
+        TimeWindow::new(3_600, 2 * 3_600 + 600),
+    ];
+    let kinds = [QueryKind::Point, QueryKind::Range, QueryKind::Aggregate];
+    for (i, origin) in (0..city.section_count()).step_by(11).enumerate() {
+        let selector = selectors[i % selectors.len()];
+        let window = windows[i % windows.len()];
+        let kind = kinds[i % kinds.len()];
+        for scope in [
+            Scope::Section(origin),
+            Scope::District(city.district_of(origin)),
+            Scope::City,
+        ] {
+            queries.push(Query {
+                origin,
+                class: ServiceClass::Dashboard,
+                selector,
+                scope,
+                window,
+                kind,
+            });
+        }
+    }
+    queries
+}
+
+#[test]
+fn explaining_never_perturbs_the_route() {
+    let city = warmed_city();
+    let mut planned = 0u32;
+    for query in probe_queries(&city) {
+        let plain = planner::plan(&city, &query);
+        let explained = planner::plan_explained(&city, &query);
+        match (plain, explained) {
+            (Ok(route), Ok((eroute, _))) => {
+                assert_eq!(
+                    route, eroute,
+                    "explained route diverges from the plain plan for {query:?}"
+                );
+                planned += 1;
+            }
+            (Err(_), Err(_)) => {}
+            (plain, explained) => panic!(
+                "plan and plan_explained disagree on answerability for \
+                 {query:?}: {plain:?} vs {explained:?}"
+            ),
+        }
+    }
+    assert!(planned > 10, "the probe set must exercise real plans");
+}
+
+/// Re-derives the choice from a transcript's candidate list alone,
+/// using the planner's published rules: the cheapest single in
+/// candidate order wins ties, and the scatter (at most one) beats the
+/// best single on `cost_us <=`.
+fn replay_choice(doc: &Json) -> (String, u64) {
+    let Some(Json::Arr(candidates)) = doc.path("candidates") else {
+        panic!("transcript has no candidates array: {doc:?}");
+    };
+    let mut best_single: Option<(String, u64)> = None;
+    let mut scatter: Option<(u64, u64)> = None;
+    for cand in candidates {
+        let cost = cand
+            .path("cost_us")
+            .and_then(Json::as_u64)
+            .expect("candidate carries cost_us");
+        match cand.path("shape").and_then(Json::as_str) {
+            Some("single") => {
+                let label = cand
+                    .path("option")
+                    .and_then(Json::as_str)
+                    .expect("single candidate names its option");
+                if best_single.as_ref().is_none_or(|(_, c)| cost < *c) {
+                    best_single = Some((label.to_string(), cost));
+                }
+            }
+            Some("scatter") => {
+                let legs = cand
+                    .path("legs")
+                    .and_then(Json::as_u64)
+                    .expect("scatter candidate counts its legs");
+                assert!(scatter.is_none(), "at most one scatter candidate");
+                scatter = Some((legs, cost));
+            }
+            other => panic!("unknown candidate shape {other:?}"),
+        }
+    }
+    match (scatter, best_single) {
+        (Some((legs, s_cost)), Some((_, b_cost))) if s_cost <= b_cost => {
+            (format!("scatter:{legs}"), s_cost)
+        }
+        (_, Some((label, cost))) => (format!("single:{label}"), cost),
+        (Some((legs, cost)), None) => (format!("scatter:{legs}"), cost),
+        (None, None) => panic!("transcript with no candidates planned nothing"),
+    }
+}
+
+#[test]
+fn transcripts_replay_to_the_recorded_choice() {
+    let city = warmed_city();
+    let cost_model = city.cost_model();
+    let mut replayed = 0u32;
+    for query in probe_queries(&city) {
+        let Ok((route, doc)) = planner::plan_explained(&city, &query) else {
+            continue;
+        };
+        // Rung 1: every single candidate re-prices through the replay
+        // contract — label+hops rebuild the AccessOption, and the cost
+        // model at the nominal payload reproduces the recorded cost.
+        let Some(Json::Arr(candidates)) = doc.path("candidates") else {
+            panic!("transcript has no candidates array");
+        };
+        for cand in candidates {
+            if cand.path("shape").and_then(Json::as_str) != Some("single") {
+                continue;
+            }
+            let label = cand.path("option").and_then(Json::as_str).unwrap();
+            let hops = cand.path("hops").and_then(Json::as_u64).unwrap();
+            let option = option_from_parts(label, hops)
+                .unwrap_or_else(|| panic!("candidate option `{label}` must round-trip"));
+            let repriced = cost_model
+                .cost(option, planner::NOMINAL_PAYLOAD_BYTES)
+                .as_micros();
+            assert_eq!(
+                Some(repriced),
+                cand.path("cost_us").and_then(Json::as_u64),
+                "re-pricing {label} diverges from the transcript for {query:?}"
+            );
+        }
+        // Rung 2: the selection rules over the recorded costs reproduce
+        // the recorded choice, its cost, and the route itself.
+        let (choice, cost_us) = replay_choice(&doc);
+        assert_eq!(
+            doc.path("choice").and_then(Json::as_str),
+            Some(choice.as_str()),
+            "replayed choice diverges for {query:?}"
+        );
+        assert_eq!(
+            doc.path("choice_cost_us").and_then(Json::as_u64),
+            Some(cost_us),
+            "replayed choice cost diverges for {query:?}"
+        );
+        match &route.choice {
+            Choice::Single(_) => assert!(
+                choice.starts_with("single:"),
+                "route chose a single, replay chose {choice}"
+            ),
+            Choice::Scatter(s) => assert_eq!(
+                choice,
+                format!("scatter:{}", s.legs.len()),
+                "route chose a scatter, replay diverges"
+            ),
+        }
+        assert_eq!(
+            route.est_cost().as_micros(),
+            cost_us,
+            "replayed cost diverges from the route's estimate"
+        );
+        replayed += 1;
+    }
+    assert!(replayed > 10, "the probe set must replay real transcripts");
+}

@@ -65,7 +65,6 @@ fn crash_window_defers_the_flush_wave_then_catches_up_exactly() {
     let deferred: Vec<_> = chaos
         .timeline()
         .at_site(ChaosSite::Fog1(0))
-        .into_iter()
         .filter(|i| i.kind == IncidentKind::NodeDown)
         .collect();
     assert_eq!(deferred.len(), 1, "the crashed hop skipped its turn");
@@ -178,7 +177,6 @@ fn district_crash_blocks_children_and_recovery_converges() {
     let down = chaos
         .timeline()
         .at_site(ChaosSite::Fog2(2))
-        .into_iter()
         .filter(|i| i.kind == IncidentKind::NodeDown)
         .count();
     assert_eq!(down, 2, "the crashed fog-2's own uplink skipped both turns");

@@ -100,6 +100,12 @@ fn run_artifacts(engine: &QueryEngine, transcript: &[u8], summary: &str) -> Vec<
         out.extend_from_slice(format!("{key}={value}\n").as_bytes());
     }
     out.extend_from_slice(&city.tracer().encode());
+    // The diagnosis plane rides the same oracle: explain transcripts,
+    // per-bucket trace exemplars and the alert log are shard-merged
+    // observables, so their exports must be byte-identical too.
+    out.extend_from_slice(city.explains().export().to_pretty().as_bytes());
+    out.extend_from_slice(city.exemplars().export().to_pretty().as_bytes());
+    out.extend_from_slice(city.burn_monitor().export().to_pretty().as_bytes());
     for incident in city.timeline().iter() {
         out.extend_from_slice(
             format!(
