@@ -19,7 +19,12 @@ use f2c_obs::{BudgetRule, HistogramSummary, Json, Snapshot, Tracer};
 /// v2: per-phase `dropped` counts, the diagnosis-plane sections
 /// (`explains`, `exemplars`, `alerts`, `chaos.alerts`) and the
 /// second gated document `BENCH_table1.json`.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: the flush section gains `uplink_bytes` (what the network really
+/// carried once the tsenc codec encodes both hops) and
+/// `flush.bytes_per_record` is redefined over it — uplink bytes per
+/// cloud-stored record — so the codec's win is the gated quantity.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// A `u64` as a JSON number (every exporter value fits in 2^53).
 pub fn num(v: u64) -> Json {

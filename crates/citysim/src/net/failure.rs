@@ -55,6 +55,7 @@ fn coin(h: u64, p: f64) -> bool {
 const DOMAIN_LINK_LOSS: u64 = 0x11;
 const DOMAIN_SHIP_LOSS: u64 = 0x22;
 const DOMAIN_SHIP_CORRUPT: u64 = 0x33;
+const DOMAIN_PAYLOAD_CORRUPT: u64 = 0x44;
 
 /// Failure plan: per-link outages and message loss, per-node
 /// crash/recover windows, and flush-shipment loss/corruption.
@@ -76,6 +77,9 @@ pub struct FailurePlan {
     /// Probability one flush-wave sketch shipment arrives corrupted
     /// (fails its CRC at the receiver and punches a coverage hole).
     shipment_corruption: f64,
+    /// Probability one flush-wave *record payload* would arrive
+    /// corrupted (link-layer detected; the sender defers the wave).
+    payload_corruption: f64,
 }
 
 impl FailurePlan {
@@ -94,6 +98,7 @@ impl FailurePlan {
             seq: HashMap::new(),
             shipment_loss: 0.0,
             shipment_corruption: 0.0,
+            payload_corruption: 0.0,
         }
     }
 
@@ -158,6 +163,20 @@ impl FailurePlan {
     pub fn set_shipment_corruption(&mut self, p: f64) {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         self.shipment_corruption = p;
+    }
+
+    /// Sets the i.i.d. probability that a flush-wave record payload
+    /// would arrive corrupted. The damage is link-layer detected, so
+    /// the sender defers the wave exactly like a shipment loss — the
+    /// flush codec's cross-batch dictionary state must never advance
+    /// past an undelivered shipment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn set_payload_corruption(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.payload_corruption = p;
     }
 
     /// Whether `link` is inside an outage window at `at`.
@@ -230,6 +249,23 @@ impl FailurePlan {
         coin(h, self.shipment_corruption).then(|| (mix(h) % n_sketches as u64) as usize)
     }
 
+    /// Whether the record payload `sender` would ship at flush `epoch`
+    /// arrives corrupted. Pure in `(seed, sender, epoch)`, drawn at the
+    /// flush gate so the verdict defers the wave *before* the batch is
+    /// taken or the codec advances.
+    pub fn payload_corrupted(&self, sender: NodeId, epoch: u64) -> bool {
+        self.payload_corruption > 0.0
+            && coin(
+                keyed(
+                    self.seed,
+                    DOMAIN_PAYLOAD_CORRUPT,
+                    sender.index() as u64,
+                    epoch,
+                ),
+                self.payload_corruption,
+            )
+    }
+
     /// Whether the plan injects any failures at all.
     pub fn is_trivial(&self) -> bool {
         self.outages.is_empty()
@@ -237,6 +273,7 @@ impl FailurePlan {
             && self.loss.is_empty()
             && self.shipment_loss == 0.0
             && self.shipment_corruption == 0.0
+            && self.payload_corruption == 0.0
     }
 }
 
@@ -403,6 +440,33 @@ mod tests {
             }
         }
         assert_eq!(p.corrupted_sketch(a, 0, 0), None, "empty shipments pass");
+    }
+
+    #[test]
+    fn payload_corruption_coin_is_pure_and_counts_toward_triviality() {
+        let mut t = Topology::new();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        let mut p = FailurePlan::with_seed(5);
+        assert!(p.is_trivial());
+        p.set_payload_corruption(0.3);
+        assert!(!p.is_trivial());
+        for epoch in 0..50u64 {
+            assert_eq!(p.payload_corrupted(a, epoch), p.payload_corrupted(a, epoch));
+        }
+        let a_hits = (0..1000).filter(|&e| p.payload_corrupted(a, e)).count();
+        let b_hits = (0..1000).filter(|&e| p.payload_corrupted(b, e)).count();
+        assert!((200..400).contains(&a_hits), "a corrupted {a_hits}/1000");
+        assert!((200..400).contains(&b_hits), "b corrupted {b_hits}/1000");
+        // The payload coin is independent of the shipment-loss coin: the
+        // two domains must not shadow each other.
+        p.set_shipment_loss(0.3);
+        let overlap = (0..1000)
+            .filter(|&e| p.payload_corrupted(a, e) && p.shipment_lost(a, e))
+            .count();
+        assert!(overlap < a_hits, "coins are perfectly correlated");
+        p.set_payload_corruption(0.0);
+        assert!(!p.payload_corrupted(a, 0));
     }
 
     #[test]

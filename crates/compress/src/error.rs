@@ -55,6 +55,17 @@ pub enum Error {
     },
     /// A run-length-encoded stream was truncated mid-run.
     TruncatedRun,
+    /// A structurally invalid `tsenc` stream: internal framing that
+    /// contradicts itself (lying lengths, out-of-range codes, trailing
+    /// bytes). The CRC may well be valid — this is the decoder's own
+    /// bounds checking, the last line of defence of the robustness
+    /// contract (`Err`, never a panic or an over-allocation).
+    Malformed {
+        /// What was inconsistent.
+        reason: &'static str,
+        /// Byte offset (in the encoded stream) of the inconsistency.
+        offset: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -86,6 +97,9 @@ impl fmt::Display for Error {
                 write!(f, "invalid archive entry name {name:?}")
             }
             Error::TruncatedRun => write!(f, "run-length stream truncated mid-run"),
+            Error::Malformed { reason, offset } => {
+                write!(f, "malformed stream at byte {offset}: {reason}")
+            }
         }
     }
 }
@@ -119,6 +133,10 @@ mod tests {
                 name: String::new(),
             },
             Error::TruncatedRun,
+            Error::Malformed {
+                reason: "probe",
+                offset: 12,
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

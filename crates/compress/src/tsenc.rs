@@ -1,0 +1,1303 @@
+//! `tsenc` — columnar time-series codec for flush shipments.
+//!
+//! The flush path ships batches of sensor readings whose regularity a
+//! byte-oriented codec cannot see: timestamps advance in near-constant
+//! periods, sensor ids repeat wave after wave, and each sensor type's
+//! values follow one of five narrow models. This module splits a batch
+//! into columns and encodes each with the cheapest of six integer
+//! [`Technique`]s, chosen by a per-column cost probe and tagged in the
+//! column's frame header:
+//!
+//! | tag | technique        | wins when …                                |
+//! |-----|------------------|--------------------------------------------|
+//! | 0   | `Raw`            | nothing else does (small varints, noise)   |
+//! | 1   | `Delta`          | values are monotone or slowly drifting     |
+//! | 2   | `DeltaOfDelta`   | deltas themselves are regular (timestamps) |
+//! | 3   | `Rle`            | long constant runs (flags, idle levels)    |
+//! | 4   | `Dict`           | few distinct but large values              |
+//! | 5   | `Xor`            | consecutive values share high bits         |
+//!
+//! Sensor identities are coded against a [`SensorDict`] that **persists
+//! across consecutive batches of the same stream**: the first batch pays
+//! for each sensor's `(type, index)` once, every later batch codes the
+//! sensor as a small dense integer. [`StreamEncoder`] and
+//! [`StreamDecoder`] carry that state; their dictionaries advance in
+//! lock-step because every committed addition is carried in the batch
+//! that introduced it (and a batch that falls back to DEFLATE commits
+//! nothing on either side).
+//!
+//! When regularity breaks — a value variant that contradicts its type's
+//! model, oversized composites, or a batch the columns cannot beat — the
+//! encoder falls back to DEFLATE over a verbatim record serialization
+//! and tags the stream `MODE_FALLBACK`; the envelope overhead of that
+//! escape hatch is [`FALLBACK_OVERHEAD`] bytes.
+//!
+//! # Stream envelope
+//!
+//! ```text
+//! "TSF1" | mode u8 | body … | crc32(mode‖body) LE u32
+//! ```
+//!
+//! Columnar body: `varint n_records`, the dictionary-additions block
+//! (`varint n_new`, then `(type_code u8, varint index)` per new sensor
+//! in first-appearance order), then framed columns — sensor codes,
+//! timestamps, and per-type value columns in `SensorType::ALL` order
+//! (composites ship a field-count column and a flattened field column).
+//! Every column frame is `tag u8 | varint body_len | body`, and every
+//! count is validated against the declared record count, so truncated,
+//! bit-flipped and length-lying streams fail with an [`Error`] instead
+//! of panicking or over-allocating.
+
+use std::collections::HashMap;
+
+use scc_sensors::{Reading, SensorId, SensorType, Value};
+
+use crate::crc32;
+use crate::deflate;
+use crate::error::{Error, Result};
+
+/// Stream magic: "TSF1" (time-series flush, format 1).
+pub const MAGIC: [u8; 4] = *b"TSF1";
+
+/// Mode byte: columnar body follows.
+pub const MODE_COLUMNAR: u8 = 0;
+/// Mode byte: DEFLATE-compressed verbatim body follows.
+pub const MODE_FALLBACK: u8 = 1;
+
+/// Fixed envelope cost of a stream: magic (4) + mode (1) + CRC-32 (4).
+/// This is the most a fallback-tagged stream can lose to raw DEFLATE of
+/// the same payload.
+pub const FALLBACK_OVERHEAD: usize = 9;
+
+/// Hard ceiling on records per batch — decoding never allocates past it.
+pub const MAX_RECORDS: u64 = 1 << 22;
+
+/// Hard ceiling on integers in one column (composite field columns can
+/// exceed the record count, but never this).
+pub const MAX_COLUMN_INTS: u64 = 1 << 22;
+
+/// Largest composite value the columnar planes accept; bigger fields
+/// force the DEFLATE fallback (and are refused by the columnar decoder).
+pub const MAX_COMPOSITE_FIELDS: u64 = 1 << 10;
+
+// ---------------------------------------------------------------------------
+// Primitives: varints and zigzag.
+// ---------------------------------------------------------------------------
+
+/// Appends `v` as an LEB128 varint (1–10 bytes).
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint at `*pos`, advancing it.
+pub fn get_varint(data: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data
+            .get(*pos)
+            .ok_or(Error::UnexpectedEof { offset: *pos })?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(Error::Malformed {
+                reason: "varint overflows 64 bits",
+                offset: *pos - 1,
+            });
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(Error::Malformed {
+                reason: "varint longer than 10 bytes",
+                offset: *pos - 1,
+            });
+        }
+    }
+}
+
+/// Zigzag-maps a signed value to an unsigned one (small magnitudes stay
+/// small regardless of sign).
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+// ---------------------------------------------------------------------------
+// Integer column techniques.
+// ---------------------------------------------------------------------------
+
+/// One way of encoding an integer column; the cost probe picks the
+/// cheapest per column and tags it in the frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technique {
+    /// Plain varints.
+    Raw,
+    /// First value, then zigzag varints of consecutive differences.
+    Delta,
+    /// First value, first delta, then zigzag varints of delta changes.
+    DeltaOfDelta,
+    /// `(value, run_length)` pairs; runs must sum exactly to the count.
+    Rle,
+    /// Local value dictionary (first-appearance order) plus indices.
+    Dict,
+    /// First value, then varints of consecutive XORs.
+    Xor,
+}
+
+impl Technique {
+    /// Every technique, in probe (and tie-break) order.
+    pub const ALL: [Technique; 6] = [
+        Technique::Raw,
+        Technique::Delta,
+        Technique::DeltaOfDelta,
+        Technique::Rle,
+        Technique::Dict,
+        Technique::Xor,
+    ];
+
+    /// The frame-header tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            Technique::Raw => 0,
+            Technique::Delta => 1,
+            Technique::DeltaOfDelta => 2,
+            Technique::Rle => 3,
+            Technique::Dict => 4,
+            Technique::Xor => 5,
+        }
+    }
+
+    /// The technique for a frame-header tag.
+    pub fn from_tag(tag: u8) -> Option<Technique> {
+        Technique::ALL.into_iter().find(|t| t.tag() == tag)
+    }
+
+    /// Short label for diagnostics and docs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Technique::Raw => "raw",
+            Technique::Delta => "delta",
+            Technique::DeltaOfDelta => "delta-of-delta",
+            Technique::Rle => "rle",
+            Technique::Dict => "dict",
+            Technique::Xor => "xor",
+        }
+    }
+}
+
+fn body_raw(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len());
+    for &v in values {
+        put_varint(&mut out, v);
+    }
+    out
+}
+
+fn body_delta(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len());
+    let Some(&first) = values.first() else {
+        return out;
+    };
+    put_varint(&mut out, first);
+    for w in values.windows(2) {
+        put_varint(&mut out, zigzag(w[1].wrapping_sub(w[0]) as i64));
+    }
+    out
+}
+
+fn body_dod(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len());
+    let Some(&first) = values.first() else {
+        return out;
+    };
+    put_varint(&mut out, first);
+    if values.len() == 1 {
+        return out;
+    }
+    let mut prev_delta = values[1].wrapping_sub(values[0]) as i64;
+    put_varint(&mut out, zigzag(prev_delta));
+    for w in values[1..].windows(2) {
+        let delta = w[1].wrapping_sub(w[0]) as i64;
+        put_varint(&mut out, zigzag(delta.wrapping_sub(prev_delta)));
+        prev_delta = delta;
+    }
+    out
+}
+
+fn body_rle(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let Some(&first) = values.first() else {
+        return out;
+    };
+    let mut current = first;
+    let mut run = 1u64;
+    for &v in &values[1..] {
+        if v == current {
+            run += 1;
+        } else {
+            put_varint(&mut out, current);
+            put_varint(&mut out, run);
+            current = v;
+            run = 1;
+        }
+    }
+    put_varint(&mut out, current);
+    put_varint(&mut out, run);
+    out
+}
+
+fn body_dict(values: &[u64]) -> Vec<u8> {
+    let mut distinct: Vec<u64> = Vec::new();
+    let mut index: HashMap<u64, u64> = HashMap::new();
+    let mut codes: Vec<u64> = Vec::with_capacity(values.len());
+    for &v in values {
+        let code = *index.entry(v).or_insert_with(|| {
+            distinct.push(v);
+            distinct.len() as u64 - 1
+        });
+        codes.push(code);
+    }
+    let mut out = Vec::new();
+    put_varint(&mut out, distinct.len() as u64);
+    for v in distinct {
+        put_varint(&mut out, v);
+    }
+    for c in codes {
+        put_varint(&mut out, c);
+    }
+    out
+}
+
+fn body_xor(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len());
+    let Some(&first) = values.first() else {
+        return out;
+    };
+    put_varint(&mut out, first);
+    for w in values.windows(2) {
+        put_varint(&mut out, w[0] ^ w[1]);
+    }
+    out
+}
+
+fn encode_body(technique: Technique, values: &[u64]) -> Vec<u8> {
+    match technique {
+        Technique::Raw => body_raw(values),
+        Technique::Delta => body_delta(values),
+        Technique::DeltaOfDelta => body_dod(values),
+        Technique::Rle => body_rle(values),
+        Technique::Dict => body_dict(values),
+        Technique::Xor => body_xor(values),
+    }
+}
+
+/// Encodes `values` as one framed column with a forced `technique`
+/// (the composed encoder uses [`encode_column`]; this entry point lets
+/// tests exercise each technique in isolation).
+pub fn encode_column_as(technique: Technique, values: &[u64], out: &mut Vec<u8>) {
+    let body = encode_body(technique, values);
+    out.push(technique.tag());
+    put_varint(out, body.len() as u64);
+    out.extend_from_slice(&body);
+}
+
+/// Encodes `values` as one framed column, probing every technique and
+/// keeping the cheapest (ties go to the earlier entry of
+/// [`Technique::ALL`], so the choice is deterministic).
+pub fn encode_column(values: &[u64], out: &mut Vec<u8>) -> Technique {
+    let mut best = Technique::Raw;
+    let mut best_body = body_raw(values);
+    for technique in &Technique::ALL[1..] {
+        let body = encode_body(*technique, values);
+        if body.len() < best_body.len() {
+            best = *technique;
+            best_body = body;
+        }
+    }
+    out.push(best.tag());
+    put_varint(out, best_body.len() as u64);
+    out.extend_from_slice(&best_body);
+    best
+}
+
+/// Decodes one framed column at `*pos`, which must hold exactly
+/// `expect` integers.
+///
+/// # Errors
+///
+/// [`Error::UnexpectedEof`] on truncation, [`Error::Malformed`] on an
+/// unknown tag, a frame length that disagrees with its own body, runs
+/// that do not sum to the count, or out-of-range dictionary indices.
+pub fn decode_column(data: &[u8], pos: &mut usize, expect: u64) -> Result<(Technique, Vec<u64>)> {
+    if expect > MAX_COLUMN_INTS {
+        return Err(Error::SizeLimitExceeded {
+            declared: expect,
+            limit: MAX_COLUMN_INTS,
+        });
+    }
+    let tag_off = *pos;
+    let tag = *data
+        .get(*pos)
+        .ok_or(Error::UnexpectedEof { offset: *pos })?;
+    *pos += 1;
+    let technique = Technique::from_tag(tag).ok_or(Error::Malformed {
+        reason: "unknown column technique tag",
+        offset: tag_off,
+    })?;
+    let body_len = get_varint(data, pos)? as usize;
+    let body_end = pos
+        .checked_add(body_len)
+        .filter(|&end| end <= data.len())
+        .ok_or(Error::UnexpectedEof { offset: data.len() })?;
+    let body = &data[*pos..body_end];
+    let base = *pos;
+    let expect = expect as usize;
+    let mut p = 0usize;
+    // Every decoder below reads only from `body`, so a lying `body_len`
+    // is caught either by the in-body EOF or by the exact-consumption
+    // check at the end.
+    let at = |p: usize| base + p;
+    let values = match technique {
+        Technique::Raw => {
+            let mut values = Vec::with_capacity(expect.min(body.len() + 1));
+            for _ in 0..expect {
+                values.push(get_varint(body, &mut p).map_err(|e| rebase(e, base))?);
+            }
+            values
+        }
+        Technique::Delta => {
+            let mut values = Vec::with_capacity(expect.min(body.len() + 1));
+            if expect > 0 {
+                let mut current = get_varint(body, &mut p).map_err(|e| rebase(e, base))?;
+                values.push(current);
+                for _ in 1..expect {
+                    let d = unzigzag(get_varint(body, &mut p).map_err(|e| rebase(e, base))?);
+                    current = current.wrapping_add(d as u64);
+                    values.push(current);
+                }
+            }
+            values
+        }
+        Technique::DeltaOfDelta => {
+            let mut values = Vec::with_capacity(expect.min(body.len() + 1));
+            if expect > 0 {
+                let mut current = get_varint(body, &mut p).map_err(|e| rebase(e, base))?;
+                values.push(current);
+                if expect > 1 {
+                    let mut delta =
+                        unzigzag(get_varint(body, &mut p).map_err(|e| rebase(e, base))?);
+                    current = current.wrapping_add(delta as u64);
+                    values.push(current);
+                    for _ in 2..expect {
+                        let dd = unzigzag(get_varint(body, &mut p).map_err(|e| rebase(e, base))?);
+                        delta = delta.wrapping_add(dd);
+                        current = current.wrapping_add(delta as u64);
+                        values.push(current);
+                    }
+                }
+            }
+            values
+        }
+        Technique::Rle => {
+            let mut values = Vec::with_capacity(expect.min(MAX_COLUMN_INTS as usize));
+            while values.len() < expect {
+                let v = get_varint(body, &mut p).map_err(|e| rebase(e, base))?;
+                let run = get_varint(body, &mut p).map_err(|e| rebase(e, base))?;
+                if run == 0 || run > (expect - values.len()) as u64 {
+                    return Err(Error::Malformed {
+                        reason: "RLE runs do not sum to the column count",
+                        offset: at(p),
+                    });
+                }
+                for _ in 0..run {
+                    values.push(v);
+                }
+            }
+            values
+        }
+        Technique::Dict => {
+            let n_distinct = get_varint(body, &mut p).map_err(|e| rebase(e, base))?;
+            if n_distinct > expect as u64 {
+                return Err(Error::Malformed {
+                    reason: "column dictionary larger than the column",
+                    offset: at(p),
+                });
+            }
+            let mut distinct = Vec::with_capacity(n_distinct as usize);
+            for _ in 0..n_distinct {
+                distinct.push(get_varint(body, &mut p).map_err(|e| rebase(e, base))?);
+            }
+            let mut values = Vec::with_capacity(expect.min(body.len() + 1));
+            for _ in 0..expect {
+                let code = get_varint(body, &mut p).map_err(|e| rebase(e, base))?;
+                let v = *distinct.get(code as usize).ok_or(Error::Malformed {
+                    reason: "column dictionary index out of range",
+                    offset: at(p),
+                })?;
+                values.push(v);
+            }
+            values
+        }
+        Technique::Xor => {
+            let mut values = Vec::with_capacity(expect.min(body.len() + 1));
+            if expect > 0 {
+                let mut current = get_varint(body, &mut p).map_err(|e| rebase(e, base))?;
+                values.push(current);
+                for _ in 1..expect {
+                    current ^= get_varint(body, &mut p).map_err(|e| rebase(e, base))?;
+                    values.push(current);
+                }
+            }
+            values
+        }
+    };
+    if p != body.len() {
+        return Err(Error::Malformed {
+            reason: "column frame length disagrees with its body",
+            offset: at(p),
+        });
+    }
+    *pos = body_end;
+    Ok((technique, values))
+}
+
+/// Shifts an in-body error offset into the enclosing stream.
+fn rebase(e: Error, base: usize) -> Error {
+    match e {
+        Error::UnexpectedEof { offset } => Error::UnexpectedEof {
+            offset: base + offset,
+        },
+        Error::Malformed { reason, offset } => Error::Malformed {
+            reason,
+            offset: base + offset,
+        },
+        other => other,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The persistent sensor dictionary.
+// ---------------------------------------------------------------------------
+
+/// Maps sensors to dense codes, in first-appearance order across the
+/// lifetime of a stream. The encoder and decoder each hold one; both
+/// commit a batch's additions only when the batch ships columnar, so the
+/// two sides stay in lock-step as long as batches are applied exactly
+/// once, in order — which is why the chaos plane *defers* a corrupted
+/// shipment instead of dropping it (see `f2c-core`'s flush gate).
+#[derive(Debug, Clone, Default)]
+pub struct SensorDict {
+    ids: Vec<SensorId>,
+    index: HashMap<SensorId, u64>,
+}
+
+impl SensorDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Committed entries.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The code of `id`, if committed.
+    pub fn code_of(&self, id: SensorId) -> Option<u64> {
+        self.index.get(&id).copied()
+    }
+
+    /// The sensor committed under `code`.
+    pub fn sensor_of(&self, code: u64) -> Option<SensorId> {
+        usize::try_from(code)
+            .ok()
+            .and_then(|i| self.ids.get(i))
+            .copied()
+    }
+
+    /// Commits `id` under the next code, returning it. `id` must not be
+    /// present yet.
+    fn push(&mut self, id: SensorId) -> u64 {
+        let code = self.ids.len() as u64;
+        self.ids.push(id);
+        self.index.insert(id, code);
+        code
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value models.
+// ---------------------------------------------------------------------------
+
+/// Which value shape a sensor type ships (mirrors the wire grammar in
+/// `scc_sensors::wire`): the columnar planes are laid out per model, so
+/// a batch whose values contradict their types' models is irregular and
+/// rides the DEFLATE fallback instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ValueModel {
+    Scalar,
+    Counter,
+    Flag,
+    Level,
+    Composite,
+}
+
+fn value_model(ty: SensorType) -> ValueModel {
+    use SensorType::*;
+    match ty {
+        ParkingSpot => ValueModel::Flag,
+        ElectricityMeter | GasMeter | BicycleFlow | PeopleFlow | Traffic => ValueModel::Counter,
+        ContainerGlass | ContainerOrganic | ContainerPaper | ContainerPlastic | ContainerRefuse => {
+            ValueModel::Level
+        }
+        NetworkAnalyzer | AirQuality | Weather => ValueModel::Composite,
+        _ => ValueModel::Scalar,
+    }
+}
+
+fn value_matches(ty: SensorType, value: &Value) -> bool {
+    matches!(
+        (value_model(ty), value),
+        (ValueModel::Scalar, Value::Scalar(_))
+            | (ValueModel::Counter, Value::Counter(_))
+            | (ValueModel::Flag, Value::Flag(_))
+            | (ValueModel::Level, Value::Level(_))
+            | (ValueModel::Composite, Value::Composite(_))
+    )
+}
+
+fn type_code(ty: SensorType) -> u8 {
+    SensorType::ALL
+        .iter()
+        .position(|&t| t == ty)
+        .expect("every sensor type is in ALL") as u8
+}
+
+fn type_from_code(code: u8) -> Option<SensorType> {
+    SensorType::ALL.get(code as usize).copied()
+}
+
+// ---------------------------------------------------------------------------
+// Verbatim serialization (the DEFLATE fallback's payload).
+// ---------------------------------------------------------------------------
+
+const VTAG_SCALAR: u8 = 0;
+const VTAG_COUNTER: u8 = 1;
+const VTAG_FLAG: u8 = 2;
+const VTAG_LEVEL: u8 = 3;
+const VTAG_COMPOSITE: u8 = 4;
+
+fn verbatim_encode(readings: &[Reading]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(readings.len() * 8 + 4);
+    put_varint(&mut out, readings.len() as u64);
+    for r in readings {
+        out.push(type_code(r.sensor_type()));
+        put_varint(&mut out, u64::from(r.sensor().index()));
+        put_varint(&mut out, r.timestamp_s());
+        match r.value() {
+            Value::Scalar(v) => {
+                out.push(VTAG_SCALAR);
+                put_varint(&mut out, zigzag(*v));
+            }
+            Value::Counter(c) => {
+                out.push(VTAG_COUNTER);
+                put_varint(&mut out, *c);
+            }
+            Value::Flag(b) => {
+                out.push(VTAG_FLAG);
+                out.push(u8::from(*b));
+            }
+            Value::Level(l) => {
+                out.push(VTAG_LEVEL);
+                out.push(*l);
+            }
+            Value::Composite(fields) => {
+                out.push(VTAG_COMPOSITE);
+                put_varint(&mut out, fields.len() as u64);
+                for &f in fields {
+                    put_varint(&mut out, zigzag(f));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn verbatim_decode(data: &[u8]) -> Result<Vec<Reading>> {
+    let mut pos = 0usize;
+    let n = get_varint(data, &mut pos)?;
+    if n > MAX_RECORDS {
+        return Err(Error::SizeLimitExceeded {
+            declared: n,
+            limit: MAX_RECORDS,
+        });
+    }
+    let mut readings = Vec::with_capacity((n as usize).min(data.len() / 4 + 1));
+    let byte = |data: &[u8], pos: &mut usize| -> Result<u8> {
+        let b = *data
+            .get(*pos)
+            .ok_or(Error::UnexpectedEof { offset: *pos })?;
+        *pos += 1;
+        Ok(b)
+    };
+    for _ in 0..n {
+        let ty_off = pos;
+        let ty = type_from_code(byte(data, &mut pos)?).ok_or(Error::Malformed {
+            reason: "unknown sensor type code",
+            offset: ty_off,
+        })?;
+        let index_raw = get_varint(data, &mut pos)?;
+        let index = u32::try_from(index_raw).map_err(|_| Error::Malformed {
+            reason: "sensor index exceeds 32 bits",
+            offset: pos,
+        })?;
+        let ts = get_varint(data, &mut pos)?;
+        let tag_off = pos;
+        let value = match byte(data, &mut pos)? {
+            VTAG_SCALAR => Value::Scalar(unzigzag(get_varint(data, &mut pos)?)),
+            VTAG_COUNTER => Value::Counter(get_varint(data, &mut pos)?),
+            VTAG_FLAG => match byte(data, &mut pos)? {
+                0 => Value::Flag(false),
+                1 => Value::Flag(true),
+                _ => {
+                    return Err(Error::Malformed {
+                        reason: "flag value out of range",
+                        offset: pos - 1,
+                    })
+                }
+            },
+            VTAG_LEVEL => Value::Level(byte(data, &mut pos)?),
+            VTAG_COMPOSITE => {
+                let len = get_varint(data, &mut pos)?;
+                if len > MAX_COLUMN_INTS {
+                    return Err(Error::SizeLimitExceeded {
+                        declared: len,
+                        limit: MAX_COLUMN_INTS,
+                    });
+                }
+                let mut fields = Vec::with_capacity((len as usize).min(data.len() - pos + 1));
+                for _ in 0..len {
+                    fields.push(unzigzag(get_varint(data, &mut pos)?));
+                }
+                Value::Composite(fields)
+            }
+            _ => {
+                return Err(Error::Malformed {
+                    reason: "unknown value tag",
+                    offset: tag_off,
+                })
+            }
+        };
+        readings.push(Reading::new(SensorId::new(ty, index), ts, value));
+    }
+    if pos != data.len() {
+        return Err(Error::Malformed {
+            reason: "trailing bytes after the last record",
+            offset: pos,
+        });
+    }
+    Ok(readings)
+}
+
+// ---------------------------------------------------------------------------
+// The composed stream codec.
+// ---------------------------------------------------------------------------
+
+/// Stateful batch encoder for one flush stream (one sender → one
+/// receiver). Feed it consecutive batches of the stream in shipping
+/// order; the matching [`StreamDecoder`] must see the produced payloads
+/// exactly once, in the same order.
+#[derive(Debug, Default)]
+pub struct StreamEncoder {
+    dict: SensorDict,
+}
+
+impl StreamEncoder {
+    /// A fresh stream with an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Committed dictionary entries so far.
+    pub fn dict_len(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Encodes one batch, advancing the persistent dictionary only if
+    /// the batch ships columnar (the fallback path carries no additions,
+    /// so the decoder stays in step either way).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::SizeLimitExceeded`] on a batch beyond [`MAX_RECORDS`];
+    /// DEFLATE errors from the fallback path.
+    pub fn encode_batch(&mut self, readings: &[Reading]) -> Result<Vec<u8>> {
+        if readings.len() as u64 > MAX_RECORDS {
+            return Err(Error::SizeLimitExceeded {
+                declared: readings.len() as u64,
+                limit: MAX_RECORDS,
+            });
+        }
+        let columnar = self.plan_columnar(readings);
+        let fallback = deflate::compress(&verbatim_encode(readings))?;
+        let (mode, body, staged) = match columnar {
+            Some((body, staged)) if body.len() <= fallback.len() => (MODE_COLUMNAR, body, staged),
+            _ => (MODE_FALLBACK, fallback, Vec::new()),
+        };
+        for id in staged {
+            self.dict.push(id);
+        }
+        let mut out = Vec::with_capacity(FALLBACK_OVERHEAD + body.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(mode);
+        out.extend_from_slice(&body);
+        let crc = crc32::checksum(&out[MAGIC.len()..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        Ok(out)
+    }
+
+    /// Builds the columnar body and the staged dictionary additions, or
+    /// `None` when the batch is irregular (value variants contradicting
+    /// their types' models, oversized composites).
+    fn plan_columnar(&self, readings: &[Reading]) -> Option<(Vec<u8>, Vec<SensorId>)> {
+        for r in readings {
+            if !value_matches(r.sensor_type(), r.value()) {
+                return None;
+            }
+            if let Value::Composite(fields) = r.value() {
+                if fields.len() as u64 > MAX_COMPOSITE_FIELDS {
+                    return None;
+                }
+            }
+        }
+        let mut staged: Vec<SensorId> = Vec::new();
+        let mut staged_index: HashMap<SensorId, u64> = HashMap::new();
+        let committed = self.dict.len() as u64;
+        let mut codes: Vec<u64> = Vec::with_capacity(readings.len());
+        for r in readings {
+            let id = r.sensor();
+            let code = self.dict.code_of(id).unwrap_or_else(|| {
+                *staged_index.entry(id).or_insert_with(|| {
+                    staged.push(id);
+                    committed + staged.len() as u64 - 1
+                })
+            });
+            codes.push(code);
+        }
+        let mut body = Vec::new();
+        put_varint(&mut body, readings.len() as u64);
+        put_varint(&mut body, staged.len() as u64);
+        for id in &staged {
+            body.push(type_code(id.sensor_type()));
+            put_varint(&mut body, u64::from(id.index()));
+        }
+        encode_column(&codes, &mut body);
+        let timestamps: Vec<u64> = readings.iter().map(Reading::timestamp_s).collect();
+        encode_column(&timestamps, &mut body);
+        for ty in SensorType::ALL {
+            let of_type: Vec<&Reading> =
+                readings.iter().filter(|r| r.sensor_type() == ty).collect();
+            if of_type.is_empty() {
+                continue;
+            }
+            match value_model(ty) {
+                ValueModel::Scalar => {
+                    let col: Vec<u64> = of_type
+                        .iter()
+                        .map(|r| match r.value() {
+                            Value::Scalar(v) => zigzag(*v),
+                            _ => unreachable!("regularity checked above"),
+                        })
+                        .collect();
+                    encode_column(&col, &mut body);
+                }
+                ValueModel::Counter => {
+                    let col: Vec<u64> = of_type
+                        .iter()
+                        .map(|r| match r.value() {
+                            Value::Counter(c) => *c,
+                            _ => unreachable!("regularity checked above"),
+                        })
+                        .collect();
+                    encode_column(&col, &mut body);
+                }
+                ValueModel::Flag => {
+                    let col: Vec<u64> = of_type
+                        .iter()
+                        .map(|r| match r.value() {
+                            Value::Flag(b) => u64::from(*b),
+                            _ => unreachable!("regularity checked above"),
+                        })
+                        .collect();
+                    encode_column(&col, &mut body);
+                }
+                ValueModel::Level => {
+                    let col: Vec<u64> = of_type
+                        .iter()
+                        .map(|r| match r.value() {
+                            Value::Level(l) => u64::from(*l),
+                            _ => unreachable!("regularity checked above"),
+                        })
+                        .collect();
+                    encode_column(&col, &mut body);
+                }
+                ValueModel::Composite => {
+                    let mut counts: Vec<u64> = Vec::with_capacity(of_type.len());
+                    let mut fields: Vec<u64> = Vec::new();
+                    for r in &of_type {
+                        match r.value() {
+                            Value::Composite(fs) => {
+                                counts.push(fs.len() as u64);
+                                fields.extend(fs.iter().map(|&f| zigzag(f)));
+                            }
+                            _ => unreachable!("regularity checked above"),
+                        }
+                    }
+                    if fields.len() as u64 > MAX_COLUMN_INTS {
+                        return None;
+                    }
+                    encode_column(&counts, &mut body);
+                    encode_column(&fields, &mut body);
+                }
+            }
+        }
+        Some((body, staged))
+    }
+}
+
+/// Stateful batch decoder mirroring [`StreamEncoder`]: feed it each
+/// payload of the stream exactly once, in shipping order.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    dict: SensorDict,
+}
+
+impl StreamDecoder {
+    /// A fresh stream with an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Committed dictionary entries so far.
+    pub fn dict_len(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Decodes one batch. The dictionary advances only on a successful
+    /// columnar decode — a stream that errors leaves the decoder state
+    /// untouched, so the caller can refuse the shipment and await a
+    /// clean re-delivery.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadMagic`], [`Error::ChecksumMismatch`],
+    /// [`Error::UnexpectedEof`], [`Error::SizeLimitExceeded`] or
+    /// [`Error::Malformed`]; never panics, never allocates past the
+    /// declared (validated) counts.
+    pub fn decode_batch(&mut self, data: &[u8]) -> Result<Vec<Reading>> {
+        if data.len() < MAGIC.len() {
+            return Err(Error::UnexpectedEof { offset: data.len() });
+        }
+        if data[..MAGIC.len()] != MAGIC {
+            let mut found = [0u8; 4];
+            found.copy_from_slice(&data[..4]);
+            return Err(Error::BadMagic { found });
+        }
+        if data.len() < FALLBACK_OVERHEAD {
+            return Err(Error::UnexpectedEof { offset: data.len() });
+        }
+        let crc_start = data.len() - 4;
+        let expected = u32::from_le_bytes(data[crc_start..].try_into().expect("4 bytes"));
+        let actual = crc32::checksum(&data[MAGIC.len()..crc_start]);
+        if expected != actual {
+            return Err(Error::ChecksumMismatch { expected, actual });
+        }
+        let mode = data[MAGIC.len()];
+        let body = &data[MAGIC.len() + 1..crc_start];
+        match mode {
+            MODE_FALLBACK => verbatim_decode(&deflate::decompress(body)?),
+            MODE_COLUMNAR => self.decode_columnar(body, MAGIC.len() + 1),
+            _ => Err(Error::Malformed {
+                reason: "unknown stream mode",
+                offset: MAGIC.len(),
+            }),
+        }
+    }
+
+    fn decode_columnar(&mut self, body: &[u8], base: usize) -> Result<Vec<Reading>> {
+        let err = |reason: &'static str, pos: usize| Error::Malformed {
+            reason,
+            offset: base + pos,
+        };
+        let mut pos = 0usize;
+        let n = get_varint(body, &mut pos).map_err(|e| rebase(e, base))?;
+        if n > MAX_RECORDS {
+            return Err(Error::SizeLimitExceeded {
+                declared: n,
+                limit: MAX_RECORDS,
+            });
+        }
+        let n_staged = get_varint(body, &mut pos).map_err(|e| rebase(e, base))?;
+        if n_staged > n {
+            return Err(err("more dictionary additions than records", pos));
+        }
+        let mut staged: Vec<SensorId> = Vec::with_capacity(n_staged as usize);
+        for _ in 0..n_staged {
+            let ty_off = pos;
+            let code = *body
+                .get(pos)
+                .ok_or(Error::UnexpectedEof { offset: base + pos })?;
+            pos += 1;
+            let ty = type_from_code(code).ok_or(err("unknown sensor type code", ty_off))?;
+            let index_raw = get_varint(body, &mut pos).map_err(|e| rebase(e, base))?;
+            let index =
+                u32::try_from(index_raw).map_err(|_| err("sensor index exceeds 32 bits", pos))?;
+            let id = SensorId::new(ty, index);
+            if self.dict.code_of(id).is_some() || staged.contains(&id) {
+                return Err(err("dictionary re-adds a known sensor", ty_off));
+            }
+            staged.push(id);
+        }
+        let committed = self.dict.len() as u64;
+        let sensor_of = |code: u64| -> Option<SensorId> {
+            if code < committed {
+                self.dict.sensor_of(code)
+            } else {
+                staged.get((code - committed) as usize).copied()
+            }
+        };
+        let (_, codes) = decode_column(body, &mut pos, n).map_err(|e| rebase(e, base))?;
+        let mut sensors: Vec<SensorId> = Vec::with_capacity(codes.len());
+        for &code in &codes {
+            sensors.push(sensor_of(code).ok_or(err("sensor code out of range", pos))?);
+        }
+        let (_, timestamps) = decode_column(body, &mut pos, n).map_err(|e| rebase(e, base))?;
+        // Per-type value columns, in SensorType::ALL order.
+        let mut per_type: HashMap<SensorType, std::vec::IntoIter<Value>> = HashMap::new();
+        for ty in SensorType::ALL {
+            let count = sensors.iter().filter(|s| s.sensor_type() == ty).count() as u64;
+            if count == 0 {
+                continue;
+            }
+            let values: Vec<Value> = match value_model(ty) {
+                ValueModel::Scalar => {
+                    let (_, col) =
+                        decode_column(body, &mut pos, count).map_err(|e| rebase(e, base))?;
+                    col.into_iter()
+                        .map(|v| Value::Scalar(unzigzag(v)))
+                        .collect()
+                }
+                ValueModel::Counter => {
+                    let (_, col) =
+                        decode_column(body, &mut pos, count).map_err(|e| rebase(e, base))?;
+                    col.into_iter().map(Value::Counter).collect()
+                }
+                ValueModel::Flag => {
+                    let (_, col) =
+                        decode_column(body, &mut pos, count).map_err(|e| rebase(e, base))?;
+                    let mut out = Vec::with_capacity(col.len());
+                    for v in col {
+                        match v {
+                            0 => out.push(Value::Flag(false)),
+                            1 => out.push(Value::Flag(true)),
+                            _ => return Err(err("flag value out of range", pos)),
+                        }
+                    }
+                    out
+                }
+                ValueModel::Level => {
+                    let (_, col) =
+                        decode_column(body, &mut pos, count).map_err(|e| rebase(e, base))?;
+                    let mut out = Vec::with_capacity(col.len());
+                    for v in col {
+                        let l =
+                            u8::try_from(v).map_err(|_| err("level value out of range", pos))?;
+                        out.push(Value::Level(l));
+                    }
+                    out
+                }
+                ValueModel::Composite => {
+                    let (_, counts) =
+                        decode_column(body, &mut pos, count).map_err(|e| rebase(e, base))?;
+                    let mut total = 0u64;
+                    for &c in &counts {
+                        if c > MAX_COMPOSITE_FIELDS {
+                            return Err(err("composite wider than the columnar limit", pos));
+                        }
+                        total += c;
+                    }
+                    let (_, fields) =
+                        decode_column(body, &mut pos, total).map_err(|e| rebase(e, base))?;
+                    let mut out = Vec::with_capacity(counts.len());
+                    let mut cursor = 0usize;
+                    for c in counts {
+                        let next = cursor + c as usize;
+                        out.push(Value::Composite(
+                            fields[cursor..next].iter().map(|&f| unzigzag(f)).collect(),
+                        ));
+                        cursor = next;
+                    }
+                    out
+                }
+            };
+            per_type.insert(ty, values.into_iter());
+        }
+        if pos != body.len() {
+            return Err(err("trailing bytes after the last column", pos));
+        }
+        let mut readings: Vec<Reading> = Vec::with_capacity(sensors.len());
+        for (sensor, ts) in sensors.iter().zip(&timestamps) {
+            let value = per_type
+                .get_mut(&sensor.sensor_type())
+                .and_then(Iterator::next)
+                .ok_or(err("value column shorter than its records", pos))?;
+            readings.push(Reading::new(*sensor, *ts, value));
+        }
+        // Success: commit the additions, exactly as the encoder did.
+        for id in staged {
+            self.dict.push(id);
+        }
+        Ok(readings)
+    }
+}
+
+/// One-shot encode with a fresh dictionary (tests, ad-hoc tools).
+///
+/// # Errors
+///
+/// As [`StreamEncoder::encode_batch`].
+pub fn encode_once(readings: &[Reading]) -> Result<Vec<u8>> {
+    StreamEncoder::new().encode_batch(readings)
+}
+
+/// One-shot decode with a fresh dictionary (tests, ad-hoc tools).
+///
+/// # Errors
+///
+/// As [`StreamDecoder::decode_batch`].
+pub fn decode_once(data: &[u8]) -> Result<Vec<Reading>> {
+    StreamDecoder::new().decode_batch(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar(idx: u32, ts: u64, v: f64) -> Reading {
+        Reading::new(
+            SensorId::new(SensorType::Temperature, idx),
+            ts,
+            Value::from_f64(v),
+        )
+    }
+
+    #[test]
+    fn varint_roundtrips_edge_values() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong_and_truncated() {
+        assert!(matches!(
+            get_varint(&[0x80; 11], &mut 0),
+            Err(Error::Malformed { .. })
+        ));
+        assert!(matches!(
+            get_varint(&[0x80, 0x80], &mut 0),
+            Err(Error::UnexpectedEof { .. })
+        ));
+        // 10th byte may only contribute one bit.
+        let mut overflow = vec![0xFF; 9];
+        overflow.push(0x02);
+        assert!(matches!(
+            get_varint(&overflow, &mut 0),
+            Err(Error::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn zigzag_roundtrips_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 4711, -4711] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn every_technique_roundtrips_every_shape() {
+        let shapes: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![42],
+            vec![7; 100],
+            (0..100u64).map(|i| 900 * i).collect(),
+            vec![u64::MAX, 0, u64::MAX, 1],
+            (0..50u64).map(|i| i * i ^ 0xABCD).collect(),
+        ];
+        for technique in Technique::ALL {
+            for values in &shapes {
+                let mut buf = Vec::new();
+                encode_column_as(technique, values, &mut buf);
+                let mut pos = 0;
+                let (t, back) = decode_column(&buf, &mut pos, values.len() as u64)
+                    .unwrap_or_else(|e| panic!("{technique:?} over {values:?}: {e}"));
+                assert_eq!(t, technique);
+                assert_eq!(&back, values, "{technique:?}");
+                assert_eq!(pos, buf.len());
+            }
+        }
+    }
+
+    #[test]
+    fn probe_picks_dod_for_regular_timestamps_and_rle_for_runs() {
+        let ts: Vec<u64> = (0..500u64).map(|i| 1_000_000 + 900 * i).collect();
+        let mut buf = Vec::new();
+        assert_eq!(encode_column(&ts, &mut buf), Technique::DeltaOfDelta);
+        let runs = vec![3u64; 500];
+        let mut buf2 = Vec::new();
+        assert_eq!(encode_column(&runs, &mut buf2), Technique::Rle);
+        // A regular period costs ~1 byte per record (zero residuals);
+        // a constant run collapses to one (value, run) pair.
+        assert!(
+            buf.len() < 520 && buf2.len() < 10,
+            "{} / {}",
+            buf.len(),
+            buf2.len()
+        );
+    }
+
+    #[test]
+    fn stream_roundtrips_and_dictionary_persists() {
+        let mut enc = StreamEncoder::new();
+        let mut dec = StreamDecoder::new();
+        let wave =
+            |t: u64| -> Vec<Reading> { (0..40).map(|i| scalar(i, t, 20.0 + i as f64)).collect() };
+        let first = enc.encode_batch(&wave(900)).unwrap();
+        let second = enc.encode_batch(&wave(1800)).unwrap();
+        assert_eq!(enc.dict_len(), 40);
+        assert!(
+            second.len() < first.len(),
+            "second batch must ride the dictionary ({} vs {})",
+            second.len(),
+            first.len()
+        );
+        assert_eq!(dec.decode_batch(&first).unwrap(), wave(900));
+        assert_eq!(dec.decode_batch(&second).unwrap(), wave(1800));
+        assert_eq!(dec.dict_len(), 40);
+    }
+
+    #[test]
+    fn irregular_values_ride_the_fallback() {
+        // A parking spot shipping a scalar contradicts its model.
+        let odd = vec![Reading::new(
+            SensorId::new(SensorType::ParkingSpot, 1),
+            900,
+            Value::Scalar(200),
+        )];
+        let packed = encode_once(&odd).unwrap();
+        assert_eq!(packed[4], MODE_FALLBACK);
+        assert_eq!(decode_once(&packed).unwrap(), odd);
+    }
+
+    #[test]
+    fn fallback_commits_no_dictionary_state() {
+        let mut enc = StreamEncoder::new();
+        let odd = vec![Reading::new(
+            SensorId::new(SensorType::ParkingSpot, 1),
+            900,
+            Value::Scalar(200),
+        )];
+        enc.encode_batch(&odd).unwrap();
+        assert_eq!(enc.dict_len(), 0);
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let packed = encode_once(&[]).unwrap();
+        assert_eq!(decode_once(&packed).unwrap(), Vec::<Reading>::new());
+    }
+
+    #[test]
+    fn decoder_rejects_bad_magic_and_bitflips() {
+        let batch: Vec<Reading> = (0..20)
+            .map(|i| scalar(i, 900 * u64::from(i), 21.0))
+            .collect();
+        let packed = encode_once(&batch).unwrap();
+        let mut wrong = packed.clone();
+        wrong[0] = b'X';
+        assert!(matches!(decode_once(&wrong), Err(Error::BadMagic { .. })));
+        for i in 4..packed.len() {
+            let mut flipped = packed.clone();
+            flipped[i] ^= 0x10;
+            assert!(decode_once(&flipped).is_err(), "flip at {i} must fail");
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_every_truncation() {
+        let batch: Vec<Reading> = (0..20)
+            .map(|i| scalar(i, 900 * u64::from(i), 21.0))
+            .collect();
+        let packed = encode_once(&batch).unwrap();
+        for len in 0..packed.len() {
+            assert!(
+                decode_once(&packed[..len]).is_err(),
+                "prefix {len} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_type_batch_roundtrips() {
+        let mut batch = Vec::new();
+        for i in 0..10u32 {
+            batch.push(Reading::new(
+                SensorId::new(SensorType::ParkingSpot, i),
+                900,
+                Value::Flag(i % 2 == 0),
+            ));
+            batch.push(Reading::new(
+                SensorId::new(SensorType::Traffic, i),
+                900,
+                Value::Counter(u64::from(i) * 17),
+            ));
+            batch.push(Reading::new(
+                SensorId::new(SensorType::ContainerGlass, i),
+                901,
+                Value::Level((i % 100) as u8),
+            ));
+            batch.push(Reading::new(
+                SensorId::new(SensorType::Weather, i),
+                902,
+                Value::Composite(vec![2100 + i64::from(i), -50, 10_132]),
+            ));
+        }
+        let packed = encode_once(&batch).unwrap();
+        assert_eq!(packed[4], MODE_COLUMNAR);
+        assert_eq!(decode_once(&packed).unwrap(), batch);
+    }
+}

@@ -32,6 +32,13 @@ pub enum Error {
     Network(citysim::Error),
     /// An underlying compression error surfaced during flushing.
     Compression(f2c_compress::Error),
+    /// A flush payload decoded cleanly but disagreed with the records
+    /// it shipped alongside — the receiver-side decode-equality proof
+    /// failed for the child stream `origin`.
+    CodecMismatch {
+        /// The child stream (fog-2: child section; cloud: district).
+        origin: u16,
+    },
 }
 
 impl fmt::Display for Error {
@@ -50,6 +57,10 @@ impl fmt::Display for Error {
             }
             Error::Network(e) => write!(f, "network error: {e}"),
             Error::Compression(e) => write!(f, "compression error: {e}"),
+            Error::CodecMismatch { origin } => write!(
+                f,
+                "flush payload from child stream {origin} decodes to different records"
+            ),
         }
     }
 }

@@ -14,13 +14,13 @@ use f2c_obs::{
     MetricsRegistry, Site, SloSpec, Tracer,
 };
 use scc_dlc::DataRecord;
-use scc_sensors::{Catalog, Reading, SensorType};
+use scc_sensors::{wire, Catalog, Reading, SensorType};
 
 use crate::cost::{AccessCostModel, AccessOption};
 use crate::incident::{ChaosSite, IncidentKind, IncidentTimeline};
 use crate::node::{F2cNode, FlushBatch, IngestOutcome};
 use crate::policy::{FlushPolicy, RetentionPolicy};
-use crate::shard::{run_shards, ObsScratch, Parallelism};
+use crate::shard::{run_shards, ObsScratch, Parallelism, ShipmentRecord};
 use crate::{Error, Result};
 
 /// Where a fetch was ultimately served from.
@@ -98,6 +98,10 @@ struct CityMetricIds {
     /// Wire bytes of the pre-folded partials shipped per hop alongside
     /// the raw batches (the sketch channel's cost), heals included.
     sketch_flush_bytes: [CounterId; 2],
+    /// Bytes actually metered on the uplink per hop — the encoded
+    /// `tsenc` payload when the policy compresses, accounting bytes
+    /// otherwise. The `flush.bytes_per_record` budget gates on these.
+    uplink_flush_bytes: [CounterId; 2],
     /// Flush waves run.
     flush_waves: CounterId,
     /// Anti-entropy outcomes: holes healed / carried / unhealable.
@@ -118,6 +122,10 @@ impl CityMetricIds {
             sketch_flush_bytes: [
                 metrics.counter("flush_sketch_bytes", sketch.layer("fog1")),
                 metrics.counter("flush_sketch_bytes", sketch.layer("fog2")),
+            ],
+            uplink_flush_bytes: [
+                metrics.counter("flush_uplink_bytes", flush.layer("fog1")),
+                metrics.counter("flush_uplink_bytes", flush.layer("fog2")),
             ],
             flush_waves: metrics.counter("flush_waves", flush),
             heal_healed: metrics.counter("heal_outcomes", sketch.kind("healed")),
@@ -158,6 +166,12 @@ pub struct F2cCity {
     /// phase 1, sharded ingest). Every observable is byte-identical at
     /// any setting; this knob only trades wall-clock.
     parallelism: Parallelism,
+    /// Whether flush waves append every encoded shipment to
+    /// [`F2cCity::shipment_log`] (off by default — the tap exists for
+    /// the codec's differential and invariance tests).
+    capture_shipments: bool,
+    /// Captured shipments, in canonical district/section order.
+    shipment_log: Vec<ShipmentRecord>,
 }
 
 impl F2cCity {
@@ -207,6 +221,8 @@ impl F2cCity {
             exemplars: ExemplarStore::new(),
             monitor: BurnRateMonitor::new(Self::AVAILABILITY_SLO),
             parallelism: Parallelism::from_env(),
+            capture_shipments: false,
+            shipment_log: Vec::new(),
         })
     }
 
@@ -241,7 +257,7 @@ impl F2cCity {
         Self::new(
             &LatencyProfile::default(),
             FlushPolicy::paper_fog1(),
-            FlushPolicy::plain(3600),
+            FlushPolicy::paper_fog2(),
             RetentionPolicy::keep(86_400),
         )
     }
@@ -363,6 +379,24 @@ impl F2cCity {
     /// The availability SLO's burn-rate monitor.
     pub fn burn_monitor(&self) -> &BurnRateMonitor {
         &self.monitor
+    }
+
+    /// Turns the shipment tap on or off. While on, every flush hop that
+    /// ships an encoded payload appends a [`ShipmentRecord`] to
+    /// [`F2cCity::shipment_log`], in the same canonical district and
+    /// section order at every thread count.
+    pub fn set_capture_shipments(&mut self, on: bool) {
+        self.capture_shipments = on;
+    }
+
+    /// The captured flush shipments (empty unless the tap is on).
+    pub fn shipment_log(&self) -> &[ShipmentRecord] {
+        &self.shipment_log
+    }
+
+    /// Drains and returns the captured flush shipments.
+    pub fn take_shipment_log(&mut self) -> Vec<ShipmentRecord> {
+        std::mem::take(&mut self.shipment_log)
     }
 
     /// Evaluates the availability burn-rate monitor at event-clock
@@ -519,6 +553,18 @@ impl F2cCity {
         (
             self.metrics.counter_value(self.ids.sketch_flush_bytes[0]),
             self.metrics.counter_value(self.ids.sketch_flush_bytes[1]),
+        )
+    }
+
+    /// Cumulative bytes actually metered on the flush uplinks so far,
+    /// per hop: `(fog-1 → fog-2, fog-2 → cloud)`. With a compressing
+    /// policy these are the encoded `tsenc` payload sizes — what the
+    /// network really carried — and the quantity the
+    /// `flush.bytes_per_record` perf budget is computed from.
+    pub fn uplink_flush_bytes(&self) -> (u64, u64) {
+        (
+            self.metrics.counter_value(self.ids.uplink_flush_bytes[0]),
+            self.metrics.counter_value(self.ids.uplink_flush_bytes[1]),
         )
     }
 
@@ -703,6 +749,7 @@ impl F2cCity {
         self.explains.absorb(&mut scratch.explains);
         self.exemplars.absorb(&mut scratch.exemplars);
         self.city.network_mut().absorb_scratch(&mut scratch.net);
+        self.shipment_log.append(&mut scratch.shipments);
     }
 
     /// Ingests one wave of readings at a section's fog-1 node.
@@ -884,6 +931,7 @@ impl F2cCity {
                 obs,
                 ids,
                 bytes: 0,
+                capture: self.capture_shipments,
                 err: None,
             });
             base += DISTRICTS[d].1;
@@ -986,7 +1034,23 @@ impl F2cCity {
             sent?;
             cloud_wave_end_us = cloud_wave_end_us.max(arrival_us);
             cloud_shipped += 1;
-            self.cloud.receive(batch.records, now_s);
+            self.metrics
+                .add(self.ids.uplink_flush_bytes[1], batch.uplink_bytes());
+            if self.capture_shipments {
+                if let Some(payload) = batch.payload.clone() {
+                    let readings: Vec<Reading> =
+                        batch.records.iter().map(|r| r.reading().clone()).collect();
+                    self.shipment_log.push(ShipmentRecord {
+                        hop: 2,
+                        origin: d as u16,
+                        at_s: now_s,
+                        payload,
+                        wire: wire::encode_batch(&readings),
+                    });
+                }
+            }
+            self.cloud
+                .receive_flush(d as u16, batch.payload.as_deref(), batch.records, now_s)?;
         }
         self.tracer
             .close_with(cloud_wave, cloud_wave_end_us, cloud_shipped);
@@ -1270,6 +1334,13 @@ fn flush_gate(
     if failures.shipment_lost(from, epoch) {
         return Some(IncidentKind::ShipmentLost);
     }
+    // A payload-corruption verdict also defers: the damage would be
+    // link-layer detected, and deferring before `flush()` keeps the
+    // flush codec's cross-batch dictionary from advancing past a
+    // shipment the receiver never applied.
+    if failures.payload_corrupted(from, epoch) {
+        return Some(IncidentKind::ShipmentCorrupted);
+    }
     None
 }
 
@@ -1304,6 +1375,8 @@ struct FlushShard<'a> {
     obs: ObsScratch,
     ids: CityMetricIds,
     bytes: u64,
+    /// Whether the city's shipment tap is on.
+    capture: bool,
     err: Option<Error>,
 }
 
@@ -1381,7 +1454,32 @@ impl FlushShard<'_> {
             }
             wave_end_us = wave_end_us.max(arrival_us);
             shipped += 1;
-            self.fog2.receive(batch.records, now_s);
+            self.obs
+                .reg
+                .add(self.ids.uplink_flush_bytes[0], batch.uplink_bytes());
+            if self.capture {
+                if let Some(payload) = batch.payload.clone() {
+                    let readings: Vec<Reading> =
+                        batch.records.iter().map(|r| r.reading().clone()).collect();
+                    self.obs.shipments.push(ShipmentRecord {
+                        hop: 1,
+                        origin: i as u16,
+                        at_s: now_s,
+                        payload,
+                        wire: wire::encode_batch(&readings),
+                    });
+                }
+            }
+            // The receiver decodes the payload with its per-child mirror
+            // decoder and proves it equals the shipped records — the
+            // decode-equality check runs live, on every hop.
+            if let Err(e) =
+                self.fog2
+                    .receive_flush(i as u16, batch.payload.as_deref(), batch.records, now_s)
+            {
+                self.err = Some(e);
+                break;
+            }
         }
         self.obs.tracer.close_with(wave, wave_end_us, shipped);
     }

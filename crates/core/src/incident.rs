@@ -56,6 +56,13 @@ pub enum IncidentKind {
     /// The flush wave was lost in transit (sender-detected): the batch
     /// stays queued below and re-ships next wave.
     ShipmentLost,
+    /// The flush wave's encoded record payload would be corrupted in
+    /// transit (link-layer detected): the sender retains the wave, just
+    /// as for a loss. Deferral is load-bearing here — the flush codec's
+    /// cross-batch dictionary advances only on delivered shipments, so
+    /// refusing-and-retrying keeps encoder and decoder in lock-step
+    /// where applying a damaged stream would desynchronize them.
+    ShipmentCorrupted,
     /// One encoded bucket partial arrived corrupted and was refused by
     /// the receiver's CRC check.
     SketchCorrupted {
@@ -121,6 +128,7 @@ impl IncidentKind {
             IncidentKind::IngestLost { .. } => "ingest-lost",
             IncidentKind::FlushBlocked => "flush-blocked",
             IncidentKind::ShipmentLost => "shipment-lost",
+            IncidentKind::ShipmentCorrupted => "shipment-corrupted",
             IncidentKind::SketchCorrupted { .. } => "sketch-corrupted",
             IncidentKind::HolePunched { .. } => "hole-punched",
             IncidentKind::HoleHealed { .. } => "hole-healed",

@@ -66,6 +66,6 @@ pub use layer::Layer;
 pub use node::{F2cNode, FlushBatch, IngestOutcome, SKETCH_BUCKET_S, SKETCH_RETENTION_S};
 pub use policy::{FlushPolicy, RetentionPolicy};
 pub use service::CityService;
-pub use shard::{run_shards, ObsScratch, Parallelism};
+pub use shard::{run_shards, ObsScratch, Parallelism, ShipmentRecord};
 pub use store::TieredStore;
 pub use traffic::TrafficModel;

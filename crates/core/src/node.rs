@@ -16,6 +16,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use f2c_aggregate::sketch::{AggPartial, SketchKey, SketchLedger};
+use f2c_compress::tsenc;
 use scc_dlc::acquisition::AcquisitionBlock;
 use scc_dlc::phase::{Phase, PhaseContext};
 use scc_dlc::preservation::ClassificationPhase;
@@ -60,8 +61,14 @@ pub struct FlushBatch {
     pub acct_bytes: u64,
     /// Actual wire-encoded size of the batch.
     pub wire_bytes: u64,
-    /// Compressed size of the wire batch, when the policy compresses.
+    /// Compressed size of the shipped payload, when the policy
+    /// compresses (always `payload.len()` when `payload` is `Some`).
     pub compressed_bytes: Option<u64>,
+    /// The encoded shipment itself (`f2c_compress::tsenc` stream),
+    /// present when the policy compresses. The receiver decodes it with
+    /// its per-child stream decoder and verifies it against `records` —
+    /// a live end-to-end proof of decode equality on every flush.
+    pub payload: Option<Vec<u8>>,
     /// Pre-folded bucket partials shipped alongside the records (wire
     /// encoded, CRC-protected), sorted by key for determinism.
     pub sketches: Vec<(SketchKey, Vec<u8>)>,
@@ -94,6 +101,7 @@ impl FlushBatch {
             acct_bytes: 0,
             wire_bytes: 0,
             compressed_bytes: None,
+            payload: None,
             sketches: Vec::new(),
             seals: Vec::new(),
             holes: Vec::new(),
@@ -130,6 +138,16 @@ pub struct F2cNode {
     /// observability (which flush last touched a bucket). Staleness
     /// *proofs* never read it — they use the seal and pending frontiers.
     flush_seq: u64,
+    /// The upward flush stream's codec state (used when the policy
+    /// compresses): a sensor dictionary that persists across
+    /// consecutive flushes, so steady-state batches code each sensor as
+    /// a small dense integer. Advances only when a batch actually
+    /// ships — a deferred wave (chaos gate) never touches it, which is
+    /// what keeps it in lock-step with the parent's mirror decoder.
+    codec: tsenc::StreamEncoder,
+    /// Per-child mirror decoders (fog-2: keyed by child section; cloud:
+    /// keyed by district), advancing exactly once per received payload.
+    decoders: BTreeMap<u16, tsenc::StreamDecoder>,
 }
 
 impl F2cNode {
@@ -164,6 +182,8 @@ impl F2cNode {
             seal_relay: BTreeMap::new(),
             hole_relay: BTreeSet::new(),
             flush_seq: 0,
+            codec: tsenc::StreamEncoder::new(),
+            decoders: BTreeMap::new(),
         })
     }
 
@@ -191,6 +211,8 @@ impl F2cNode {
             seal_relay: BTreeMap::new(),
             hole_relay: BTreeSet::new(),
             flush_seq: 0,
+            codec: tsenc::StreamEncoder::new(),
+            decoders: BTreeMap::new(),
         })
     }
 
@@ -210,6 +232,8 @@ impl F2cNode {
             seal_relay: BTreeMap::new(),
             hole_relay: BTreeSet::new(),
             flush_seq: 0,
+            codec: tsenc::StreamEncoder::new(),
+            decoders: BTreeMap::new(),
         }
     }
 
@@ -387,6 +411,43 @@ impl F2cNode {
         self.store.insert_batch(records);
     }
 
+    /// Receives one flush shipment from the child stream `origin`
+    /// (fog-2: the child's section; cloud: the shipping district).
+    ///
+    /// When the shipment carries an encoded payload, the stream's
+    /// mirror decoder decodes it and verifies the result against the
+    /// plainly-shipped records, reading-for-reading — every flush is a
+    /// live decode-equality proof, and the decoder's dictionary
+    /// advances in lock-step with the child's encoder. Only then do the
+    /// records enter the store (via [`F2cNode::receive`]).
+    ///
+    /// # Errors
+    ///
+    /// Decode failures ([`Error::Compression`]) or a decoded batch that
+    /// disagrees with the shipped records ([`Error::CodecMismatch`]).
+    pub fn receive_flush(
+        &mut self,
+        origin: u16,
+        payload: Option<&[u8]>,
+        records: Vec<DataRecord>,
+        now_s: u64,
+    ) -> Result<()> {
+        if let Some(bytes) = payload {
+            let decoder = self.decoders.entry(origin).or_default();
+            let decoded = decoder.decode_batch(bytes)?;
+            let matches = decoded.len() == records.len()
+                && decoded
+                    .iter()
+                    .zip(&records)
+                    .all(|(reading, record)| reading == record.reading());
+            if !matches {
+                return Err(Error::CodecMismatch { origin });
+            }
+        }
+        self.receive(records, now_s);
+        Ok(())
+    }
+
     /// Takes the records due for upward shipping at `now_s` and packages
     /// them as a [`FlushBatch`] (compressing if the policy says so), then
     /// applies retention eviction — to the raw archive *and*, on the
@@ -464,16 +525,24 @@ impl F2cNode {
         let readings: Vec<Reading> = records.iter().map(|r| r.reading().clone()).collect();
         let encoded = wire::encode_batch(&readings);
         let wire_bytes = encoded.len() as u64;
-        let compressed_bytes = if self.flush_policy.compress {
-            Some(f2c_compress::compress(&encoded)?.len() as u64)
+        // The shipped payload rides the columnar time-series codec, not
+        // byte-oriented DEFLATE of the wire text: the stream encoder's
+        // sensor dictionary persists across this node's flushes, so the
+        // parent's mirror decoder must see every payload exactly once,
+        // in order — guaranteed because a deferred wave never reaches
+        // this point (the chaos gate runs before `flush()`).
+        let payload = if self.flush_policy.compress {
+            Some(self.codec.encode_batch(&readings)?)
         } else {
             None
         };
+        let compressed_bytes = payload.as_ref().map(|p| p.len() as u64);
         Ok(FlushBatch {
             records,
             acct_bytes,
             wire_bytes,
             compressed_bytes,
+            payload,
             sketches,
             seals,
             holes,

@@ -37,6 +37,20 @@ impl FlushPolicy {
         }
     }
 
+    /// The fog-2 relay policy of the default deployment: hourly flushes,
+    /// no re-aggregation (fog 1 already deduplicated), but the shipment
+    /// rides the same time-series codec as the first hop — the
+    /// fog-2 → cloud uplink is the widest-fan-in link in the hierarchy,
+    /// so encoding it pays at least as much as at fog 1.
+    pub fn paper_fog2() -> Self {
+        Self {
+            period_s: 3600,
+            aggregate: false,
+            compress: true,
+            off_peak_window: None,
+        }
+    }
+
     /// A plain periodic policy without optimizations (fog 2 / baseline).
     pub fn plain(period_s: u64) -> Self {
         Self {

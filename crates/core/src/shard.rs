@@ -97,6 +97,25 @@ where
     });
 }
 
+/// One encoded flush shipment as it crossed a hop, captured only when
+/// the city's shipment tap is on (differential corpus tests re-encode
+/// and re-decode these offline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShipmentRecord {
+    /// Which hop shipped it: `1` = fog-1 → fog-2, `2` = fog-2 → cloud.
+    pub hop: u8,
+    /// The child stream at the receiver (hop 1: global section index,
+    /// hop 2: district index) — the key the decoder state is kept under.
+    pub origin: u16,
+    /// Simulated instant of the flush wave.
+    pub at_s: u64,
+    /// The encoded `tsenc` payload that crossed the link.
+    pub payload: Vec<u8>,
+    /// The same records in verbatim wire-batch form, for the
+    /// DEFLATE-vs-tsenc differential bound.
+    pub wire: Vec<u8>,
+}
+
 /// One shard's buffered observability: everything a phase would normally
 /// publish into the city's unified registry/tracer/timeline/meter, held
 /// locally until the coordinator absorbs it at a barrier.
@@ -114,6 +133,8 @@ pub struct ObsScratch {
     pub(crate) net: NetScratch,
     pub(crate) explains: ExplainStore,
     pub(crate) exemplars: ExemplarStore,
+    /// Captured flush shipments (empty unless the tap is on).
+    pub(crate) shipments: Vec<ShipmentRecord>,
     /// Cached scratch-counter-id → city-counter-id translation.
     pub(crate) map: Vec<CounterId>,
 }
@@ -127,6 +148,7 @@ impl Default for ObsScratch {
             net: NetScratch::default(),
             explains: ExplainStore::new(),
             exemplars: ExemplarStore::new(),
+            shipments: Vec::new(),
             map: Vec::new(),
         }
     }

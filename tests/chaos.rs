@@ -144,6 +144,64 @@ fn corruption_punches_holes_and_anti_entropy_heals_them_in_the_same_wave() {
 }
 
 #[test]
+fn corrupted_payload_defers_the_wave_and_loses_nothing() {
+    // A payload-corruption verdict is link-layer detected, so the sender
+    // defers the whole wave *before* the batch is taken — the flush
+    // codec's cross-batch dictionary must never advance past a shipment
+    // the receiver never applied. Once the fault clears, the deferred
+    // records catch up byte-exactly.
+    let waves: Vec<(usize, u64)> = vec![(0, 100), (0, 500), (5, 100), (12, 300)];
+
+    let mut chaos = F2cCity::barcelona().unwrap();
+    let mut plan = FailurePlan::with_seed(7);
+    plan.set_payload_corruption(1.0);
+    chaos.set_failures(plan);
+    ingest_waves(&mut chaos, &waves, &[]);
+    chaos.flush_all(900).unwrap();
+
+    // A certain coin defers every loaded hop; nothing reaches the cloud.
+    assert_eq!(
+        chaos.cloud().store().len(),
+        0,
+        "deferred waves must not ship"
+    );
+    let corrupted = chaos
+        .timeline()
+        .summary()
+        .get("shipment-corrupted")
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        corrupted > 0,
+        "a certain corruption coin must record ShipmentCorrupted incidents"
+    );
+    for incident in chaos.timeline().iter() {
+        assert_ne!(
+            incident.kind,
+            IncidentKind::ShipmentLost,
+            "payload corruption must not masquerade as shipment loss"
+        );
+    }
+
+    // The fault clears; the next wave ships everything that was held.
+    chaos.set_failures(FailurePlan::none());
+    chaos.flush_all(1_800).unwrap();
+    let mut control = F2cCity::barcelona().unwrap();
+    ingest_waves(&mut control, &waves, &[]);
+    control.flush_all(900).unwrap();
+    control.flush_all(1_800).unwrap();
+    assert_eq!(
+        chaos.cloud().store().len(),
+        control.cloud().store().len(),
+        "a deferred wave must catch up with zero record loss"
+    );
+    assert_eq!(
+        chaos.cloud().sketches().len(),
+        control.cloud().sketches().len()
+    );
+}
+
+#[test]
 fn district_crash_blocks_children_and_recovery_converges() {
     // Every section in district 2 keeps ingesting while its fog-2 is
     // down over two flush epochs; children's waves are FlushBlocked
@@ -202,6 +260,7 @@ fn fault_schedules_replay_deterministically() {
         let mut plan = FailurePlan::with_seed(2_017);
         plan.set_shipment_loss(0.3);
         plan.set_shipment_corruption(0.3);
+        plan.set_payload_corruption(0.2);
         city.set_failures(plan);
         city.inject_node_outage(ChaosSite::Fog1(9), 700, 1_000);
         city.inject_node_outage(ChaosSite::Cloud, 1_700, 1_900);
@@ -251,6 +310,7 @@ mod oracle {
         seed: u64,
         loss_milli: u32,
         corrupt_milli: u32,
+        payload_milli: u32,
         outages: &[(u8, u64, u64)],
         waves: &[(usize, u64)],
     ) -> (F2cCity, Vec<(usize, u64)>) {
@@ -259,6 +319,7 @@ mod oracle {
         let mut plan = FailurePlan::with_seed(seed);
         plan.set_shipment_loss(f64::from(loss_milli) / 1_000.0);
         plan.set_shipment_corruption(f64::from(corrupt_milli) / 1_000.0);
+        plan.set_payload_corruption(f64::from(payload_milli) / 1_000.0);
         chaos.set_failures(plan);
         for &(code, from, len) in outages {
             chaos.inject_node_outage(site_of(code), from, from + len);
@@ -308,6 +369,7 @@ mod oracle {
             seed in any::<u64>(),
             loss_milli in 0u32..=300,
             corrupt_milli in 0u32..=300,
+            payload_milli in 0u32..=300,
             outages in proptest::collection::vec(
                 (any::<u8>(), 0u64..2_400, 100u64..1_200),
                 0..3,
@@ -324,9 +386,9 @@ mod oracle {
             // the archive and ledgers. Chaos and the sharded runtime
             // must compose without perturbing each other.
             let (mut chaos, lost) =
-                storm_city(4, seed, loss_milli, corrupt_milli, &outages, &waves);
+                storm_city(4, seed, loss_milli, corrupt_milli, payload_milli, &outages, &waves);
             let (mut chaos_seq, lost_seq) =
-                storm_city(1, seed, loss_milli, corrupt_milli, &outages, &waves);
+                storm_city(1, seed, loss_milli, corrupt_milli, payload_milli, &outages, &waves);
             prop_assert_eq!(&lost, &lost_seq);
             prop_assert_eq!(timeline_text(&chaos), timeline_text(&chaos_seq));
 
@@ -342,6 +404,9 @@ mod oracle {
                     }
                     IncidentKind::SketchCorrupted { .. } => {
                         prop_assert!(corrupt_milli > 0);
+                    }
+                    IncidentKind::ShipmentCorrupted => {
+                        prop_assert!(payload_milli > 0);
                     }
                     _ => {}
                 }

@@ -291,6 +291,48 @@ fn chaos_storm_traces_are_thread_count_invariant() {
     }
 }
 
+/// One flush-codec replica: the raw `tsenc` payload bytes of every
+/// shipment a seeded warm-up puts on either hop, in canonical capture
+/// order. Cross-batch dictionary state makes each payload a function of
+/// every prior flush of its stream, so this transcript pins the codec's
+/// whole lifecycle — probe choices, dictionary commits, fallback
+/// verdicts — to the seed.
+fn shipment_replica(seed: u64) -> Vec<u8> {
+    let mut city = F2cCity::barcelona().expect("city builds");
+    city.set_capture_shipments(true);
+    populate_city(&mut city, 20_000, seed, 3_600, 900).expect("warm-up runs");
+    let mut out = Vec::new();
+    for shipment in city.take_shipment_log() {
+        out.extend_from_slice(
+            format!(
+                "shipment hop={} origin={} t={}\n",
+                shipment.hop, shipment.origin, shipment.at_s
+            )
+            .as_bytes(),
+        );
+        out.extend_from_slice(&shipment.payload);
+        out.push(b'\n');
+    }
+    out
+}
+
+#[test]
+fn encoded_shipment_streams_are_replica_identical() {
+    let first = shipment_replica(2017);
+    let second = shipment_replica(2017);
+    assert!(
+        first.len() > 1_000,
+        "shipment transcript suspiciously small ({} bytes) — no flushes shipped",
+        first.len()
+    );
+    assert_byte_identical(&first, &second, "shipment replica 1 vs 2");
+    let other = shipment_replica(2018);
+    assert_ne!(
+        first, other,
+        "different seeds must change the encoded shipment stream"
+    );
+}
+
 #[test]
 fn divergence_reporting_points_at_first_differing_byte() {
     // The reporter itself is load-bearing diagnostics; pin its message.

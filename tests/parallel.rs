@@ -99,6 +99,25 @@ fn run_artifacts(engine: &QueryEngine, transcript: &[u8], summary: &str) -> Vec<
     for (key, value) in &snapshot.gauges {
         out.extend_from_slice(format!("{key}={value}\n").as_bytes());
     }
+    // The flush-codec tap: every encoded shipment that crossed either
+    // hop, raw payload bytes included — cross-batch dictionary state
+    // makes each payload depend on every prior flush of its stream, so
+    // any thread-order leak anywhere upstream shows here.
+    for shipment in city.shipment_log() {
+        out.extend_from_slice(
+            format!(
+                "shipment hop={} origin={} t={} payload={} wire={}\n",
+                shipment.hop,
+                shipment.origin,
+                shipment.at_s,
+                shipment.payload.len(),
+                shipment.wire.len(),
+            )
+            .as_bytes(),
+        );
+        out.extend_from_slice(&shipment.payload);
+        out.push(b'\n');
+    }
     out.extend_from_slice(&city.tracer().encode());
     // The diagnosis plane rides the same oracle: explain transcripts,
     // per-bucket trace exemplars and the alert log are shard-merged
@@ -126,6 +145,7 @@ fn run_artifacts(engine: &QueryEngine, transcript: &[u8], summary: &str) -> Vec<
 fn shard_replica(config: &WorkloadConfig, threads: usize, storm: bool) -> Vec<u8> {
     let mut city = F2cCity::barcelona().expect("city builds");
     city.set_parallelism(Parallelism::new(threads));
+    city.set_capture_shipments(true);
     populate_city(&mut city, 20_000, config.seed, config.start_s, 900).expect("warm-up runs");
     if storm {
         let mut plan = FailurePlan::with_seed(config.seed);
